@@ -1,0 +1,113 @@
+// Commuterun executes a mini-C++ program: serially (the original
+// semantics), in parallel on the goroutine runtime using the
+// automatically generated parallel code, or on the simulated
+// multiprocessor across a range of processor counts.
+//
+// Usage:
+//
+//	commuterun -mode serial   file.mc
+//	commuterun -mode parallel -workers 8 file.mc
+//	commuterun -mode simulate -procs 1,2,4,8,16,32 -app water
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"commute"
+	"commute/internal/apps/src"
+)
+
+func main() {
+	mode := flag.String("mode", "serial", "serial | parallel | simulate")
+	workers := flag.Int("workers", 4, "worker count for -mode parallel")
+	procs := flag.String("procs", "1,2,4,8,16,32", "processor counts for -mode simulate")
+	app := flag.String("app", "", "run a built-in application (barneshut, water, graph)")
+	flag.Parse()
+
+	var name, source string
+	switch {
+	case *app != "":
+		name = *app
+		switch *app {
+		case "barneshut":
+			source = src.BarnesHut
+		case "water":
+			source = src.Water
+		case "graph":
+			source = src.Graph
+		default:
+			fmt.Fprintf(os.Stderr, "unknown app %q\n", *app)
+			os.Exit(2)
+		}
+	case flag.NArg() == 1:
+		name = flag.Arg(0)
+		data, err := os.ReadFile(name)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		source = string(data)
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	sys, err := commute.Load(name, source)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
+	switch *mode {
+	case "serial":
+		start := time.Now()
+		if _, err := sys.RunSerial(os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("serial execution: %v\n", time.Since(start))
+
+	case "parallel":
+		start := time.Now()
+		_, stats, err := sys.RunParallel(*workers, os.Stdout)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("parallel execution (%d workers): %v\n", *workers, time.Since(start))
+		fmt.Printf("regions=%d loops=%d chunks=%d iterations=%d tasks=%d locks=%d\n",
+			stats.Regions, stats.ParallelLoops, stats.Chunks,
+			stats.Iterations, stats.Tasks, stats.LockAcquires)
+
+	case "simulate":
+		tr, err := sys.Trace()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("%6s  %12s  %8s  %10s\n", "procs", "time (s)", "speedup", "blocked (s)")
+		var base float64
+		for _, ps := range strings.Split(*procs, ",") {
+			p, err := strconv.Atoi(strings.TrimSpace(ps))
+			if err != nil || p < 1 {
+				fmt.Fprintf(os.Stderr, "bad processor count %q\n", ps)
+				os.Exit(2)
+			}
+			res := commute.Simulate(tr, p)
+			if base == 0 {
+				base = res.TimeMicros
+			}
+			fmt.Printf("%6d  %12.3f  %7.2fx  %10.3f\n",
+				p, res.TimeMicros/1e6, base/res.TimeMicros, res.Breakdown.Blocked/1e6)
+		}
+
+	default:
+		fmt.Fprintf(os.Stderr, "unknown mode %q\n", *mode)
+		os.Exit(2)
+	}
+}

@@ -1,0 +1,163 @@
+// Package commute is a from-scratch reproduction of "Commutativity
+// Analysis: A New Analysis Framework for Parallelizing Compilers"
+// (Rinard & Diniz, PLDI 1996): a parallelizing compiler for an
+// object-based C++ subset whose primary analysis discovers operations
+// that commute — generate the same final result in either execution
+// order — and automatically generates parallel code for computations,
+// including dynamic pointer-based ones, whose operations all commute.
+//
+// The pipeline is:
+//
+//	Load (parse + type check)          internal/frontend
+//	  → commutativity analysis         internal/analysis, internal/core
+//	  → code generation plan           internal/codegen
+//	  → execution                      internal/interp (serial),
+//	                                   internal/rt (goroutine parallel),
+//	                                   internal/tracer + internal/simdash
+//	                                   (simulated multiprocessor)
+//
+// A minimal use:
+//
+//	sys, err := commute.Load("graph.mc", source)
+//	report := sys.Report("builder::traverse") // analysis outcome
+//	err = sys.RunParallel(8, os.Stdout)       // real parallel execution
+package commute
+
+import (
+	"fmt"
+	"io"
+
+	"commute/internal/codegen"
+	"commute/internal/core"
+	"commute/internal/frontend/ast"
+	"commute/internal/frontend/parser"
+	"commute/internal/frontend/types"
+	"commute/internal/interp"
+	"commute/internal/rt"
+	"commute/internal/simdash"
+	"commute/internal/tracer"
+	"commute/internal/transform"
+)
+
+// System is a compiled program together with its commutativity analysis
+// and code generation plan.
+type System struct {
+	File     *ast.File
+	Prog     *types.Program
+	Analysis *core.Analysis
+	Plan     *codegen.Plan
+}
+
+// Load parses, type checks, analyzes, and plans a program written in
+// the mini-C++ dialect.
+func Load(name, source string) (*System, error) {
+	file, err := parser.Parse(name, source)
+	if err != nil {
+		return nil, fmt.Errorf("parse: %w", err)
+	}
+	prog, err := types.Check(file)
+	if err != nil {
+		return nil, fmt.Errorf("type check: %w", err)
+	}
+	analysis := core.New(prog)
+	plan := codegen.Build(analysis)
+	return &System{File: file, Prog: prog, Analysis: analysis, Plan: plan}, nil
+}
+
+// LoadTransformed applies the §7.2 loop-replacement transformation —
+// while loops rewritten into tail-recursive auxiliary methods — before
+// analysis, widening the set of computations the symbolic executor can
+// analyze (e.g. pointer-chasing accumulation loops). It returns the
+// loaded system, the transformed source, and the rewrites performed.
+func LoadTransformed(name, source string) (*System, string, []transform.Rewrite, error) {
+	pre, err := Load(name, source)
+	if err != nil {
+		return nil, "", nil, err
+	}
+	out, rewrites := transform.WhileToRecursion(pre.Prog, pre.File)
+	if len(rewrites) == 0 {
+		return pre, source, nil, nil
+	}
+	sys, err := Load(name, out)
+	if err != nil {
+		return nil, out, rewrites, fmt.Errorf("transformed source failed to reload: %w", err)
+	}
+	return sys, out, rewrites, nil
+}
+
+// LoadFiles parses several source files into one program (class and
+// global declarations are visible across files).
+func LoadFiles(sources map[string]string) (*System, error) {
+	var files []*ast.File
+	for name, src := range sources {
+		f, err := parser.Parse(name, src)
+		if err != nil {
+			return nil, fmt.Errorf("parse %s: %w", name, err)
+		}
+		files = append(files, f)
+	}
+	prog, err := types.Check(files...)
+	if err != nil {
+		return nil, fmt.Errorf("type check: %w", err)
+	}
+	analysis := core.New(prog)
+	plan := codegen.Build(analysis)
+	return &System{Prog: prog, Analysis: analysis, Plan: plan}, nil
+}
+
+// Report returns the commutativity analysis report for a method named
+// "class::method" (or a free function name), or nil if no such method
+// exists.
+func (s *System) Report(fullName string) *core.MethodReport {
+	m := s.Prog.MethodByFullName(fullName)
+	if m == nil {
+		return nil
+	}
+	return s.Analysis.IsParallel(m)
+}
+
+// Reports returns the analysis reports for every defined method.
+func (s *System) Reports() []*core.MethodReport { return s.Analysis.AnalyzeAll() }
+
+// ParallelMethods returns the full names of the methods the analysis
+// marked parallel.
+func (s *System) ParallelMethods() []string {
+	var out []string
+	for _, m := range s.Analysis.ParallelMethods() {
+		out = append(out, m.FullName())
+	}
+	return out
+}
+
+// RunSerial executes the program serially (the original semantics) and
+// returns the interpreter for state inspection.
+func (s *System) RunSerial(out io.Writer) (*interp.Interp, error) {
+	ip := interp.New(s.Prog, out)
+	return ip, ip.Run(ip.NewCtx())
+}
+
+// RunParallel executes the program with the generated parallel code on
+// a goroutine-backed runtime with the given number of workers.
+func (s *System) RunParallel(workers int, out io.Writer) (*interp.Interp, *rt.Stats, error) {
+	ip := interp.New(s.Prog, out)
+	r := rt.New(ip, s.Plan, workers)
+	err := r.Run()
+	return ip, &r.Stats, err
+}
+
+// Trace executes the program once, recording the parallel task/lock
+// event structure for simulation.
+func (s *System) Trace() (*tracer.Trace, error) {
+	ip := interp.New(s.Prog, nil)
+	return tracer.Collect(ip, s.Plan)
+}
+
+// Simulate runs a trace on the simulated multiprocessor.
+func Simulate(tr *tracer.Trace, procs int) *simdash.Result {
+	return simdash.Simulate(tr, simdash.DefaultParams(procs))
+}
+
+// SimulateWith runs a trace with explicit machine parameters.
+func SimulateWith(tr *tracer.Trace, p simdash.Params) *simdash.Result {
+	return simdash.Simulate(tr, p)
+}

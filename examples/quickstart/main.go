@@ -1,0 +1,137 @@
+// Quickstart demonstrates the whole pipeline on the paper's §2 running
+// example: a serial graph traversal whose visit operations commute. The
+// compiler proves commutativity symbolically (Table 1), marks the
+// traversal parallel, and the generated parallel code produces exactly
+// the serial result.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"commute"
+	"commute/internal/interp"
+)
+
+const source = `
+const int MAXNODES = 64;
+
+class graph {
+public:
+  boolean mark;
+  int val;
+  int sum;
+  graph *left;
+  graph *right;
+  void visit(int p);
+};
+
+class builder {
+public:
+  int numnodes;
+  graph *nodes[MAXNODES];
+  graph *root;
+  void build(int n);
+  void traverse();
+};
+
+builder Builder;
+
+void graph::visit(int p) {
+  sum = sum + p;
+  if (!mark) {
+    mark = TRUE;
+    if (left != NULL)
+      left->visit(val);
+    if (right != NULL)
+      right->visit(val);
+  }
+}
+
+void builder::build(int n) {
+  int i;
+  graph *g;
+  numnodes = n;
+  for (i = 0; i < n; i++) {
+    g = new graph;
+    nodes[i] = g;
+    g->mark = FALSE;
+    g->val = i + 1;
+    g->sum = 0;
+    g->left = NULL;
+    g->right = NULL;
+  }
+  // A diamond-heavy graph with shared nodes and back edges.
+  for (i = 0; i < n; i++) {
+    nodes[i]->left = nodes[(i * 7 + 3) % n];
+    nodes[i]->right = nodes[(i * 13 + 5) % n];
+  }
+  root = nodes[0];
+}
+
+void builder::traverse() {
+  root->visit(0);
+}
+
+void main() {
+  Builder.build(64);
+  Builder.traverse();
+}
+`
+
+func main() {
+	sys, err := commute.Load("quickstart.mc", source)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("== analysis ==")
+	for _, name := range []string{"builder::traverse", "graph::visit", "builder::build"} {
+		r := sys.Report(name)
+		if r.Parallel {
+			fmt.Printf("  %-20s PARALLEL (extent %d methods, %d independent pairs, %d symbolic)\n",
+				name, r.ExtentSize, r.IndependentPairs, r.SymbolicPairs)
+		} else {
+			fmt.Printf("  %-20s serial: %s\n", name, r.Reason)
+		}
+	}
+
+	// Run the original serial program and the automatically
+	// parallelized version; the integer sums must agree exactly.
+	ipSerial, err := sys.RunSerial(nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	ipPar, stats, err := sys.RunParallel(8, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	checksum := func(ip *interp.Interp) int64 {
+		n, err := sys.ReadInt(ip, "Builder.numnodes")
+		if err != nil {
+			log.Fatal(err)
+		}
+		var total int64
+		for i := int64(0); i < n; i++ {
+			s, err := sys.ReadInt(ip, fmt.Sprintf("Builder.nodes[%d].sum", i))
+			if err != nil {
+				log.Fatal(err)
+			}
+			total += s * (i + 1)
+		}
+		return total
+	}
+	serialTotal := checksum(ipSerial)
+	parTotal := checksum(ipPar)
+
+	fmt.Println("\n== execution ==")
+	fmt.Printf("  serial   checksum of node sums: %d\n", serialTotal)
+	fmt.Printf("  parallel checksum of node sums: %d (8 workers, %d tasks spawned)\n",
+		parTotal, stats.Tasks)
+	if serialTotal == parTotal {
+		fmt.Println("  identical results — the commuting operations reordered safely")
+	} else {
+		log.Fatal("results differ — commutativity violated!")
+	}
+}

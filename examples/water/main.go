@@ -1,0 +1,88 @@
+// Water runs the full pipeline on the paper's second application: the
+// compiler finds the five phase extents (Virtual, Loading, Forces,
+// Energy, Momenta) parallel, the generated code preserves the
+// simulation, and the simulated machine reproduces the paper's
+// diagnosis — Water stops scaling past ~8 processors because of
+// contention for the shared accumulator objects, which the explicitly
+// parallel version removes by replication.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"commute"
+	"commute/internal/apps"
+)
+
+func main() {
+	mols := flag.Int("mols", 125, "number of molecules")
+	steps := flag.Int("steps", 2, "timesteps")
+	workers := flag.Int("workers", 4, "goroutine workers for the real parallel run")
+	flag.Parse()
+
+	sys, err := apps.Water(*mols, *steps)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("== Water, %d molecules, %d steps ==\n\n", *mols, *steps)
+	fmt.Println("analysis (Table 8 extents):")
+	for _, row := range [][2]string{
+		{"Virtual", "water::predictAll"},
+		{"Loading", "water::loadAll"},
+		{"Forces", "water::interf"},
+		{"Energy", "water::poteng"},
+		{"Momenta", "water::momentaAll"},
+	} {
+		r := sys.Report(row[1])
+		status := "serial: " + r.Reason
+		if r.Parallel {
+			status = fmt.Sprintf("PARALLEL (extent %d, %d independent pairs, %d symbolic)",
+				r.ExtentSize, r.IndependentPairs, r.SymbolicPairs)
+		}
+		fmt.Printf("  %-8s %-20s %s\n", row[0], row[1], status)
+	}
+
+	ipSerial, err := sys.RunSerial(nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	ipPar, stats, err := sys.RunParallel(*workers, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	sKin, _ := sys.ReadFloat(ipSerial, "Sums.kin")
+	pKin, _ := sys.ReadFloat(ipPar, "Sums.kin")
+	fmt.Printf("\nreal parallel run (%d workers): %d lock acquisitions\n", *workers, stats.LockAcquires)
+	fmt.Printf("  kinetic energy  serial %.9f  parallel %.9f\n", sKin, pKin)
+
+	tr, err := sys.Trace()
+	if err != nil {
+		log.Fatal(err)
+	}
+	explicit := apps.ExplicitWater(tr, int64(*mols*20))
+	replicated, err := apps.TraceWithReplication(sys)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("\nsimulated multiprocessor (automatic vs §6.3.4 replication vs explicit):")
+	autoBase := commute.Simulate(tr, 1).TimeMicros
+	replBase := commute.Simulate(replicated, 1).TimeMicros
+	exBase := commute.Simulate(explicit, 1).TimeMicros
+	for _, p := range []int{1, 2, 4, 8, 16, 32} {
+		auto := commute.Simulate(tr, p)
+		repl := commute.Simulate(replicated, p)
+		ex := commute.Simulate(explicit, p)
+		fmt.Printf("  %2d procs: auto %6.2fx (blocked %5.1f%%)   replicated %6.2fx   explicit %6.2fx\n",
+			p, autoBase/auto.TimeMicros,
+			100*auto.Breakdown.Blocked/auto.Breakdown.Total(),
+			replBase/repl.TimeMicros,
+			exBase/ex.TimeMicros)
+	}
+	fmt.Println("\ncontention for the shared sums/force-bank objects flattens the automatic version")
+	fmt.Println("past 8 processors; the automatic §6.3.4 accumulator replication (and the hand-")
+	fmt.Println("replicated explicit version) removes it")
+}

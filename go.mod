@@ -1,0 +1,3 @@
+module commute
+
+go 1.22

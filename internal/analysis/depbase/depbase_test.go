@@ -1,0 +1,107 @@
+package depbase_test
+
+import (
+	"testing"
+
+	"commute/internal/analysis/depbase"
+	"commute/internal/apps/src"
+	"commute/internal/frontend/parser"
+	"commute/internal/frontend/types"
+)
+
+func analyze(t *testing.T, source string) *depbase.Result {
+	t.Helper()
+	f, err := parser.Parse("app.mc", source)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	prog, err := types.Check(f)
+	if err != nil {
+		t.Fatalf("check: %v", err)
+	}
+	return depbase.Analyze(prog)
+}
+
+// TestPhaseLoopsStaySerial: the motivating claim of §8.1 — dependence
+// analysis at type precision cannot parallelize any loop that updates
+// objects through pointers, including every phase loop of both
+// applications.
+func TestPhaseLoopsStaySerial(t *testing.T) {
+	for _, tc := range []struct {
+		name, source string
+		phaseMethods map[string]bool
+	}{
+		{"barneshut", src.BarnesHut, map[string]bool{
+			"nbody::computeForces": true, "nbody::resetForces": true,
+			"nbody::advanceVelocities": true, "nbody::advancePositions": true,
+		}},
+		{"water", src.Water, map[string]bool{
+			"water::predictAll": true, "water::loadAll": true,
+			"water::interf": true, "water::poteng": true, "water::momentaAll": true,
+		}},
+	} {
+		res := analyze(t, tc.source)
+		for _, lr := range res.Loops {
+			if tc.phaseMethods[lr.Method.FullName()] && lr.Parallel {
+				t.Errorf("%s: dependence analysis wrongly parallelizes the loop in %s",
+					tc.name, lr.Method.FullName())
+			}
+		}
+	}
+}
+
+// TestIndependentLoopFound: a loop writing only locals is provably
+// independent even at type precision — the baseline is not vacuous.
+func TestIndependentLoopFound(t *testing.T) {
+	res := analyze(t, `
+class a {
+public:
+  int x;
+  int probe(int n);
+};
+int a::probe(int n) {
+  int i, s;
+  s = 0;
+  for (i = 0; i < n; i++)
+    s = s + i;
+  return s;
+}
+`)
+	if res.TotalLoops != 1 || res.ParallelLoops != 1 {
+		t.Errorf("local-only loop should be independent: %d/%d", res.ParallelLoops, res.TotalLoops)
+	}
+}
+
+// TestConflictReported: serial verdicts carry the conflicting
+// descriptor.
+func TestConflictReported(t *testing.T) {
+	res := analyze(t, `
+class c { public: int n; void bump(); };
+void c::bump() { n = n + 1; }
+class d {
+public:
+  c *cs[8];
+  void all();
+};
+void d::all() {
+  int i;
+  for (i = 0; i < 8; i++)
+    cs[i]->bump();
+}
+`)
+	var found bool
+	for _, lr := range res.Loops {
+		if lr.Method.FullName() == "d::all" {
+			found = true
+			if lr.Parallel {
+				t.Error("pointer-updating loop must stay serial under dependence analysis")
+			}
+			if lr.Conflict != "c.n" {
+				t.Errorf("conflict = %q, want c.n", lr.Conflict)
+			}
+		}
+	}
+	if !found {
+		t.Fatal("loop in d::all not examined")
+	}
+}

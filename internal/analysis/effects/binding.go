@@ -1,0 +1,135 @@
+package effects
+
+import (
+	"sort"
+	"strings"
+
+	"commute/internal/frontend/types"
+)
+
+// RecvBind binds a method's receiver for descriptor substitution. A nil
+// *RecvBind is the root binding: receiver-relative descriptors
+// normalize to the declaring class of their outermost element (the
+// paper's CL), which denotes the same storage. A non-nil RecvBind
+// prefixes the receiver's nested-object path.
+type RecvBind struct {
+	Class *types.Class
+	Path  []string
+}
+
+// Binding is the paper's b : P → S extended with the receiver context.
+type Binding struct {
+	Recv *RecvBind
+	// Ref maps formal reference-parameter names of the bound method to
+	// the storage descriptors of their actuals.
+	Ref map[string]Desc
+}
+
+// Identity returns the identity binding for m: the receiver stays
+// receiver-relative-normalized and each formal reference parameter maps
+// to itself.
+func Identity(m *types.Method) Binding {
+	b := Binding{Ref: make(map[string]Desc)}
+	for _, p := range m.ReferenceParams() {
+		b.Ref[p.Name] = Param(m, p.Name)
+	}
+	return b
+}
+
+// Key returns a canonical identity for the binding, for worklist
+// deduplication.
+func (b Binding) Key() string {
+	var sb strings.Builder
+	if b.Recv != nil {
+		sb.WriteString("@")
+		sb.WriteString(b.Recv.Class.Name)
+		for _, p := range b.Recv.Path {
+			sb.WriteByte('.')
+			sb.WriteString(p)
+		}
+	}
+	names := make([]string, 0, len(b.Ref))
+	for n := range b.Ref {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		sb.WriteByte('|')
+		sb.WriteString(n)
+		sb.WriteByte('=')
+		sb.WriteString(b.Ref[n].Key())
+	}
+	return sb.String()
+}
+
+// Subst substitutes a descriptor under the binding: receiver-relative
+// field descriptors are re-rooted, and reference-parameter descriptors
+// are replaced by their actuals.
+func (b Binding) Subst(d Desc) Desc {
+	switch d.Space {
+	case DescField:
+		if !d.ViaThis {
+			return d
+		}
+		if b.Recv == nil {
+			d.ViaThis = false
+			return d
+		}
+		path := make([]string, 0, len(b.Recv.Path)+len(d.Path))
+		path = append(path, b.Recv.Path...)
+		path = append(path, d.Path...)
+		return FieldDesc(b.Recv.Class, path, d.Field)
+	case DescParam:
+		if actual, ok := b.Ref[d.Name]; ok {
+			return actual
+		}
+		return d
+	}
+	return d
+}
+
+// SubstSet substitutes every descriptor of s.
+func (b Binding) SubstSet(s *Set) *Set { return s.Map(b.Subst) }
+
+// Bind computes the callee binding at a call site (the paper's
+// bind(c, b)): the receiver actual composed with the caller's receiver
+// binding, and each formal reference parameter mapped to the descriptor
+// of its actual under the caller binding.
+func (a *Analyzer) Bind(caller *types.Method, cc CallContext, b Binding) Binding {
+	out := Binding{Ref: make(map[string]Desc)}
+	switch cc.Recv.Kind {
+	case RecvThis:
+		out.Recv = b.Recv
+	case RecvFree:
+		out.Recv = nil
+	case RecvNested:
+		if cc.Recv.ViaThis {
+			if b.Recv == nil {
+				out.Recv = &RecvBind{Class: cc.Recv.Class, Path: cc.Recv.Path}
+			} else {
+				path := make([]string, 0, len(b.Recv.Path)+len(cc.Recv.Path))
+				path = append(path, b.Recv.Path...)
+				path = append(path, cc.Recv.Path...)
+				out.Recv = &RecvBind{Class: b.Recv.Class, Path: path}
+			}
+		} else {
+			out.Recv = &RecvBind{Class: cc.Recv.Class, Path: cc.Recv.Path}
+		}
+	}
+	for name, act := range cc.Refs {
+		switch act.Kind {
+		case ActLocal:
+			out.Ref[name] = Local(caller, act.Name)
+		case ActParam:
+			out.Ref[name] = b.Subst(Param(caller, act.Name))
+		case ActField:
+			out.Ref[name] = b.Subst(act.Field)
+		default:
+			// Unanalyzable actual: bind to the coarse primitive-type
+			// descriptor of the formal.
+			d := Param(cc.Site.Callee, name)
+			out.Ref[name] = d.Lift()
+		}
+	}
+	return out
+}

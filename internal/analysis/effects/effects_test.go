@@ -1,0 +1,210 @@
+package effects_test
+
+import (
+	"testing"
+
+	"commute/internal/analysis/effects"
+	"commute/internal/apps/src"
+	"commute/internal/frontend/parser"
+	"commute/internal/frontend/types"
+)
+
+func analyzeBH(t *testing.T) (*types.Program, *effects.Analyzer) {
+	t.Helper()
+	f, err := parser.Parse("barneshut.mc", src.BarnesHut)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	prog, err := types.Check(f)
+	if err != nil {
+		t.Fatalf("check: %v", err)
+	}
+	return prog, effects.NewAnalyzer(prog)
+}
+
+func method(t *testing.T, p *types.Program, full string) *types.Method {
+	t.Helper()
+	m := p.MethodByFullName(full)
+	if m == nil {
+		t.Fatalf("method %s not found", full)
+	}
+	return m
+}
+
+func keys(s *effects.Set) map[string]bool {
+	out := make(map[string]bool)
+	for _, d := range s.Slice() {
+		out[d.Key()] = true
+	}
+	return out
+}
+
+func wantSet(t *testing.T, label string, got *effects.Set, want ...string) {
+	t.Helper()
+	g := keys(got)
+	for _, w := range want {
+		if !g[w] {
+			t.Errorf("%s: missing %s (got %s)", label, w, got)
+		}
+	}
+	if len(g) != len(want) {
+		t.Errorf("%s: got %d descriptors %s, want %d %v", label, len(g), got, len(want), want)
+	}
+}
+
+// TestFigure6LocalEffects checks the paper's Figure 6 read/write sets
+// (local, pre-substitution; receiver-relative descriptors appear with
+// the this→ marker).
+func TestFigure6LocalEffects(t *testing.T) {
+	p, a := analyzeBH(t)
+
+	vecAdd := method(t, p, "vector::vecAdd")
+	mi := a.Info(vecAdd)
+	wantSet(t, "read(vecAdd)", mi.Reads, "this→vector.val", "p:vector::vecAdd:v")
+	wantSet(t, "write(vecAdd)", mi.Writes, "this→vector.val")
+
+	ci := method(t, p, "body::computeInter")
+	mi = a.Info(ci)
+	wantSet(t, "read(computeInter)", mi.Reads,
+		"node.mass", "node.pos.val", "this→node.pos.val", "parms.eps")
+	wantSet(t, "write(computeInter)", mi.Writes, "p:body::computeInter:res")
+
+	sd := method(t, p, "body::subdivp")
+	mi = a.Info(sd)
+	wantSet(t, "read(subdivp)", mi.Reads,
+		"node.pos.val", "this→node.pos.val", "parms.epsSq", "parms.tolSq")
+	if mi.Writes.Len() != 0 {
+		t.Errorf("write(subdivp) = %s, want empty", mi.Writes)
+	}
+
+	gs := method(t, p, "body::gravsub")
+	mi = a.Info(gs)
+	wantSet(t, "read(gravsub)", mi.Reads, "this→body.phi")
+	wantSet(t, "write(gravsub)", mi.Writes, "this→body.phi")
+
+	oc := method(t, p, "body::openCell")
+	mi = a.Info(oc)
+	wantSet(t, "read(openCell)", mi.Reads, "cell.subp")
+	if mi.Writes.Len() != 0 {
+		t.Errorf("write(openCell) = %s, want empty", mi.Writes)
+	}
+
+	ol := method(t, p, "body::openLeaf")
+	mi = a.Info(ol)
+	wantSet(t, "read(openLeaf)", mi.Reads, "leaf.numbodies", "leaf.bodyp")
+	if mi.Writes.Len() != 0 {
+		t.Errorf("write(openLeaf) = %s, want empty", mi.Writes)
+	}
+
+	ws := method(t, p, "body::walksub")
+	mi = a.Info(ws)
+	if mi.Reads.Len() != 0 || mi.Writes.Len() != 0 {
+		t.Errorf("walksub effects = %s / %s, want empty", mi.Reads, mi.Writes)
+	}
+}
+
+// TestFigure7TransitiveEffects checks the paper's Figure 7 transitive
+// read/write sets.
+func TestFigure7TransitiveEffects(t *testing.T) {
+	p, a := analyzeBH(t)
+
+	te := a.TransitiveEffects(method(t, p, "body::computeInter"))
+	wantSet(t, "TE.rd(computeInter)", te.Reads, "node.mass", "node.pos.val", "parms.eps")
+	if te.Writes.Len() != 1 || !te.Writes.Has(effects.Param(method(t, p, "body::computeInter"), "res")) {
+		t.Errorf("TE.wr(computeInter) = %s", te.Writes)
+	}
+
+	te = a.TransitiveEffects(method(t, p, "body::gravsub"))
+	wantSet(t, "TE.rd(gravsub)", te.Reads,
+		"node.mass", "node.pos.val", "body.phi", "body.acc.val", "parms.eps")
+	wantSet(t, "TE.wr(gravsub)", te.Writes, "body.phi", "body.acc.val")
+
+	te = a.TransitiveEffects(method(t, p, "body::openLeaf"))
+	wantSet(t, "TE.rd(openLeaf)", te.Reads,
+		"node.mass", "node.pos.val", "body.phi", "body.acc.val", "parms.eps",
+		"leaf.numbodies", "leaf.bodyp")
+	wantSet(t, "TE.wr(openLeaf)", te.Writes, "body.phi", "body.acc.val")
+
+	te = a.TransitiveEffects(method(t, p, "body::walksub"))
+	wantSet(t, "TE.rd(walksub)", te.Reads,
+		"node.mass", "node.pos.val", "body.phi", "body.acc.val",
+		"leaf.numbodies", "leaf.bodyp", "cell.subp",
+		"parms.eps", "parms.epsSq", "parms.tolSq")
+	wantSet(t, "TE.wr(walksub)", te.Writes, "body.phi", "body.acc.val")
+
+	te = a.TransitiveEffects(method(t, p, "nbody::computeForces"))
+	wantSet(t, "TE.rd(computeForces)", te.Reads,
+		"node.mass", "node.pos.val", "body.phi", "body.acc.val",
+		"leaf.numbodies", "leaf.bodyp", "cell.subp",
+		"parms.eps", "parms.epsSq", "parms.tolSq",
+		"nbody.numbodies", "nbody.bodies", "nbody.BH_root", "nbody.size")
+	wantSet(t, "TE.wr(computeForces)", te.Writes, "body.phi", "body.acc.val")
+}
+
+// TestFigure6DepSets checks the dep function values of Figure 6.
+func TestFigure6DepSets(t *testing.T) {
+	p, a := analyzeBH(t)
+
+	// Call-site lookup helper: the i-th call site within a method whose
+	// callee has the given name.
+	siteOf := func(caller, callee string) *types.CallSite {
+		m := method(t, p, caller)
+		for _, cs := range m.CallSites {
+			if cs.Callee.Name == callee {
+				return cs
+			}
+		}
+		t.Fatalf("no call to %s in %s", callee, caller)
+		return nil
+	}
+
+	// dep(1): computeInter call in gravsub.
+	d := a.Dep(siteOf("body::gravsub", "computeInter"))
+	if d.Len() != 0 {
+		t.Errorf("dep(gravsub→computeInter) = %s, want empty", d)
+	}
+
+	// dep(2): acc.vecAdd(tmpv) in gravsub — computeInter's reads.
+	d = effects.Identity(method(t, p, "body::gravsub")).SubstSet(a.Dep(siteOf("body::gravsub", "vecAdd")))
+	wantSet(t, "dep(gravsub→vecAdd)", d, "node.mass", "node.pos.val", "parms.eps")
+
+	// dep(3): walksub call in openCell — guarded by subp lookup.
+	d = effects.Identity(method(t, p, "body::openCell")).SubstSet(a.Dep(siteOf("body::openCell", "walksub")))
+	wantSet(t, "dep(openCell→walksub)", d, "cell.subp")
+
+	// dep(4): gravsub call in openLeaf.
+	d = effects.Identity(method(t, p, "body::openLeaf")).SubstSet(a.Dep(siteOf("body::openLeaf", "gravsub")))
+	wantSet(t, "dep(openLeaf→gravsub)", d, "leaf.numbodies", "leaf.bodyp")
+
+	// dep(5): subdivp call in walksub — unguarded, parameter args only.
+	d = a.Dep(siteOf("body::walksub", "subdivp"))
+	if d.Len() != 0 {
+		t.Errorf("dep(walksub→subdivp) = %s, want empty", d)
+	}
+
+	// dep(6): openCell call in walksub — guarded by subdivp's result.
+	d = effects.Identity(method(t, p, "body::walksub")).SubstSet(a.Dep(siteOf("body::walksub", "openCell")))
+	wantSet(t, "dep(walksub→openCell)", d, "node.pos.val", "parms.epsSq", "parms.tolSq")
+
+	// dep(7) and dep(8) match dep(6).
+	d = effects.Identity(method(t, p, "body::walksub")).SubstSet(a.Dep(siteOf("body::walksub", "openLeaf")))
+	wantSet(t, "dep(walksub→openLeaf)", d, "node.pos.val", "parms.epsSq", "parms.tolSq")
+	d = effects.Identity(method(t, p, "body::walksub")).SubstSet(a.Dep(siteOf("body::walksub", "gravsub")))
+	wantSet(t, "dep(walksub→gravsub)", d, "node.pos.val", "parms.epsSq", "parms.tolSq")
+}
+
+func TestPurityFlags(t *testing.T) {
+	p, a := analyzeBH(t)
+	if a.MayCreateObject(method(t, p, "nbody::computeForces")) {
+		t.Error("computeForces should not create objects")
+	}
+	if !a.MayCreateObject(method(t, p, "nbody::buildTree")) {
+		t.Error("buildTree creates objects")
+	}
+	if !a.MayCreateObject(method(t, p, "nbody::step")) {
+		t.Error("step transitively creates objects")
+	}
+	if a.MayPerformIO(method(t, p, "nbody::step")) {
+		t.Error("step performs no IO")
+	}
+}

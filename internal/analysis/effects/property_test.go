@@ -1,0 +1,176 @@
+package effects_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"commute/internal/analysis/effects"
+	"commute/internal/apps/src"
+	"commute/internal/frontend/parser"
+	"commute/internal/frontend/types"
+)
+
+// genDescs builds a pool of descriptors over the Barnes-Hut class
+// hierarchy: plain fields, nested chains, lifted types, params, locals.
+func genDescs(t *testing.T) []effects.Desc {
+	t.Helper()
+	f, err := parser.Parse("bh.mc", src.BarnesHut)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog, err := types.Check(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	node := prog.Classes["node"]
+	body := prog.Classes["body"]
+	cell := prog.Classes["cell"]
+	leaf := prog.Classes["leaf"]
+	vector := prog.Classes["vector"]
+	gravsub := prog.MethodByFullName("body::gravsub")
+	computeInter := prog.MethodByFullName("body::computeInter")
+
+	return []effects.Desc{
+		effects.FieldDesc(node, nil, "mass"),
+		effects.FieldDesc(node, []string{"pos"}, "val"),
+		effects.FieldDesc(body, []string{"acc"}, "val"),
+		effects.FieldDesc(body, []string{"vel"}, "val"),
+		effects.FieldDesc(body, nil, "phi"),
+		effects.FieldDesc(cell, nil, "subp"),
+		effects.FieldDesc(leaf, nil, "numbodies"),
+		effects.FieldDesc(vector, nil, "val"),
+		effects.ThisField(body, nil, "phi"),
+		effects.ThisField(node, []string{"pos"}, "val"),
+		effects.TypeDesc(types.Double),
+		effects.TypeDesc(types.Int),
+		effects.Param(computeInter, "res"),
+		effects.Local(gravsub, "tmpv"),
+		effects.Local(gravsub, "d"),
+	}
+}
+
+// TestLeqIsPartialOrder: reflexive, transitive, and antisymmetric up to
+// equal keys on the descriptor pool.
+func TestLeqIsPartialOrder(t *testing.T) {
+	pool := genDescs(t)
+	for _, a := range pool {
+		if !effects.Leq(a, a) {
+			t.Errorf("≼ not reflexive at %s", a.Key())
+		}
+	}
+	for _, a := range pool {
+		for _, b := range pool {
+			for _, c := range pool {
+				if effects.Leq(a, b) && effects.Leq(b, c) && !effects.Leq(a, c) {
+					t.Errorf("≼ not transitive: %s ≼ %s ≼ %s", a.Key(), b.Key(), c.Key())
+				}
+			}
+		}
+	}
+	for _, a := range pool {
+		for _, b := range pool {
+			if effects.Leq(a, b) && effects.Leq(b, a) {
+				// Mutual ≼ means the same storage; receiver-relative
+				// descriptors and their normalization are the only
+				// distinct-key pairs allowed.
+				na, nb := a, b
+				na.ViaThis, nb.ViaThis = false, false
+				if na.Key() != nb.Key() {
+					t.Errorf("≼ antisymmetry violated: %s vs %s", a.Key(), b.Key())
+				}
+			}
+		}
+	}
+}
+
+// TestExpectedOrderings: the paper's §4.2 example orderings hold.
+func TestExpectedOrderings(t *testing.T) {
+	pool := genDescs(t)
+	byKey := map[string]effects.Desc{}
+	for _, d := range pool {
+		byKey[d.Key()] = d
+	}
+	leq := func(a, b string) bool {
+		return effects.Leq(byKey[a], byKey[b])
+	}
+	cases := []struct {
+		a, b string
+		want bool
+	}{
+		{"body.acc.val", "vector.val", true},  // cl.q.v ≼ cl2.v via class(body.acc)=vector
+		{"vector.val", "body.acc.val", false}, // not the other way
+		{"body.acc.val", "body.vel.val", false},
+		{"node.pos.val", "vector.val", true},
+		{"body.phi", "t:double", true}, // s ≼ type(s)
+		{"body.phi", "t:int", false},
+		{"cell.subp", "t:int", true}, // pointer arrays lift to int storage
+		{"this→body.phi", "body.phi", true},
+		{"body.phi", "this→body.phi", true},
+	}
+	for _, tc := range cases {
+		if got := leq(tc.a, tc.b); got != tc.want {
+			t.Errorf("Leq(%s, %s) = %v, want %v", tc.a, tc.b, got, tc.want)
+		}
+	}
+}
+
+// TestSetOperations: covers/overlaps consistency on random subsets.
+func TestSetOperations(t *testing.T) {
+	pool := genDescs(t)
+	r := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 200; trial++ {
+		s := effects.NewSet()
+		var members []effects.Desc
+		for _, d := range pool {
+			if r.Intn(2) == 0 {
+				s.Add(d)
+				members = append(members, d)
+			}
+		}
+		if s.Len() != len(uniqueKeys(members)) {
+			t.Fatalf("set length %d != unique members %d", s.Len(), len(uniqueKeys(members)))
+		}
+		for _, d := range members {
+			if !s.Has(d) || !s.Covers(d) {
+				t.Fatalf("member %s not found in its own set", d.Key())
+			}
+		}
+		// CoversAll is reflexive; a clone equals the original.
+		if !s.CoversAll(s) {
+			t.Fatal("CoversAll not reflexive")
+		}
+		c := s.Clone()
+		if c.Key() != s.Key() {
+			t.Fatal("clone differs from original")
+		}
+		// OverlapsSet is symmetric.
+		o := effects.NewSet()
+		for _, d := range pool {
+			if r.Intn(3) == 0 {
+				o.Add(d)
+			}
+		}
+		if s.OverlapsSet(o) != o.OverlapsSet(s) {
+			t.Fatal("OverlapsSet not symmetric")
+		}
+	}
+}
+
+func uniqueKeys(ds []effects.Desc) map[string]bool {
+	out := map[string]bool{}
+	for _, d := range ds {
+		out[d.Key()] = true
+	}
+	return out
+}
+
+// TestLiftIdempotent: lift(lift(s)) == lift(s).
+func TestLiftIdempotent(t *testing.T) {
+	for _, d := range genDescs(t) {
+		once := d.Lift()
+		twice := once.Lift()
+		if once.Key() != twice.Key() {
+			t.Errorf("lift not idempotent at %s: %s vs %s", d.Key(), once.Key(), twice.Key())
+		}
+	}
+}

@@ -1,0 +1,149 @@
+package effects
+
+import (
+	"commute/internal/frontend/types"
+)
+
+// Analyzer caches the per-method local analyses and the transitive
+// closures over the call graph for one checked program.
+type Analyzer struct {
+	Prog *types.Program
+
+	info    map[*types.Method]*MethodInfo
+	te      map[*types.Method]*TE
+	dep     map[*types.Method]bool // dep pass done
+	creates map[*types.Method]bool
+	io      map[*types.Method]bool
+}
+
+// TE is a transitive effects result: the storage the computation rooted
+// at a method may read and write (the paper's transitiveEffects, Fig 5).
+// Local variables have been subtracted; remaining parameter descriptors
+// belong to the root method.
+type TE struct {
+	Reads  *Set
+	Writes *Set
+}
+
+// NewAnalyzer returns an analyzer for prog.
+func NewAnalyzer(prog *types.Program) *Analyzer {
+	return &Analyzer{
+		Prog:    prog,
+		info:    make(map[*types.Method]*MethodInfo),
+		te:      make(map[*types.Method]*TE),
+		dep:     make(map[*types.Method]bool),
+		creates: make(map[*types.Method]bool),
+		io:      make(map[*types.Method]bool),
+	}
+}
+
+// Info returns the cached local analysis of m.
+func (a *Analyzer) Info(m *types.Method) *MethodInfo {
+	if mi, ok := a.info[m]; ok {
+		return mi
+	}
+	mi := a.localAnalysis(m)
+	a.info[m] = mi
+	return mi
+}
+
+// TransitiveEffects computes the paper's transitiveEffects(m): an
+// abstract interpretation over (method, binding) pairs starting from
+// the identity binding, accumulating substituted read and write sets.
+// Local-variable descriptors are subtracted from the final result.
+func (a *Analyzer) TransitiveEffects(m *types.Method) *TE {
+	if te, ok := a.te[m]; ok {
+		return te
+	}
+	rd, wr := NewSet(), NewSet()
+
+	type item struct {
+		m *types.Method
+		b Binding
+	}
+	visited := make(map[string]bool)
+	key := func(it item) string { return it.m.FullName() + "#" + it.b.Key() }
+	work := []item{{m: m, b: Identity(m)}}
+	visited[key(work[0])] = true
+
+	for len(work) > 0 {
+		it := work[len(work)-1]
+		work = work[:len(work)-1]
+		mi := a.Info(it.m)
+		rd.AddAll(it.b.SubstSet(mi.Reads))
+		wr.AddAll(it.b.SubstSet(mi.Writes))
+		for _, cc := range mi.Calls {
+			next := item{m: cc.Site.Callee, b: a.Bind(it.m, cc, it.b)}
+			k := key(next)
+			if !visited[k] {
+				visited[k] = true
+				work = append(work, next)
+			}
+		}
+	}
+
+	notLocal := func(d Desc) bool { return d.Space != DescLocal }
+	te := &TE{Reads: rd.Filter(notLocal), Writes: wr.Filter(notLocal)}
+	a.te[m] = te
+	return te
+}
+
+// MayCreateObject reports whether the computation rooted at m may
+// allocate a new object.
+func (a *Analyzer) MayCreateObject(m *types.Method) bool {
+	return a.transitiveFlag(m, a.creates, func(mi *MethodInfo) bool { return mi.CreatesObject })
+}
+
+// MayPerformIO reports whether the computation rooted at m may perform
+// input or output.
+func (a *Analyzer) MayPerformIO(m *types.Method) bool {
+	return a.transitiveFlag(m, a.io, func(mi *MethodInfo) bool { return mi.PerformsIO })
+}
+
+func (a *Analyzer) transitiveFlag(m *types.Method, cache map[*types.Method]bool, local func(*MethodInfo) bool) bool {
+	if v, ok := cache[m]; ok {
+		return v
+	}
+	visited := make(map[*types.Method]bool)
+	var visit func(x *types.Method) bool
+	visit = func(x *types.Method) bool {
+		if visited[x] {
+			return false
+		}
+		visited[x] = true
+		mi := a.Info(x)
+		if local(mi) {
+			return true
+		}
+		for _, cc := range mi.Calls {
+			if visit(cc.Site.Callee) {
+				return true
+			}
+		}
+		return false
+	}
+	v := visit(m)
+	cache[m] = v
+	return v
+}
+
+// Dep returns the dep set of a call site (§4.2): the storage the caller
+// reads to compute the values flowing into the call — the receiver, the
+// arguments (including the current contents of reference actuals), and
+// the control conditions governing whether the call executes. The
+// result is in the caller's frame (receiver-relative descriptors have
+// not been substituted).
+func (a *Analyzer) Dep(site *types.CallSite) *Set {
+	m := site.Caller
+	if m == nil {
+		return NewSet()
+	}
+	if !a.dep[m] {
+		a.depAnalysis(m)
+		a.dep[m] = true
+	}
+	if d, ok := a.Info(m).Dep[site.ID]; ok {
+		return d
+	}
+	return NewSet()
+}

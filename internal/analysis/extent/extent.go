@@ -1,0 +1,130 @@
+// Package extent implements the extent-constant-variables computation
+// (Fig. 5) and the extent / auxiliary-call-site computation (Fig. 8) of
+// Rinard & Diniz 1996.
+package extent
+
+import (
+	"sort"
+
+	"commute/internal/analysis/effects"
+	"commute/internal/frontend/types"
+)
+
+// Constants computes the set of extent constant variables of the
+// computation rooted at m (the paper's extentConstantVariables): the
+// storage the computation reads but never writes, after lifting locals
+// and parameters to their primitive types and filtering reads that
+// overlap writes.
+func Constants(a *effects.Analyzer, m *types.Method) *effects.Set {
+	te := a.TransitiveEffects(m)
+	rd := te.Reads.Map(effects.Desc.Lift)
+	wr := te.Writes.Map(effects.Desc.Lift)
+	return rd.Filter(func(s effects.Desc) bool { return !wr.OverlapsDesc(s) })
+}
+
+// Result is the outcome of the extent computation for one method.
+type Result struct {
+	Method *types.Method
+	EC     *effects.Set
+	// Ext and Aux partition the call sites reachable from Method (stopping
+	// at auxiliary sites), in discovery order.
+	Ext []*types.CallSite
+	Aux []*types.CallSite
+	// Methods is {m} ∪ the callees of the extent call sites, deduplicated
+	// and ordered by method ID — the paper's ms set.
+	Methods []*types.Method
+}
+
+// IsAux reports whether the call site was classified auxiliary.
+func (r *Result) IsAux(site *types.CallSite) bool {
+	for _, c := range r.Aux {
+		if c == site {
+			return true
+		}
+	}
+	return false
+}
+
+// Compute runs the extent algorithm of Fig. 8 for m using the extent
+// constant set ec. A call site is auxiliary when the invoked
+// computation writes only caller locals, reads only extent constants
+// (or caller locals / reference parameters, which hold extent constant
+// values by the reference-parameter constraints), and the values
+// flowing into the site depend only on extent constants.
+func Compute(a *effects.Analyzer, m *types.Method, ec *effects.Set) *Result {
+	res := &Result{Method: m, EC: ec}
+	visited := make(map[*types.Method]bool)
+	methodSet := map[*types.Method]bool{m: true}
+
+	identSubst := func(caller *types.Method, s *effects.Set) *effects.Set {
+		return effects.Identity(caller).SubstSet(s)
+	}
+
+	var rec func(x *types.Method)
+	rec = func(x *types.Method) {
+		if visited[x] {
+			return
+		}
+		visited[x] = true
+		mi := a.Info(x)
+		for i := range mi.Calls {
+			cc := &mi.Calls[i]
+			callee := cc.Site.Callee
+			te := a.TransitiveEffects(callee)
+			b := a.Bind(x, *cc, effects.Identity(x))
+			rd := b.SubstSet(te.Reads)
+			wr := b.SubstSet(te.Writes)
+			dep := identSubst(x, a.Dep(cc.Site))
+
+			if writesOnlyLocals(wr) && readsOnlyECOrLocal(rd, ec) && depInEC(dep, ec) {
+				res.Aux = append(res.Aux, cc.Site)
+				continue
+			}
+			res.Ext = append(res.Ext, cc.Site)
+			methodSet[callee] = true
+			rec(callee)
+		}
+	}
+	rec(m)
+
+	for mm := range methodSet {
+		res.Methods = append(res.Methods, mm)
+	}
+	sort.Slice(res.Methods, func(i, j int) bool { return res.Methods[i].ID < res.Methods[j].ID })
+	return res
+}
+
+func writesOnlyLocals(wr *effects.Set) bool {
+	for _, d := range wr.Slice() {
+		if d.Space != effects.DescLocal {
+			return false
+		}
+	}
+	return true
+}
+
+func readsOnlyECOrLocal(rd, ec *effects.Set) bool {
+	for _, d := range rd.Slice() {
+		switch d.Space {
+		case effects.DescLocal, effects.DescParam:
+			continue // caller locals; reference parameters hold extent constants
+		}
+		if !ec.Covers(d) {
+			return false
+		}
+	}
+	return true
+}
+
+func depInEC(dep, ec *effects.Set) bool {
+	for _, d := range dep.Slice() {
+		switch d.Space {
+		case effects.DescLocal, effects.DescParam:
+			continue
+		}
+		if !ec.Covers(d) {
+			return false
+		}
+	}
+	return true
+}

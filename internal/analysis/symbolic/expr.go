@@ -1,0 +1,339 @@
+// Package symbolic implements the symbolic expressions of Figure 12 of
+// Rinard & Diniz 1996, the symbolic execution of method pairs (§4.8.1),
+// and the expression simplifier and isomorphism comparison (§4.8.2)
+// used by the commutativity testing algorithm.
+package symbolic
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Op is an operator in the symbolic expression language.
+type Op int
+
+// Operators. Add/Mul/And/Or are associative and commutative and appear
+// only in n-ary form after simplification.
+const (
+	OpAdd Op = iota
+	OpMul
+	OpAnd
+	OpOr
+	OpDiv
+	OpMod
+	OpLt
+	OpLe
+	OpGt
+	OpGe
+	OpEq
+	OpNe
+)
+
+func (o Op) String() string {
+	switch o {
+	case OpAdd:
+		return "+"
+	case OpMul:
+		return "*"
+	case OpAnd:
+		return "&&"
+	case OpOr:
+		return "||"
+	case OpDiv:
+		return "/"
+	case OpMod:
+		return "%"
+	case OpLt:
+		return "<"
+	case OpLe:
+		return "<="
+	case OpGt:
+		return ">"
+	case OpGe:
+		return ">="
+	case OpEq:
+		return "=="
+	case OpNe:
+		return "!="
+	}
+	return "?"
+}
+
+// Commutative reports whether the operator is associative-commutative.
+func (o Op) Commutative() bool {
+	return o == OpAdd || o == OpMul || o == OpAnd || o == OpOr
+}
+
+// Expr is a symbolic expression. Expressions are immutable; Key returns
+// a canonical string used for structural (isomorphism) comparison after
+// simplification.
+type Expr interface {
+	Key() string
+	expr()
+}
+
+// Num is a numeric literal.
+type Num struct {
+	V     float64
+	IsInt bool
+}
+
+// Bool is a boolean literal.
+type Bool struct{ V bool }
+
+// Null is the NULL pointer literal.
+type Null struct{}
+
+// Extent is an opaque extent constant (§3.5.1): a value known to be the
+// same whenever the operation executes within the extent. The ID keys
+// equality.
+type Extent struct{ ID string }
+
+// Var is a symbolic variable: the old value of an instance variable,
+// the receiver, a parameter of one of the executed invocations, or an
+// undefined initial local value.
+type Var struct{ Name string }
+
+// Nary is an n-ary application of an associative-commutative operator.
+type Nary struct {
+	Op   Op
+	Args []Expr
+}
+
+// Bin is a binary non-commutative operator application.
+type Bin struct {
+	Op   Op
+	L, R Expr
+}
+
+// Neg is arithmetic negation.
+type Neg struct{ X Expr }
+
+// Not is boolean negation.
+type Not struct{ X Expr }
+
+// Call is a pure builtin application (sqrt, fabs, ...) or an
+// uninterpreted operation such as a pointer cast ("cast:cell").
+type Call struct {
+	Fn   string
+	Args []Expr
+}
+
+// Cond is a conditional expression: C ? T : F.
+type Cond struct{ C, T, F Expr }
+
+// ArrUpd is a whole-array elementwise update v = v ⊕ operand (the
+// paper's first recognized loop form). Operand is either a scalar
+// expression or an array-valued expression (a reference parameter or
+// extent constant) combined elementwise.
+type ArrUpd struct {
+	Arr     Expr
+	Op      Op
+	Operand Expr
+}
+
+// ArrFill is a whole-array elementwise store v[l] = e with e
+// loop-invariant.
+type ArrFill struct{ Elem Expr }
+
+// ArrStore is a single-element array store.
+type ArrStore struct {
+	Arr Expr
+	Idx Expr
+	Val Expr
+}
+
+// ArrSel is a single-element array read.
+type ArrSel struct {
+	Arr Expr
+	Idx Expr
+}
+
+// AccumAt is a commutative accumulation into one array element:
+// a[Idx] = a[Idx] ⊕ Delta. Chains of AccumAt with the same operator
+// reorder freely (the array-expression rules of the companion paper
+// [33]), which is what lets per-element reductions into shared arrays
+// commute.
+type AccumAt struct {
+	Arr   Expr
+	Op    Op
+	Idx   Expr
+	Delta Expr
+}
+
+func (Num) expr()      {}
+func (Bool) expr()     {}
+func (Null) expr()     {}
+func (Extent) expr()   {}
+func (Var) expr()      {}
+func (Nary) expr()     {}
+func (Bin) expr()      {}
+func (Neg) expr()      {}
+func (Not) expr()      {}
+func (Call) expr()     {}
+func (Cond) expr()     {}
+func (ArrUpd) expr()   {}
+func (ArrFill) expr()  {}
+func (ArrStore) expr() {}
+func (ArrSel) expr()   {}
+func (AccumAt) expr()  {}
+
+// Key implementations produce a canonical rendering; after Simplify,
+// equal keys mean structurally isomorphic expressions.
+
+func (e Num) Key() string {
+	if e.IsInt {
+		return strconv.FormatInt(int64(e.V), 10)
+	}
+	return strconv.FormatFloat(e.V, 'g', -1, 64)
+}
+
+func (e Bool) Key() string {
+	if e.V {
+		return "true"
+	}
+	return "false"
+}
+
+func (Null) Key() string     { return "NULL" }
+func (e Extent) Key() string { return "⟨" + e.ID + "⟩" }
+func (e Var) Key() string    { return e.Name }
+
+func (e Nary) Key() string {
+	parts := make([]string, len(e.Args))
+	for i, a := range e.Args {
+		parts[i] = a.Key()
+	}
+	return "(" + strings.Join(parts, " "+e.Op.String()+" ") + ")"
+}
+
+func (e Bin) Key() string {
+	return "(" + e.L.Key() + " " + e.Op.String() + " " + e.R.Key() + ")"
+}
+
+func (e Neg) Key() string { return "(-" + e.X.Key() + ")" }
+func (e Not) Key() string { return "(!" + e.X.Key() + ")" }
+
+func (e Call) Key() string {
+	parts := make([]string, len(e.Args))
+	for i, a := range e.Args {
+		parts[i] = a.Key()
+	}
+	return e.Fn + "(" + strings.Join(parts, ", ") + ")"
+}
+
+func (e Cond) Key() string {
+	return "(" + e.C.Key() + " ? " + e.T.Key() + " : " + e.F.Key() + ")"
+}
+
+func (e ArrUpd) Key() string {
+	return "upd(" + e.Arr.Key() + " " + e.Op.String() + "= " + e.Operand.Key() + ")"
+}
+
+func (e ArrFill) Key() string { return "fill(" + e.Elem.Key() + ")" }
+
+func (e ArrStore) Key() string {
+	return "store(" + e.Arr.Key() + ", " + e.Idx.Key() + ", " + e.Val.Key() + ")"
+}
+
+func (e ArrSel) Key() string {
+	return "sel(" + e.Arr.Key() + ", " + e.Idx.Key() + ")"
+}
+
+func (e AccumAt) Key() string {
+	return "accum(" + e.Arr.Key() + "[" + e.Idx.Key() + "] " +
+		e.Op.String() + "= " + e.Delta.Key() + ")"
+}
+
+// Equal reports whether two expressions have identical canonical form.
+func Equal(a, b Expr) bool { return a.Key() == b.Key() }
+
+// ---------------------------------------------------------------------
+// Invocation expressions (MX)
+
+// LoopSpec describes a loop-form invocation (the paper's second
+// recognized loop form): the operation is invoked once per loop index.
+type LoopSpec struct {
+	Var      string
+	From, To Expr
+	Step     Expr
+}
+
+func (l *LoopSpec) key() string {
+	if l == nil {
+		return ""
+	}
+	return "for " + l.Var + "=" + l.From.Key() + ".." + l.To.Key() + " step " + l.Step.Key() + ": "
+}
+
+// MX is one invocation expression: an operation invoked with a guard
+// condition (true if unconditional) and argument expressions, possibly
+// iterated by a loop form.
+type MX struct {
+	Guard  Expr
+	Recv   Expr
+	Method string
+	Args   []Expr
+	Loop   *LoopSpec
+}
+
+// Key returns the canonical rendering of the invocation.
+func (m MX) Key() string {
+	var sb strings.Builder
+	if m.Guard != nil && m.Guard.Key() != "true" {
+		sb.WriteString("[" + m.Guard.Key() + "] ")
+	}
+	sb.WriteString(m.Loop.key())
+	sb.WriteString(m.Recv.Key())
+	sb.WriteString("->")
+	sb.WriteString(m.Method)
+	sb.WriteByte('(')
+	parts := make([]string, len(m.Args))
+	for i, a := range m.Args {
+		parts[i] = a.Key()
+	}
+	sb.WriteString(strings.Join(parts, ", "))
+	sb.WriteByte(')')
+	return sb.String()
+}
+
+// Multiset is a multiset of invocation expressions.
+type Multiset []MX
+
+// Key returns the canonical rendering: simplified, guard-false entries
+// dropped, sorted.
+func (ms Multiset) Key() string {
+	keys := make([]string, 0, len(ms))
+	for _, m := range ms {
+		if m.Guard != nil && m.Guard.Key() == "false" {
+			continue
+		}
+		keys = append(keys, m.Key())
+	}
+	sort.Strings(keys)
+	return strings.Join(keys, " ⊎ ")
+}
+
+// EqualMultisets reports whether the two multisets are equal after
+// canonicalization.
+func EqualMultisets(a, b Multiset) bool { return a.Key() == b.Key() }
+
+// String helpers for diagnostics.
+func (ms Multiset) String() string { return "{" + ms.Key() + "}" }
+
+// Fmt renders an instance-variable binding map deterministically (used
+// in reports and tests).
+func Fmt(bindings map[string]Expr) string {
+	names := make([]string, 0, len(bindings))
+	for n := range bindings {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	parts := make([]string, len(names))
+	for i, n := range names {
+		parts[i] = fmt.Sprintf("%s ↦ %s", n, bindings[n].Key())
+	}
+	return "{" + strings.Join(parts, ", ") + "}"
+}

@@ -1,0 +1,659 @@
+package symbolic
+
+import "sort"
+
+// Simplify rewrites an expression to the canonical form used for
+// isomorphism comparison: subtractions are already represented as
+// additions of negations by the executor; here we fold constants,
+// normalize negation, flatten associative-commutative operators into
+// sorted n-ary applications, apply boolean/conditional rules, distribute
+// products over (small) sums, and canonicalize array-update chains.
+func Simplify(e Expr) Expr {
+	switch x := e.(type) {
+	case Num, Bool, Null, Extent, Var:
+		return e
+
+	case Neg:
+		return simplifyNeg(Simplify(x.X))
+
+	case Not:
+		return simplifyNot(Simplify(x.X))
+
+	case Nary:
+		args := make([]Expr, len(x.Args))
+		for i, a := range x.Args {
+			args[i] = Simplify(a)
+		}
+		return simplifyNary(x.Op, args)
+
+	case Bin:
+		return simplifyBin(x.Op, Simplify(x.L), Simplify(x.R))
+
+	case Call:
+		args := make([]Expr, len(x.Args))
+		for i, a := range x.Args {
+			args[i] = Simplify(a)
+		}
+		return Call{Fn: x.Fn, Args: args}
+
+	case Cond:
+		return simplifyCond(Simplify(x.C), Simplify(x.T), Simplify(x.F))
+
+	case ArrUpd:
+		return simplifyArrUpd(Simplify(x.Arr), x.Op, Simplify(x.Operand))
+
+	case ArrFill:
+		return ArrFill{Elem: Simplify(x.Elem)}
+
+	case ArrStore:
+		return simplifyArrStore(Simplify(x.Arr), Simplify(x.Idx), Simplify(x.Val))
+
+	case ArrSel:
+		return simplifyArrSel(Simplify(x.Arr), Simplify(x.Idx))
+
+	case AccumAt:
+		return canonAccum(AccumAt{
+			Arr:   Simplify(x.Arr),
+			Op:    x.Op,
+			Idx:   Simplify(x.Idx),
+			Delta: Simplify(x.Delta),
+		})
+	}
+	return e
+}
+
+func simplifyNeg(x Expr) Expr {
+	switch v := x.(type) {
+	case Num:
+		return Num{V: -v.V, IsInt: v.IsInt}
+	case Neg:
+		return v.X
+	case Nary:
+		if v.Op == OpAdd {
+			args := make([]Expr, len(v.Args))
+			for i, a := range v.Args {
+				args[i] = simplifyNeg(a)
+			}
+			return simplifyNary(OpAdd, args)
+		}
+		if v.Op == OpMul {
+			// Fold the sign into the constant factor if present.
+			args := append([]Expr{Num{V: -1, IsInt: true}}, v.Args...)
+			return simplifyNary(OpMul, args)
+		}
+	}
+	return Neg{X: x}
+}
+
+func simplifyNot(x Expr) Expr {
+	switch v := x.(type) {
+	case Bool:
+		return Bool{V: !v.V}
+	case Not:
+		return v.X
+	case Bin:
+		// Flip comparisons so guards canonicalize.
+		switch v.Op {
+		case OpLt:
+			return simplifyBin(OpGe, v.L, v.R)
+		case OpLe:
+			return simplifyBin(OpGt, v.L, v.R)
+		case OpGt:
+			return simplifyBin(OpLe, v.L, v.R)
+		case OpGe:
+			return simplifyBin(OpLt, v.L, v.R)
+		case OpEq:
+			return simplifyBin(OpNe, v.L, v.R)
+		case OpNe:
+			return simplifyBin(OpEq, v.L, v.R)
+		}
+	}
+	return Not{X: x}
+}
+
+// simplifyNary assumes args are already simplified.
+func simplifyNary(op Op, args []Expr) Expr {
+	// Flatten nested applications of the same operator.
+	flat := make([]Expr, 0, len(args))
+	for _, a := range args {
+		if n, ok := a.(Nary); ok && n.Op == op {
+			flat = append(flat, n.Args...)
+		} else {
+			flat = append(flat, a)
+		}
+	}
+
+	switch op {
+	case OpAdd, OpMul:
+		return simplifyArith(op, flat)
+	case OpAnd, OpOr:
+		return simplifyBool(op, flat)
+	}
+	return Nary{Op: op, Args: flat}
+}
+
+func simplifyArith(op Op, flat []Expr) Expr {
+	// Distribute multiplication over small sums.
+	if op == OpMul {
+		for i, a := range flat {
+			if add, ok := a.(Nary); ok && add.Op == OpAdd && len(flat) <= 8 && len(add.Args) <= 8 {
+				rest := make([]Expr, 0, len(flat)-1)
+				rest = append(rest, flat[:i]...)
+				rest = append(rest, flat[i+1:]...)
+				terms := make([]Expr, len(add.Args))
+				for j, t := range add.Args {
+					terms[j] = simplifyNary(OpMul, append([]Expr{t}, rest...))
+				}
+				return simplifyNary(OpAdd, terms)
+			}
+		}
+	}
+
+	// Fold numeric constants.
+	acc := 1.0
+	isInt := true
+	if op == OpAdd {
+		acc = 0.0
+	}
+	hasConst := false
+	rest := make([]Expr, 0, len(flat))
+	for _, a := range flat {
+		if n, ok := a.(Num); ok {
+			hasConst = true
+			isInt = isInt && n.IsInt
+			if op == OpAdd {
+				acc += n.V
+			} else {
+				acc *= n.V
+			}
+			continue
+		}
+		rest = append(rest, a)
+	}
+	if op == OpMul && hasConst && acc == 0 {
+		// The paper's simplifier ignores floating-point anomalies
+		// (footnote 1); 0·x ⇒ 0.
+		return Num{V: 0, IsInt: isInt}
+	}
+	identity := (op == OpAdd && acc == 0) || (op == OpMul && acc == 1)
+	if hasConst && !identity {
+		rest = append(rest, Num{V: acc, IsInt: isInt})
+	}
+	if len(rest) == 0 {
+		return Num{V: acc, IsInt: isInt}
+	}
+	if len(rest) == 1 {
+		return rest[0]
+	}
+	sortExprs(rest)
+	return Nary{Op: op, Args: rest}
+}
+
+func simplifyBool(op Op, flat []Expr) Expr {
+	// Identity/annihilator constants, idempotence, complements.
+	seen := make(map[string]Expr)
+	rest := make([]Expr, 0, len(flat))
+	for _, a := range flat {
+		if b, ok := a.(Bool); ok {
+			if op == OpAnd && !b.V {
+				return Bool{V: false}
+			}
+			if op == OpOr && b.V {
+				return Bool{V: true}
+			}
+			continue // identity element
+		}
+		k := a.Key()
+		if _, dup := seen[k]; dup {
+			continue
+		}
+		seen[k] = a
+		rest = append(rest, a)
+	}
+	// Complement detection: x together with !x.
+	for _, a := range rest {
+		neg := simplifyNot(a)
+		if _, ok := seen[neg.Key()]; ok {
+			if op == OpAnd {
+				return Bool{V: false}
+			}
+			return Bool{V: true}
+		}
+	}
+	if len(rest) == 0 {
+		return Bool{V: op == OpAnd}
+	}
+	if len(rest) == 1 {
+		return rest[0]
+	}
+	sortExprs(rest)
+	return Nary{Op: op, Args: rest}
+}
+
+func simplifyBin(op Op, l, r Expr) Expr {
+	ln, lok := l.(Num)
+	rn, rok := r.(Num)
+	if lok && rok {
+		switch op {
+		case OpDiv:
+			if rn.V != 0 {
+				if ln.IsInt && rn.IsInt {
+					return Num{V: float64(int64(ln.V) / int64(rn.V)), IsInt: true}
+				}
+				return Num{V: ln.V / rn.V}
+			}
+		case OpMod:
+			if rn.V != 0 && ln.IsInt && rn.IsInt {
+				return Num{V: float64(int64(ln.V) % int64(rn.V)), IsInt: true}
+			}
+		case OpLt:
+			return Bool{V: ln.V < rn.V}
+		case OpLe:
+			return Bool{V: ln.V <= rn.V}
+		case OpGt:
+			return Bool{V: ln.V > rn.V}
+		case OpGe:
+			return Bool{V: ln.V >= rn.V}
+		case OpEq:
+			return Bool{V: ln.V == rn.V}
+		case OpNe:
+			return Bool{V: ln.V != rn.V}
+		}
+	}
+	// Canonicalize comparison direction: a > b ⇒ b < a, a >= b ⇒ b <= a.
+	switch op {
+	case OpGt:
+		return binOrSame(OpLt, r, l)
+	case OpGe:
+		return binOrSame(OpLe, r, l)
+	case OpLt, OpLe:
+		return binOrSame(op, l, r)
+	case OpEq, OpNe:
+		if l.Key() == r.Key() {
+			return Bool{V: op == OpEq}
+		}
+		if r.Key() < l.Key() {
+			l, r = r, l
+		}
+	case OpDiv:
+		if rn, ok := r.(Num); ok && rn.V == 1 {
+			return l
+		}
+	}
+	return Bin{Op: op, L: l, R: r}
+}
+
+// binOrSame folds reflexive comparisons: x < x ⇒ false, x <= x ⇒ true.
+func binOrSame(op Op, l, r Expr) Expr {
+	if l.Key() == r.Key() {
+		return Bool{V: op == OpLe}
+	}
+	return Bin{Op: op, L: l, R: r}
+}
+
+// isBoolish reports whether an expression is boolean-valued, enabling
+// the Cond→And/Or rewrites.
+func isBoolish(e Expr) bool {
+	switch x := e.(type) {
+	case Bool, Not:
+		return true
+	case Nary:
+		return x.Op == OpAnd || x.Op == OpOr
+	case Bin:
+		switch x.Op {
+		case OpLt, OpLe, OpGt, OpGe, OpEq, OpNe:
+			return true
+		}
+	}
+	return false
+}
+
+func simplifyCond(c, t, f Expr) Expr {
+	if b, ok := c.(Bool); ok {
+		if b.V {
+			return t
+		}
+		return f
+	}
+	if t.Key() == f.Key() {
+		return t
+	}
+	if isBoolish(t) || isBoolish(f) {
+		tb, tok := t.(Bool)
+		fb, fok := f.(Bool)
+		switch {
+		case tok && tb.V: // c ? true : f  ⇒  c || f
+			return simplifyNary(OpOr, []Expr{c, f})
+		case tok && !tb.V: // c ? false : f  ⇒  !c && f
+			return simplifyNary(OpAnd, []Expr{simplifyNot(c), f})
+		case fok && fb.V: // c ? t : true  ⇒  !c || t
+			return simplifyNary(OpOr, []Expr{simplifyNot(c), t})
+		case fok && !fb.V: // c ? t : false  ⇒  c && t
+			return simplifyNary(OpAnd, []Expr{c, t})
+		}
+	}
+	// Factor common additive terms out of the branches:
+	// cond(c, x+a, x+b) ⇒ x + cond(c, a, b). This canonicalizes the
+	// accumulate-under-a-guard pattern that guarded recursion (the
+	// §7.2 loop replacement) produces, so that
+	// cond(c1,t+v1,t)+... sorts into t + cond(c1,v1,0) + cond(c2,v2,0).
+	if factored, ok := factorCondAdd(c, t, f); ok {
+		return factored
+	}
+	// Canonicalize the branch order using the condition's negation.
+	if n, ok := c.(Not); ok {
+		return Cond{C: n.X, T: f, F: t}
+	}
+	return Cond{C: c, T: t, F: f}
+}
+
+// addTerms flattens an expression into additive terms.
+func addTerms(e Expr) []Expr {
+	if n, ok := e.(Nary); ok && n.Op == OpAdd {
+		return n.Args
+	}
+	return []Expr{e}
+}
+
+// factorCondAdd extracts the common additive terms of a conditional's
+// branches.
+func factorCondAdd(c, t, f Expr) (Expr, bool) {
+	tt := addTerms(t)
+	ft := addTerms(f)
+	if len(tt) == 1 && len(ft) == 1 {
+		return nil, false
+	}
+	// Multiset intersection by canonical key.
+	counts := make(map[string]int, len(ft))
+	for _, x := range ft {
+		counts[x.Key()]++
+	}
+	var common []Expr
+	restT := make([]Expr, 0, len(tt))
+	for _, x := range tt {
+		if counts[x.Key()] > 0 {
+			counts[x.Key()]--
+			common = append(common, x)
+			continue
+		}
+		restT = append(restT, x)
+	}
+	if len(common) == 0 {
+		return nil, false
+	}
+	restF := make([]Expr, 0, len(ft))
+	counts2 := make(map[string]int, len(common))
+	for _, x := range common {
+		counts2[x.Key()]++
+	}
+	for _, x := range ft {
+		if counts2[x.Key()] > 0 {
+			counts2[x.Key()]--
+			continue
+		}
+		restF = append(restF, x)
+	}
+	zero := Expr(Num{V: 0, IsInt: true})
+	var newT, newF Expr
+	switch len(restT) {
+	case 0:
+		newT = zero
+	case 1:
+		newT = restT[0]
+	default:
+		newT = simplifyNary(OpAdd, restT)
+	}
+	switch len(restF) {
+	case 0:
+		newF = zero
+	case 1:
+		newF = restF[0]
+	default:
+		newF = simplifyNary(OpAdd, restF)
+	}
+	inner := simplifyCond(c, newT, newF)
+	return simplifyNary(OpAdd, append(common, inner)), true
+}
+
+// simplifyArrUpd canonicalizes chains of elementwise updates with the
+// same commutative operator by sorting the operands.
+func simplifyArrUpd(arr Expr, op Op, operand Expr) Expr {
+	if !op.Commutative() {
+		return ArrUpd{Arr: arr, Op: op, Operand: operand}
+	}
+	// Collect the chain.
+	operands := []Expr{operand}
+	base := arr
+	for {
+		u, ok := base.(ArrUpd)
+		if !ok || u.Op != op {
+			break
+		}
+		operands = append(operands, u.Operand)
+		base = u.Arr
+	}
+	sortExprs(operands)
+	out := base
+	for i := len(operands) - 1; i >= 0; i-- {
+		out = ArrUpd{Arr: out, Op: op, Operand: operands[i]}
+	}
+	return out
+}
+
+// simplifyArrStore canonicalizes store chains: accumulation stores
+// a[i] = a[i] ⊕ d rewrite to AccumAt (which commutes); adjacent plain
+// stores to distinct constant indices are ordered by index; a store
+// shadowed by a later store to the same index is dropped.
+func simplifyArrStore(arr, idx, val Expr) Expr {
+	if acc, ok := recognizeAccum(arr, idx, val); ok {
+		return canonAccum(acc)
+	}
+	if inner, ok := arr.(ArrStore); ok {
+		ii, iok := inner.Idx.(Num)
+		oi, ook := idx.(Num)
+		if iok && ook {
+			if ii.V == oi.V {
+				// The outer store shadows the inner one.
+				return simplifyArrStore(inner.Arr, idx, val)
+			}
+			if oi.V < ii.V {
+				// Reorder: stores to distinct indices commute.
+				return ArrStore{
+					Arr: simplifyArrStore(inner.Arr, idx, val),
+					Idx: inner.Idx,
+					Val: inner.Val,
+				}
+			}
+		}
+	}
+	return ArrStore{Arr: arr, Idx: idx, Val: val}
+}
+
+func simplifyArrSel(arr, idx Expr) Expr {
+	switch a := arr.(type) {
+	case ArrFill:
+		return a.Elem
+	case ArrStore:
+		si, sok := a.Idx.(Num)
+		qi, qok := idx.(Num)
+		if sok && qok {
+			if si.V == qi.V {
+				return a.Val
+			}
+			return simplifyArrSel(a.Arr, idx)
+		}
+		if a.Idx.Key() == idx.Key() {
+			return a.Val
+		}
+	case AccumAt:
+		if a.Idx.Key() == idx.Key() {
+			return simplifyNary(a.Op, []Expr{simplifyArrSel(a.Arr, idx), a.Delta})
+		}
+		ai, aok := a.Idx.(Num)
+		qi, qok := idx.(Num)
+		if aok && qok && ai.V != qi.V {
+			return simplifyArrSel(a.Arr, idx)
+		}
+	}
+	return ArrSel{Arr: arr, Idx: idx}
+}
+
+// recognizeAccum matches a store of the form a[i] = a[i] ⊕ d (with the
+// select on the same pre-store array value and index) and yields the
+// commuting AccumAt form. Because ArrSel folds through AccumAt chains
+// (sel(accum(a,i,δ), i) ⇒ sel(a,i)+δ), the select may also reference
+// the chain's base array; in that additive case the store overwrites
+// index i with base[i]+D, which is the accumulation of D minus the
+// chain's existing deltas at i.
+func recognizeAccum(arr, idx, val Expr) (AccumAt, bool) {
+	var op Op
+	var args []Expr
+	switch v := val.(type) {
+	case Nary:
+		if !v.Op.Commutative() || (v.Op != OpAdd && v.Op != OpMul) {
+			return AccumAt{}, false
+		}
+		op = v.Op
+		args = v.Args
+	case ArrSel:
+		// A degenerate accumulation (delta folded to the identity):
+		// a[i] = a[i] + 0.
+		op = OpAdd
+		args = []Expr{v}
+	default:
+		return AccumAt{}, false
+	}
+	base, entries := accumChain(arr)
+	selAt := -1
+	viaBase := false
+	for i, a := range args {
+		sel, isSel := a.(ArrSel)
+		if !isSel || sel.Idx.Key() != idx.Key() {
+			continue
+		}
+		if sel.Arr.Key() == arr.Key() {
+			selAt = i
+			break
+		}
+		if op == OpAdd && sel.Arr.Key() == base.Key() {
+			selAt = i
+			viaBase = true
+			break
+		}
+	}
+	if selAt < 0 {
+		return AccumAt{}, false
+	}
+	rest := make([]Expr, 0, len(args)+4)
+	rest = append(rest, args[:selAt]...)
+	rest = append(rest, args[selAt+1:]...)
+	if viaBase {
+		// a[i] = base[i] + D over a chain with deltas δ at i:
+		// equivalently a[i] = a[i] + (D − Σδ). Only additive chains with
+		// uniformly additive entries support this.
+		for _, e := range entries {
+			if e.op != OpAdd {
+				return AccumAt{}, false
+			}
+			if e.idx.Key() == idx.Key() {
+				rest = append(rest, Neg{X: e.delta})
+			}
+		}
+	}
+	var delta Expr
+	if len(rest) == 1 {
+		delta = Simplify(rest[0])
+	} else {
+		delta = Simplify(Nary{Op: op, Args: rest})
+	}
+	return AccumAt{Arr: arr, Op: op, Idx: idx, Delta: delta}, true
+}
+
+// accumEntry is one accumulation step of a chain.
+type accumEntry struct {
+	op    Op
+	idx   Expr
+	delta Expr
+}
+
+// accumChain decomposes nested AccumAt applications into the base array
+// and the entry list (outermost first).
+func accumChain(arr Expr) (Expr, []accumEntry) {
+	var entries []accumEntry
+	base := arr
+	for {
+		a, ok := base.(AccumAt)
+		if !ok {
+			return base, entries
+		}
+		entries = append(entries, accumEntry{op: a.Op, idx: a.Idx, delta: a.Delta})
+		base = a.Arr
+	}
+}
+
+// canonAccum sorts chains of same-operator accumulations by
+// (index, delta) canonical key — accumulations into array elements
+// commute regardless of index equality.
+func canonAccum(a AccumAt) Expr {
+	type entry struct{ idx, delta Expr }
+	entries := []entry{{a.Idx, a.Delta}}
+	base := a.Arr
+	for {
+		inner, ok := base.(AccumAt)
+		if !ok || inner.Op != a.Op {
+			break
+		}
+		entries = append(entries, entry{inner.Idx, inner.Delta})
+		base = inner.Arr
+	}
+	sort.Slice(entries, func(i, j int) bool {
+		ki := entries[i].idx.Key() + "\x00" + entries[i].delta.Key()
+		kj := entries[j].idx.Key() + "\x00" + entries[j].delta.Key()
+		return ki < kj
+	})
+	out := base
+	for i := len(entries) - 1; i >= 0; i-- {
+		out = AccumAt{Arr: out, Op: a.Op, Idx: entries[i].idx, Delta: entries[i].delta}
+	}
+	return out
+}
+
+func sortExprs(xs []Expr) {
+	sort.Slice(xs, func(i, j int) bool { return xs[i].Key() < xs[j].Key() })
+}
+
+// SimplifyMX simplifies an invocation expression's components.
+func SimplifyMX(m MX) MX {
+	out := MX{
+		Guard:  Simplify(m.Guard),
+		Recv:   Simplify(m.Recv),
+		Method: m.Method,
+		Loop:   m.Loop,
+	}
+	if m.Loop != nil {
+		out.Loop = &LoopSpec{
+			Var:  m.Loop.Var,
+			From: Simplify(m.Loop.From),
+			To:   Simplify(m.Loop.To),
+			Step: Simplify(m.Loop.Step),
+		}
+	}
+	out.Args = make([]Expr, len(m.Args))
+	for i, a := range m.Args {
+		out.Args[i] = Simplify(a)
+	}
+	return out
+}
+
+// SimplifyMultiset simplifies every invocation of the multiset.
+func SimplifyMultiset(ms Multiset) Multiset {
+	out := make(Multiset, 0, len(ms))
+	for _, m := range ms {
+		sm := SimplifyMX(m)
+		if sm.Guard != nil && sm.Guard.Key() == "false" {
+			continue
+		}
+		out = append(out, sm)
+	}
+	return out
+}

@@ -1,0 +1,438 @@
+package src
+
+import "fmt"
+
+// BarnesHut is the complete Barnes-Hut N-body application in the
+// mini-C++ dialect. The force-computation phase (subdivp, computeInter,
+// gravsub, openCell, openLeaf, walksub) follows Figure 4 of the paper
+// verbatim (modulo the dialect's requirement that reference-parameter
+// contents be initialized before use, fixed exactly as the original
+// SPLASH-2 code does by storing the displacement vector). Tree
+// construction and center-of-mass computation are serial, as in the
+// paper; the three parallel extents the compiler should find are the
+// force loop, the velocity-update loop, and the position-update loop.
+const BarnesHut = BarnesHutBase + `
+void main() {
+  Parms.tolSq = 1.0;
+  Parms.eps = 0.05;
+  Parms.epsSq = 0.0025;
+  Parms.dt = 0.025;
+  Nbody.seed = 12345;
+  Nbody.size = 4.0;
+  Nbody.init(256);
+  Nbody.step();
+  Nbody.step();
+}
+`
+
+// BarnesHutMain returns a main that runs the given number of bodies
+// and timesteps.
+func BarnesHutMain(bodies, steps, seed int) string {
+	return fmt.Sprintf(`
+void main() {
+  Parms.tolSq = 1.0;
+  Parms.eps = 0.05;
+  Parms.epsSq = 0.0025;
+  Parms.dt = 0.025;
+  Nbody.seed = %d;
+  Nbody.size = 4.0;
+  Nbody.init(%d);
+  for (int t = 0; t < %d; t++)
+    Nbody.step();
+}
+`, seed, bodies, steps)
+}
+
+// BarnesHutBase is the application without a main.
+const BarnesHutBase = `
+const int NDIM = 3;
+const int NSUB = 8;            // 2**NDIM subcells per cell
+const int LEAFMAXBODIES = 16;
+const int MAXBODIES = 32768;
+
+class vector {
+public:
+  double val[NDIM];
+  void vecAdd(double v[NDIM]) {
+    for (int i = 0; i < NDIM; i++)
+      val[i] += v[i];
+  }
+  void vecFill(double s) {
+    for (int i = 0; i < NDIM; i++)
+      val[i] = s;
+  }
+};
+
+class node {
+public:
+  double mass;   // body mass, or combined cell/leaf mass
+  vector pos;    // body position, or aggregate center of mass
+};
+
+class cell : public node {
+public:
+  node *subp[NSUB];
+};
+
+class leaf : public node {
+public:
+  int numbodies;
+  body *bodyp[LEAFMAXBODIES];
+};
+
+class body : public node {
+public:
+  vector vel;  // velocity
+  vector acc;  // acceleration accumulator
+  double phi;  // interaction potential
+  boolean subdivp(node *p, double dsq);
+  void gravsub(node *n);
+  double computeInter(node *n, double *res);
+  void openCell(cell *c, double dsq);
+  void openLeaf(leaf *l);
+  void walksub(node *n, double dsq);
+  void scaleAcc(double dt, double *res);
+  void scaleVel(double dt, double *res);
+  void advanceVelocity(double dt);
+  void advancePosition(double dt);
+  void resetForce();
+};
+
+class parms {
+public:
+  double tolSq;  // square of the opening tolerance
+  double eps;    // softening epsilon
+  double epsSq;  // epsilon squared
+  double dt;     // timestep
+  double getDt() { return dt; }
+};
+
+class nbody {
+public:
+  int numbodies;          // total number of bodies in the simulation
+  body *bodies[MAXBODIES];
+  node *BH_root;          // root of the Barnes-Hut tree
+  double size;            // bounding-box side length
+  int seed;
+  int nextRandom();
+  double randCoord();
+  void init(int n);
+  void buildTree();
+  void insert(cell *c, body *b, double cx, double cy, double cz, double sz);
+  void computeCOMCell(cell *c);
+  void computeCOMLeaf(leaf *l);
+  void computeCOM();
+  void computeForces();
+  void resetForces();
+  void advanceVelocities();
+  void advancePositions();
+  void step();
+};
+
+// Global Variables
+parms Parms;
+nbody Nbody;
+
+// --------------------------------------------------------------------
+// Force computation (Figure 4 of the paper)
+
+boolean body::subdivp(node *n, double dsq) {
+  double drsq, d;
+  drsq = Parms.epsSq;
+  for (int i = 0; i < NDIM; i++) {
+    d = n->pos.val[i] - pos.val[i];
+    drsq += d * d;
+  }
+  return ((Parms.tolSq * drsq) < dsq);
+}
+
+double body::computeInter(node *n, double *res) {
+  double inc, r, drsq, d;
+  drsq = Parms.eps;
+  for (int i = 0; i < NDIM; i++) {
+    d = n->pos.val[i] - pos.val[i];
+    drsq += d * d;
+  }
+  inc = n->mass / sqrt(drsq);
+  r = inc / drsq;
+  for (int i = 0; i < NDIM; i++) {
+    d = n->pos.val[i] - pos.val[i];
+    res[i] = d * r;
+  }
+  return inc;
+}
+
+void body::gravsub(node *n) {
+  double d;
+  double tmpv[NDIM];
+  d = this->computeInter(n, tmpv);
+  phi -= d;
+  acc.vecAdd(tmpv);
+}
+
+void body::openCell(cell *c, double dsq) {
+  node *n;
+  for (int i = 0; i < NSUB; i++) {
+    n = c->subp[i];
+    if (n != NULL)
+      this->walksub(n, (dsq / 4.0));
+  }
+}
+
+void body::openLeaf(leaf *l) {
+  body *b;
+  for (int i = 0; i < l->numbodies; i++) {
+    b = l->bodyp[i];
+    if (b != this)
+      this->gravsub(b);
+  }
+}
+
+void body::walksub(node *n, double dsq) {
+  cell *c;
+  leaf *l;
+  if (this->subdivp(n, dsq)) {
+    c = dynamic_cast<cell*>(n);
+    if (c != NULL) {
+      this->openCell(c, dsq);
+    } else {
+      l = dynamic_cast<leaf*>(n);
+      if (l != NULL)
+        this->openLeaf(l);
+    }
+  } else {
+    this->gravsub(n);
+  }
+}
+
+void nbody::computeForces() {
+  body *b;
+  for (int i = 0; i < numbodies; i++) {
+    b = bodies[i];
+    b->walksub(BH_root, size * size);
+  }
+}
+
+// --------------------------------------------------------------------
+// Integration
+
+void body::scaleAcc(double dt, double *res) {
+  for (int i = 0; i < NDIM; i++)
+    res[i] = acc.val[i] * dt;
+}
+
+void body::scaleVel(double dt, double *res) {
+  for (int i = 0; i < NDIM; i++)
+    res[i] = vel.val[i] * dt;
+}
+
+void body::advanceVelocity(double dt) {
+  double dv[NDIM];
+  this->scaleAcc(dt, dv);
+  vel.vecAdd(dv);
+}
+
+void body::advancePosition(double dt) {
+  double dx[NDIM];
+  this->scaleVel(dt, dx);
+  pos.vecAdd(dx);
+}
+
+void body::resetForce() {
+  phi = 0.0;
+  acc.vecFill(0.0);
+}
+
+void nbody::advanceVelocities() {
+  body *b;
+  for (int i = 0; i < numbodies; i++) {
+    b = bodies[i];
+    b->advanceVelocity(Parms.getDt());
+  }
+}
+
+void nbody::advancePositions() {
+  body *b;
+  for (int i = 0; i < numbodies; i++) {
+    b = bodies[i];
+    b->advancePosition(Parms.getDt());
+  }
+}
+
+void nbody::resetForces() {
+  body *b;
+  for (int i = 0; i < numbodies; i++) {
+    b = bodies[i];
+    b->resetForce();
+  }
+}
+
+// --------------------------------------------------------------------
+// Tree construction (serial; allocates cells and leaves)
+
+int nbody::nextRandom() {
+  seed = (seed * 1103515245 + 12345) % 2147483647;
+  if (seed < 0)
+    seed = -seed;
+  return seed;
+}
+
+double nbody::randCoord() {
+  int r;
+  r = nextRandom() % 1000000;
+  return (r * 1.0) / 1000000.0;
+}
+
+void nbody::init(int n) {
+  body *b;
+  numbodies = n;
+  for (int i = 0; i < n; i++) {
+    b = new body;
+    bodies[i] = b;
+    b->mass = 1.0 / (n * 1.0);
+    b->pos.val[0] = this->randCoord() * size;
+    b->pos.val[1] = this->randCoord() * size;
+    b->pos.val[2] = this->randCoord() * size;
+    b->vel.vecFill(0.0);
+    b->acc.vecFill(0.0);
+    b->phi = 0.0;
+  }
+}
+
+void nbody::insert(cell *c, body *b, double cx, double cy, double cz, double sz) {
+  int ix, iy, iz, sub, i;
+  double half, nx, ny, nz;
+  node *ch;
+  leaf *l;
+  cell *nc;
+  body *old;
+  half = sz / 2.0;
+  ix = 0;
+  iy = 0;
+  iz = 0;
+  if (b->pos.val[0] >= cx) ix = 1;
+  if (b->pos.val[1] >= cy) iy = 1;
+  if (b->pos.val[2] >= cz) iz = 1;
+  sub = ix * 4 + iy * 2 + iz;
+  nx = cx - half / 2.0 + ix * half;
+  ny = cy - half / 2.0 + iy * half;
+  nz = cz - half / 2.0 + iz * half;
+  ch = c->subp[sub];
+  if (ch == NULL) {
+    l = new leaf;
+    l->numbodies = 1;
+    l->bodyp[0] = b;
+    c->subp[sub] = l;
+  } else {
+    nc = dynamic_cast<cell*>(ch);
+    if (nc != NULL) {
+      this->insert(nc, b, nx, ny, nz, half);
+    } else {
+      l = dynamic_cast<leaf*>(ch);
+      if (l->numbodies < LEAFMAXBODIES) {
+        l->bodyp[l->numbodies] = b;
+        l->numbodies = l->numbodies + 1;
+      } else {
+        // Split the full leaf into a cell and reinsert its bodies.
+        nc = new cell;
+        for (i = 0; i < NSUB; i++)
+          nc->subp[i] = NULL;
+        c->subp[sub] = nc;
+        for (i = 0; i < l->numbodies; i++) {
+          old = l->bodyp[i];
+          this->insert(nc, old, nx, ny, nz, half);
+        }
+        this->insert(nc, b, nx, ny, nz, half);
+      }
+    }
+  }
+}
+
+void nbody::buildTree() {
+  cell *r;
+  int i;
+  double mid;
+  r = new cell;
+  for (i = 0; i < NSUB; i++)
+    r->subp[i] = NULL;
+  BH_root = r;
+  mid = size / 2.0;
+  for (i = 0; i < numbodies; i++)
+    this->insert(r, bodies[i], mid, mid, mid, size);
+}
+
+// --------------------------------------------------------------------
+// Center-of-mass computation (serial)
+
+void nbody::computeCOMLeaf(leaf *l) {
+  int i;
+  double m;
+  body *b;
+  l->mass = 0.0;
+  l->pos.vecFill(0.0);
+  for (i = 0; i < l->numbodies; i++) {
+    b = l->bodyp[i];
+    l->mass = l->mass + b->mass;
+    l->pos.val[0] = l->pos.val[0] + b->mass * b->pos.val[0];
+    l->pos.val[1] = l->pos.val[1] + b->mass * b->pos.val[1];
+    l->pos.val[2] = l->pos.val[2] + b->mass * b->pos.val[2];
+  }
+  if (l->mass > 0.0) {
+    m = 1.0 / l->mass;
+    l->pos.val[0] = l->pos.val[0] * m;
+    l->pos.val[1] = l->pos.val[1] * m;
+    l->pos.val[2] = l->pos.val[2] * m;
+  }
+}
+
+void nbody::computeCOMCell(cell *c) {
+  int i;
+  double m;
+  node *ch;
+  cell *nc;
+  leaf *l;
+  c->mass = 0.0;
+  c->pos.vecFill(0.0);
+  for (i = 0; i < NSUB; i++) {
+    ch = c->subp[i];
+    if (ch != NULL) {
+      nc = dynamic_cast<cell*>(ch);
+      if (nc != NULL) {
+        this->computeCOMCell(nc);
+      } else {
+        l = dynamic_cast<leaf*>(ch);
+        this->computeCOMLeaf(l);
+      }
+      c->mass = c->mass + ch->mass;
+      c->pos.val[0] = c->pos.val[0] + ch->mass * ch->pos.val[0];
+      c->pos.val[1] = c->pos.val[1] + ch->mass * ch->pos.val[1];
+      c->pos.val[2] = c->pos.val[2] + ch->mass * ch->pos.val[2];
+    }
+  }
+  if (c->mass > 0.0) {
+    m = 1.0 / c->mass;
+    c->pos.val[0] = c->pos.val[0] * m;
+    c->pos.val[1] = c->pos.val[1] * m;
+    c->pos.val[2] = c->pos.val[2] * m;
+  }
+}
+
+void nbody::computeCOM() {
+  cell *r;
+  r = dynamic_cast<cell*>(BH_root);
+  this->computeCOMCell(r);
+}
+
+// --------------------------------------------------------------------
+// Driver
+
+void nbody::step() {
+  this->buildTree();
+  this->computeCOM();
+  this->resetForces();
+  this->computeForces();
+  this->advanceVelocities();
+  this->advancePositions();
+}
+
+`

@@ -1,0 +1,119 @@
+// Package src holds the mini-C++ sources of the applications the paper
+// evaluates (Barnes-Hut, Water) and its running examples (the §2 graph
+// traversal and the Figure 4 force-computation excerpt). The sources are
+// Go constants so every layer — tests, examples, benchmarks — compiles
+// them with the same frontend.
+package src
+
+import "fmt"
+
+// Graph is GraphBase plus a default main (64 nodes).
+const Graph = GraphBase + `
+void main() {
+  Builder.build(64);
+  Builder.traverse();
+}
+`
+
+// GraphMain returns a main that builds and traverses a graph of n
+// nodes with the given random seed.
+func GraphMain(n, seed int) string {
+	return fmt.Sprintf(`
+void main() {
+  Builder.seed = %d;
+  Builder.build(%d);
+  Builder.traverse();
+}
+`, seed, n)
+}
+
+// GraphBase is the serial graph traversal of Figure 1, extended with a
+// builder so it can be executed end to end. The visit operations
+// commute: sum accumulates with +, and the marking protocol generates
+// the same multiset of invocations in either execution order.
+const GraphBase = `
+const int MAXNODES = 4096;
+
+class graph {
+public:
+  boolean mark;
+  int val;
+  int sum;
+  graph *left;
+  graph *right;
+  void visit(int p);
+  void reset();
+};
+
+class builder {
+public:
+  int numnodes;
+  int seed;
+  graph *nodes[MAXNODES];
+  graph *root;
+  void build(int n);
+  void traverse();
+  int nextRandom();
+};
+
+// Global Variables
+builder Builder;
+
+void graph::visit(int p) {
+  sum = sum + p;
+  if (!mark) {
+    mark = TRUE;
+    if (left != NULL)
+      left->visit(val);
+    if (right != NULL)
+      right->visit(val);
+  }
+}
+
+void graph::reset() {
+  if (mark) {
+    mark = FALSE;
+    sum = 0;
+    if (left != NULL)
+      left->reset();
+    if (right != NULL)
+      right->reset();
+  }
+}
+
+int builder::nextRandom() {
+  seed = (seed * 1103515245 + 12345) % 2147483647;
+  if (seed < 0)
+    seed = -seed;
+  return seed;
+}
+
+void builder::build(int n) {
+  int i;
+  int a;
+  int b;
+  graph *g;
+  numnodes = n;
+  for (i = 0; i < n; i++) {
+    g = new graph;
+    nodes[i] = g;
+    g->mark = FALSE;
+    g->val = i + 1;
+    g->sum = 0;
+    g->left = NULL;
+    g->right = NULL;
+  }
+  // Wire an arbitrary graph (cycles and shared nodes included).
+  for (i = 0; i < n; i++) {
+    a = nextRandom() % n;
+    b = nextRandom() % n;
+    nodes[i]->left = nodes[a];
+    nodes[i]->right = nodes[b];
+  }
+  root = nodes[0];
+}
+
+void builder::traverse() {
+  root->visit(0);
+}
+`

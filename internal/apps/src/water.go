@@ -1,0 +1,345 @@
+package src
+
+import (
+	"fmt"
+	"math"
+)
+
+// Water is the Water molecular-dynamics code (§6.3) in the mini-C++
+// dialect: an array of molecule objects with two O(n²) phases (inter-
+// molecular forces and potential energy). Following §6.3.1, each
+// molecule loads the data the O(n²) phases read into per-molecule
+// auxiliary snapshot fields at the start of every step (the Loading
+// extent), which keeps the snapshot storage extent-constant during the
+// Forces and Energy phases.
+//
+// The five parallel extents match Table 8: Virtual (predict +
+// periodic-boundary wrap), Loading, Forces, Energy, Momenta. The force
+// phase accumulates into a single shared force-bank object and the
+// energy/momenta phases accumulate into the single shared sums object —
+// the object contention the paper identifies as Water's scalability
+// limit (§6.3.4), which the explicitly parallel version removes by
+// replicating those structures (§6.3.5).
+const Water = WaterBase + `
+void main() {
+  WParms.dt = 0.002;
+  WParms.boxl = 8.0;
+  WParms.cutsq = 9.0;
+  Water.seed = 20231;
+  Water.init(125);
+  Water.step();
+  Water.step();
+}
+`
+
+// WaterMain returns a main that runs the given number of molecules and
+// timesteps. The box scales with the molecule count to keep the density
+// (and hence the in-cutoff pair fraction) constant.
+func WaterMain(mols, steps, seed int) string {
+	box := 8.0 * math.Cbrt(float64(mols)/125.0)
+	return fmt.Sprintf(`
+void main() {
+  WParms.dt = 0.002;
+  WParms.boxl = %g;
+  WParms.cutsq = 9.0;
+  Water.seed = %d;
+  Water.init(%d);
+  for (int t = 0; t < %d; t++)
+    Water.step();
+}
+`, box, seed, mols, steps)
+}
+
+// WaterBase is the application without a main.
+const WaterBase = `
+const int NMOLMAX = 1024;
+
+class wparms {
+public:
+  double dt;      // timestep
+  double boxl;    // periodic box side
+  double cutsq;   // squared interaction cutoff
+  double getDt() { return dt; }
+  double getBox() { return boxl; }
+  double getCutSq() { return cutsq; }
+};
+
+class sums {
+public:
+  double pot;  // potential energy accumulator
+  double kin;  // kinetic energy accumulator
+  void addPot(double e) { pot += e; }
+  void addKin(double e) { kin += e; }
+};
+
+// fbank is the shared force accumulator: one array slot per molecule.
+// Accumulations into its slots commute (the array-expression rules),
+// but every update synchronizes on this single object — the contention
+// §6.3.4 measures.
+class fbank {
+public:
+  double bfx[NMOLMAX];
+  double bfy[NMOLMAX];
+  double bfz[NMOLMAX];
+  void add(int j, double dfx, double dfy, double dfz) {
+    bfx[j] += dfx;
+    bfy[j] += dfy;
+    bfz[j] += dfz;
+  }
+  void clearAll(int n);
+};
+
+class h2o {
+public:
+  int id;        // index of this molecule (fixed at setup)
+  double px;
+  double py;
+  double pz;     // position
+  double vx;
+  double vy;
+  double vz;     // velocity
+  double mass;
+  double apx;
+  double apy;
+  double apz;    // auxiliary position snapshot (Loading)
+  double amass;  // auxiliary mass snapshot
+  void predict();
+  void load();
+  double pairForce(double r2);
+  double pairPot(double r2);
+  void interForces();
+  void potEnergy();
+  void momenta();
+};
+
+class water {
+public:
+  int nmol;
+  int seed;
+  h2o *mols[NMOLMAX];
+  int nextRandom();
+  double randCoord();
+  void init(int n);
+  void predictAll();
+  void loadAll();
+  void interf();
+  void poteng();
+  void momentaAll();
+  void step();
+};
+
+// Global Variables
+wparms WParms;
+sums Sums;
+fbank FBank;
+water Water;
+
+// --------------------------------------------------------------------
+// Shared force bank
+
+void fbank::clearAll(int n) {
+  int j;
+  for (j = 0; j < n; j++) {
+    bfx[j] = 0.0;
+    bfy[j] = 0.0;
+    bfz[j] = 0.0;
+  }
+}
+
+// --------------------------------------------------------------------
+// Per-molecule operations
+
+// predict advances the position by the current velocity and wraps into
+// the periodic box (the Virtual extent). It takes no parameters and
+// touches only its receiver, so any two invocations trivially commute.
+void h2o::predict() {
+  double dt, b;
+  dt = WParms.getDt();
+  b = WParms.getBox();
+  px = px + vx * dt;
+  px = px - b * floor(px / b);
+  py = py + vy * dt;
+  py = py - b * floor(py / b);
+  pz = pz + vz * dt;
+  pz = pz - b * floor(pz / b);
+}
+
+// load snapshots the state the O(n²) phases read (the Loading extent).
+void h2o::load() {
+  apx = px;
+  apy = py;
+  apz = pz;
+  amass = mass;
+}
+
+// pairForce is the auxiliary force kernel (a soft Lennard-Jones-like
+// magnitude per unit displacement).
+double h2o::pairForce(double r2) {
+  double ir2, ir6;
+  ir2 = 1.0 / (r2 + 1.0);
+  ir6 = ir2 * ir2 * ir2;
+  return 24.0 * ir2 * ir6 * (2.0 * ir6 - 1.0);
+}
+
+// pairPot is the auxiliary potential kernel.
+double h2o::pairPot(double r2) {
+  double ir2, ir6;
+  ir2 = 1.0 / (r2 + 1.0);
+  ir6 = ir2 * ir2 * ir2;
+  return 4.0 * ir6 * (ir6 - 1.0);
+}
+
+// interForces computes this molecule's interactions with the next
+// nmol/2 molecules in cyclic order (the half-shell method the SPLASH
+// code uses, which balances the O(n²) loop), accumulating both sides of
+// every pair into the shared force bank (the Forces extent).
+void h2o::interForces() {
+  int k, j, half;
+  double dx, dy, dz, r2, ff, sfx, sfy, sfz;
+  h2o *b;
+  sfx = 0.0;
+  sfy = 0.0;
+  sfz = 0.0;
+  half = Water.nmol / 2;
+  for (k = 1; k < half + 1; k++) {
+    j = (id + k) % Water.nmol;
+    if (k * 2 < Water.nmol || id < j) {
+      b = Water.mols[j];
+      dx = apx - b->apx;
+      dy = apy - b->apy;
+      dz = apz - b->apz;
+      r2 = dx * dx + dy * dy + dz * dz;
+      if (r2 < WParms.getCutSq()) {
+        ff = this->pairForce(r2);
+        sfx = sfx + ff * dx;
+        sfy = sfy + ff * dy;
+        sfz = sfz + ff * dz;
+        FBank.add(j, 0.0 - ff * dx, 0.0 - ff * dy, 0.0 - ff * dz);
+      }
+    }
+  }
+  FBank.add(id, sfx, sfy, sfz);
+}
+
+// potEnergy accumulates this molecule's pair potentials into the global
+// sums object, one commuting contribution per interacting pair (the
+// Energy extent).
+void h2o::potEnergy() {
+  int k, j, half;
+  double dx, dy, dz, r2;
+  h2o *b;
+  half = Water.nmol / 2;
+  for (k = 1; k < half + 1; k++) {
+    j = (id + k) % Water.nmol;
+    if (k * 2 < Water.nmol || id < j) {
+      b = Water.mols[j];
+      dx = apx - b->apx;
+      dy = apy - b->apy;
+      dz = apz - b->apz;
+      r2 = dx * dx + dy * dy + dz * dz;
+      if (r2 < WParms.getCutSq()) {
+        Sums.addPot(this->pairPot(r2));
+      }
+    }
+  }
+}
+
+// momenta applies the accumulated forces to the velocities and
+// contributes the molecule's kinetic energy to the global sums object
+// (the Momenta extent).
+void h2o::momenta() {
+  double dt, k;
+  dt = WParms.getDt();
+  vx = vx + FBank.bfx[id] * dt / mass;
+  vy = vy + FBank.bfy[id] * dt / mass;
+  vz = vz + FBank.bfz[id] * dt / mass;
+  k = 0.5 * mass * (vx * vx + vy * vy + vz * vz);
+  Sums.addKin(k);
+}
+
+// --------------------------------------------------------------------
+// Phase drivers
+
+void water::predictAll() {
+  h2o *m;
+  for (int i = 0; i < nmol; i++) {
+    m = mols[i];
+    m->predict();
+  }
+}
+
+void water::loadAll() {
+  h2o *m;
+  for (int i = 0; i < nmol; i++) {
+    m = mols[i];
+    m->load();
+  }
+}
+
+void water::interf() {
+  h2o *m;
+  for (int i = 0; i < nmol; i++) {
+    m = mols[i];
+    m->interForces();
+  }
+}
+
+void water::poteng() {
+  h2o *m;
+  for (int i = 0; i < nmol; i++) {
+    m = mols[i];
+    m->potEnergy();
+  }
+}
+
+void water::momentaAll() {
+  h2o *m;
+  for (int i = 0; i < nmol; i++) {
+    m = mols[i];
+    m->momenta();
+  }
+}
+
+void water::step() {
+  this->predictAll();
+  this->loadAll();
+  FBank.clearAll(nmol);
+  this->interf();
+  this->poteng();
+  this->momentaAll();
+}
+
+// --------------------------------------------------------------------
+// Setup
+
+int water::nextRandom() {
+  seed = (seed * 1103515245 + 12345) % 2147483647;
+  if (seed < 0)
+    seed = -seed;
+  return seed;
+}
+
+double water::randCoord() {
+  int r;
+  r = nextRandom() % 1000000;
+  return (r * 1.0) / 1000000.0;
+}
+
+void water::init(int n) {
+  h2o *m;
+  nmol = n;
+  for (int i = 0; i < n; i++) {
+    m = new h2o;
+    mols[i] = m;
+    m->id = i;
+    m->mass = 18.0;
+    m->px = this->randCoord() * WParms.getBox();
+    m->py = this->randCoord() * WParms.getBox();
+    m->pz = this->randCoord() * WParms.getBox();
+    m->vx = (this->randCoord() - 0.5) * 0.1;
+    m->vy = (this->randCoord() - 0.5) * 0.1;
+    m->vz = (this->randCoord() - 0.5) * 0.1;
+  }
+}
+
+`

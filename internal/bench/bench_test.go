@@ -1,0 +1,76 @@
+package bench_test
+
+import (
+	"strings"
+	"testing"
+
+	"commute/internal/bench"
+)
+
+func smallRunner() *bench.Runner {
+	return bench.NewRunner(bench.Config{
+		BHBodies:   []int{128},
+		BHSteps:    1,
+		WaterMols:  []int{27},
+		WaterSteps: 1,
+		Procs:      []int{1, 2, 8, 32},
+	})
+}
+
+// TestAllExperimentsRun executes every experiment at a tiny scale and
+// sanity-checks the outputs.
+func TestAllExperimentsRun(t *testing.T) {
+	r := smallRunner()
+	for _, e := range bench.Experiments() {
+		out, err := r.Run(e.ID)
+		if err != nil {
+			t.Fatalf("%s: %v", e.ID, err)
+		}
+		if len(out) < 40 {
+			t.Errorf("%s: suspiciously short output:\n%s", e.ID, out)
+		}
+		if !strings.Contains(out, "## ") {
+			t.Errorf("%s: missing title", e.ID)
+		}
+	}
+}
+
+func TestTable1Equality(t *testing.T) {
+	r := smallRunner()
+	out, err := r.Run("table1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "equal after simplification: true") {
+		t.Errorf("Table 1 should report equal sums:\n%s", out)
+	}
+	if !strings.Contains(out, "invoked multisets equal:     true") {
+		t.Errorf("Table 1 should report equal multisets:\n%s", out)
+	}
+}
+
+func TestDepBaseFindsNothing(t *testing.T) {
+	r := smallRunner()
+	out, err := r.Run("depbase")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The dependence column must report 0/k for every application.
+	for _, app := range []string{"Barnes-Hut", "Water", "Graph traversal"} {
+		if !strings.Contains(out, app) {
+			t.Errorf("missing %s row:\n%s", app, out)
+		}
+	}
+	if !strings.Contains(out, "0/") {
+		t.Errorf("dependence analysis should parallelize nothing:\n%s", out)
+	}
+}
+
+func TestAblationAuxLosesParallelism(t *testing.T) {
+	r := smallRunner()
+	out, err := r.Run("ablation-aux")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Log("\n" + out)
+}

@@ -1,0 +1,122 @@
+package codegen_test
+
+import (
+	"testing"
+
+	"commute/internal/apps/src"
+	"commute/internal/codegen"
+	"commute/internal/core"
+	"commute/internal/frontend/parser"
+	"commute/internal/frontend/types"
+	"commute/internal/interp"
+	"commute/internal/rt"
+)
+
+// TestAnnotationsRoundTrip: Plan → annotation file → Plan reconstructs
+// the same decisions, and the reconstructed plan executes correctly —
+// the paper's analysis/codegen phase split (§6.2.3).
+func TestAnnotationsRoundTrip(t *testing.T) {
+	for _, source := range []string{src.Graph, src.BarnesHut, src.Water} {
+		f, err := parser.Parse("app.mc", source)
+		if err != nil {
+			t.Fatal(err)
+		}
+		prog, err := types.Check(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		plan := codegen.Build(core.New(prog))
+
+		data, err := plan.AnnotationsJSON()
+		if err != nil {
+			t.Fatal(err)
+		}
+		ann, err := codegen.ParseAnnotations(data)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Apply against a freshly parsed and checked program, as the
+		// separate code generation pass would.
+		f2, err := parser.Parse("app.mc", source)
+		if err != nil {
+			t.Fatal(err)
+		}
+		prog2, err := types.Check(f2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		plan2, err := codegen.ApplyAnnotations(prog2, ann)
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		// Decisions agree method by method.
+		for _, m := range prog.Methods {
+			if m.Def == nil {
+				continue
+			}
+			m2 := prog2.MethodByFullName(m.FullName())
+			mp, mp2 := plan.Methods[m], plan2.Methods[m2]
+			if mp.Parallel != mp2.Parallel || mp.NeedsLock != mp2.NeedsLock ||
+				mp.HoldsLockThrough != mp2.HoldsLockThrough {
+				t.Errorf("%s: decisions differ after round trip", m.FullName())
+			}
+		}
+		if len(plan2.Loops) != len(plan.Loops) {
+			t.Errorf("loops: %d → %d after round trip", len(plan.Loops), len(plan2.Loops))
+		}
+		if len(plan2.LockedClasses) != len(plan.LockedClasses) {
+			t.Errorf("locked classes: %d → %d", len(plan.LockedClasses), len(plan2.LockedClasses))
+		}
+
+		// The reconstructed plan drives parallel execution.
+		ip := interp.New(prog2, nil)
+		r := rt.New(ip, plan2, 4)
+		if err := r.Run(); err != nil {
+			t.Fatalf("execution under reconstructed plan: %v", err)
+		}
+		if r.Stats.Regions == 0 {
+			t.Error("reconstructed plan opened no parallel regions")
+		}
+	}
+}
+
+// TestAnnotationsDriftDetected: applying annotations against a program
+// whose call sites changed is rejected.
+func TestAnnotationsDriftDetected(t *testing.T) {
+	f, _ := parser.Parse("a.mc", src.Graph)
+	prog, err := types.Check(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan := codegen.Build(core.New(prog))
+	data, err := plan.AnnotationsJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ann, err := codegen.ParseAnnotations(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// A different program: same classes, extra call site.
+	drifted := src.GraphBase + `
+void main() {
+  Builder.build(8);
+  Builder.traverse();
+  Builder.traverse();
+}
+`
+	f2, _ := parser.Parse("b.mc", drifted)
+	prog2, err := types.Check(f2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := codegen.ApplyAnnotations(prog2, ann); err == nil {
+		t.Error("drifted program must be rejected")
+	}
+
+	if _, err := codegen.ParseAnnotations([]byte("{oops")); err == nil {
+		t.Error("malformed file must be rejected")
+	}
+}

@@ -1,0 +1,472 @@
+// Package codegen implements the code generation policy of §5 of
+// Rinard & Diniz 1996 as an execution *plan*: which methods get
+// parallel versions, which for loops become parallel loops (with the
+// §5.2 nested-concurrency suppression), which call sites spawn tasks,
+// and the lock optimizations of §5.4 (elimination and hoisting). The
+// parallel executors (real runtime and DASH simulator) consume the
+// plan; a source-to-source printer renders it as annotated output.
+package codegen
+
+import (
+	"sort"
+
+	"commute/internal/analysis/effects"
+	"commute/internal/core"
+	"commute/internal/frontend/ast"
+	"commute/internal/frontend/types"
+)
+
+// SiteAction tells the executor what to do at a call site when running
+// the parallel version of the enclosing method.
+type SiteAction int
+
+// Call-site actions.
+const (
+	ActionInline  SiteAction = iota // auxiliary: execute serially inline
+	ActionSpawn                     // extent operation: spawn a task running the parallel version
+	ActionHoisted                   // nested-object operation under the caller's hoisted lock: inline
+	ActionSerial                    // site inside a serial method: plain call
+)
+
+// MethodPlan is the per-method code generation decision.
+type MethodPlan struct {
+	Method *types.Method
+	// Parallel is true when the analysis marked the method parallel
+	// (the compiler generates serial, parallel, and mutex versions).
+	Parallel bool
+	// NeedsLock is true when the parallel/mutex versions acquire the
+	// receiver's mutual-exclusion lock around the object section
+	// (§5.4.1 eliminates it for operations that only compute extent
+	// constant values).
+	NeedsLock bool
+	// HoldsLockThrough is true when lock hoisting (§5.4.2) applies: the
+	// operation holds the receiver lock across both sections and runs
+	// invoked nested-object operations inline.
+	HoldsLockThrough bool
+	// Replicable is true when every receiver write in the operation is
+	// a pure commutative accumulation (the written storage is never
+	// read except as the source of its own update). Such operations can
+	// execute against per-processor replicas merged by a reduction at
+	// the end of the phase — the optimization §6.3.4 proposes to
+	// eliminate Water's contention. The ReplicateAccumulators option
+	// makes the executors use it.
+	Replicable bool
+	// Site maps call-site IDs within this method to their actions when
+	// executing the parallel (or mutex) version.
+	Site map[int]SiteAction
+}
+
+// LoopPlan is the decision for one for loop in a parallel method.
+type LoopPlan struct {
+	Method *types.Method
+	Stmt   *ast.ForStmt
+	// Parallel is true when the loop executes with guided
+	// self-scheduling; false when the §5.2 heuristic suppressed it
+	// (dynamically nested inside another parallel loop).
+	Parallel bool
+	Nested   bool
+	// Name labels the loop for reports (enclosing method name).
+	Name string
+}
+
+// Plan is the whole-program code generation result.
+type Plan struct {
+	Prog    *types.Program
+	Opt     Options
+	Methods map[*types.Method]*MethodPlan
+	Loops   map[*ast.ForStmt]*LoopPlan
+
+	// LoopsFound and LoopsSuppressed reproduce the §6.2.2/§6.3.2
+	// statistics (loops detected vs. nested loops suppressed).
+	LoopsFound      int
+	LoopsSuppressed int
+
+	// LockedClasses lists the classes whose declarations keep a
+	// mutual-exclusion lock after the §5.4.1 elimination.
+	LockedClasses map[*types.Class]bool
+}
+
+// Options tune the code generation policy (used by the ablation
+// benchmarks).
+type Options struct {
+	// DisableHoisting turns off the §5.4.2 lock hoisting: nested-object
+	// operations are spawned/locked individually.
+	DisableHoisting bool
+	// DisableSuppression turns off the §5.2 suppression of nested
+	// concurrency: dynamically nested parallel loops stay parallel.
+	DisableSuppression bool
+	// ReplicateAccumulators enables the §6.3.4 optimization: operations
+	// whose receiver writes are pure commutative accumulations execute
+	// against per-processor replicas (no locks, no contention) that a
+	// phase-end reduction merges.
+	ReplicateAccumulators bool
+}
+
+// Build computes the plan from the analysis results with the default
+// policy.
+func Build(a *core.Analysis) *Plan { return BuildWithOptions(a, Options{}) }
+
+// BuildWithOptions computes the plan with explicit policy options.
+func BuildWithOptions(a *core.Analysis, opt Options) *Plan {
+	p := &Plan{
+		Prog:          a.Prog,
+		Opt:           opt,
+		Methods:       make(map[*types.Method]*MethodPlan),
+		Loops:         make(map[*ast.ForStmt]*LoopPlan),
+		LockedClasses: make(map[*types.Class]bool),
+	}
+	reports := a.AnalyzeAll()
+	byMethod := make(map[*types.Method]*core.MethodReport, len(reports))
+	for _, r := range reports {
+		byMethod[r.Method] = r
+	}
+
+	// Method plans: a method has a parallel version when it is marked
+	// parallel itself or participates in some parallel extent (the
+	// paper generates the three versions for every method of a parallel
+	// extent).
+	inParallelExtent := make(map[*types.Method]*core.MethodReport)
+	auxSites := make(map[int]bool)
+	for _, r := range reports {
+		if !r.Parallel {
+			continue
+		}
+		for _, m := range r.Ext.Methods {
+			if _, ok := inParallelExtent[m]; !ok {
+				inParallelExtent[m] = r
+			}
+		}
+		for _, c := range r.Ext.Aux {
+			auxSites[c.ID] = true
+		}
+	}
+
+	for _, m := range a.Prog.Methods {
+		if m.Def == nil {
+			continue
+		}
+		mp := &MethodPlan{Method: m, Site: make(map[int]SiteAction)}
+		p.Methods[m] = mp
+		r, inPar := inParallelExtent[m]
+		if !inPar {
+			for _, cs := range m.CallSites {
+				mp.Site[cs.ID] = ActionSerial
+			}
+			continue
+		}
+		mp.Parallel = true
+
+		// §5.4.1 lock elimination: operations whose object section
+		// writes nothing need no lock.
+		info := a.Eff.Info(m)
+		writesIvars := false
+		for _, d := range info.Writes.Slice() {
+			if d.Space == effects.DescField {
+				writesIvars = true
+				break
+			}
+		}
+		mp.NeedsLock = writesIvars
+
+		// Call-site actions.
+		mi := a.Eff.Info(m)
+		nestedOnly := true
+		hasExtentCalls := false
+		for i := range mi.Calls {
+			cc := &mi.Calls[i]
+			id := cc.Site.ID
+			if auxSites[id] || r.Ext.IsAux(cc.Site) {
+				mp.Site[id] = ActionInline
+				continue
+			}
+			hasExtentCalls = true
+			if cc.Recv.Kind == effects.RecvNested && cc.Recv.ViaThis {
+				mp.Site[id] = ActionHoisted
+			} else {
+				mp.Site[id] = ActionSpawn
+				nestedOnly = false
+			}
+		}
+
+		// §5.4.2 lock hoisting: when every extent invocation targets a
+		// nested object of the receiver, the operation's customized
+		// version holds the receiver lock across both sections and runs
+		// the nested operations inline (acquiring the lock even when
+		// its own object section would not need one, so the nested
+		// objects need no locks of their own).
+		if hasExtentCalls && nestedOnly && m.Class != nil && !opt.DisableHoisting {
+			mp.HoldsLockThrough = true
+			mp.NeedsLock = true
+		}
+		mp.Replicable = mp.NeedsLock && pureAccumulator(m)
+		if !mp.HoldsLockThrough {
+			// Without hoisting, nested-object invocations still need
+			// their own atomicity: spawn them like other extent calls
+			// unless the caller holds its lock through.
+			for id, act := range mp.Site {
+				if act == ActionHoisted {
+					mp.Site[id] = ActionSpawn
+				}
+			}
+		}
+	}
+
+	p.findLoops(a, inParallelExtent)
+	p.computeLockedClasses()
+	return p
+}
+
+// computeLockedClasses decides which class declarations keep their
+// mutual-exclusion lock (§5.4.1): a class is locked when some
+// lock-acquiring operation with that receiver class can execute under
+// concurrency — it is a spawn target, a parallel-loop body callee
+// (iterations run mutex versions, which still lock), or reachable from
+// one through further spawn-action sites. Operations that only ever run
+// hoisted under an enclosing lock contribute nothing, which is exactly
+// how hoisting eliminates the nested-object locks.
+func (p *Plan) computeLockedClasses() {
+	seeds := make(map[*types.Method]bool)
+	for caller, mp := range p.Methods {
+		if !mp.Parallel {
+			continue
+		}
+		for _, cs := range caller.CallSites {
+			if mp.Site[cs.ID] == ActionSpawn {
+				seeds[cs.Callee] = true
+			}
+		}
+	}
+	for _, lp := range p.Loops {
+		if !lp.Parallel {
+			continue
+		}
+		for _, callee := range loopCallees(p.Prog, lp.Stmt) {
+			if cp := p.Methods[callee]; cp != nil && cp.Parallel {
+				seeds[callee] = true
+			}
+		}
+	}
+	// Closure over spawn-action sites: in mutex versions those targets
+	// run serially but still acquire their locks.
+	work := make([]*types.Method, 0, len(seeds))
+	for m := range seeds {
+		work = append(work, m)
+	}
+	reached := make(map[*types.Method]bool, len(seeds))
+	for len(work) > 0 {
+		m := work[len(work)-1]
+		work = work[:len(work)-1]
+		if reached[m] {
+			continue
+		}
+		reached[m] = true
+		mp := p.Methods[m]
+		if mp == nil {
+			continue
+		}
+		for _, cs := range m.CallSites {
+			if mp.Site[cs.ID] == ActionSpawn && !reached[cs.Callee] {
+				work = append(work, cs.Callee)
+			}
+		}
+	}
+	for m := range reached {
+		if mp := p.Methods[m]; mp != nil && mp.NeedsLock && m.Class != nil {
+			p.LockedClasses[m.Class] = true
+		}
+	}
+}
+
+// findLoops detects parallel loops (§5.1) and applies the §5.2
+// suppression of nested concurrency.
+func (p *Plan) findLoops(a *core.Analysis, inPar map[*types.Method]*core.MethodReport) {
+	// Candidate loops: for loops in parallel methods whose bodies
+	// contain only local bookkeeping and invocations of parallel
+	// methods.
+	var candidates []*LoopPlan
+	for m, mp := range p.Methods {
+		if !mp.Parallel {
+			continue
+		}
+		ast.Inspect(m.Def.Body, func(n ast.Node) bool {
+			fs, ok := n.(*ast.ForStmt)
+			if !ok {
+				return true
+			}
+			if p.loopBodyParallelizable(m, fs) {
+				lp := &LoopPlan{Method: m, Stmt: fs, Name: m.FullName()}
+				candidates = append(candidates, lp)
+				p.Loops[fs] = lp
+				return false // do not doubly classify nested loops
+			}
+			return true
+		})
+	}
+	sort.Slice(candidates, func(i, j int) bool {
+		if candidates[i].Name != candidates[j].Name {
+			return candidates[i].Name < candidates[j].Name
+		}
+		pi, pj := candidates[i].Stmt.Pos(), candidates[j].Stmt.Pos()
+		return pi.Line < pj.Line
+	})
+	p.LoopsFound = len(candidates)
+
+	// A loop is nested when its enclosing method is reachable from the
+	// extent of another candidate loop's body invocations.
+	reach := func(from *LoopPlan) map[*types.Method]bool {
+		out := make(map[*types.Method]bool)
+		var visit func(m *types.Method)
+		visit = func(m *types.Method) {
+			if out[m] {
+				return
+			}
+			out[m] = true
+			for _, cs := range m.CallSites {
+				visit(cs.Callee)
+			}
+		}
+		for _, cs := range loopCallees(p.Prog, from.Stmt) {
+			visit(cs)
+		}
+		return out
+	}
+	for _, lp := range candidates {
+		r := reach(lp)
+		for _, other := range candidates {
+			if other != lp && r[other.Method] {
+				other.Nested = true
+			}
+		}
+	}
+	for _, lp := range candidates {
+		lp.Parallel = !lp.Nested || p.Opt.DisableSuppression
+		if lp.Nested && !p.Opt.DisableSuppression {
+			p.LoopsSuppressed++
+		}
+	}
+}
+
+// GeneratesConcurrency reports whether invoking the parallel version of
+// m can spawn tasks or start parallel loops — i.e. whether a serial
+// caller must open a parallel region for it.
+func (p *Plan) GeneratesConcurrency(m *types.Method) bool {
+	return p.generatesConcurrency(m, make(map[*types.Method]bool))
+}
+
+func (p *Plan) generatesConcurrency(m *types.Method, seen map[*types.Method]bool) bool {
+	if seen[m] {
+		return false
+	}
+	seen[m] = true
+	mp := p.Methods[m]
+	if mp == nil || !mp.Parallel || m.Def == nil {
+		return false
+	}
+	conc := false
+	ast.Inspect(m.Def.Body, func(n ast.Node) bool {
+		if conc {
+			return false
+		}
+		if fs, ok := n.(*ast.ForStmt); ok {
+			if lp := p.Loops[fs]; lp != nil && lp.Parallel {
+				conc = true
+				return false
+			}
+		}
+		return true
+	})
+	if conc {
+		return true
+	}
+	for _, cs := range m.CallSites {
+		switch mp.Site[cs.ID] {
+		case ActionSpawn:
+			return true
+		case ActionHoisted, ActionInline:
+			if p.generatesConcurrency(cs.Callee, seen) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// loopCallees returns the methods invoked directly in a loop body.
+func loopCallees(prog *types.Program, fs *ast.ForStmt) []*types.Method {
+	var out []*types.Method
+	ast.Inspect(fs.Body, func(n ast.Node) bool {
+		if c, ok := n.(*ast.CallExpr); ok && !c.Builtin && c.Site >= 0 {
+			out = append(out, prog.CallSites[c.Site].Callee)
+		}
+		return true
+	})
+	return out
+}
+
+// loopBodyParallelizable reports whether a loop body consists only of
+// local declarations/assignments and invocations of parallel methods
+// (possibly guarded by conditionals).
+func (p *Plan) loopBodyParallelizable(m *types.Method, fs *ast.ForStmt) bool {
+	hasInvocation := false
+	okBody := true
+	var checkStmt func(s ast.Stmt)
+	var checkExpr func(e ast.Expr, stmtPos bool)
+	checkStmt = func(s ast.Stmt) {
+		if !okBody {
+			return
+		}
+		switch st := s.(type) {
+		case *ast.Block:
+			for _, sub := range st.Stmts {
+				checkStmt(sub)
+			}
+		case *ast.DeclStmt:
+			// fine
+		case *ast.ExprStmt:
+			checkExpr(st.X, true)
+		case *ast.IfStmt:
+			checkStmt(st.Then)
+			if st.Else != nil {
+				checkStmt(st.Else)
+			}
+		default:
+			okBody = false
+		}
+	}
+	checkExpr = func(e ast.Expr, stmtPos bool) {
+		switch x := e.(type) {
+		case *ast.Assign:
+			// Local bookkeeping only.
+			if id, ok := x.LHS.(*ast.Ident); !ok || id.Sym != ast.SymLocal {
+				okBody = false
+				return
+			}
+			if c, isCall := x.RHS.(*ast.CallExpr); isCall && !c.Builtin {
+				// Value-returning calls in the body must be auxiliary
+				// (they execute inline); treat them as bookkeeping.
+				return
+			}
+		case *ast.CallExpr:
+			if x.Builtin {
+				okBody = false
+				return
+			}
+			site := p.Prog.CallSites[x.Site]
+			calleePlan := p.Methods[site.Callee]
+			if calleePlan == nil || !calleePlan.Parallel {
+				// Auxiliary invocations are allowed; extent invocations
+				// must have parallel versions.
+				if act, ok := p.Methods[m].Site[x.Site]; ok && act == ActionInline {
+					return
+				}
+				okBody = false
+				return
+			}
+			hasInvocation = true
+		default:
+			okBody = false
+		}
+	}
+	checkStmt(fs.Body)
+	return okBody && hasInvocation
+}

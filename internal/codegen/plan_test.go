@@ -1,0 +1,103 @@
+package codegen_test
+
+import (
+	"testing"
+
+	"commute/internal/apps/src"
+	"commute/internal/codegen"
+	"commute/internal/core"
+	"commute/internal/frontend/parser"
+	"commute/internal/frontend/types"
+)
+
+func buildPlan(t *testing.T, source string) (*types.Program, *codegen.Plan) {
+	t.Helper()
+	f, err := parser.Parse("app.mc", source)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	prog, err := types.Check(f)
+	if err != nil {
+		t.Fatalf("check: %v", err)
+	}
+	return prog, codegen.Build(core.New(prog))
+}
+
+func TestBarnesHutPlan(t *testing.T) {
+	prog, plan := buildPlan(t, src.BarnesHut)
+
+	// Six parallelizable loops: computeForces, resetForces,
+	// advanceVelocities, advancePositions, openCell, openLeaf — the two
+	// loops dynamically nested inside the force loop are suppressed.
+	if plan.LoopsFound != 6 {
+		var names []string
+		for _, lp := range plan.Loops {
+			names = append(names, lp.Name)
+		}
+		t.Errorf("loops found = %d (%v), want 6", plan.LoopsFound, names)
+	}
+	if plan.LoopsSuppressed != 2 {
+		t.Errorf("loops suppressed = %d, want 2", plan.LoopsSuppressed)
+	}
+	var parallelNames, nestedNames []string
+	for _, lp := range plan.Loops {
+		if lp.Parallel {
+			parallelNames = append(parallelNames, lp.Name)
+		} else {
+			nestedNames = append(nestedNames, lp.Name)
+		}
+	}
+	if len(parallelNames) != 4 {
+		t.Errorf("parallel loops = %v, want 4", parallelNames)
+	}
+	for _, n := range nestedNames {
+		if n != "body::openCell" && n != "body::openLeaf" {
+			t.Errorf("unexpected suppressed loop in %s", n)
+		}
+	}
+
+	// Lock policy: gravsub writes phi and invokes only the nested
+	// acc.vecAdd → lock hoisting applies; vector needs no lock of its
+	// own; walksub needs no lock at all (object section reads only).
+	gs := plan.Methods[prog.MethodByFullName("body::gravsub")]
+	if !gs.Parallel || !gs.NeedsLock || !gs.HoldsLockThrough {
+		t.Errorf("gravsub plan = %+v, want parallel+lock+hoisted", gs)
+	}
+	ws := plan.Methods[prog.MethodByFullName("body::walksub")]
+	if !ws.Parallel || ws.NeedsLock {
+		t.Errorf("walksub plan = %+v, want parallel without lock", ws)
+	}
+	if plan.LockedClasses[prog.Classes["vector"]] {
+		t.Error("vector should not keep a lock (hoisting eliminates it)")
+	}
+	if !plan.LockedClasses[prog.Classes["body"]] {
+		t.Error("body must keep its lock")
+	}
+
+	// Serial methods call serially.
+	bt := plan.Methods[prog.MethodByFullName("nbody::buildTree")]
+	if bt.Parallel {
+		t.Error("buildTree must be serial")
+	}
+}
+
+func TestGraphPlan(t *testing.T) {
+	prog, plan := buildPlan(t, src.Graph)
+	visit := plan.Methods[prog.MethodByFullName("graph::visit")]
+	if !visit.Parallel || !visit.NeedsLock {
+		t.Fatalf("visit plan = %+v, want parallel with lock", visit)
+	}
+	if visit.HoldsLockThrough {
+		t.Error("visit spawns free-object recursion; hoisting must not apply")
+	}
+	// The recursive sites spawn.
+	m := prog.MethodByFullName("graph::visit")
+	for _, cs := range m.CallSites {
+		if visit.Site[cs.ID] != codegen.ActionSpawn {
+			t.Errorf("visit call site %d action = %v, want spawn", cs.ID, visit.Site[cs.ID])
+		}
+	}
+	if !plan.LockedClasses[prog.Classes["graph"]] {
+		t.Error("graph must keep its lock")
+	}
+}

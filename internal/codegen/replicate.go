@@ -1,0 +1,239 @@
+package codegen
+
+import (
+	"commute/internal/frontend/ast"
+	"commute/internal/frontend/token"
+	"commute/internal/frontend/types"
+)
+
+// pureAccumulator reports whether every receiver write in m is a
+// commutative accumulation — `f += e`, `f -= e`, `f *= e`, or the
+// explicit `f = f ⊕ e` forms (including array-element variants) — and
+// the written fields are never read in any other position. Such an
+// operation's effect on its receiver is a fold with a commutative
+// operator, so per-processor replicas merged by a reduction compute the
+// same result (§6.3.4).
+func pureAccumulator(m *types.Method) bool {
+	if m.Def == nil || m.Class == nil {
+		return false
+	}
+	// Collect the receiver fields the method writes and validate each
+	// write's shape.
+	written := map[string]bool{}
+	ok := true
+	ast.Inspect(m.Def.Body, func(n ast.Node) bool {
+		asn, isAsn := n.(*ast.Assign)
+		if !isAsn {
+			return true
+		}
+		name, isField := receiverFieldTarget(asn.LHS)
+		if !isField {
+			return true
+		}
+		written[name] = true
+		switch asn.Op {
+		case token.PLUSEQ, token.MINUSEQ, token.STAREQ:
+			return true
+		case token.ASSIGN:
+			if isSelfCombine(asn.LHS, asn.RHS) {
+				return true
+			}
+		}
+		ok = false
+		return false
+	})
+	if !ok || len(written) == 0 {
+		return false
+	}
+	// The written fields may not be read anywhere except as the source
+	// of their own accumulation (the LHS re-read of a compound update
+	// or the explicit f = f ⊕ e).
+	reads := readsOutsideOwnUpdate(m.Def.Body, written)
+	return !reads
+}
+
+// receiverFieldTarget resolves an lvalue to a receiver field name
+// (array elements report the array's name).
+func receiverFieldTarget(lhs ast.Expr) (string, bool) {
+	switch x := lhs.(type) {
+	case *ast.Ident:
+		if x.Sym == ast.SymField {
+			return x.Name, true
+		}
+	case *ast.FieldAccess:
+		if _, isThis := x.X.(*ast.ThisExpr); isThis {
+			return x.Name, true
+		}
+	case *ast.IndexExpr:
+		return receiverFieldTarget(x.X)
+	}
+	return "", false
+}
+
+// isSelfCombine matches `lhs = lhs ⊕ e` or `lhs = e ⊕ lhs` for a
+// commutative ⊕.
+func isSelfCombine(lhs, rhs ast.Expr) bool {
+	bin, ok := rhs.(*ast.Binary)
+	if !ok {
+		return false
+	}
+	if bin.Op != token.PLUS && bin.Op != token.STAR {
+		return false
+	}
+	lname, lok := receiverFieldTarget(lhs)
+	if !lok {
+		return false
+	}
+	matches := func(e ast.Expr) bool {
+		n, ok := receiverFieldTarget(e)
+		return ok && n == lname && sameElement(lhs, e)
+	}
+	return matches(bin.X) || matches(bin.Y)
+}
+
+// sameElement checks that two lvalue-shaped expressions address the
+// same element (for array targets, a syntactically identical index).
+func sameElement(a, b ast.Expr) bool {
+	ai, aIdx := a.(*ast.IndexExpr)
+	bi, bIdx := b.(*ast.IndexExpr)
+	if aIdx != bIdx {
+		return false
+	}
+	if !aIdx {
+		return true
+	}
+	return exprKey(ai.Index) == exprKey(bi.Index)
+}
+
+// exprKey is a small structural fingerprint for index expressions.
+func exprKey(e ast.Expr) string {
+	switch x := e.(type) {
+	case *ast.Ident:
+		return "i:" + x.Name
+	case *ast.IntLit:
+		return "n:" + itoa(x.Value)
+	case *ast.Binary:
+		return "(" + exprKey(x.X) + x.Op.String() + exprKey(x.Y) + ")"
+	case *ast.ThisExpr:
+		return "this"
+	case *ast.FieldAccess:
+		return exprKey(x.X) + "." + x.Name
+	}
+	return "?"
+}
+
+func itoa(v int64) string {
+	if v == 0 {
+		return "0"
+	}
+	neg := v < 0
+	if neg {
+		v = -v
+	}
+	var b []byte
+	for v > 0 {
+		b = append([]byte{byte('0' + v%10)}, b...)
+		v /= 10
+	}
+	if neg {
+		return "-" + string(b)
+	}
+	return string(b)
+}
+
+// readsOutsideOwnUpdate reports whether any written field is read in a
+// position other than the source side of its own update.
+func readsOutsideOwnUpdate(body ast.Node, written map[string]bool) bool {
+	bad := false
+	var checkExpr func(e ast.Expr, allowed map[string]bool)
+	checkExpr = func(e ast.Expr, allowed map[string]bool) {
+		if bad || e == nil {
+			return
+		}
+		switch x := e.(type) {
+		case *ast.Ident:
+			if x.Sym == ast.SymField && written[x.Name] && !allowed[x.Name] {
+				bad = true
+			}
+		case *ast.FieldAccess:
+			if _, isThis := x.X.(*ast.ThisExpr); isThis && written[x.Name] && !allowed[x.Name] {
+				bad = true
+			}
+			checkExpr(x.X, nil)
+		case *ast.IndexExpr:
+			// The base keeps the allowance; the index never does.
+			if name, ok := receiverFieldTarget(x.X); ok && allowed[name] {
+				checkExpr(x.Index, nil)
+				return
+			}
+			checkExpr(x.X, allowed)
+			checkExpr(x.Index, nil)
+		case *ast.Assign:
+			name, isField := receiverFieldTarget(x.LHS)
+			var allow map[string]bool
+			if isField && written[name] {
+				allow = map[string]bool{name: true}
+			}
+			// The LHS location expression itself may index with other
+			// values; its re-read allowance applies to the RHS.
+			checkExpr(x.RHS, allow)
+			if idx, ok := x.LHS.(*ast.IndexExpr); ok {
+				checkExpr(idx.Index, nil)
+			}
+		case *ast.Binary:
+			checkExpr(x.X, allowed)
+			checkExpr(x.Y, allowed)
+		case *ast.Unary:
+			checkExpr(x.X, allowed)
+		case *ast.CallExpr:
+			if x.Recv != nil {
+				checkExpr(x.Recv, nil)
+			}
+			for _, a := range x.Args {
+				checkExpr(a, nil)
+			}
+		case *ast.CastExpr:
+			checkExpr(x.X, nil)
+		}
+	}
+	var checkStmt func(s ast.Stmt)
+	checkStmt = func(s ast.Stmt) {
+		if bad {
+			return
+		}
+		switch st := s.(type) {
+		case *ast.Block:
+			for _, sub := range st.Stmts {
+				checkStmt(sub)
+			}
+		case *ast.DeclStmt:
+			checkExpr(st.Init, nil)
+		case *ast.ExprStmt:
+			checkExpr(st.X, nil)
+		case *ast.IfStmt:
+			checkExpr(st.Cond, nil)
+			checkStmt(st.Then)
+			if st.Else != nil {
+				checkStmt(st.Else)
+			}
+		case *ast.ForStmt:
+			if st.Init != nil {
+				checkStmt(st.Init)
+			}
+			checkExpr(st.Cond, nil)
+			if st.Post != nil {
+				checkStmt(st.Post)
+			}
+			checkStmt(st.Body)
+		case *ast.WhileStmt:
+			checkExpr(st.Cond, nil)
+			checkStmt(st.Body)
+		case *ast.ReturnStmt:
+			checkExpr(st.X, nil)
+		}
+	}
+	if b, ok := body.(*ast.Block); ok {
+		checkStmt(b)
+	}
+	return bad
+}

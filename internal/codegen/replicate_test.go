@@ -1,0 +1,51 @@
+package codegen_test
+
+import (
+	"testing"
+
+	"commute/internal/apps/src"
+)
+
+// TestReplicableDetection: the pure commutative accumulators (fbank
+// slot updates, sums accumulations, vector adds) are flagged; methods
+// that read their written state for other purposes (momenta computes
+// kinetic energy from the updated velocities, predict wraps the
+// position it just advanced) are not.
+func TestReplicableDetection(t *testing.T) {
+	prog, plan := buildPlan(t, src.Water)
+	wantReplicable := map[string]bool{
+		"fbank::add":    true,
+		"sums::addPot":  true,
+		"sums::addKin":  true,
+		"h2o::momenta":  false, // reads vx/vy/vz after updating them
+		"h2o::predict":  false, // reads px after updating it (wrap)
+		"h2o::load":     false, // overwrites, not accumulation
+		"water::interf": false, // no receiver writes at all
+	}
+	for name, want := range wantReplicable {
+		m := prog.MethodByFullName(name)
+		mp := plan.Methods[m]
+		if mp == nil {
+			t.Fatalf("no plan for %s", name)
+		}
+		if mp.Replicable != want {
+			t.Errorf("%s replicable = %v, want %v", name, mp.Replicable, want)
+		}
+	}
+
+	bhProg, bhPlan := buildPlan(t, src.BarnesHut)
+	for name, want := range map[string]bool{
+		"vector::vecAdd": true,
+		"body::gravsub":  false, // phi -= d is fine but acc is updated via vecAdd: gravsub itself writes phi only
+	} {
+		m := bhProg.MethodByFullName(name)
+		if got := bhPlan.Methods[m].Replicable; got != want && name != "body::gravsub" {
+			t.Errorf("%s replicable = %v, want %v", name, got, want)
+		}
+	}
+	// gravsub writes phi via -=: a pure accumulation — it is replicable.
+	gs := bhProg.MethodByFullName("body::gravsub")
+	if !bhPlan.Methods[gs].Replicable {
+		t.Error("gravsub's phi -= d is a commuting accumulation; it should be replicable")
+	}
+}

@@ -1,0 +1,44 @@
+package codegen_test
+
+import (
+	"testing"
+
+	"commute/internal/apps/src"
+)
+
+// TestWaterPlan reproduces the §6.3.2 statistics: seven parallelizable
+// loops found, two (the O(n²) inner loops) suppressed as nested, five
+// parallel loops generated.
+func TestWaterPlan(t *testing.T) {
+	prog, plan := buildPlan(t, src.Water)
+	if plan.LoopsFound != 7 {
+		var names []string
+		for _, lp := range plan.Loops {
+			names = append(names, lp.Name)
+		}
+		t.Errorf("loops found = %d (%v), want 7", plan.LoopsFound, names)
+	}
+	if plan.LoopsSuppressed != 2 {
+		t.Errorf("loops suppressed = %d, want 2", plan.LoopsSuppressed)
+	}
+	parallel := 0
+	for _, lp := range plan.Loops {
+		if lp.Parallel {
+			parallel++
+		} else if lp.Name != "h2o::interForces" && lp.Name != "h2o::potEnergy" {
+			t.Errorf("unexpected suppressed loop in %s", lp.Name)
+		}
+	}
+	if parallel != 5 {
+		t.Errorf("parallel loops = %d, want 5", parallel)
+	}
+
+	// Contended classes keep their locks: h2o (pairwise addForce) and
+	// sums (global accumulators).
+	if !plan.LockedClasses[prog.Classes["h2o"]] {
+		t.Error("h2o must keep its lock")
+	}
+	if !plan.LockedClasses[prog.Classes["sums"]] {
+		t.Error("sums must keep its lock")
+	}
+}

@@ -1,0 +1,214 @@
+// Package core implements the paper's primary contribution: the
+// commutativity analysis driver of Figure 3 (isParallel), the
+// separability check of §4.6, the reference-parameter checks of Figure
+// 10, and the commutativity testing algorithm of Figure 11, built on
+// the effects, extent, and symbolic packages.
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"commute/internal/analysis/effects"
+	"commute/internal/analysis/extent"
+	"commute/internal/analysis/symbolic"
+	"commute/internal/frontend/ast"
+	"commute/internal/frontend/types"
+)
+
+// Analysis runs commutativity analysis over one checked program.
+type Analysis struct {
+	Prog *types.Program
+	Eff  *effects.Analyzer
+
+	reports map[*types.Method]*MethodReport
+
+	// Options.
+
+	// DisableAuxiliary turns off auxiliary-operation recognition
+	// (§3.5.2); used by the ablation benchmarks.
+	DisableAuxiliary bool
+	// DisableExtentConstants turns off the extent-constant extension
+	// (§3.5.1); reads of non-receiver storage become unanalyzable.
+	DisableExtentConstants bool
+}
+
+// New returns an Analysis for prog.
+func New(prog *types.Program) *Analysis {
+	return &Analysis{
+		Prog:    prog,
+		Eff:     effects.NewAnalyzer(prog),
+		reports: make(map[*types.Method]*MethodReport),
+	}
+}
+
+// PairResult records the outcome of one commutativity test.
+type PairResult struct {
+	M1, M2      *types.Method
+	Independent bool
+	Commutes    bool
+	Reason      string
+}
+
+// MethodReport is the analysis result for one method.
+type MethodReport struct {
+	Method   *types.Method
+	Parallel bool
+	Reason   string // first reason the method was marked serial
+
+	EC  *effects.Set
+	Ext *extent.Result
+
+	// Statistics matching Tables 2 and 8 of the paper.
+	AuxiliaryCallSites int
+	ExtentSize         int
+	IndependentPairs   int
+	SymbolicPairs      int
+
+	Pairs []PairResult
+}
+
+// IsParallel runs the Figure 3 algorithm for m, caching the result.
+func (a *Analysis) IsParallel(m *types.Method) *MethodReport {
+	if r, ok := a.reports[m]; ok {
+		return r
+	}
+	r := a.analyze(m)
+	a.reports[m] = r
+	return r
+}
+
+func (a *Analysis) analyze(m *types.Method) *MethodReport {
+	r := &MethodReport{Method: m}
+	if m.Def == nil {
+		r.Reason = "method has no definition"
+		return r
+	}
+
+	// ec = extentConstantVariables(m); ⟨ext, aux⟩ = extent(m, ec).
+	r.EC = extent.Constants(a.Eff, m)
+	ecForExtent := r.EC
+	if a.DisableExtentConstants {
+		ecForExtent = effects.NewSet()
+	}
+	ext := extent.Compute(a.Eff, m, ecForExtent)
+	if a.DisableAuxiliary {
+		// Reclassify every auxiliary site as an extent site (and pull
+		// the auxiliary callees into the extent).
+		ext = extentWithoutAux(a.Eff, m, ext)
+	}
+	r.Ext = ext
+	r.AuxiliaryCallSites = len(ext.Aux)
+	r.ExtentSize = len(ext.Methods)
+
+	if !a.checkReferenceParameters(m, ext, r) {
+		return r
+	}
+
+	// Extent operations execute asynchronously in the generated code,
+	// so their return values cannot be consumed (§4's model: operations
+	// return no values; only auxiliary operations may).
+	for _, site := range ext.Ext {
+		if a.valueUsed(site) {
+			r.Reason = fmt.Sprintf("the return value of extent operation %s is used at %s",
+				site.Callee.FullName(), site.Call.Pos())
+			return r
+		}
+	}
+
+	// Separability, I/O, and allocation checks over ms.
+	for _, m1 := range ext.Methods {
+		if reason := a.separable(m1, ext, ecForExtent); reason != "" {
+			r.Reason = fmt.Sprintf("%s is not separable: %s", m1.FullName(), reason)
+			return r
+		}
+		if a.Eff.MayPerformIO(m1) {
+			r.Reason = fmt.Sprintf("%s may perform I/O", m1.FullName())
+			return r
+		}
+		if a.Eff.MayCreateObject(m1) {
+			r.Reason = fmt.Sprintf("%s may create objects", m1.FullName())
+			return r
+		}
+	}
+
+	// Pairwise commutativity testing.
+	aux := make(map[int]bool, len(ext.Aux))
+	for _, c := range ext.Aux {
+		aux[c.ID] = true
+	}
+	env := symbolic.NewEnv(a.Prog, ecForExtent, aux)
+
+	ok := true
+	for i := 0; i < len(ext.Methods); i++ {
+		for j := i; j < len(ext.Methods); j++ {
+			pr := a.commute(ext.Methods[i], ext.Methods[j], env)
+			r.Pairs = append(r.Pairs, pr)
+			if pr.Independent {
+				r.IndependentPairs++
+			} else {
+				r.SymbolicPairs++
+			}
+			if !pr.Commutes && ok {
+				ok = false
+				r.Reason = fmt.Sprintf("operations %s and %s may not commute: %s",
+					pr.M1.FullName(), pr.M2.FullName(), pr.Reason)
+			}
+		}
+	}
+	r.Parallel = ok
+	if ok {
+		r.Reason = ""
+	}
+	return r
+}
+
+// valueUsed reports whether the call at the site appears anywhere other
+// than statement position, i.e. its return value is consumed.
+func (a *Analysis) valueUsed(site *types.CallSite) bool {
+	m := site.Caller
+	if m == nil || m.Def == nil {
+		return false
+	}
+	stmtPos := make(map[*ast.CallExpr]bool)
+	ast.Inspect(m.Def.Body, func(n ast.Node) bool {
+		if es, ok := n.(*ast.ExprStmt); ok {
+			if c, ok2 := es.X.(*ast.CallExpr); ok2 {
+				stmtPos[c] = true
+			}
+		}
+		return true
+	})
+	return !stmtPos[site.Call]
+}
+
+// extentWithoutAux re-runs the extent computation with an empty
+// extent-constant set so that no call site qualifies as auxiliary.
+func extentWithoutAux(a *effects.Analyzer, m *types.Method, _ *extent.Result) *extent.Result {
+	return extent.Compute(a, m, effects.NewSet())
+}
+
+// AnalyzeAll runs IsParallel over every defined method and returns the
+// reports ordered by method ID.
+func (a *Analysis) AnalyzeAll() []*MethodReport {
+	out := make([]*MethodReport, 0, len(a.Prog.Methods))
+	for _, m := range a.Prog.Methods {
+		if m.Def == nil {
+			continue
+		}
+		out = append(out, a.IsParallel(m))
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Method.ID < out[j].Method.ID })
+	return out
+}
+
+// ParallelMethods returns the methods marked parallel.
+func (a *Analysis) ParallelMethods() []*types.Method {
+	var out []*types.Method
+	for _, r := range a.AnalyzeAll() {
+		if r.Parallel {
+			out = append(out, r.Method)
+		}
+	}
+	return out
+}

@@ -1,0 +1,247 @@
+package core
+
+import (
+	"fmt"
+
+	"commute/internal/analysis/effects"
+	"commute/internal/analysis/extent"
+	"commute/internal/frontend/ast"
+	"commute/internal/frontend/token"
+	"commute/internal/frontend/types"
+)
+
+// separable implements the §4.6 separability check for one method in
+// the context of an extent: the method decomposes into an object
+// section (all receiver accesses) followed by an invocation section
+// (extent invocations), where:
+//
+//   - writes target only locals or receiver instance variables;
+//   - reads target only parameters, locals, receiver instance
+//     variables, or extent constants;
+//   - after the first extent invocation, receiver accesses are allowed
+//     only for extent constant variables (the §3.5.1 relaxation that
+//     lets the invocation section compute extent constant values);
+//   - auxiliary call sites may appear in either section.
+//
+// It returns "" when the method is separable, otherwise the reason.
+func (a *Analysis) separable(m *types.Method, ext *extent.Result, ec *effects.Set) string {
+	if m.Def == nil {
+		return "no definition"
+	}
+	s := &sepScanner{
+		analysis: a,
+		m:        m,
+		ext:      ext,
+		ec:       ec,
+		resolver: effects.NewResolver(a.Prog, m),
+	}
+	s.stmt(m.Def.Body)
+	return s.reason
+}
+
+type sepScanner struct {
+	analysis *Analysis
+	m        *types.Method
+	ext      *extent.Result
+	ec       *effects.Set
+	resolver *effects.Resolver
+
+	seenExtentCall bool
+	reason         string
+}
+
+func (s *sepScanner) fail(format string, args ...any) {
+	if s.reason == "" {
+		s.reason = fmt.Sprintf(format, args...)
+	}
+}
+
+func (s *sepScanner) stmt(st ast.Stmt) {
+	if s.reason != "" {
+		return
+	}
+	switch x := st.(type) {
+	case *ast.Block:
+		for _, sub := range x.Stmts {
+			s.stmt(sub)
+		}
+	case *ast.DeclStmt:
+		if x.Init != nil {
+			s.read(x.Init)
+		}
+	case *ast.ExprStmt:
+		s.effect(x.X)
+	case *ast.IfStmt:
+		s.read(x.Cond)
+		s.stmt(x.Then)
+		if x.Else != nil {
+			s.stmt(x.Else)
+		}
+	case *ast.ForStmt:
+		if x.Init != nil {
+			s.stmt(x.Init)
+		}
+		before := s.seenExtentCall
+		if x.Cond != nil {
+			s.read(x.Cond)
+		}
+		s.stmt(x.Body)
+		if x.Post != nil {
+			s.stmt(x.Post)
+		}
+		// If the body invoked extent operations, later iterations
+		// execute the whole loop after an invocation: re-scan under the
+		// post-invocation rules.
+		if !before && s.seenExtentCall {
+			if x.Cond != nil {
+				s.read(x.Cond)
+			}
+			s.stmt(x.Body)
+			if x.Post != nil {
+				s.stmt(x.Post)
+			}
+		}
+	case *ast.WhileStmt:
+		before := s.seenExtentCall
+		s.read(x.Cond)
+		s.stmt(x.Body)
+		if !before && s.seenExtentCall {
+			s.read(x.Cond)
+			s.stmt(x.Body)
+		}
+	case *ast.ReturnStmt:
+		if x.X != nil {
+			s.read(x.X)
+		}
+	}
+}
+
+// effect handles statement-position expressions.
+func (s *sepScanner) effect(e ast.Expr) {
+	switch x := e.(type) {
+	case *ast.Assign:
+		s.lhsSubReads(x.LHS)
+		if x.Op != token.ASSIGN {
+			s.read(x.LHS)
+		}
+		s.read(x.RHS)
+		s.write(x.LHS)
+	default:
+		s.read(e)
+	}
+}
+
+func (s *sepScanner) lhsSubReads(e ast.Expr) {
+	switch x := e.(type) {
+	case *ast.IndexExpr:
+		s.read(x.Index)
+		s.lhsSubReads(x.X)
+	case *ast.FieldAccess:
+		if _, ok := s.analysis.Prog.TypeOf(x.X).(types.Pointer); ok {
+			s.read(x.X)
+		} else {
+			s.lhsSubReads(x.X)
+		}
+	}
+}
+
+// write checks an lvalue target.
+func (s *sepScanner) write(e ast.Expr) {
+	if s.reason != "" {
+		return
+	}
+	d, ok := s.resolver.AccessDesc(e)
+	if !ok {
+		// Locals and value parameters: always fine.
+		return
+	}
+	switch d.Space {
+	case effects.DescParam:
+		s.fail("writes its reference parameter %s", d.Name)
+	case effects.DescField:
+		if !d.ViaThis {
+			s.fail("writes non-receiver storage %s", d.Key())
+			return
+		}
+		if s.seenExtentCall {
+			s.fail("writes receiver variable %s after invoking an extent operation", d.Key())
+		}
+	}
+}
+
+// read walks an rvalue checking each memory read.
+func (s *sepScanner) read(e ast.Expr) {
+	if s.reason != "" || e == nil {
+		return
+	}
+	switch x := e.(type) {
+	case *ast.Ident:
+		s.checkReadDesc(x)
+	case *ast.FieldAccess:
+		s.checkReadDesc(x)
+		s.read(x.X)
+	case *ast.IndexExpr:
+		s.checkReadDesc(x)
+		s.read(x.Index)
+		if fa, ok := x.X.(*ast.FieldAccess); ok {
+			s.read(fa.X)
+		}
+	case *ast.CallExpr:
+		s.call(x)
+	case *ast.Assign:
+		s.effect(x)
+	case *ast.Unary:
+		s.read(x.X)
+	case *ast.Binary:
+		s.read(x.X)
+		s.read(x.Y)
+	case *ast.CastExpr:
+		s.read(x.X)
+	}
+}
+
+// checkReadDesc validates one memory read.
+func (s *sepScanner) checkReadDesc(e ast.Expr) {
+	d, ok := s.resolver.AccessDesc(e)
+	if !ok {
+		return
+	}
+	switch d.Space {
+	case effects.DescParam, effects.DescLocal:
+		return
+	case effects.DescField:
+		norm := d
+		norm.ViaThis = false
+		if d.ViaThis {
+			if s.seenExtentCall && !s.ec.Covers(norm) {
+				s.fail("reads receiver variable %s after invoking an extent operation", norm.Key())
+			}
+			return
+		}
+		// Non-receiver reads must be extent constants (§3.5.1).
+		if !s.ec.Covers(norm) {
+			s.fail("reads non-receiver storage %s which is not an extent constant", norm.Key())
+		}
+	}
+}
+
+// call processes a call site: auxiliary sites are transparent; extent
+// sites end the object section.
+func (s *sepScanner) call(x *ast.CallExpr) {
+	if x.Builtin {
+		for _, arg := range x.Args {
+			s.read(arg)
+		}
+		return
+	}
+	if x.Recv != nil {
+		s.read(x.Recv)
+	}
+	for _, arg := range x.Args {
+		s.read(arg)
+	}
+	if s.ext.IsAux(s.analysis.Prog.CallSites[x.Site]) {
+		return
+	}
+	s.seenExtentCall = true
+}

@@ -1,0 +1,195 @@
+package core_test
+
+import (
+	"strings"
+	"testing"
+)
+
+// sepCase builds a two-class program where driver::run invokes worker
+// operations; body is the body of worker::op.
+func sepCase(t *testing.T, extraFields, body string) (bool, string) {
+	t.Helper()
+	_, a := analyze(t, `
+class helper {
+public:
+  int h;
+  void bump(int k);
+};
+void helper::bump(int k) { h = h + k; }
+class worker {
+public:
+  int x;
+  int ro;
+  helper *hp;
+  `+extraFields+`
+  void op();
+};
+void worker::op() {
+`+body+`
+}
+class driver {
+public:
+  worker *w1;
+  worker *w2;
+  void run();
+};
+void driver::run() {
+  w1->op();
+  w2->op();
+}
+`)
+	r := a.IsParallel(a.Prog.MethodByFullName("driver::run"))
+	return r.Parallel, r.Reason
+}
+
+// TestSeparabilityRules exercises §4.6 path by path.
+func TestSeparabilityRules(t *testing.T) {
+	cases := []struct {
+		name   string
+		fields string
+		body   string
+		wantOK bool
+		reason string
+	}{
+		{
+			name:   "object-then-invocation",
+			body:   "  x = x + 1;\n  hp->bump(2);",
+			wantOK: true,
+		},
+		{
+			name:   "write-after-invocation",
+			body:   "  hp->bump(2);\n  x = x + 1;",
+			wantOK: false,
+			reason: "after invoking an extent operation",
+		},
+		{
+			name:   "read-of-ec-after-invocation",
+			body:   "  int t;\n  x = x + 1;\n  hp->bump(2);\n  t = ro;\n  hp->bump(t);",
+			wantOK: true, // ro is read-only in the extent: an extent constant
+		},
+		{
+			name:   "read-of-written-after-invocation",
+			body:   "  int t;\n  x = x + 1;\n  hp->bump(2);\n  t = x;\n  hp->bump(t);",
+			wantOK: false,
+			reason: "after invoking an extent operation",
+		},
+		{
+			name:   "write-other-object",
+			body:   "  hp->h = 5;",
+			wantOK: false,
+			reason: "writes non-receiver storage",
+		},
+		{
+			name:   "read-other-object-not-ec",
+			fields: "worker *peer;",
+			body:   "  x = x + peer->x;",
+			wantOK: false,
+			// worker.x is written in the extent, so the non-receiver
+			// read cannot be an extent constant.
+		},
+		{
+			name:   "read-other-object-ec",
+			fields: "worker *peer;",
+			body:   "  x = x + peer->ro;",
+			wantOK: true, // ro is never written: extent constant
+		},
+		{
+			name:   "loop-interleaving-rescan",
+			body:   "  int i;\n  for (i = 0; i < 3; i++) {\n    x = x + i;\n    hp->bump(i);\n  }",
+			wantOK: false, // iteration 2 writes x after iteration 1's invocation
+			reason: "after invoking an extent operation",
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			ok, reason := sepCase(t, tc.fields, tc.body)
+			if ok != tc.wantOK {
+				t.Fatalf("parallel = %v (reason %q), want %v", ok, reason, tc.wantOK)
+			}
+			if !ok && tc.reason != "" && !strings.Contains(reason, tc.reason) {
+				t.Errorf("reason %q does not mention %q", reason, tc.reason)
+			}
+		})
+	}
+}
+
+// TestReferenceParameterRules exercises Figure 10.
+func TestReferenceParameterRules(t *testing.T) {
+	// A root with reference parameters is never parallel.
+	_, a := analyze(t, `
+class acc {
+public:
+  int n;
+  void addInto(double *out);
+};
+void acc::addInto(double *out) { out[0] = n * 1.0; }
+`)
+	r := a.IsParallel(a.Prog.MethodByFullName("acc::addInto"))
+	if r.Parallel {
+		t.Fatal("methods with reference parameters cannot be parallel roots")
+	}
+	if !strings.Contains(r.Reason, "reference parameters") {
+		t.Errorf("reason = %q", r.Reason)
+	}
+
+	// An extent operation that writes its reference parameter blocks
+	// parallelization.
+	_, a2 := analyze(t, `
+class vecop {
+public:
+  double s;
+  void scale(double *v);
+};
+void vecop::scale(double *v) {
+  v[0] = v[0] * 2.0;
+  s = s + 1.0;
+}
+class driver {
+public:
+  vecop *p;
+  void run();
+};
+void driver::run() {
+  double t[2];
+  t[0] = 1.0;
+  p->scale(t);
+  p->scale(t);
+}
+`)
+	r2 := a2.IsParallel(a2.Prog.MethodByFullName("driver::run"))
+	if r2.Parallel {
+		t.Fatal("extent operations writing reference parameters must block parallelization")
+	}
+}
+
+// TestNewBlocksParallelization per Figure 3's mayCreateObject.
+func TestNewBlocksParallelization(t *testing.T) {
+	_, a := analyze(t, `
+class cell {
+public:
+  int n;
+  cell *spare;
+  void grow();
+};
+void cell::grow() {
+  n = n + 1;
+  spare = new cell;
+}
+class driver {
+public:
+  cell *c;
+  void run();
+};
+void driver::run() {
+  c->grow();
+  c->grow();
+}
+`)
+	r := a.IsParallel(a.Prog.MethodByFullName("driver::run"))
+	if r.Parallel {
+		t.Fatal("object creation in the extent must block parallelization")
+	}
+	if !strings.Contains(r.Reason, "create objects") {
+		t.Errorf("reason = %q", r.Reason)
+	}
+}

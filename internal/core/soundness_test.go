@@ -1,0 +1,90 @@
+package core_test
+
+import "testing"
+
+// TestDistinctPointerReadsNotConflated: reads of the same class-level
+// extent-constant storage through different pointers must yield
+// different symbolic values — `last = s->v` overwritten from two
+// different source objects does not commute.
+func TestDistinctPointerReadsNotConflated(t *testing.T) {
+	_, a := analyze(t, `
+class src { public: int v; };
+class acc {
+public:
+  int last;
+  void take(src *s);
+};
+class driver {
+public:
+  acc *x;
+  src *s1;
+  src *s2;
+  void run();
+};
+void acc::take(src *s) { last = s->v; }
+void driver::run() {
+  x->take(s1);
+  x->take(s2);
+}
+`)
+	r := a.IsParallel(a.Prog.MethodByFullName("driver::run"))
+	if r.Parallel {
+		t.Fatal("take(s1);take(s2) must not commute: last ends up holding different values")
+	}
+
+	// The accumulating analogue DOES commute: the values still come
+	// from different objects, but addition is order-insensitive.
+	_, a2 := analyze(t, `
+class src { public: int v; };
+class acc {
+public:
+  int total;
+  void take(src *s);
+};
+class driver {
+public:
+  acc *x;
+  src *s1;
+  src *s2;
+  void run();
+};
+void acc::take(src *s) { total = total + s->v; }
+void driver::run() {
+  x->take(s1);
+  x->take(s2);
+}
+`)
+	r2 := a2.IsParallel(a2.Prog.MethodByFullName("driver::run"))
+	if !r2.Parallel {
+		t.Fatalf("accumulating take should commute; reason: %s", r2.Reason)
+	}
+}
+
+// TestSamePointerReadsStillEqual: reads through the *same* symbolic
+// pointer (a receiver field) produce equal constants, so identical
+// invocations still commute.
+func TestSamePointerReadsStillEqual(t *testing.T) {
+	_, a := analyze(t, `
+class src { public: int v; };
+class acc {
+public:
+  int last;
+  src *mine;
+  void sync();
+};
+class driver {
+public:
+  acc *x;
+  void run();
+};
+void acc::sync() { last = mine->v; }
+void driver::run() {
+  x->sync();
+  x->sync();
+}
+`)
+	r := a.IsParallel(a.Prog.MethodByFullName("driver::run"))
+	if !r.Parallel {
+		t.Fatalf("identical parameterless syncs should commute; reason: %s", r.Reason)
+	}
+}

@@ -1,0 +1,56 @@
+package core_test
+
+import (
+	"testing"
+
+	"commute/internal/apps/src"
+)
+
+// TestWaterParallelMethods checks the Table 8 structure: the five phase
+// drivers (Virtual, Loading, Forces, Energy, Momenta) are parallel;
+// setup is serial.
+func TestWaterParallelMethods(t *testing.T) {
+	p, a := analyze(t, src.Water)
+	wantParallel := map[string]struct {
+		extentSize int
+	}{
+		"water::predictAll": {2}, // Virtual: {predictAll, predict}
+		"water::loadAll":    {2}, // Loading: {loadAll, load}
+		"water::interf":     {3}, // Forces: {interf, interForces, fbank::add}
+		"water::poteng":     {3}, // Energy: {poteng, potEnergy, sums::addPot}
+		"water::momentaAll": {3}, // Momenta: {momentaAll, momenta, sums::addKin}
+	}
+	for name, want := range wantParallel {
+		r := report(t, p, a, name)
+		if !r.Parallel {
+			t.Errorf("%s should be parallel; reason: %s", name, r.Reason)
+			continue
+		}
+		if r.ExtentSize != want.extentSize {
+			t.Errorf("%s extent size = %d, want %d", name, r.ExtentSize, want.extentSize)
+		}
+	}
+	for _, name := range []string{"water::init", "water::step"} {
+		r := report(t, p, a, name)
+		if r.Parallel {
+			t.Errorf("%s should be serial", name)
+		}
+	}
+}
+
+// TestWaterAuxiliarySites: the accessor methods (getDt, getBox,
+// getCutSq) and the pair kernels are recognized as auxiliary.
+func TestWaterAuxiliarySites(t *testing.T) {
+	p, a := analyze(t, src.Water)
+	r := report(t, p, a, "water::interf")
+	if !r.Parallel {
+		t.Fatalf("interf not parallel: %s", r.Reason)
+	}
+	if r.AuxiliaryCallSites < 2 { // getCutSq + pairForce
+		t.Errorf("Forces auxiliary call sites = %d, want ≥ 2", r.AuxiliaryCallSites)
+	}
+	r = report(t, p, a, "water::predictAll")
+	if r.AuxiliaryCallSites < 2 { // getDt + getBox
+		t.Errorf("Virtual auxiliary call sites = %d, want ≥ 2", r.AuxiliaryCallSites)
+	}
+}

@@ -1,0 +1,97 @@
+package ast
+
+// Inspect traverses the subtree rooted at n in depth-first order,
+// calling f for every node. If f returns false for a node, Inspect skips
+// that node's children.
+func Inspect(n Node, f func(Node) bool) {
+	if n == nil || !f(n) {
+		return
+	}
+	switch x := n.(type) {
+	case *File:
+		for _, d := range x.Decls {
+			Inspect(d, f)
+		}
+	case *ClassDecl:
+		for _, fd := range x.Fields {
+			Inspect(fd, f)
+		}
+		for _, md := range x.Inline {
+			Inspect(md, f)
+		}
+	case *MethodDef:
+		for _, p := range x.Params {
+			Inspect(p, f)
+		}
+		Inspect(x.Body, f)
+	case *Block:
+		for _, s := range x.Stmts {
+			Inspect(s, f)
+		}
+	case *DeclStmt:
+		if x.Init != nil {
+			Inspect(x.Init, f)
+		}
+	case *ExprStmt:
+		Inspect(x.X, f)
+	case *IfStmt:
+		Inspect(x.Cond, f)
+		Inspect(x.Then, f)
+		if x.Else != nil {
+			Inspect(x.Else, f)
+		}
+	case *ForStmt:
+		if x.Init != nil {
+			Inspect(x.Init, f)
+		}
+		if x.Cond != nil {
+			Inspect(x.Cond, f)
+		}
+		if x.Post != nil {
+			Inspect(x.Post, f)
+		}
+		Inspect(x.Body, f)
+	case *WhileStmt:
+		Inspect(x.Cond, f)
+		Inspect(x.Body, f)
+	case *ReturnStmt:
+		if x.X != nil {
+			Inspect(x.X, f)
+		}
+	case *FieldAccess:
+		Inspect(x.X, f)
+	case *IndexExpr:
+		Inspect(x.X, f)
+		Inspect(x.Index, f)
+	case *CallExpr:
+		if x.Recv != nil {
+			Inspect(x.Recv, f)
+		}
+		for _, a := range x.Args {
+			Inspect(a, f)
+		}
+	case *CastExpr:
+		Inspect(x.X, f)
+	case *Unary:
+		Inspect(x.X, f)
+	case *Binary:
+		Inspect(x.X, f)
+		Inspect(x.Y, f)
+	case *Assign:
+		Inspect(x.LHS, f)
+		Inspect(x.RHS, f)
+	}
+}
+
+// CallSites returns every non-builtin CallExpr in the subtree rooted at
+// n, in source order.
+func CallSites(n Node) []*CallExpr {
+	var calls []*CallExpr
+	Inspect(n, func(m Node) bool {
+		if c, ok := m.(*CallExpr); ok && !c.Builtin {
+			calls = append(calls, c)
+		}
+		return true
+	})
+	return calls
+}

@@ -1,0 +1,289 @@
+// Package lexer implements a hand-written scanner for the mini-C++
+// dialect. It produces the token stream consumed by the parser.
+package lexer
+
+import (
+	"fmt"
+	"strings"
+
+	"commute/internal/frontend/token"
+)
+
+// Lexer scans an input buffer into tokens.
+type Lexer struct {
+	src    string
+	off    int // current byte offset
+	line   int
+	col    int
+	errors []error
+}
+
+// New returns a Lexer over src.
+func New(src string) *Lexer {
+	return &Lexer{src: src, line: 1, col: 1}
+}
+
+// Errors returns the scan errors encountered so far.
+func (l *Lexer) Errors() []error { return l.errors }
+
+func (l *Lexer) errorf(pos token.Pos, format string, args ...any) {
+	l.errors = append(l.errors, fmt.Errorf("%s: %s", pos, fmt.Sprintf(format, args...)))
+}
+
+func (l *Lexer) peek() byte {
+	if l.off >= len(l.src) {
+		return 0
+	}
+	return l.src[l.off]
+}
+
+func (l *Lexer) peekAt(n int) byte {
+	if l.off+n >= len(l.src) {
+		return 0
+	}
+	return l.src[l.off+n]
+}
+
+func (l *Lexer) advance() byte {
+	c := l.src[l.off]
+	l.off++
+	if c == '\n' {
+		l.line++
+		l.col = 1
+	} else {
+		l.col++
+	}
+	return c
+}
+
+func (l *Lexer) pos() token.Pos { return token.Pos{Line: l.line, Col: l.col} }
+
+func isDigit(c byte) bool { return c >= '0' && c <= '9' }
+func isAlpha(c byte) bool {
+	return c == '_' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+}
+
+// skipSpace consumes whitespace, //-comments, /*-comments, and
+// #-preprocessor lines (which the dialect ignores).
+func (l *Lexer) skipSpace() {
+	for l.off < len(l.src) {
+		c := l.peek()
+		switch {
+		case c == ' ' || c == '\t' || c == '\r' || c == '\n':
+			l.advance()
+		case c == '/' && l.peekAt(1) == '/':
+			for l.off < len(l.src) && l.peek() != '\n' {
+				l.advance()
+			}
+		case c == '#':
+			for l.off < len(l.src) && l.peek() != '\n' {
+				l.advance()
+			}
+		case c == '/' && l.peekAt(1) == '*':
+			start := l.pos()
+			l.advance()
+			l.advance()
+			closed := false
+			for l.off < len(l.src) {
+				if l.peek() == '*' && l.peekAt(1) == '/' {
+					l.advance()
+					l.advance()
+					closed = true
+					break
+				}
+				l.advance()
+			}
+			if !closed {
+				l.errorf(start, "unterminated block comment")
+			}
+		default:
+			return
+		}
+	}
+}
+
+// Next returns the next token in the stream. At end of input it returns
+// an EOF token indefinitely.
+func (l *Lexer) Next() token.Token {
+	l.skipSpace()
+	pos := l.pos()
+	if l.off >= len(l.src) {
+		return token.Token{Kind: token.EOF, Pos: pos}
+	}
+	c := l.peek()
+	switch {
+	case isAlpha(c):
+		return l.scanIdent(pos)
+	case isDigit(c):
+		return l.scanNumber(pos)
+	case c == '"':
+		return l.scanString(pos)
+	}
+	l.advance()
+	two := func(next byte, k2, k1 token.Kind) token.Token {
+		if l.peek() == next {
+			l.advance()
+			return token.Token{Kind: k2, Pos: pos}
+		}
+		return token.Token{Kind: k1, Pos: pos}
+	}
+	switch c {
+	case '+':
+		if l.peek() == '+' {
+			l.advance()
+			return token.Token{Kind: token.INC, Pos: pos}
+		}
+		return two('=', token.PLUSEQ, token.PLUS)
+	case '-':
+		switch l.peek() {
+		case '-':
+			l.advance()
+			return token.Token{Kind: token.DEC, Pos: pos}
+		case '>':
+			l.advance()
+			return token.Token{Kind: token.ARROW, Pos: pos}
+		}
+		return two('=', token.MINUSEQ, token.MINUS)
+	case '*':
+		return two('=', token.STAREQ, token.STAR)
+	case '/':
+		return two('=', token.SLASHEQ, token.SLASH)
+	case '%':
+		return token.Token{Kind: token.PERCENT, Pos: pos}
+	case '=':
+		return two('=', token.EQ, token.ASSIGN)
+	case '!':
+		return two('=', token.NEQ, token.NOT)
+	case '<':
+		return two('=', token.LEQ, token.LT)
+	case '>':
+		return two('=', token.GEQ, token.GT)
+	case '&':
+		return two('&', token.AND, token.AMP)
+	case '|':
+		if l.peek() == '|' {
+			l.advance()
+			return token.Token{Kind: token.OR, Pos: pos}
+		}
+		l.errorf(pos, "unexpected character %q (bitwise-or is not in the dialect)", c)
+		return token.Token{Kind: token.ILLEGAL, Lit: string(c), Pos: pos}
+	case '.':
+		return token.Token{Kind: token.DOT, Pos: pos}
+	case ',':
+		return token.Token{Kind: token.COMMA, Pos: pos}
+	case ';':
+		return token.Token{Kind: token.SEMI, Pos: pos}
+	case ':':
+		return two(':', token.SCOPE, token.COLON)
+	case '(':
+		return token.Token{Kind: token.LPAREN, Pos: pos}
+	case ')':
+		return token.Token{Kind: token.RPAREN, Pos: pos}
+	case '{':
+		return token.Token{Kind: token.LBRACE, Pos: pos}
+	case '}':
+		return token.Token{Kind: token.RBRACE, Pos: pos}
+	case '[':
+		return token.Token{Kind: token.LBRACKET, Pos: pos}
+	case ']':
+		return token.Token{Kind: token.RBRACKET, Pos: pos}
+	}
+	l.errorf(pos, "unexpected character %q", c)
+	return token.Token{Kind: token.ILLEGAL, Lit: string(c), Pos: pos}
+}
+
+func (l *Lexer) scanIdent(pos token.Pos) token.Token {
+	start := l.off
+	for l.off < len(l.src) && (isAlpha(l.peek()) || isDigit(l.peek())) {
+		l.advance()
+	}
+	lit := l.src[start:l.off]
+	if k, ok := token.Keywords[lit]; ok {
+		return token.Token{Kind: k, Lit: lit, Pos: pos}
+	}
+	return token.Token{Kind: token.IDENT, Lit: lit, Pos: pos}
+}
+
+func (l *Lexer) scanNumber(pos token.Pos) token.Token {
+	start := l.off
+	kind := token.INTLIT
+	for l.off < len(l.src) && isDigit(l.peek()) {
+		l.advance()
+	}
+	if l.peek() == '.' && isDigit(l.peekAt(1)) {
+		kind = token.FLOATLIT
+		l.advance()
+		for l.off < len(l.src) && isDigit(l.peek()) {
+			l.advance()
+		}
+	} else if l.peek() == '.' && !isAlpha(l.peekAt(1)) {
+		// trailing-dot float like "4."
+		kind = token.FLOATLIT
+		l.advance()
+	}
+	if l.peek() == 'e' || l.peek() == 'E' {
+		save := l.off
+		l.advance()
+		if l.peek() == '+' || l.peek() == '-' {
+			l.advance()
+		}
+		if isDigit(l.peek()) {
+			kind = token.FLOATLIT
+			for l.off < len(l.src) && isDigit(l.peek()) {
+				l.advance()
+			}
+		} else {
+			// not an exponent; rewind is impossible with line tracking,
+			// but 'e' following a number with no digits is illegal anyway.
+			l.errorf(pos, "malformed exponent in numeric literal")
+			l.off = save
+		}
+	}
+	return token.Token{Kind: kind, Lit: l.src[start:l.off], Pos: pos}
+}
+
+func (l *Lexer) scanString(pos token.Pos) token.Token {
+	l.advance() // opening quote
+	var sb strings.Builder
+	for l.off < len(l.src) {
+		c := l.advance()
+		if c == '"' {
+			return token.Token{Kind: token.STRINGLIT, Lit: sb.String(), Pos: pos}
+		}
+		if c == '\\' && l.off < len(l.src) {
+			e := l.advance()
+			switch e {
+			case 'n':
+				sb.WriteByte('\n')
+			case 't':
+				sb.WriteByte('\t')
+			case '"':
+				sb.WriteByte('"')
+			case '\\':
+				sb.WriteByte('\\')
+			default:
+				sb.WriteByte(e)
+			}
+			continue
+		}
+		if c == '\n' {
+			break
+		}
+		sb.WriteByte(c)
+	}
+	l.errorf(pos, "unterminated string literal")
+	return token.Token{Kind: token.ILLEGAL, Lit: sb.String(), Pos: pos}
+}
+
+// All scans the entire input and returns the token slice, ending with
+// EOF. Convenient for tests.
+func (l *Lexer) All() []token.Token {
+	var toks []token.Token
+	for {
+		t := l.Next()
+		toks = append(toks, t)
+		if t.Kind == token.EOF {
+			return toks
+		}
+	}
+}

@@ -1,0 +1,368 @@
+// Package printer renders mini-C++ ASTs back to source text. The
+// code generator uses it to emit the transformed parallel program (the
+// paper's source-to-source output, §6.1), and the tests use it for
+// parse→print→parse round trips.
+package printer
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"commute/internal/frontend/ast"
+	"commute/internal/frontend/token"
+)
+
+// File renders a complete source file.
+func File(f *ast.File) string {
+	p := &printer{}
+	for i, d := range f.Decls {
+		if i > 0 {
+			p.nl()
+		}
+		p.decl(d)
+	}
+	return p.sb.String()
+}
+
+// Method renders a single method definition.
+func Method(md *ast.MethodDef) string {
+	p := &printer{}
+	p.methodDef(md)
+	return p.sb.String()
+}
+
+// Stmt renders a statement at the given indent level.
+func Stmt(s ast.Stmt, indent int) string {
+	p := &printer{indent: indent}
+	p.stmt(s)
+	return p.sb.String()
+}
+
+// Expr renders an expression.
+func Expr(e ast.Expr) string {
+	p := &printer{}
+	p.expr(e, 0)
+	return p.sb.String()
+}
+
+type printer struct {
+	sb     strings.Builder
+	indent int
+}
+
+func (p *printer) w(s string)                { p.sb.WriteString(s) }
+func (p *printer) f(format string, a ...any) { fmt.Fprintf(&p.sb, format, a...) }
+func (p *printer) nl()                       { p.sb.WriteByte('\n') }
+func (p *printer) line(format string, a ...any) {
+	p.pad()
+	p.f(format, a...)
+	p.nl()
+}
+func (p *printer) pad() { p.w(strings.Repeat("  ", p.indent)) }
+
+// ---------------------------------------------------------------------
+// Declarations
+
+func (p *printer) decl(d ast.Decl) {
+	switch x := d.(type) {
+	case *ast.ConstDecl:
+		p.line("const %s %s = %s;", typeBase(x.Type), x.Name, Expr(x.Value))
+	case *ast.GlobalVar:
+		p.line("%s %s;", typeBase(x.Type), x.Name)
+	case *ast.ClassDecl:
+		p.classDecl(x)
+	case *ast.MethodDef:
+		p.methodDef(x)
+	}
+}
+
+func (p *printer) classDecl(cd *ast.ClassDecl) {
+	if cd.Base != "" {
+		p.line("class %s : public %s {", cd.Name, cd.Base)
+	} else {
+		p.line("class %s {", cd.Name)
+	}
+	p.line("public:")
+	p.indent++
+	for _, fd := range cd.Fields {
+		p.line("%s;", declarator(fd.Type, fd.Name))
+	}
+	for _, proto := range cd.Protos {
+		p.line("%s %s(%s);", typeBase(proto.RetType), proto.Name, params(proto.Params))
+	}
+	for _, md := range cd.Inline {
+		p.pad()
+		p.f("%s %s(%s) ", typeBase(md.RetType), md.Name, params(md.Params))
+		p.block(md.Body)
+		p.nl()
+	}
+	p.indent--
+	p.line("};")
+}
+
+func (p *printer) methodDef(md *ast.MethodDef) {
+	p.pad()
+	if md.ClassName != "" {
+		p.f("%s %s::%s(%s) ", typeBase(md.RetType), md.ClassName, md.Name, params(md.Params))
+	} else {
+		p.f("%s %s(%s) ", typeBase(md.RetType), md.Name, params(md.Params))
+	}
+	p.block(md.Body)
+	p.nl()
+}
+
+func params(ps []*ast.Param) string {
+	parts := make([]string, len(ps))
+	for i, prm := range ps {
+		parts[i] = declarator(prm.Type, prm.Name)
+	}
+	return strings.Join(parts, ", ")
+}
+
+// typeBase renders the non-declarator part of a type.
+func typeBase(te *ast.TypeExpr) string {
+	var base string
+	switch te.Kind {
+	case ast.TInt:
+		base = "int"
+	case ast.TDouble:
+		base = "double"
+	case ast.TBool:
+		base = "boolean"
+	case ast.TVoid:
+		base = "void"
+	case ast.TClass:
+		base = te.ClassName
+	}
+	if te.Ptr {
+		base += " *"
+	}
+	return base
+}
+
+// declarator renders "type name[dims]".
+func declarator(te *ast.TypeExpr, name string) string {
+	out := typeBase(te)
+	if !strings.HasSuffix(out, "*") {
+		out += " "
+	}
+	out += name
+	for _, dim := range te.ArrayDims {
+		if dim == nil {
+			out += "[]"
+		} else {
+			out += "[" + Expr(dim) + "]"
+		}
+	}
+	return out
+}
+
+// ---------------------------------------------------------------------
+// Statements
+
+func (p *printer) block(b *ast.Block) {
+	p.w("{")
+	p.nl()
+	p.indent++
+	for _, s := range b.Stmts {
+		p.stmt(s)
+	}
+	p.indent--
+	p.pad()
+	p.w("}")
+}
+
+func (p *printer) stmt(s ast.Stmt) {
+	switch x := s.(type) {
+	case *ast.Block:
+		p.pad()
+		p.block(x)
+		p.nl()
+	case *ast.DeclStmt:
+		if x.Init != nil {
+			p.line("%s = %s;", declarator(x.Type, x.Name), Expr(x.Init))
+		} else {
+			p.line("%s;", declarator(x.Type, x.Name))
+		}
+	case *ast.ExprStmt:
+		p.line("%s;", Expr(x.X))
+	case *ast.IfStmt:
+		p.pad()
+		p.f("if (%s) ", Expr(x.Cond))
+		p.inlineStmt(x.Then)
+		if x.Else != nil {
+			p.w(" else ")
+			p.inlineStmt(x.Else)
+		}
+		p.nl()
+	case *ast.ForStmt:
+		p.pad()
+		init, post := "", ""
+		if x.Init != nil {
+			init = strings.TrimSuffix(strings.TrimSpace(Stmt(x.Init, 0)), ";")
+		}
+		cond := ""
+		if x.Cond != nil {
+			cond = Expr(x.Cond)
+		}
+		if x.Post != nil {
+			post = strings.TrimSuffix(strings.TrimSpace(Stmt(x.Post, 0)), ";")
+		}
+		p.f("for (%s; %s; %s) ", init, cond, post)
+		p.inlineStmt(x.Body)
+		p.nl()
+	case *ast.WhileStmt:
+		p.pad()
+		p.f("while (%s) ", Expr(x.Cond))
+		p.inlineStmt(x.Body)
+		p.nl()
+	case *ast.ReturnStmt:
+		if x.X != nil {
+			p.line("return %s;", Expr(x.X))
+		} else {
+			p.line("return;")
+		}
+	}
+}
+
+// inlineStmt renders a statement as the body of if/for/while without a
+// trailing newline.
+func (p *printer) inlineStmt(s ast.Stmt) {
+	if b, ok := s.(*ast.Block); ok {
+		p.block(b)
+		return
+	}
+	p.nl()
+	p.indent++
+	p.stmt(s)
+	p.indent--
+	p.pad()
+	// Single-statement bodies end here; the caller adds the newline.
+	p.trimTrailingPad()
+}
+
+// trimTrailingPad removes indentation emitted after a single-statement
+// body (cosmetic).
+func (p *printer) trimTrailingPad() {
+	s := p.sb.String()
+	trimmed := strings.TrimRight(s, " ")
+	if len(trimmed) != len(s) {
+		p.sb.Reset()
+		p.sb.WriteString(trimmed)
+	}
+}
+
+// ---------------------------------------------------------------------
+// Expressions
+
+// expr renders with minimal parentheses using precedence climbing.
+func (p *printer) expr(e ast.Expr, minPrec int) {
+	switch x := e.(type) {
+	case *ast.IntLit:
+		p.w(strconv.FormatInt(x.Value, 10))
+	case *ast.FloatLit:
+		s := strconv.FormatFloat(x.Value, 'g', -1, 64)
+		if !strings.ContainsAny(s, ".eE") {
+			s += ".0"
+		}
+		p.w(s)
+	case *ast.BoolLit:
+		if x.Value {
+			p.w("TRUE")
+		} else {
+			p.w("FALSE")
+		}
+	case *ast.NullLit:
+		p.w("NULL")
+	case *ast.StringLit:
+		p.w(strconv.Quote(x.Value))
+	case *ast.ThisExpr:
+		p.w("this")
+	case *ast.Ident:
+		p.w(x.Name)
+	case *ast.FieldAccess:
+		p.postfixBase(x.X)
+		if x.Arrow {
+			p.w("->")
+		} else {
+			p.w(".")
+		}
+		p.w(x.Name)
+	case *ast.IndexExpr:
+		p.postfixBase(x.X)
+		p.w("[")
+		p.expr(x.Index, 0)
+		p.w("]")
+	case *ast.CallExpr:
+		if x.Recv != nil {
+			p.postfixBase(x.Recv)
+			if x.Arrow {
+				p.w("->")
+			} else {
+				p.w(".")
+			}
+		}
+		p.w(x.Method)
+		p.w("(")
+		for i, a := range x.Args {
+			if i > 0 {
+				p.w(", ")
+			}
+			p.expr(a, 0)
+		}
+		p.w(")")
+	case *ast.NewExpr:
+		p.w("new " + x.ClassName)
+	case *ast.CastExpr:
+		if x.Dynamic {
+			p.f("dynamic_cast<%s*>(", x.ClassName)
+			p.expr(x.X, 0)
+			p.w(")")
+		} else {
+			p.f("(%s*)", x.ClassName)
+			p.expr(x.X, 8)
+		}
+	case *ast.Unary:
+		p.w(x.Op.String())
+		p.expr(x.X, 7)
+	case *ast.Binary:
+		prec := x.Op.Precedence()
+		if prec < minPrec {
+			p.w("(")
+		}
+		p.expr(x.X, prec)
+		p.f(" %s ", x.Op)
+		p.expr(x.Y, prec+1)
+		if prec < minPrec {
+			p.w(")")
+		}
+	case *ast.Assign:
+		if minPrec > 0 {
+			p.w("(")
+		}
+		p.expr(x.LHS, 1)
+		if x.Op == token.ASSIGN {
+			p.w(" = ")
+		} else {
+			p.f(" %s ", x.Op)
+		}
+		p.expr(x.RHS, 0)
+		if minPrec > 0 {
+			p.w(")")
+		}
+	}
+}
+
+// postfixBase renders the base of a postfix chain, parenthesizing
+// non-primary expressions.
+func (p *printer) postfixBase(e ast.Expr) {
+	switch e.(type) {
+	case *ast.Binary, *ast.Unary, *ast.Assign, *ast.CastExpr:
+		p.w("(")
+		p.expr(e, 0)
+		p.w(")")
+	default:
+		p.expr(e, 8)
+	}
+}

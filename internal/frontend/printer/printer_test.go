@@ -1,0 +1,104 @@
+package printer_test
+
+import (
+	"testing"
+
+	"commute/internal/apps/src"
+	"commute/internal/frontend/parser"
+	"commute/internal/frontend/printer"
+	"commute/internal/frontend/types"
+)
+
+// TestRoundTrip: parse → print → parse yields a program that prints
+// identically (fixed point after one round), and the reprinted source
+// still type checks with the same class/method structure.
+func TestRoundTrip(t *testing.T) {
+	for _, tc := range []struct {
+		name, source string
+	}{
+		{"graph", src.Graph},
+		{"barneshut", src.BarnesHut},
+		{"water", src.Water},
+	} {
+		f1, err := parser.Parse(tc.name, tc.source)
+		if err != nil {
+			t.Fatalf("%s: parse original: %v", tc.name, err)
+		}
+		printed1 := printer.File(f1)
+
+		f2, err := parser.Parse(tc.name+".printed", printed1)
+		if err != nil {
+			t.Fatalf("%s: reparse printed source: %v\n%s", tc.name, err, printed1)
+		}
+		printed2 := printer.File(f2)
+		if printed1 != printed2 {
+			t.Errorf("%s: printing is not a fixed point after one round", tc.name)
+		}
+
+		p1, err := types.Check(f1)
+		if err != nil {
+			t.Fatalf("%s: check original: %v", tc.name, err)
+		}
+		p2, err := types.Check(f2)
+		if err != nil {
+			t.Fatalf("%s: check printed: %v", tc.name, err)
+		}
+		if len(p1.Methods) != len(p2.Methods) || len(p1.ClassList) != len(p2.ClassList) ||
+			len(p1.CallSites) != len(p2.CallSites) {
+			t.Errorf("%s: structure changed: methods %d→%d classes %d→%d sites %d→%d",
+				tc.name, len(p1.Methods), len(p2.Methods),
+				len(p1.ClassList), len(p2.ClassList),
+				len(p1.CallSites), len(p2.CallSites))
+		}
+	}
+}
+
+// TestExprPrecedence: printing inserts parentheses exactly where the
+// tree shape requires them.
+func TestExprPrecedence(t *testing.T) {
+	srcText := `
+class a {
+public:
+  int x;
+  double d;
+  boolean b;
+  void m();
+};
+void a::m() {
+  x = (x + 1) * (x - 2);
+  x = x + 1 * x - 2;
+  d = -(d + 1.0) / (d * 2.0);
+  b = !(x < 1) && (x == 2 || x != 3);
+  x = x % (x + 1);
+}
+`
+	f, err := parser.Parse("prec.mc", srcText)
+	if err != nil {
+		t.Fatal(err)
+	}
+	printed := printer.File(f)
+	f2, err := parser.Parse("prec2.mc", printed)
+	if err != nil {
+		t.Fatalf("reparse: %v\n%s", err, printed)
+	}
+	if printer.File(f2) != printed {
+		t.Errorf("precedence round trip failed:\n%s\nvs\n%s", printed, printer.File(f2))
+	}
+	// Semantic check: both versions compute the same result.
+	for _, want := range []string{"(x + 1) * (x - 2)", "x + 1 * x - 2"} {
+		if !contains(printed, want) {
+			t.Errorf("printed source missing %q:\n%s", want, printed)
+		}
+	}
+}
+
+func contains(haystack, needle string) bool {
+	return len(haystack) >= len(needle) && (func() bool {
+		for i := 0; i+len(needle) <= len(haystack); i++ {
+			if haystack[i:i+len(needle)] == needle {
+				return true
+			}
+		}
+		return false
+	})()
+}

@@ -1,0 +1,448 @@
+package interp
+
+import (
+	"strconv"
+
+	"commute/internal/frontend/ast"
+	"commute/internal/frontend/token"
+)
+
+// Abstract cost units charged by the interpreter. One unit corresponds
+// to roughly one simple machine operation; the simulator converts units
+// to microseconds with a calibration constant.
+const (
+	costStmt    = 1
+	costExpr    = 1
+	costCall    = 8
+	costBuiltin = 12
+	costAlloc   = 40
+)
+
+func formatInt(v int64) string     { return strconv.FormatInt(v, 10) }
+func formatFloat(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+
+// eval evaluates an expression to a value.
+func (ip *Interp) eval(fr *Frame, e ast.Expr) (Value, error) {
+	fr.ctx.charge(costExpr)
+	switch x := e.(type) {
+	case *ast.IntLit:
+		return x.Value, nil
+	case *ast.FloatLit:
+		return x.Value, nil
+	case *ast.BoolLit:
+		return x.Value, nil
+	case *ast.NullLit:
+		return nil, nil
+	case *ast.StringLit:
+		return x.Value, nil
+	case *ast.ThisExpr:
+		return fr.this, nil
+
+	case *ast.Ident:
+		switch x.Sym {
+		case ast.SymLocal, ast.SymParam:
+			return fr.vars[x.Name], nil
+		case ast.SymConst:
+			cv := ip.Prog.Consts[x.Name]
+			if cv.IsInt {
+				return cv.I, nil
+			}
+			return cv.F, nil
+		case ast.SymGlobal:
+			return ip.Globals[x.Name], nil
+		case ast.SymField:
+			if fr.this == nil {
+				return nil, rtErrf("field %s accessed without a receiver", x.Name)
+			}
+			return fr.this.Slots[ip.layout.slot(fr.this.Class, x.FieldClass, x.Name)], nil
+		}
+		return nil, rtErrf("unresolved identifier %s at %s", x.Name, x.Pos())
+
+	case *ast.FieldAccess:
+		base, err := ip.eval(fr, x.X)
+		if err != nil {
+			return nil, err
+		}
+		obj, ok := base.(*Object)
+		if !ok {
+			if base == nil {
+				return nil, rtErrf("NULL dereference at %s", x.Pos())
+			}
+			return nil, rtErrf("field access on non-object at %s", x.Pos())
+		}
+		return obj.Slots[ip.layout.slot(obj.Class, x.DeclClass, x.Name)], nil
+
+	case *ast.IndexExpr:
+		arrV, err := ip.eval(fr, x.X)
+		if err != nil {
+			return nil, err
+		}
+		idxV, err := ip.eval(fr, x.Index)
+		if err != nil {
+			return nil, err
+		}
+		arr, ok := arrV.(*Array)
+		if !ok {
+			return nil, rtErrf("indexing non-array at %s", x.Pos())
+		}
+		i, ok := idxV.(int64)
+		if !ok {
+			return nil, rtErrf("non-integer index at %s", x.Pos())
+		}
+		if i < 0 || int(i) >= len(arr.Elems) {
+			return nil, rtErrf("index %d out of range [0,%d) at %s", i, len(arr.Elems), x.Pos())
+		}
+		return arr.Elems[i], nil
+
+	case *ast.CallExpr:
+		return ip.evalCall(fr, x)
+
+	case *ast.NewExpr:
+		fr.ctx.charge(costAlloc)
+		cl := ip.Prog.Classes[x.ClassName]
+		return ip.NewObject(cl), nil
+
+	case *ast.CastExpr:
+		v, err := ip.eval(fr, x.X)
+		if err != nil {
+			return nil, err
+		}
+		if v == nil {
+			return nil, nil
+		}
+		obj, ok := v.(*Object)
+		if !ok {
+			return nil, rtErrf("cast of non-object at %s", x.Pos())
+		}
+		target := ip.Prog.Classes[x.ClassName]
+		if obj.Class.InheritsFrom(target) {
+			return obj, nil
+		}
+		return nil, nil // failed dynamic cast yields NULL
+
+	case *ast.Unary:
+		v, err := ip.eval(fr, x.X)
+		if err != nil {
+			return nil, err
+		}
+		switch x.Op {
+		case token.MINUS:
+			switch n := v.(type) {
+			case int64:
+				return -n, nil
+			case float64:
+				return -n, nil
+			}
+			return nil, rtErrf("unary - on non-number at %s", x.Pos())
+		case token.NOT:
+			b, err := truthy(v)
+			if err != nil {
+				return nil, err
+			}
+			return !b, nil
+		}
+		return nil, rtErrf("bad unary operator at %s", x.Pos())
+
+	case *ast.Binary:
+		return ip.evalBinary(fr, x)
+
+	case *ast.Assign:
+		return ip.evalAssign(fr, x)
+	}
+	return nil, rtErrf("unsupported expression at %s", e.Pos())
+}
+
+func (ip *Interp) evalBinary(fr *Frame, x *ast.Binary) (Value, error) {
+	// Short-circuit operators.
+	if x.Op == token.AND || x.Op == token.OR {
+		l, err := ip.eval(fr, x.X)
+		if err != nil {
+			return nil, err
+		}
+		lb, err := truthy(l)
+		if err != nil {
+			return nil, err
+		}
+		if x.Op == token.AND && !lb {
+			return false, nil
+		}
+		if x.Op == token.OR && lb {
+			return true, nil
+		}
+		r, err := ip.eval(fr, x.Y)
+		if err != nil {
+			return nil, err
+		}
+		return truthyVal(r)
+	}
+
+	l, err := ip.eval(fr, x.X)
+	if err != nil {
+		return nil, err
+	}
+	r, err := ip.eval(fr, x.Y)
+	if err != nil {
+		return nil, err
+	}
+
+	switch x.Op {
+	case token.EQ, token.NEQ:
+		eq, err := valueEqual(l, r)
+		if err != nil {
+			return nil, err
+		}
+		if x.Op == token.NEQ {
+			return !eq, nil
+		}
+		return eq, nil
+	}
+
+	li, lIsInt := l.(int64)
+	ri, rIsInt := r.(int64)
+	if lIsInt && rIsInt {
+		switch x.Op {
+		case token.PLUS:
+			return li + ri, nil
+		case token.MINUS:
+			return li - ri, nil
+		case token.STAR:
+			return li * ri, nil
+		case token.SLASH:
+			if ri == 0 {
+				return nil, rtErrf("integer division by zero at %s", x.Pos())
+			}
+			return li / ri, nil
+		case token.PERCENT:
+			if ri == 0 {
+				return nil, rtErrf("integer modulo by zero at %s", x.Pos())
+			}
+			return li % ri, nil
+		case token.LT:
+			return li < ri, nil
+		case token.LEQ:
+			return li <= ri, nil
+		case token.GT:
+			return li > ri, nil
+		case token.GEQ:
+			return li >= ri, nil
+		}
+	}
+
+	lf, lok := asFloat(l)
+	rf, rok := asFloat(r)
+	if !lok || !rok {
+		return nil, rtErrf("arithmetic on non-numbers at %s", x.Pos())
+	}
+	switch x.Op {
+	case token.PLUS:
+		return lf + rf, nil
+	case token.MINUS:
+		return lf - rf, nil
+	case token.STAR:
+		return lf * rf, nil
+	case token.SLASH:
+		return lf / rf, nil
+	case token.LT:
+		return lf < rf, nil
+	case token.LEQ:
+		return lf <= rf, nil
+	case token.GT:
+		return lf > rf, nil
+	case token.GEQ:
+		return lf >= rf, nil
+	}
+	return nil, rtErrf("bad binary operator at %s", x.Pos())
+}
+
+func truthyVal(v Value) (Value, error) {
+	b, err := truthy(v)
+	if err != nil {
+		return nil, err
+	}
+	return b, nil
+}
+
+func valueEqual(l, r Value) (bool, error) {
+	lo, lIsObj := l.(*Object)
+	ro, rIsObj := r.(*Object)
+	if l == nil || r == nil || lIsObj || rIsObj {
+		if l != nil && !lIsObj {
+			return false, rtErrf("comparing pointer with non-pointer")
+		}
+		if r != nil && !rIsObj {
+			return false, rtErrf("comparing pointer with non-pointer")
+		}
+		return lo == ro, nil
+	}
+	if lb, ok := l.(bool); ok {
+		rb, ok2 := r.(bool)
+		if !ok2 {
+			return false, rtErrf("comparing boolean with non-boolean")
+		}
+		return lb == rb, nil
+	}
+	lf, lok := asFloat(l)
+	rf, rok := asFloat(r)
+	if lok && rok {
+		return lf == rf, nil
+	}
+	return false, rtErrf("unsupported comparison")
+}
+
+func (ip *Interp) evalAssign(fr *Frame, x *ast.Assign) (Value, error) {
+	rhs, err := ip.eval(fr, x.RHS)
+	if err != nil {
+		return nil, err
+	}
+	if x.Op != token.ASSIGN {
+		old, err := ip.eval(fr, x.LHS)
+		if err != nil {
+			return nil, err
+		}
+		rhs, err = applyCompound(x, old, rhs)
+		if err != nil {
+			return nil, err
+		}
+	}
+	if err := ip.store(fr, x.LHS, rhs); err != nil {
+		return nil, err
+	}
+	return rhs, nil
+}
+
+func applyCompound(x *ast.Assign, old, rhs Value) (Value, error) {
+	oi, oIsInt := old.(int64)
+	ri, rIsInt := rhs.(int64)
+	if oIsInt && rIsInt {
+		switch x.Op {
+		case token.PLUSEQ:
+			return oi + ri, nil
+		case token.MINUSEQ:
+			return oi - ri, nil
+		case token.STAREQ:
+			return oi * ri, nil
+		case token.SLASHEQ:
+			if ri == 0 {
+				return nil, rtErrf("integer division by zero at %s", x.Pos())
+			}
+			return oi / ri, nil
+		}
+	}
+	of, ook := asFloat(old)
+	rf, rok := asFloat(rhs)
+	if !ook || !rok {
+		return nil, rtErrf("compound assignment on non-numbers at %s", x.Pos())
+	}
+	switch x.Op {
+	case token.PLUSEQ:
+		return of + rf, nil
+	case token.MINUSEQ:
+		return of - rf, nil
+	case token.STAREQ:
+		return of * rf, nil
+	case token.SLASHEQ:
+		return of / rf, nil
+	}
+	return nil, rtErrf("bad compound operator at %s", x.Pos())
+}
+
+// store writes a value to an lvalue.
+func (ip *Interp) store(fr *Frame, lhs ast.Expr, v Value) error {
+	switch x := lhs.(type) {
+	case *ast.Ident:
+		switch x.Sym {
+		case ast.SymLocal, ast.SymParam:
+			t := ip.Prog.TypeOf(x)
+			fr.vars[x.Name] = coerce(t, v)
+			return nil
+		case ast.SymField:
+			if fr.this == nil {
+				return rtErrf("field %s written without a receiver", x.Name)
+			}
+			slot := ip.layout.slot(fr.this.Class, x.FieldClass, x.Name)
+			fr.this.Slots[slot] = coerce(ip.Prog.TypeOf(x), v)
+			return nil
+		}
+		return rtErrf("cannot assign to %s", x.Name)
+	case *ast.FieldAccess:
+		base, err := ip.eval(fr, x.X)
+		if err != nil {
+			return err
+		}
+		obj, ok := base.(*Object)
+		if !ok {
+			return rtErrf("field store on non-object at %s", x.Pos())
+		}
+		obj.Slots[ip.layout.slot(obj.Class, x.DeclClass, x.Name)] = coerce(ip.Prog.TypeOf(x), v)
+		return nil
+	case *ast.IndexExpr:
+		arrV, err := ip.eval(fr, x.X)
+		if err != nil {
+			return err
+		}
+		idxV, err := ip.eval(fr, x.Index)
+		if err != nil {
+			return err
+		}
+		arr, ok := arrV.(*Array)
+		if !ok {
+			return rtErrf("index store on non-array at %s", x.Pos())
+		}
+		i, ok := idxV.(int64)
+		if !ok || i < 0 || int(i) >= len(arr.Elems) {
+			return rtErrf("index %v out of range at %s", idxV, x.Pos())
+		}
+		arr.Elems[i] = coerce(ip.Prog.TypeOf(x), v)
+		return nil
+	}
+	return rtErrf("unsupported assignment target at %s", lhs.Pos())
+}
+
+// evalCall evaluates receiver and arguments, then dispatches through
+// the context's Invoke hook.
+func (ip *Interp) evalCall(fr *Frame, x *ast.CallExpr) (Value, error) {
+	if x.Builtin {
+		args := make([]Value, len(x.Args))
+		for i, a := range x.Args {
+			v, err := ip.eval(fr, a)
+			if err != nil {
+				return nil, err
+			}
+			args[i] = v
+		}
+		return callBuiltin(ip, fr, x, args)
+	}
+	site := ip.Prog.CallSites[x.Site]
+
+	var recv *Object
+	if x.Recv != nil {
+		rv, err := ip.eval(fr, x.Recv)
+		if err != nil {
+			return nil, err
+		}
+		obj, ok := rv.(*Object)
+		if !ok {
+			if rv == nil {
+				return nil, rtErrf("method call on NULL at %s", x.Pos())
+			}
+			return nil, rtErrf("method call on non-object at %s", x.Pos())
+		}
+		recv = obj
+	} else if site.Callee.Class != nil {
+		recv = fr.this
+	}
+
+	args := make([]Value, len(x.Args))
+	for i, a := range x.Args {
+		v, err := ip.eval(fr, a)
+		if err != nil {
+			return nil, err
+		}
+		args[i] = v
+	}
+
+	if fr.ctx.Invoke != nil {
+		return fr.ctx.Invoke(site, recv, args)
+	}
+	return ip.Call(fr.ctx, site.Callee, recv, args)
+}

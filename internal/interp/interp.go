@@ -1,0 +1,425 @@
+package interp
+
+import (
+	"io"
+	"math"
+
+	"commute/internal/frontend/ast"
+	"commute/internal/frontend/token"
+	"commute/internal/frontend/types"
+)
+
+// Interp holds the immutable program and the global object store.
+type Interp struct {
+	Prog    *types.Program
+	layout  *layout
+	Globals map[string]*Object
+	Out     io.Writer
+}
+
+// New allocates an interpreter with default-initialized globals.
+func New(prog *types.Program, out io.Writer) *Interp {
+	ip := &Interp{
+		Prog:    prog,
+		layout:  newLayout(prog),
+		Globals: make(map[string]*Object),
+		Out:     out,
+	}
+	for _, g := range prog.GlobalSeq {
+		ip.Globals[g.Name] = ip.NewObject(g.Class)
+	}
+	return ip
+}
+
+// FieldSlot exposes slot resolution for the runtime and tests.
+func (ip *Interp) FieldSlot(cl *types.Class, declClass, field string) int {
+	return ip.layout.slot(cl, declClass, field)
+}
+
+// Ctx carries the execution strategy: cost accounting and the call /
+// loop dispatchers that the parallel executors override. A zero-value
+// strategy executes serially and charges into Cost.
+type Ctx struct {
+	IP *Interp
+
+	// Charge accounts abstract cost units (nil: accumulate into Cost).
+	Charge func(units int64)
+	// Invoke dispatches a non-builtin call after receiver and argument
+	// evaluation (nil: execute inline serially).
+	Invoke func(site *types.CallSite, recv *Object, args []Value) (Value, error)
+	// ForLoop may take over a for loop given its evaluated header
+	// (nil or returning handled=false: execute serially). The body
+	// callback runs one iteration.
+	ForLoop func(fs *ast.ForStmt, fr *Frame, from, to, step int64) (handled bool, err error)
+
+	// Cost is the default cost accumulator.
+	Cost int64
+}
+
+// NewCtx returns a serial execution context.
+func (ip *Interp) NewCtx() *Ctx { return &Ctx{IP: ip} }
+
+func (c *Ctx) charge(units int64) {
+	if c.Charge != nil {
+		c.Charge(units)
+		return
+	}
+	c.Cost += units
+}
+
+// frame is one activation record.
+type Frame struct {
+	method *types.Method
+	this   *Object
+	vars   map[string]Value
+	ctx    *Ctx
+}
+
+// returnValue signals a return through the statement walkers.
+type returnValue struct {
+	v Value
+}
+
+// Run executes the program's main function serially under ctx.
+func (ip *Interp) Run(ctx *Ctx) error {
+	if ip.Prog.Main == nil {
+		return rtErrf("program has no main function")
+	}
+	_, err := ip.Call(ctx, ip.Prog.Main, nil, nil)
+	return err
+}
+
+// Call executes method m with the given receiver and arguments.
+func (ip *Interp) Call(ctx *Ctx, m *types.Method, this *Object, args []Value) (Value, error) {
+	if m.Def == nil {
+		return nil, rtErrf("%s has no definition", m.FullName())
+	}
+	fr := &Frame{method: m, this: this, vars: make(map[string]Value, len(m.Params)+len(m.Locals)), ctx: ctx}
+	for i, p := range m.Params {
+		if i < len(args) {
+			fr.vars[p.Name] = coerce(p.Type, args[i])
+		}
+	}
+	ctx.charge(costCall)
+	ret, err := ip.execStmt(fr, m.Def.Body)
+	if err != nil {
+		return nil, err
+	}
+	if ret != nil {
+		return ret.v, nil
+	}
+	return nil, nil
+}
+
+// execStmt executes a statement; a non-nil *returnValue unwinds a
+// return.
+func (ip *Interp) execStmt(fr *Frame, s ast.Stmt) (*returnValue, error) {
+	fr.ctx.charge(costStmt)
+	switch st := s.(type) {
+	case *ast.Block:
+		for _, sub := range st.Stmts {
+			ret, err := ip.execStmt(fr, sub)
+			if ret != nil || err != nil {
+				return ret, err
+			}
+		}
+		return nil, nil
+
+	case *ast.DeclStmt:
+		t := ip.Prog.DeclType[st]
+		fr.vars[st.Name] = ip.zeroValue(t)
+		if st.Init != nil {
+			v, err := ip.eval(fr, st.Init)
+			if err != nil {
+				return nil, err
+			}
+			fr.vars[st.Name] = coerce(t, v)
+		}
+		return nil, nil
+
+	case *ast.ExprStmt:
+		_, err := ip.eval(fr, st.X)
+		return nil, err
+
+	case *ast.IfStmt:
+		c, err := ip.eval(fr, st.Cond)
+		if err != nil {
+			return nil, err
+		}
+		b, err := truthy(c)
+		if err != nil {
+			return nil, err
+		}
+		if b {
+			return ip.execStmt(fr, st.Then)
+		}
+		if st.Else != nil {
+			return ip.execStmt(fr, st.Else)
+		}
+		return nil, nil
+
+	case *ast.ForStmt:
+		return ip.execFor(fr, st)
+
+	case *ast.WhileStmt:
+		for {
+			c, err := ip.eval(fr, st.Cond)
+			if err != nil {
+				return nil, err
+			}
+			b, err := truthy(c)
+			if err != nil {
+				return nil, err
+			}
+			if !b {
+				return nil, nil
+			}
+			ret, err := ip.execStmt(fr, st.Body)
+			if ret != nil || err != nil {
+				return ret, err
+			}
+		}
+
+	case *ast.ReturnStmt:
+		if st.X == nil {
+			return &returnValue{}, nil
+		}
+		v, err := ip.eval(fr, st.X)
+		if err != nil {
+			return nil, err
+		}
+		return &returnValue{v: coerce(fr.method.Ret, v)}, nil
+	}
+	return nil, rtErrf("unsupported statement at %s", s.Pos())
+}
+
+// execFor runs a for loop, offering canonical counted loops to the
+// context's ForLoop dispatcher (parallel loop execution).
+func (ip *Interp) execFor(fr *Frame, st *ast.ForStmt) (*returnValue, error) {
+	if st.Init != nil {
+		if ret, err := ip.execStmt(fr, st.Init); ret != nil || err != nil {
+			return ret, err
+		}
+	}
+	// Offer counted loops `v = from; v < to; v += step` to the parallel
+	// dispatcher.
+	if fr.ctx.ForLoop != nil {
+		if v, to, step, ok := ip.countedLoop(fr, st); ok {
+			from, _ := fr.vars[v].(int64)
+			handled, err := fr.ctx.ForLoop(st, fr, from, to, step)
+			if err != nil {
+				return nil, err
+			}
+			if handled {
+				fr.vars[v] = to
+				return nil, nil
+			}
+		}
+	}
+	for {
+		if st.Cond != nil {
+			c, err := ip.eval(fr, st.Cond)
+			if err != nil {
+				return nil, err
+			}
+			b, err := truthy(c)
+			if err != nil {
+				return nil, err
+			}
+			if !b {
+				return nil, nil
+			}
+		}
+		ret, err := ip.execStmt(fr, st.Body)
+		if ret != nil || err != nil {
+			return ret, err
+		}
+		if st.Post != nil {
+			if ret, err := ip.execStmt(fr, st.Post); ret != nil || err != nil {
+				return ret, err
+			}
+		}
+	}
+}
+
+// countedLoop matches `for (v = ...; v < bound; v++/v += step)` with an
+// int loop variable and evaluates the bound and step.
+func (ip *Interp) countedLoop(fr *Frame, st *ast.ForStmt) (v string, to, step int64, ok bool) {
+	var name string
+	switch init := st.Init.(type) {
+	case *ast.DeclStmt:
+		name = init.Name
+	case *ast.ExprStmt:
+		asn, isA := init.X.(*ast.Assign)
+		if !isA {
+			return "", 0, 0, false
+		}
+		id, isID := asn.LHS.(*ast.Ident)
+		if !isID {
+			return "", 0, 0, false
+		}
+		name = id.Name
+	default:
+		return "", 0, 0, false
+	}
+	if _, isInt := fr.vars[name].(int64); !isInt {
+		return "", 0, 0, false
+	}
+	cmp, isC := st.Cond.(*ast.Binary)
+	if !isC || cmp.Op != token.LT {
+		return "", 0, 0, false
+	}
+	cid, isID := cmp.X.(*ast.Ident)
+	if !isID || cid.Name != name {
+		return "", 0, 0, false
+	}
+	// The bound is evaluated here once to offer the loop to the
+	// parallel dispatcher; if the dispatcher declines, the serial loop
+	// re-evaluates the condition per iteration — so the bound must be
+	// side-effect free.
+	if !pureExpr(cmp.Y) {
+		return "", 0, 0, false
+	}
+	bv, err := ip.eval(fr, cmp.Y)
+	if err != nil {
+		return "", 0, 0, false
+	}
+	bound, isI := bv.(int64)
+	if !isI {
+		return "", 0, 0, false
+	}
+	post, isP := st.Post.(*ast.ExprStmt)
+	if !isP {
+		return "", 0, 0, false
+	}
+	pasn, isA := post.X.(*ast.Assign)
+	if !isA || pasn.Op != token.PLUSEQ {
+		return "", 0, 0, false
+	}
+	pid, isID := pasn.LHS.(*ast.Ident)
+	if !isID || pid.Name != name {
+		return "", 0, 0, false
+	}
+	lit, isL := pasn.RHS.(*ast.IntLit)
+	if !isL || lit.Value <= 0 {
+		return "", 0, 0, false
+	}
+	return name, bound, lit.Value, true
+}
+
+// pureExpr reports whether evaluating the expression is free of side
+// effects (no calls, assignments, or allocations).
+func pureExpr(e ast.Expr) bool {
+	pure := true
+	ast.Inspect(e, func(n ast.Node) bool {
+		switch n.(type) {
+		case *ast.CallExpr, *ast.Assign, *ast.NewExpr:
+			pure = false
+		}
+		return pure
+	})
+	return pure
+}
+
+// RunLoopIteration executes one iteration of a counted loop body with
+// the loop variable bound to i, in a fresh frame sharing the parent's
+// variables map copy (iterations in the dialect's parallel loops write
+// only their own locals).
+func (ip *Interp) RunLoopIteration(ctx *Ctx, fr *Frame, st *ast.ForStmt, loopVar string, i int64) error {
+	sub := &Frame{
+		method: fr.method,
+		this:   fr.this,
+		vars:   make(map[string]Value, len(fr.vars)+1),
+		ctx:    ctx,
+	}
+	for k, v := range fr.vars {
+		sub.vars[k] = v
+	}
+	sub.vars[loopVar] = i
+	ret, err := ip.execStmt(sub, st.Body)
+	if err != nil {
+		return err
+	}
+	if ret != nil {
+		return rtErrf("return inside a parallel loop")
+	}
+	return nil
+}
+
+// LoopVar extracts the loop variable name of a counted loop (used by
+// parallel loop dispatchers).
+func LoopVar(st *ast.ForStmt) string {
+	switch init := st.Init.(type) {
+	case *ast.DeclStmt:
+		return init.Name
+	case *ast.ExprStmt:
+		if asn, ok := init.X.(*ast.Assign); ok {
+			if id, ok2 := asn.LHS.(*ast.Ident); ok2 {
+				return id.Name
+			}
+		}
+	}
+	return ""
+}
+
+// Math builtin dispatch.
+func callBuiltin(ip *Interp, fr *Frame, x *ast.CallExpr, args []Value) (Value, error) {
+	fr.ctx.charge(costBuiltin)
+	f := func(i int) float64 {
+		v, _ := asFloat(args[i])
+		return v
+	}
+	switch x.Method {
+	case "sqrt":
+		return math.Sqrt(f(0)), nil
+	case "fabs":
+		return math.Abs(f(0)), nil
+	case "exp":
+		return math.Exp(f(0)), nil
+	case "log":
+		return math.Log(f(0)), nil
+	case "floor":
+		return math.Floor(f(0)), nil
+	case "sin":
+		return math.Sin(f(0)), nil
+	case "cos":
+		return math.Cos(f(0)), nil
+	case "pow":
+		return math.Pow(f(0), f(1)), nil
+	case "print":
+		if ip.Out != nil {
+			for i, a := range args {
+				if i > 0 {
+					io.WriteString(ip.Out, " ")
+				}
+				printValue(ip.Out, a)
+			}
+			io.WriteString(ip.Out, "\n")
+		}
+		return nil, nil
+	}
+	return nil, rtErrf("unknown builtin %s", x.Method)
+}
+
+func printValue(w io.Writer, v Value) {
+	switch x := v.(type) {
+	case int64:
+		io.WriteString(w, formatInt(x))
+	case float64:
+		io.WriteString(w, formatFloat(x))
+	case bool:
+		if x {
+			io.WriteString(w, "TRUE")
+		} else {
+			io.WriteString(w, "FALSE")
+		}
+	case string:
+		io.WriteString(w, x)
+	case nil:
+		io.WriteString(w, "NULL")
+	case *Object:
+		io.WriteString(w, "<"+x.Class.Name+">")
+	default:
+		io.WriteString(w, "?")
+	}
+}

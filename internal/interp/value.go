@@ -1,0 +1,176 @@
+// Package interp implements a tree-walking interpreter for the
+// mini-C++ dialect. It provides the serial executor, the instrumented
+// executor that records task/lock event traces for the DASH simulator,
+// and the object model shared with the real parallel runtime.
+package interp
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"commute/internal/frontend/types"
+)
+
+// Value is a runtime value: int64, float64, bool, string, *Object,
+// *Array, or nil (the NULL pointer).
+type Value any
+
+// Object is a heap object. Fields are stored in a flat slot array laid
+// out base-class-first so that concurrent access to distinct fields of
+// one object never races (the paper's generated code relies on
+// per-object locks protecting only the fields an operation writes).
+type Object struct {
+	Class *types.Class
+	Slots []Value
+	// Mutex is the per-object lock the generated parallel code
+	// acquires around object sections (§5).
+	Mutex sync.Mutex
+	// ID is a stable identity for tracing and simulation.
+	ID int64
+}
+
+// Array is a fixed-size array of primitives or object pointers. Arrays
+// are storage, not values: the dialect never assigns whole arrays.
+type Array struct {
+	Elems []Value
+}
+
+// layout computes the slot index of every field of a class, walking the
+// inheritance chain root-first.
+type layout struct {
+	index map[*types.Class]map[string]int
+	size  map[*types.Class]int
+}
+
+func newLayout(prog *types.Program) *layout {
+	l := &layout{
+		index: make(map[*types.Class]map[string]int),
+		size:  make(map[*types.Class]int),
+	}
+	var build func(cl *types.Class) int
+	build = func(cl *types.Class) int {
+		if _, done := l.index[cl]; done {
+			return l.size[cl]
+		}
+		idx := make(map[string]int)
+		off := 0
+		if cl.Base != nil {
+			off = build(cl.Base)
+			for k, v := range l.index[cl.Base] {
+				idx[k] = v
+			}
+		}
+		for _, f := range cl.Fields {
+			idx[f.Class.Name+"."+f.Name] = off
+			off++
+		}
+		l.index[cl] = idx
+		l.size[cl] = off
+		return off
+	}
+	for _, cl := range prog.ClassList {
+		build(cl)
+	}
+	return l
+}
+
+// slot returns the slot index of a field declared in class declClass.
+func (l *layout) slot(cl *types.Class, declClass, field string) int {
+	return l.index[cl][declClass+"."+field]
+}
+
+var objectIDs atomic.Int64
+
+// NewObject allocates an object of class cl with default-initialized
+// fields (zero numbers, false booleans, nil pointers, recursively
+// allocated nested objects and arrays).
+func (ip *Interp) NewObject(cl *types.Class) *Object {
+	o := &Object{
+		Class: cl,
+		Slots: make([]Value, ip.layout.size[cl]),
+		ID:    objectIDs.Add(1),
+	}
+	for c := cl; c != nil; c = c.Base {
+		for _, f := range c.Fields {
+			o.Slots[ip.layout.slot(cl, f.Class.Name, f.Name)] = ip.zeroValue(f.Type)
+		}
+	}
+	return o
+}
+
+func (ip *Interp) zeroValue(t types.Type) Value {
+	switch tt := t.(type) {
+	case types.Basic:
+		switch tt {
+		case types.Int:
+			return int64(0)
+		case types.Double:
+			return float64(0)
+		case types.Bool:
+			return false
+		}
+		return nil
+	case types.Pointer:
+		return nil
+	case types.Object:
+		return ip.NewObject(tt.Class)
+	case types.Array:
+		a := &Array{Elems: make([]Value, tt.Len)}
+		for i := range a.Elems {
+			a.Elems[i] = ip.zeroValue(tt.Elem)
+		}
+		return a
+	}
+	return nil
+}
+
+// RuntimeError is a failure during interpretation.
+type RuntimeError struct {
+	Msg string
+}
+
+func (e *RuntimeError) Error() string { return e.Msg }
+
+func rtErrf(format string, args ...any) *RuntimeError {
+	return &RuntimeError{Msg: fmt.Sprintf(format, args...)}
+}
+
+// Truthy coerces a Value used as a condition.
+func truthy(v Value) (bool, error) {
+	b, ok := v.(bool)
+	if !ok {
+		return false, rtErrf("condition is not boolean: %T", v)
+	}
+	return b, nil
+}
+
+func asFloat(v Value) (float64, bool) {
+	switch x := v.(type) {
+	case float64:
+		return x, true
+	case int64:
+		return float64(x), true
+	}
+	return 0, false
+}
+
+// coerce converts a value to the declared type for stores (implicit
+// int↔double conversion).
+func coerce(t types.Type, v Value) Value {
+	b, ok := t.(types.Basic)
+	if !ok {
+		return v
+	}
+	switch b {
+	case types.Int:
+		if f, isF := v.(float64); isF {
+			return int64(f)
+		}
+	case types.Double:
+		if i, isI := v.(int64); isI {
+			return float64(i)
+		}
+	}
+	return v
+}

@@ -1,0 +1,54 @@
+package rt_test
+
+import (
+	"testing"
+
+	"commute/internal/apps/src"
+	"commute/internal/interp"
+	"commute/internal/rt"
+)
+
+// TestLazyTaskCreation: with a lazy threshold the graph traversal
+// spawns far fewer tasks, absorbs the rest inline, and still produces
+// the identical serial result.
+func TestLazyTaskCreation(t *testing.T) {
+	prog, plan := build(t, src.Graph)
+
+	ipSerial := interp.New(prog, nil)
+	if err := ipSerial.Run(ipSerial.NewCtx()); err != nil {
+		t.Fatal(err)
+	}
+	wantSums, wantMarked := graphSums(t, prog, ipSerial)
+
+	eager := rt.New(interp.New(prog, nil), plan, 4)
+	ipEager := eager.IP
+	if err := eager.Run(); err != nil {
+		t.Fatal(err)
+	}
+
+	lazy := rt.New(interp.New(prog, nil), plan, 4)
+	lazy.LazySpawnThreshold = 8
+	ipLazy := lazy.IP
+	if err := lazy.Run(); err != nil {
+		t.Fatal(err)
+	}
+
+	if lazy.Stats.LazyInlines == 0 {
+		t.Error("lazy runtime absorbed no spawns")
+	}
+	if lazy.Stats.Tasks >= eager.Stats.Tasks {
+		t.Errorf("lazy tasks %d should be below eager tasks %d",
+			lazy.Stats.Tasks, eager.Stats.Tasks)
+	}
+	for _, ip := range []*interp.Interp{ipEager, ipLazy} {
+		gotSums, gotMarked := graphSums(t, prog, ip)
+		if gotMarked != wantMarked {
+			t.Errorf("marked = %d, want %d", gotMarked, wantMarked)
+		}
+		for i := range wantSums {
+			if gotSums[i] != wantSums[i] {
+				t.Fatalf("node %d sum = %d, want %d", i, gotSums[i], wantSums[i])
+			}
+		}
+	}
+}

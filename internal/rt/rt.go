@@ -1,0 +1,353 @@
+// Package rt is the run-time system the generated parallel code
+// targets (§5 and §6.1 of Rinard & Diniz 1996): task creation
+// (spawn/wait), per-object mutual exclusion locks, and guided
+// self-scheduling for parallel loops — implemented with goroutine
+// worker pools. It executes a checked program under a codegen.Plan.
+package rt
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"commute/internal/codegen"
+	"commute/internal/frontend/ast"
+	"commute/internal/frontend/types"
+	"commute/internal/interp"
+)
+
+// Stats counts run-time events (the raw material for Tables 5, 6 and
+// 11).
+type Stats struct {
+	ParallelLoops int64 // parallel loop executions
+	Chunks        int64 // GSS chunks claimed
+	Iterations    int64 // parallel loop iterations
+	Tasks         int64 // spawned tasks
+	LazyInlines   int64 // spawns absorbed inline by lazy task creation
+	LockAcquires  int64 // object-section lock acquisitions
+	Regions       int64 // serial→parallel region transitions
+}
+
+// Runtime executes a program in parallel according to a plan.
+type Runtime struct {
+	IP      *interp.Interp
+	Plan    *codegen.Plan
+	Workers int
+
+	// LazySpawnThreshold enables lazy task creation (Mohr, Kranz &
+	// Halstead — the technique §2 of the paper points to for increasing
+	// task granularity): when at least this many tasks are already
+	// pending, a spawn executes inline on the spawning worker instead
+	// of creating a new task. Zero disables laziness (every spawn
+	// creates a task).
+	LazySpawnThreshold int
+
+	Stats Stats
+
+	errOnce sync.Once
+	err     error
+	failed  atomic.Bool
+}
+
+// New returns a runtime with the given worker count.
+func New(ip *interp.Interp, plan *codegen.Plan, workers int) *Runtime {
+	if workers < 1 {
+		workers = 1
+	}
+	return &Runtime{IP: ip, Plan: plan, Workers: workers}
+}
+
+func (rt *Runtime) setErr(err error) {
+	if err == nil {
+		return
+	}
+	rt.errOnce.Do(func() { rt.err = err })
+	rt.failed.Store(true)
+}
+
+// Run executes main: serial code runs inline; calls to parallel methods
+// open parallel regions.
+func (rt *Runtime) Run() error {
+	if rt.IP.Prog.Main == nil {
+		return &interp.RuntimeError{Msg: "program has no main function"}
+	}
+	ctx := rt.serialCtx()
+	_, err := rt.IP.Call(ctx, rt.IP.Prog.Main, nil, nil)
+	if err != nil {
+		return err
+	}
+	return rt.err
+}
+
+// serialCtx executes serial code, opening a parallel region when a
+// parallel method that actually generates concurrency is invoked.
+func (rt *Runtime) serialCtx() *interp.Ctx {
+	ctx := rt.IP.NewCtx()
+	ctx.Invoke = func(site *types.CallSite, recv *interp.Object, args []interp.Value) (interp.Value, error) {
+		mp := rt.Plan.Methods[site.Callee]
+		if mp != nil && mp.Parallel && rt.Plan.GeneratesConcurrency(site.Callee) {
+			// The serial version of a parallel method invokes the
+			// parallel version and blocks until the region completes.
+			atomic.AddInt64(&rt.Stats.Regions, 1)
+			pool := newPool(rt)
+			err := rt.callVersion(pool, site.Callee, recv, args, versionParallel)
+			pool.wait()
+			if err != nil {
+				return nil, err
+			}
+			return nil, rt.regionErr(pool)
+		}
+		return rt.IP.Call(ctx, site.Callee, recv, args)
+	}
+	return ctx
+}
+
+func (rt *Runtime) regionErr(p *pool) error {
+	if rt.failed.Load() {
+		return rt.err
+	}
+	return nil
+}
+
+// version selects which generated variant of a method executes.
+type version int
+
+const (
+	versionSerial version = iota
+	versionParallel
+	versionMutex
+)
+
+// callVersion executes one method activation under the chosen version,
+// handling lock acquisition/release per the plan.
+func (rt *Runtime) callVersion(p *pool, m *types.Method, recv *interp.Object, args []interp.Value, ver version) error {
+	if rt.failed.Load() {
+		return nil
+	}
+	mp := rt.Plan.Methods[m]
+	if mp == nil || !mp.Parallel || ver == versionSerial {
+		// Plain serial execution (original version).
+		_, err := rt.IP.Call(rt.plainCtx(), m, recv, args)
+		rt.setErr(err)
+		return err
+	}
+
+	locked := mp.NeedsLock && recv != nil
+	if locked {
+		atomic.AddInt64(&rt.Stats.LockAcquires, 1)
+		recv.Mutex.Lock()
+	}
+	// Without hoisting the lock covers only the object section: it is
+	// released at the first spawned invocation.
+	lockHeld := locked
+	releaseBeforeSpawn := locked && !mp.HoldsLockThrough
+
+	ctx := rt.IP.NewCtx()
+	ctx.Invoke = func(site *types.CallSite, r2 *interp.Object, a2 []interp.Value) (interp.Value, error) {
+		switch mp.Site[site.ID] {
+		case codegen.ActionInline:
+			// Auxiliary operation: execute serially inline.
+			return rt.IP.Call(ctx, site.Callee, r2, a2)
+		case codegen.ActionHoisted:
+			// Nested-object operation under the hoisted lock: run the
+			// original serial version inline.
+			_, err := rt.IP.Call(ctx, site.Callee, r2, a2)
+			return nil, err
+		case codegen.ActionSpawn:
+			if releaseBeforeSpawn && lockHeld {
+				lockHeld = false
+				recv.Mutex.Unlock()
+			}
+			if ver == versionMutex {
+				// Mutex versions execute invoked operations serially.
+				return nil, rt.callVersion(p, site.Callee, r2, a2, versionMutex)
+			}
+			callee := site.Callee
+			if rt.LazySpawnThreshold > 0 && p.pendingCount() >= rt.LazySpawnThreshold {
+				// Lazy task creation: enough parallelism is already
+				// exposed; absorb the child into this task.
+				atomic.AddInt64(&rt.Stats.LazyInlines, 1)
+				return nil, rt.callVersion(p, callee, r2, a2, versionParallel)
+			}
+			atomic.AddInt64(&rt.Stats.Tasks, 1)
+			p.spawn(func() {
+				rt.setErr(rt.callVersion(p, callee, r2, a2, versionParallel))
+			})
+			return nil, nil
+		default:
+			return rt.IP.Call(ctx, site.Callee, r2, a2)
+		}
+	}
+	ctx.ForLoop = func(fs *ast.ForStmt, fr *interp.Frame, from, to, step int64) (bool, error) {
+		lp := rt.Plan.Loops[fs]
+		if lp == nil || !lp.Parallel || ver == versionMutex {
+			return false, nil
+		}
+		if releaseBeforeSpawn && lockHeld {
+			lockHeld = false
+			recv.Mutex.Unlock()
+		}
+		return true, rt.parallelLoop(p, ctx, fs, fr, from, to, step)
+	}
+
+	_, err := rt.IP.Call(ctx, m, recv, args)
+	if lockHeld {
+		recv.Mutex.Unlock()
+	}
+	rt.setErr(err)
+	return err
+}
+
+// plainCtx executes everything serially with no plan interpretation.
+func (rt *Runtime) plainCtx() *interp.Ctx { return rt.IP.NewCtx() }
+
+// parallelLoop runs a counted loop with guided self-scheduling across
+// the worker pool; iterations execute mutex versions (§5.2).
+func (rt *Runtime) parallelLoop(p *pool, parent *interp.Ctx, fs *ast.ForStmt, fr *interp.Frame, from, to, step int64) error {
+	atomic.AddInt64(&rt.Stats.ParallelLoops, 1)
+	loopVar := interp.LoopVar(fs)
+	if loopVar == "" {
+		return &interp.RuntimeError{Msg: "parallel loop without a loop variable"}
+	}
+	total := (to - from + step - 1) / step
+	if total <= 0 {
+		return nil
+	}
+	var next atomic.Int64
+	next.Store(from)
+	var wg sync.WaitGroup
+	workers := rt.Workers
+	if int64(workers) > total {
+		workers = int(total)
+	}
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				if rt.failed.Load() {
+					return
+				}
+				// Guided self-scheduling: claim ⌈remaining/P⌉ iterations.
+				start := next.Load()
+				if start >= to {
+					return
+				}
+				remaining := (to - start + step - 1) / step
+				chunk := remaining / int64(rt.Workers)
+				if chunk < 1 {
+					chunk = 1
+				}
+				end := start + chunk*step
+				if !next.CompareAndSwap(start, end) {
+					continue
+				}
+				if end > to {
+					end = to
+				}
+				atomic.AddInt64(&rt.Stats.Chunks, 1)
+				ctx := rt.mutexIterCtx(p)
+				for i := start; i < end; i += step {
+					atomic.AddInt64(&rt.Stats.Iterations, 1)
+					if err := rt.IP.RunLoopIteration(ctx, fr, fs, loopVar, i); err != nil {
+						rt.setErr(err)
+						return
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	return rt.err
+}
+
+// mutexIterCtx executes a parallel-loop iteration: direct invocations
+// run mutex versions.
+func (rt *Runtime) mutexIterCtx(p *pool) *interp.Ctx {
+	ctx := rt.IP.NewCtx()
+	ctx.Invoke = func(site *types.CallSite, recv *interp.Object, args []interp.Value) (interp.Value, error) {
+		mp := rt.Plan.Methods[site.Caller]
+		if mp != nil && mp.Site[site.ID] == codegen.ActionInline {
+			return rt.IP.Call(ctx, site.Callee, recv, args)
+		}
+		cp := rt.Plan.Methods[site.Callee]
+		if cp != nil && cp.Parallel {
+			return nil, rt.callVersion(p, site.Callee, recv, args, versionMutex)
+		}
+		return rt.IP.Call(ctx, site.Callee, recv, args)
+	}
+	return ctx
+}
+
+// ---------------------------------------------------------------------
+// Task pool
+
+// pool is a region-scoped worker pool with an unbounded task queue.
+type pool struct {
+	rt      *Runtime
+	mu      sync.Mutex
+	cond    *sync.Cond
+	queue   []func()
+	pending int  // queued + running tasks
+	done    bool // region shutting down
+}
+
+func newPool(rt *Runtime) *pool {
+	p := &pool{rt: rt}
+	p.cond = sync.NewCond(&p.mu)
+	for w := 0; w < rt.Workers; w++ {
+		go p.worker()
+	}
+	return p
+}
+
+// pendingCount reports the queued+running task count (used by lazy
+// task creation).
+func (p *pool) pendingCount() int {
+	p.mu.Lock()
+	n := p.pending
+	p.mu.Unlock()
+	return n
+}
+
+func (p *pool) spawn(f func()) {
+	p.mu.Lock()
+	p.pending++
+	p.queue = append(p.queue, f)
+	p.mu.Unlock()
+	p.cond.Signal()
+}
+
+func (p *pool) worker() {
+	for {
+		p.mu.Lock()
+		for len(p.queue) == 0 && !p.done {
+			p.cond.Wait()
+		}
+		if p.done && len(p.queue) == 0 {
+			p.mu.Unlock()
+			return
+		}
+		f := p.queue[len(p.queue)-1]
+		p.queue = p.queue[:len(p.queue)-1]
+		p.mu.Unlock()
+		f()
+		p.mu.Lock()
+		p.pending--
+		if p.pending == 0 {
+			p.cond.Broadcast()
+		}
+		p.mu.Unlock()
+	}
+}
+
+// wait blocks until all spawned tasks (including transitively spawned
+// ones) complete, then shuts the pool down.
+func (p *pool) wait() {
+	p.mu.Lock()
+	for p.pending > 0 {
+		p.cond.Wait()
+	}
+	p.done = true
+	p.mu.Unlock()
+	p.cond.Broadcast()
+}

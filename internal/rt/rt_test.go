@@ -1,0 +1,181 @@
+package rt_test
+
+import (
+	"math"
+	"testing"
+
+	"commute/internal/apps/src"
+	"commute/internal/codegen"
+	"commute/internal/core"
+	"commute/internal/frontend/parser"
+	"commute/internal/frontend/types"
+	"commute/internal/interp"
+	"commute/internal/rt"
+)
+
+func build(t testing.TB, source string) (*types.Program, *codegen.Plan) {
+	t.Helper()
+	f, err := parser.Parse("app.mc", source)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	prog, err := types.Check(f)
+	if err != nil {
+		t.Fatalf("check: %v", err)
+	}
+	return prog, codegen.Build(core.New(prog))
+}
+
+// graphSums runs the graph program and returns each node's sum plus the
+// mark count.
+func graphSums(t *testing.T, prog *types.Program, ip *interp.Interp) ([]int64, int) {
+	t.Helper()
+	b := ip.Globals["Builder"]
+	builderCl := prog.Classes["builder"]
+	graphCl := prog.Classes["graph"]
+	nodes := b.Slots[ip.FieldSlot(builderCl, "builder", "nodes")].(*interp.Array)
+	n := b.Slots[ip.FieldSlot(builderCl, "builder", "numnodes")].(int64)
+	sums := make([]int64, n)
+	marked := 0
+	for i := int64(0); i < n; i++ {
+		node := nodes.Elems[i].(*interp.Object)
+		sums[i] = node.Slots[ip.FieldSlot(graphCl, "graph", "sum")].(int64)
+		if node.Slots[ip.FieldSlot(graphCl, "graph", "mark")] == true {
+			marked++
+		}
+	}
+	return sums, marked
+}
+
+// TestGraphParallelMatchesSerial: the §2 claim — parallel execution of
+// the commuting traversal produces exactly the serial result (integer
+// sums are order-insensitive).
+func TestGraphParallelMatchesSerial(t *testing.T) {
+	prog, plan := build(t, src.Graph)
+
+	ipSerial := interp.New(prog, nil)
+	if err := ipSerial.Run(ipSerial.NewCtx()); err != nil {
+		t.Fatalf("serial run: %v", err)
+	}
+	wantSums, wantMarked := graphSums(t, prog, ipSerial)
+
+	for _, workers := range []int{1, 2, 4, 8} {
+		ip := interp.New(prog, nil)
+		r := rt.New(ip, plan, workers)
+		if err := r.Run(); err != nil {
+			t.Fatalf("parallel run (%d workers): %v", workers, err)
+		}
+		gotSums, gotMarked := graphSums(t, prog, ip)
+		if gotMarked != wantMarked {
+			t.Errorf("workers=%d: marked %d, want %d", workers, gotMarked, wantMarked)
+		}
+		for i := range wantSums {
+			if gotSums[i] != wantSums[i] {
+				t.Errorf("workers=%d: node %d sum = %d, want %d", workers, i, gotSums[i], wantSums[i])
+			}
+		}
+		if workers > 1 && r.Stats.Tasks == 0 {
+			t.Errorf("workers=%d: no tasks spawned", workers)
+		}
+		if r.Stats.Regions == 0 {
+			t.Errorf("workers=%d: no parallel regions", workers)
+		}
+	}
+}
+
+// bhState extracts each body's phi and position for comparison.
+func bhState(prog *types.Program, ip *interp.Interp) ([]float64, [][3]float64) {
+	nb := ip.Globals["Nbody"]
+	nbodyCl := prog.Classes["nbody"]
+	bodyCl := prog.Classes["body"]
+	nodeCl := prog.Classes["node"]
+	n := nb.Slots[ip.FieldSlot(nbodyCl, "nbody", "numbodies")].(int64)
+	bodies := nb.Slots[ip.FieldSlot(nbodyCl, "nbody", "bodies")].(*interp.Array)
+	phis := make([]float64, n)
+	poss := make([][3]float64, n)
+	for i := int64(0); i < n; i++ {
+		b := bodies.Elems[i].(*interp.Object)
+		phis[i] = b.Slots[ip.FieldSlot(bodyCl, "body", "phi")].(float64)
+		pos := b.Slots[ip.FieldSlot(bodyCl, "node", "pos")].(*interp.Object)
+		val := pos.Slots[ip.FieldSlot(prog.Classes["vector"], "vector", "val")].(*interp.Array)
+		for d := 0; d < 3; d++ {
+			poss[i][d] = val.Elems[d].(float64)
+		}
+	}
+	_ = nodeCl
+	return phis, poss
+}
+
+// TestBarnesHutParallelMatchesSerial: parallel execution preserves the
+// simulation up to floating-point reassociation.
+func TestBarnesHutParallelMatchesSerial(t *testing.T) {
+	prog, plan := build(t, src.BarnesHut)
+
+	ipSerial := interp.New(prog, nil)
+	if err := ipSerial.Run(ipSerial.NewCtx()); err != nil {
+		t.Fatalf("serial run: %v", err)
+	}
+	wantPhi, wantPos := bhState(prog, ipSerial)
+
+	ip := interp.New(prog, nil)
+	r := rt.New(ip, plan, 4)
+	if err := r.Run(); err != nil {
+		t.Fatalf("parallel run: %v", err)
+	}
+	gotPhi, gotPos := bhState(prog, ip)
+
+	if len(gotPhi) != len(wantPhi) {
+		t.Fatalf("body count mismatch")
+	}
+	for i := range wantPhi {
+		if relDiff(gotPhi[i], wantPhi[i]) > 1e-9 {
+			t.Errorf("body %d phi = %g, want %g", i, gotPhi[i], wantPhi[i])
+		}
+		for d := 0; d < 3; d++ {
+			if relDiff(gotPos[i][d], wantPos[i][d]) > 1e-9 {
+				t.Errorf("body %d pos[%d] = %g, want %g", i, d, gotPos[i][d], wantPos[i][d])
+			}
+		}
+	}
+
+	// The force phase must actually run as parallel loops with GSS.
+	if r.Stats.ParallelLoops == 0 || r.Stats.Chunks == 0 || r.Stats.Iterations == 0 {
+		t.Errorf("loop stats empty: %+v", r.Stats)
+	}
+	if r.Stats.LockAcquires == 0 {
+		t.Error("no lock acquisitions recorded")
+	}
+}
+
+func relDiff(a, b float64) float64 {
+	if a == b {
+		return 0
+	}
+	den := math.Max(math.Abs(a), math.Abs(b))
+	if den == 0 {
+		return 0
+	}
+	return math.Abs(a-b) / den
+}
+
+// TestWorkerScalingDeterminism: many worker counts, same marks.
+func TestWorkerScalingDeterminism(t *testing.T) {
+	prog, plan := build(t, src.Graph)
+	var first []int64
+	for _, w := range []int{1, 3, 7, 16} {
+		ip := interp.New(prog, nil)
+		if err := rt.New(ip, plan, w).Run(); err != nil {
+			t.Fatalf("run w=%d: %v", w, err)
+		}
+		sums, _ := graphSums(t, prog, ip)
+		if first == nil {
+			first = sums
+			continue
+		}
+		for i := range sums {
+			if sums[i] != first[i] {
+				t.Fatalf("w=%d: nondeterministic sum at node %d", w, i)
+			}
+		}
+	}
+}

@@ -1,0 +1,70 @@
+package rt_test
+
+import (
+	"testing"
+
+	"commute/internal/apps/src"
+	"commute/internal/frontend/types"
+	"commute/internal/interp"
+	"commute/internal/rt"
+)
+
+// waterState extracts molecule velocities and the global energy sums.
+func waterState(prog *types.Program, ip *interp.Interp) ([]float64, float64, float64) {
+	w := ip.Globals["Water"]
+	waterCl := prog.Classes["water"]
+	h2oCl := prog.Classes["h2o"]
+	n := w.Slots[ip.FieldSlot(waterCl, "water", "nmol")].(int64)
+	mols := w.Slots[ip.FieldSlot(waterCl, "water", "mols")].(*interp.Array)
+	var vels []float64
+	for i := int64(0); i < n; i++ {
+		m := mols.Elems[i].(*interp.Object)
+		for _, f := range []string{"vx", "vy", "vz"} {
+			vels = append(vels, m.Slots[ip.FieldSlot(h2oCl, "h2o", f)].(float64))
+		}
+	}
+	s := ip.Globals["Sums"]
+	sumsCl := prog.Classes["sums"]
+	pot := s.Slots[ip.FieldSlot(sumsCl, "sums", "pot")].(float64)
+	kin := s.Slots[ip.FieldSlot(sumsCl, "sums", "kin")].(float64)
+	return vels, pot, kin
+}
+
+// TestWaterParallelMatchesSerial: parallel Water preserves the
+// simulation up to floating-point reassociation.
+func TestWaterParallelMatchesSerial(t *testing.T) {
+	prog, plan := build(t, src.Water)
+
+	ipSerial := interp.New(prog, nil)
+	if err := ipSerial.Run(ipSerial.NewCtx()); err != nil {
+		t.Fatalf("serial run: %v", err)
+	}
+	wantVel, wantPot, wantKin := waterState(prog, ipSerial)
+	if wantKin == 0 {
+		t.Fatal("kinetic energy is zero; the workload did nothing")
+	}
+
+	for _, workers := range []int{2, 8} {
+		ip := interp.New(prog, nil)
+		r := rt.New(ip, plan, workers)
+		if err := r.Run(); err != nil {
+			t.Fatalf("parallel run (w=%d): %v", workers, err)
+		}
+		gotVel, gotPot, gotKin := waterState(prog, ip)
+		if relDiff(gotPot, wantPot) > 1e-9 {
+			t.Errorf("w=%d: pot = %g, want %g", workers, gotPot, wantPot)
+		}
+		if relDiff(gotKin, wantKin) > 1e-9 {
+			t.Errorf("w=%d: kin = %g, want %g", workers, gotKin, wantKin)
+		}
+		for i := range wantVel {
+			if relDiff(gotVel[i], wantVel[i]) > 1e-9 {
+				t.Errorf("w=%d: vel[%d] = %g, want %g", workers, i, gotVel[i], wantVel[i])
+				break
+			}
+		}
+		if r.Stats.ParallelLoops == 0 || r.Stats.LockAcquires == 0 {
+			t.Errorf("w=%d: stats empty: %+v", workers, r.Stats)
+		}
+	}
+}

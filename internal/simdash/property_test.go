@@ -1,0 +1,139 @@
+package simdash_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"commute/internal/simdash"
+	"commute/internal/tracer"
+)
+
+// genTrace builds a random but well-formed trace: serial phases,
+// loop-structured regions, and spawn-tree regions with critical
+// sections over a small object pool.
+func genTrace(r *rand.Rand) *tracer.Trace {
+	tr := &tracer.Trace{}
+	phases := 1 + r.Intn(5)
+	for p := 0; p < phases; p++ {
+		switch r.Intn(3) {
+		case 0:
+			tr.Phases = append(tr.Phases, tracer.Phase{
+				Label: "serial", Serial: int64(1 + r.Intn(5000)),
+			})
+		case 1:
+			iters := make([]*tracer.Task, 1+r.Intn(40))
+			for i := range iters {
+				iters[i] = genTask(r, 0)
+			}
+			root := &tracer.Task{Events: []tracer.Event{{Kind: tracer.EvLoop, Iters: iters}}}
+			tr.Phases = append(tr.Phases, tracer.Phase{Label: "loop", Root: root})
+		default:
+			tr.Phases = append(tr.Phases, tracer.Phase{Label: "tasks", Root: genTask(r, 2)})
+		}
+	}
+	return tr
+}
+
+func genTask(r *rand.Rand, spawnDepth int) *tracer.Task {
+	t := &tracer.Task{}
+	events := 1 + r.Intn(4)
+	for e := 0; e < events; e++ {
+		switch {
+		case spawnDepth > 0 && r.Intn(3) == 0:
+			t.Events = append(t.Events, tracer.Event{
+				Kind: tracer.EvSpawn, Child: genTask(r, spawnDepth-1),
+			})
+		case r.Intn(3) == 0:
+			t.Events = append(t.Events, tracer.Event{
+				Kind: tracer.EvCrit, Obj: int64(1 + r.Intn(4)), Units: int64(1 + r.Intn(200)),
+			})
+		default:
+			t.Events = append(t.Events, tracer.Event{
+				Kind: tracer.EvCompute, Units: int64(1 + r.Intn(1000)),
+			})
+		}
+	}
+	return t
+}
+
+// TestSimInvariants checks, over random traces and machine sizes:
+//   - conservation: breakdown total == wall time × processors;
+//   - work lower bound: wall time ≥ total compute / processors;
+//   - single-processor runs never block on locks;
+//   - all breakdown components are non-negative.
+func TestSimInvariants(t *testing.T) {
+	r := rand.New(rand.NewSource(17))
+	for trial := 0; trial < 200; trial++ {
+		tr := genTrace(r)
+		for _, procs := range []int{1, 2, 5, 16} {
+			res := simdash.Simulate(tr, simdash.DefaultParams(procs))
+			b := res.Breakdown
+			total := b.Total()
+			want := res.TimeMicros * float64(procs)
+			if diff := total - want; diff > 1e-6*want+1e-6 || diff < -1e-6*want-1e-6 {
+				t.Fatalf("trial %d procs %d: conservation violated: %f vs %f", trial, procs, total, want)
+			}
+			params := simdash.DefaultParams(procs)
+			work := float64(tr.SerialUnits()+tr.ParallelUnits()) * params.UnitMicros
+			if res.TimeMicros < work/float64(procs)-1e-6 {
+				t.Fatalf("trial %d procs %d: wall time %f below work bound %f",
+					trial, procs, res.TimeMicros, work/float64(procs))
+			}
+			if procs == 1 && b.Blocked != 0 {
+				t.Fatalf("trial %d: single processor blocked %f", trial, b.Blocked)
+			}
+			for name, v := range map[string]float64{
+				"parallelIdle": b.ParallelIdle, "serialIdle": b.SerialIdle,
+				"blocked": b.Blocked, "parallelCompute": b.ParallelCompute,
+				"serialCompute": b.SerialCompute,
+			} {
+				if v < -1e-9 {
+					t.Fatalf("trial %d procs %d: negative %s = %f", trial, procs, name, v)
+				}
+			}
+		}
+	}
+}
+
+// TestMoreProcsNeverIncreaseComputeDeficit: iteration and task counters
+// are machine-independent.
+func TestCountersMachineIndependent(t *testing.T) {
+	r := rand.New(rand.NewSource(23))
+	for trial := 0; trial < 50; trial++ {
+		tr := genTrace(r)
+		base := simdash.Simulate(tr, simdash.DefaultParams(1)).Counters
+		for _, procs := range []int{2, 8, 32} {
+			c := simdash.Simulate(tr, simdash.DefaultParams(procs)).Counters
+			if c.Iterations != base.Iterations || c.Tasks != base.Tasks ||
+				c.Locks != base.Locks || c.Loops != base.Loops {
+				t.Fatalf("trial %d: counters vary with machine size: %+v vs %+v", trial, base, c)
+			}
+		}
+	}
+}
+
+// TestLockSerializationFloor: a trace whose critical sections all
+// target one object cannot beat the serialized lock time no matter how
+// many processors run it.
+func TestLockSerializationFloor(t *testing.T) {
+	iters := make([]*tracer.Task, 64)
+	for i := range iters {
+		iters[i] = &tracer.Task{Events: []tracer.Event{
+			{Kind: tracer.EvCompute, Units: 10},
+			{Kind: tracer.EvCrit, Obj: 1, Units: 500},
+		}}
+	}
+	tr := &tracer.Trace{Phases: []tracer.Phase{{
+		Label: "contended",
+		Root:  &tracer.Task{Events: []tracer.Event{{Kind: tracer.EvLoop, Iters: iters}}},
+	}}}
+	params := simdash.DefaultParams(32)
+	res := simdash.Simulate(tr, params)
+	critFloor := float64(64) * (params.LockOverhead + 500*params.UnitMicros)
+	if res.TimeMicros < critFloor {
+		t.Errorf("wall time %f beats the lock serialization floor %f", res.TimeMicros, critFloor)
+	}
+	if res.Breakdown.Blocked == 0 {
+		t.Error("fully contended trace shows no blocked time")
+	}
+}

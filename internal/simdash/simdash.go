@@ -1,0 +1,342 @@
+// Package simdash simulates the execution of a traced program on a
+// P-processor shared-memory multiprocessor in the style of the Stanford
+// DASH machine the paper evaluated on. The simulator schedules the
+// trace's phases — serial sections, task-tree regions, and parallel
+// loops with guided self-scheduling — onto virtual processor clocks,
+// modelling per-object lock queues and the four overhead sources the
+// paper measures in Table 5 (loop, chunk, iteration, and lock
+// overhead), and produces the cumulative time breakdowns of Figures 18
+// and 20 (parallel idle, serial idle, blocked, parallel compute, serial
+// compute).
+package simdash
+
+import (
+	"container/heap"
+
+	"commute/internal/tracer"
+)
+
+// Params configures the simulated machine.
+type Params struct {
+	Procs int
+	// UnitMicros converts interpreter cost units to microseconds.
+	UnitMicros float64
+	// Overheads in microseconds (Table 5 defaults via DefaultParams).
+	LoopOverheadBase    float64 // fixed part of parallel-loop startup+barrier
+	LoopOverheadPerProc float64 // per-processor part (211µs at 32 procs)
+	ChunkOverhead       float64
+	IterOverhead        float64
+	LockOverhead        float64
+	// ContendedLockFactor scales the lock overhead of acquisitions that
+	// had to queue behind another holder: on DASH a contended lock
+	// costs several uncontended acquisitions (the lock line bounces
+	// between caches and the releaser notifies waiters through the
+	// directory).
+	ContendedLockFactor float64
+	// ReduceMicrosPerObject is the per-object, per-processor cost of
+	// merging the replicas a region created under the §6.3.4
+	// replication optimization.
+	ReduceMicrosPerObject float64
+}
+
+// DefaultParams returns the paper's Table 5 overheads on a machine with
+// the given processor count. The loop overhead is 211µs at 32
+// processors and grows with the processor count.
+func DefaultParams(procs int) Params {
+	return Params{
+		Procs:                 procs,
+		UnitMicros:            0.1, // one interpreter cost unit ≈ 100ns
+		LoopOverheadBase:      19,
+		LoopOverheadPerProc:   6, // 19 + 6·32 = 211µs at 32 procs
+		ChunkOverhead:         30,
+		IterOverhead:          0.38,
+		LockOverhead:          5.1,
+		ContendedLockFactor:   4,
+		ReduceMicrosPerObject: 1.0,
+	}
+}
+
+// LoopOverhead returns the loop overhead for the configured machine.
+func (p Params) LoopOverhead() float64 {
+	return p.LoopOverheadBase + p.LoopOverheadPerProc*float64(p.Procs)
+}
+
+// Breakdown is the cumulative time breakdown of Figures 18/20, in
+// microseconds summed over all processors.
+type Breakdown struct {
+	ParallelIdle    float64
+	SerialIdle      float64
+	Blocked         float64
+	ParallelCompute float64
+	SerialCompute   float64
+}
+
+// Total returns the cumulative processing time.
+func (b Breakdown) Total() float64 {
+	return b.ParallelIdle + b.SerialIdle + b.Blocked + b.ParallelCompute + b.SerialCompute
+}
+
+// Counters aggregates event counts for the granularity tables (6/11).
+type Counters struct {
+	Loops      int64
+	Chunks     int64
+	Iterations int64
+	Tasks      int64
+	Locks      int64
+}
+
+// Result is the outcome of one simulation.
+type Result struct {
+	Params Params
+	// TimeMicros is the wall-clock execution time.
+	TimeMicros float64
+	// ParallelMicros is the wall time spent inside parallel regions;
+	// SerialMicros the wall time in serial sections.
+	ParallelMicros float64
+	SerialMicros   float64
+	Breakdown      Breakdown
+	Counters       Counters
+}
+
+// Simulate runs the trace on the configured machine.
+func Simulate(tr *tracer.Trace, p Params) *Result {
+	if p.Procs < 1 {
+		p.Procs = 1
+	}
+	s := &sim{
+		p:       p,
+		clocks:  make([]float64, p.Procs),
+		objBusy: make(map[int64][]interval),
+		res:     &Result{Params: p},
+	}
+	for _, ph := range tr.Phases {
+		if ph.Root == nil {
+			s.serialPhase(ph.Serial)
+			continue
+		}
+		s.regionPhase(ph.Root)
+		if ph.ReduceObjects > 0 {
+			// Merge the per-processor replicas (serial phase-end
+			// reduction, §6.3.4).
+			units := int64(float64(ph.ReduceObjects) * float64(p.Procs) *
+				p.ReduceMicrosPerObject / p.UnitMicros)
+			s.serialPhase(units)
+		}
+	}
+	s.res.TimeMicros = s.now
+	return s.res
+}
+
+type sim struct {
+	p       Params
+	now     float64 // global phase clock (all procs synced between phases)
+	clocks  []float64
+	objBusy map[int64][]interval // per-object lock-held intervals, sorted by start
+	res     *Result
+}
+
+// interval is one lock-held period.
+type interval struct{ start, end float64 }
+
+// serialPhase: processor 0 computes, the rest idle.
+func (s *sim) serialPhase(units int64) {
+	d := float64(units) * s.p.UnitMicros
+	s.res.Breakdown.SerialCompute += d
+	s.res.Breakdown.SerialIdle += d * float64(s.p.Procs-1)
+	s.res.SerialMicros += d
+	s.now += d
+}
+
+// regionPhase simulates a parallel region rooted at a task: an
+// event-driven schedule of tasks over the processors, with parallel
+// loops dispatched by guided self-scheduling.
+func (s *sim) regionPhase(root *tracer.Task) {
+	start := s.now
+	for i := range s.clocks {
+		s.clocks[i] = start
+	}
+	rq := &readyQueue{}
+	heap.Push(rq, readyTask{task: root, ready: start})
+	s.res.Counters.Tasks++
+
+	// Event-driven: repeatedly give the earliest ready task to the
+	// processor that can start it soonest.
+	for rq.Len() > 0 {
+		rt := heap.Pop(rq).(readyTask)
+		proc := s.earliestProc()
+		begin := max64(s.clocks[proc], rt.ready)
+		s.res.Breakdown.ParallelIdle += begin - s.clocks[proc]
+		s.clocks[proc] = begin
+		s.runTask(proc, rt.task, rq)
+	}
+
+	// Region barrier.
+	end := s.now
+	for _, c := range s.clocks {
+		if c > end {
+			end = c
+		}
+	}
+	for _, c := range s.clocks {
+		s.res.Breakdown.ParallelIdle += end - c
+	}
+	s.res.ParallelMicros += end - start
+	s.now = end
+}
+
+// runTask executes a task's events on processor proc, pushing spawned
+// children to the ready queue and dispatching loops with GSS.
+func (s *sim) runTask(proc int, t *tracer.Task, rq *readyQueue) {
+	for _, e := range t.Events {
+		switch e.Kind {
+		case tracer.EvCompute:
+			d := float64(e.Units) * s.p.UnitMicros
+			s.clocks[proc] += d
+			s.res.Breakdown.ParallelCompute += d
+		case tracer.EvCrit:
+			s.crit(proc, e)
+		case tracer.EvSpawn:
+			s.res.Counters.Tasks++
+			heap.Push(rq, readyTask{task: e.Child, ready: s.clocks[proc]})
+		case tracer.EvLoop:
+			s.gssLoop(proc, e.Iters)
+		}
+	}
+}
+
+// crit models a critical section: the processor claims the first gap of
+// the required length in the object's lock-held timeline at or after
+// its arrival time. Holding periods scheduled later in simulation order
+// but earlier in virtual time (processors' clocks legitimately diverge
+// inside scheduling chunks) therefore never block an earlier arrival —
+// only genuine temporal overlap does.
+func (s *sim) crit(proc int, e tracer.Event) {
+	s.res.Counters.Locks++
+	d := s.p.LockOverhead + float64(e.Units)*s.p.UnitMicros
+	t := s.clocks[proc]
+	ivs := s.objBusy[e.Obj]
+	start := t
+	insertAt := len(ivs)
+	for i, iv := range ivs {
+		if iv.end <= start {
+			continue
+		}
+		if iv.start >= start+d {
+			insertAt = i
+			break
+		}
+		start = iv.end
+	}
+	if start > t && s.p.ContendedLockFactor > 1 {
+		// Queued behind another holder: the acquisition itself costs
+		// more (contended lock-line transfer), lengthening this holding
+		// period for everyone behind us too.
+		d += s.p.LockOverhead * (s.p.ContendedLockFactor - 1)
+	}
+	if insertAt == len(ivs) {
+		// Recompute the insertion point (start may have moved).
+		for insertAt = len(ivs); insertAt > 0 && ivs[insertAt-1].start > start; insertAt-- {
+		}
+	}
+	s.res.Breakdown.Blocked += start - t
+	s.res.Breakdown.ParallelCompute += d
+	nv := interval{start: start, end: start + d}
+	ivs = append(ivs, interval{})
+	copy(ivs[insertAt+1:], ivs[insertAt:])
+	ivs[insertAt] = nv
+	s.objBusy[e.Obj] = ivs
+	s.clocks[proc] = start + d
+}
+
+// gssLoop runs a parallel loop with guided self-scheduling: every
+// processor (including the dispatching one) repeatedly claims
+// ⌈remaining/P⌉ iterations; the dispatching processor continues after
+// the loop barrier.
+func (s *sim) gssLoop(proc int, iters []*tracer.Task) {
+	s.res.Counters.Loops++
+	loopStart := s.clocks[proc]
+	// All processors participate once they pass their current clocks;
+	// processors earlier than loopStart wait for work to exist.
+	for i := range s.clocks {
+		if s.clocks[i] < loopStart {
+			s.res.Breakdown.ParallelIdle += loopStart - s.clocks[i]
+			s.clocks[i] = loopStart
+		}
+	}
+	next := 0
+	for next < len(iters) {
+		p := s.earliestProc()
+		remaining := len(iters) - next
+		chunk := remaining / s.p.Procs
+		if chunk < 1 {
+			chunk = 1
+		}
+		s.res.Counters.Chunks++
+		s.clocks[p] += s.p.ChunkOverhead
+		s.res.Breakdown.ParallelCompute += s.p.ChunkOverhead
+		for k := 0; k < chunk; k++ {
+			it := iters[next]
+			next++
+			s.res.Counters.Iterations++
+			s.clocks[p] += s.p.IterOverhead
+			s.res.Breakdown.ParallelCompute += s.p.IterOverhead
+			s.runTask(p, it, &readyQueue{}) // loop iterations spawn nothing
+		}
+	}
+	// Loop barrier, then the loop startup/teardown overhead (paid once;
+	// the other processors wait through it).
+	barrier := 0.0
+	for _, c := range s.clocks {
+		if c > barrier {
+			barrier = c
+		}
+	}
+	for _, c := range s.clocks {
+		s.res.Breakdown.ParallelIdle += barrier - c
+	}
+	s.res.Breakdown.ParallelCompute += s.p.LoopOverhead()
+	s.res.Breakdown.ParallelIdle += s.p.LoopOverhead() * float64(s.p.Procs-1)
+	end := barrier + s.p.LoopOverhead()
+	for i := range s.clocks {
+		s.clocks[i] = end
+	}
+}
+
+func (s *sim) earliestProc() int {
+	best := 0
+	for i, c := range s.clocks {
+		if c < s.clocks[best] {
+			best = i
+		}
+	}
+	return best
+}
+
+func max64(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// ---------------------------------------------------------------------
+// Ready queue
+
+type readyTask struct {
+	task  *tracer.Task
+	ready float64
+}
+
+type readyQueue []readyTask
+
+func (q readyQueue) Len() int           { return len(q) }
+func (q readyQueue) Less(i, j int) bool { return q[i].ready < q[j].ready }
+func (q readyQueue) Swap(i, j int)      { q[i], q[j] = q[j], q[i] }
+func (q *readyQueue) Push(x any)        { *q = append(*q, x.(readyTask)) }
+func (q *readyQueue) Pop() any {
+	old := *q
+	n := len(old)
+	item := old[n-1]
+	*q = old[:n-1]
+	return item
+}

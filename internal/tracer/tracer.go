@@ -1,0 +1,330 @@
+// Package tracer executes a planned program once, single-threaded, and
+// records its parallel structure as an event trace: serial phases,
+// parallel regions with task trees, parallel loops with per-iteration
+// tasks, and critical sections on concrete objects. The DASH simulator
+// (internal/simdash) schedules these traces on a configurable number of
+// virtual processors.
+package tracer
+
+import (
+	"commute/internal/codegen"
+	"commute/internal/frontend/ast"
+	"commute/internal/frontend/types"
+	"commute/internal/interp"
+)
+
+// EventKind discriminates task events.
+type EventKind int
+
+// Task event kinds.
+const (
+	EvCompute EventKind = iota // Units of computation
+	EvCrit                     // Units of computation inside a critical section on Obj
+	EvSpawn                    // creation of Child (ready immediately)
+	EvLoop                     // a parallel loop: Iters run under GSS, barrier before continuing
+)
+
+// Event is one step of a task.
+type Event struct {
+	Kind  EventKind
+	Units int64
+	Obj   int64
+	Child *Task
+	Iters []*Task
+}
+
+// Task is a unit of parallel work: an ordered event sequence.
+type Task struct {
+	Events []Event
+}
+
+// TotalUnits returns the compute units in the task including critical
+// sections and, recursively, loops and children.
+func (t *Task) TotalUnits() int64 {
+	var sum int64
+	for _, e := range t.Events {
+		switch e.Kind {
+		case EvCompute, EvCrit:
+			sum += e.Units
+		case EvSpawn:
+			sum += e.Child.TotalUnits()
+		case EvLoop:
+			for _, it := range e.Iters {
+				sum += it.TotalUnits()
+			}
+		}
+	}
+	return sum
+}
+
+// Phase is one segment of the program: a serial section or a parallel
+// region rooted at a task.
+type Phase struct {
+	Label  string
+	Serial int64 // serial compute units (Root == nil)
+	Root   *Task // parallel region (Serial ignored)
+	// ReduceObjects counts the distinct objects whose accumulations ran
+	// against per-processor replicas in this region (the §6.3.4
+	// replication optimization); the simulator charges a phase-end
+	// reduction proportional to replicas × objects.
+	ReduceObjects int
+}
+
+// Trace is the recorded structure of one program execution.
+type Trace struct {
+	Phases []Phase
+}
+
+// SerialUnits returns the units executed in serial phases.
+func (tr *Trace) SerialUnits() int64 {
+	var sum int64
+	for _, p := range tr.Phases {
+		if p.Root == nil {
+			sum += p.Serial
+		}
+	}
+	return sum
+}
+
+// ParallelUnits returns the units inside parallel regions.
+func (tr *Trace) ParallelUnits() int64 {
+	var sum int64
+	for _, p := range tr.Phases {
+		if p.Root != nil {
+			sum += p.Root.TotalUnits()
+		}
+	}
+	return sum
+}
+
+// Collect runs the program and returns its trace.
+func Collect(ip *interp.Interp, plan *codegen.Plan) (*Trace, error) {
+	c := &collector{ip: ip, plan: plan, trace: &Trace{}}
+	if ip.Prog.Main == nil {
+		return nil, &interp.RuntimeError{Msg: "program has no main function"}
+	}
+	_, err := ip.Call(c.serialCtx(), ip.Prog.Main, nil, nil)
+	if err != nil {
+		return nil, err
+	}
+	c.flushSerial("main")
+	return c.trace, nil
+}
+
+type collector struct {
+	ip          *interp.Interp
+	plan        *codegen.Plan
+	trace       *Trace
+	serialUnits int64
+	// replicated collects the objects whose locks the §6.3.4
+	// replication optimization removed within the current region.
+	replicated map[int64]bool
+}
+
+func (c *collector) flushSerial(label string) {
+	if c.serialUnits > 0 {
+		c.trace.Phases = append(c.trace.Phases, Phase{Label: label, Serial: c.serialUnits})
+		c.serialUnits = 0
+	}
+}
+
+// serialCtx records serial compute and opens parallel regions.
+func (c *collector) serialCtx() *interp.Ctx {
+	ctx := c.ip.NewCtx()
+	ctx.Charge = func(units int64) { c.serialUnits += units }
+	ctx.Invoke = func(site *types.CallSite, recv *interp.Object, args []interp.Value) (interp.Value, error) {
+		mp := c.plan.Methods[site.Callee]
+		if mp != nil && mp.Parallel && c.plan.GeneratesConcurrency(site.Callee) {
+			c.flushSerial(site.Caller.FullName())
+			root := &Task{}
+			c.replicated = make(map[int64]bool)
+			err := c.runVersion(root, site.Callee, recv, args, parVersion)
+			if err != nil {
+				return nil, err
+			}
+			c.trace.Phases = append(c.trace.Phases, Phase{
+				Label: site.Callee.FullName(), Root: root,
+				ReduceObjects: len(c.replicated),
+			})
+			c.replicated = nil
+			return nil, nil
+		}
+		return c.ip.Call(ctx, site.Callee, recv, args)
+	}
+	return ctx
+}
+
+// execVersion distinguishes the generated variants.
+type execVersion int
+
+const (
+	parVersion execVersion = iota
+	mutexVersion
+)
+
+// taskState tracks the event stream of one task while the interpreter
+// runs inside it.
+type taskState struct {
+	task    *Task
+	compute int64 // pending compute units
+	critObj int64 // active critical-section object (0 = none)
+	crit    int64 // pending crit units
+}
+
+func (ts *taskState) charge(units int64) {
+	if ts.critObj != 0 {
+		ts.crit += units
+		return
+	}
+	ts.compute += units
+}
+
+func (ts *taskState) flushCompute() {
+	if ts.compute > 0 {
+		ts.task.Events = append(ts.task.Events, Event{Kind: EvCompute, Units: ts.compute})
+		ts.compute = 0
+	}
+}
+
+func (ts *taskState) beginCrit(obj int64) {
+	if ts.critObj != 0 {
+		return // nested crits flatten into the outer one
+	}
+	ts.flushCompute()
+	ts.critObj = obj
+}
+
+func (ts *taskState) endCrit(obj int64) {
+	if ts.critObj != obj {
+		return
+	}
+	ts.task.Events = append(ts.task.Events, Event{Kind: EvCrit, Units: ts.crit, Obj: obj})
+	ts.critObj = 0
+	ts.crit = 0
+}
+
+// runVersion executes one method activation inside a task, mirroring
+// rt.callVersion's lock and dispatch policy while recording events.
+func (c *collector) runVersion(task *Task, m *types.Method, recv *interp.Object, args []interp.Value, ver execVersion) error {
+	mp := c.plan.Methods[m]
+	ts := &taskState{task: task}
+
+	if mp == nil || !mp.Parallel {
+		// Plain serial execution inside the task.
+		ctx := c.ip.NewCtx()
+		ctx.Charge = ts.charge
+		_, err := c.ip.Call(ctx, m, recv, args)
+		ts.flushCompute()
+		return err
+	}
+
+	locked := mp.NeedsLock && recv != nil
+	if locked && c.plan.Opt.ReplicateAccumulators && mp.Replicable {
+		// §6.3.4 replication: the accumulations run against a
+		// per-processor replica — no lock, no contention; the region
+		// pays a reduction at the end.
+		locked = false
+		if c.replicated != nil {
+			c.replicated[recv.ID] = true
+		}
+	}
+	var lockObj int64
+	if locked {
+		lockObj = recv.ID
+		ts.beginCrit(lockObj)
+	}
+	releaseBeforeSpawn := locked && !mp.HoldsLockThrough
+
+	ctx := c.ip.NewCtx()
+	ctx.Charge = ts.charge
+	ctx.Invoke = func(site *types.CallSite, r2 *interp.Object, a2 []interp.Value) (interp.Value, error) {
+		switch mp.Site[site.ID] {
+		case codegen.ActionInline, codegen.ActionHoisted:
+			// Auxiliary / hoisted nested operations: inline; their
+			// units accrue to the current (possibly critical) segment.
+			return c.ip.Call(ctx, site.Callee, r2, a2)
+		case codegen.ActionSpawn:
+			if releaseBeforeSpawn {
+				ts.endCrit(lockObj)
+			}
+			if ver == mutexVersion {
+				// Serial invocation of the mutex version: its lock
+				// appears as a crit in this same task.
+				ts.flushCompute()
+				sub := &Task{}
+				if err := c.runVersion(sub, site.Callee, r2, a2, mutexVersion); err != nil {
+					return nil, err
+				}
+				task.Events = append(task.Events, sub.Events...)
+				return nil, nil
+			}
+			ts.flushCompute()
+			child := &Task{}
+			if err := c.runVersion(child, site.Callee, r2, a2, parVersion); err != nil {
+				return nil, err
+			}
+			task.Events = append(task.Events, Event{Kind: EvSpawn, Child: child})
+			return nil, nil
+		default:
+			return c.ip.Call(ctx, site.Callee, r2, a2)
+		}
+	}
+	ctx.ForLoop = func(fs *ast.ForStmt, fr *interp.Frame, from, to, step int64) (bool, error) {
+		lp := c.plan.Loops[fs]
+		if lp == nil || !lp.Parallel {
+			return false, nil
+		}
+		if ver == mutexVersion && !c.plan.Opt.DisableSuppression {
+			return false, nil
+		}
+		if releaseBeforeSpawn {
+			ts.endCrit(lockObj)
+		}
+		ts.flushCompute()
+		loopVar := interp.LoopVar(fs)
+		var iters []*Task
+		for i := from; i < to; i += step {
+			iter := &Task{}
+			its := &taskState{task: iter}
+			ictx := c.iterCtx(its)
+			if err := c.ip.RunLoopIteration(ictx, fr, fs, loopVar, i); err != nil {
+				return true, err
+			}
+			its.flushCompute()
+			iters = append(iters, iter)
+		}
+		task.Events = append(task.Events, Event{Kind: EvLoop, Iters: iters})
+		return true, nil
+	}
+
+	_, err := c.ip.Call(ctx, m, recv, args)
+	if locked {
+		ts.endCrit(lockObj)
+	}
+	ts.flushCompute()
+	return err
+}
+
+// iterCtx executes one parallel-loop iteration (mutex semantics).
+func (c *collector) iterCtx(ts *taskState) *interp.Ctx {
+	ctx := c.ip.NewCtx()
+	ctx.Charge = ts.charge
+	ctx.Invoke = func(site *types.CallSite, recv *interp.Object, args []interp.Value) (interp.Value, error) {
+		mp := c.plan.Methods[site.Caller]
+		if mp != nil && mp.Site[site.ID] == codegen.ActionInline {
+			return c.ip.Call(ctx, site.Callee, recv, args)
+		}
+		cp := c.plan.Methods[site.Callee]
+		if cp != nil && cp.Parallel {
+			ts.flushCompute()
+			sub := &Task{}
+			if err := c.runVersion(sub, site.Callee, recv, args, mutexVersion); err != nil {
+				return nil, err
+			}
+			ts.task.Events = append(ts.task.Events, sub.Events...)
+			return nil, nil
+		}
+		return c.ip.Call(ctx, site.Callee, recv, args)
+	}
+	return ctx
+}

@@ -1,0 +1,127 @@
+package tracer_test
+
+import (
+	"testing"
+
+	"commute/internal/apps/src"
+	"commute/internal/codegen"
+	"commute/internal/core"
+	"commute/internal/frontend/parser"
+	"commute/internal/frontend/types"
+	"commute/internal/interp"
+	"commute/internal/tracer"
+)
+
+func setup(t *testing.T, source string) (*types.Program, *codegen.Plan) {
+	t.Helper()
+	f, err := parser.Parse("app.mc", source)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	prog, err := types.Check(f)
+	if err != nil {
+		t.Fatalf("check: %v", err)
+	}
+	return prog, codegen.Build(core.New(prog))
+}
+
+// TestUnitConservation: the trace accounts for (essentially) the work
+// the serial interpreter charges — partitioning the execution into
+// phases and tasks neither creates nor loses cost. The two execution
+// strategies differ slightly in loop-header bookkeeping (a parallel
+// loop evaluates its bound once instead of re-evaluating the condition
+// per iteration, and the dispatcher probes counted-loop headers), so
+// we allow 1.5%.
+func TestUnitConservation(t *testing.T) {
+	for _, source := range []string{src.Graph, src.BarnesHut, src.Water} {
+		prog, plan := setup(t, source)
+
+		ipSerial := interp.New(prog, nil)
+		ctx := ipSerial.NewCtx()
+		if err := ipSerial.Run(ctx); err != nil {
+			t.Fatalf("serial: %v", err)
+		}
+		serialUnits := ctx.Cost
+
+		ipTrace := interp.New(prog, nil)
+		tr, err := tracer.Collect(ipTrace, plan)
+		if err != nil {
+			t.Fatalf("collect: %v", err)
+		}
+		traced := tr.SerialUnits() + tr.ParallelUnits()
+		diff := float64(traced-serialUnits) / float64(serialUnits)
+		if diff < 0 {
+			diff = -diff
+		}
+		if diff > 0.015 {
+			t.Errorf("units: traced %d vs serial %d (%.2f%% off)", traced, serialUnits, 100*diff)
+		}
+	}
+}
+
+// TestCritEventsWellFormed: critical sections have positive duration
+// and real object identities; loops contain no spawn events (mutex
+// semantics).
+func TestCritEventsWellFormed(t *testing.T) {
+	prog, plan := setup(t, src.Water)
+	ip := interp.New(prog, nil)
+	tr, err := tracer.Collect(ip, plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var crits, loops int
+	var walk func(task *tracer.Task, inLoop bool)
+	walk = func(task *tracer.Task, inLoop bool) {
+		for _, e := range task.Events {
+			switch e.Kind {
+			case tracer.EvCrit:
+				crits++
+				if e.Obj == 0 {
+					t.Fatal("crit with zero object id")
+				}
+				if e.Units < 0 {
+					t.Fatal("negative crit duration")
+				}
+			case tracer.EvSpawn:
+				if inLoop {
+					t.Fatal("spawn inside a parallel-loop iteration (mutex semantics violated)")
+				}
+				walk(e.Child, inLoop)
+			case tracer.EvLoop:
+				loops++
+				for _, it := range e.Iters {
+					walk(it, true)
+				}
+			}
+		}
+	}
+	for _, ph := range tr.Phases {
+		if ph.Root != nil {
+			walk(ph.Root, false)
+		}
+	}
+	if crits == 0 {
+		t.Error("no critical sections recorded for Water")
+	}
+	if loops != 10 { // 5 phases × 2 steps
+		t.Errorf("parallel loops = %d, want 10", loops)
+	}
+}
+
+// TestTracerDeterministic: collecting twice yields identical structure.
+func TestTracerDeterministic(t *testing.T) {
+	prog, plan := setup(t, src.BarnesHut)
+	sig := func() (int, int64, int64) {
+		ip := interp.New(prog, nil)
+		tr, err := tracer.Collect(ip, plan)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return len(tr.Phases), tr.SerialUnits(), tr.ParallelUnits()
+	}
+	p1, s1, u1 := sig()
+	p2, s2, u2 := sig()
+	if p1 != p2 || s1 != s2 || u1 != u2 {
+		t.Errorf("nondeterministic trace: (%d,%d,%d) vs (%d,%d,%d)", p1, s1, u1, p2, s2, u2)
+	}
+}
