@@ -15,6 +15,7 @@ import (
 	"os"
 	"strconv"
 	"strings"
+	"time"
 
 	"commute/internal/bench"
 )
@@ -38,6 +39,7 @@ func main() {
 	mols := flag.String("mols", "", "Water molecule counts, e.g. 125,216")
 	procsFlag := flag.String("procs", "", "processor counts, e.g. 1,2,4,8,16,32")
 	list := flag.Bool("list", false, "list experiment IDs and exit")
+	timeout := flag.Duration("timeout", 0, "abort the whole regeneration after this deadline (0: none)")
 	flag.Parse()
 
 	if *list {
@@ -72,11 +74,36 @@ func main() {
 	}
 
 	r := bench.NewRunner(cfg)
+	run := func() (string, error) {
+		if *exp == "" {
+			return r.RunAll()
+		}
+		return r.Run(*exp)
+	}
+
 	var out string
-	if *exp == "" {
-		out, err = r.RunAll()
+	if *timeout > 0 {
+		// The bench harness has no internal cancellation points, so the
+		// deadline is enforced from outside: a run that overshoots it is
+		// abandoned and the process exits non-zero instead of hanging.
+		type result struct {
+			out string
+			err error
+		}
+		ch := make(chan result, 1)
+		go func() {
+			o, e := run()
+			ch <- result{o, e}
+		}()
+		select {
+		case res := <-ch:
+			out, err = res.out, res.err
+		case <-time.After(*timeout):
+			fmt.Fprintf(os.Stderr, "benchmark run exceeded deadline %v\n", *timeout)
+			os.Exit(1)
+		}
 	} else {
-		out, err = r.Run(*exp)
+		out, err = run()
 	}
 	if out != "" {
 		fmt.Println(out)

@@ -7,10 +7,12 @@
 //
 //	commuterun -mode serial   file.mc
 //	commuterun -mode parallel -workers 8 file.mc
+//	commuterun -mode parallel -timeout 10s -fallback file.mc
 //	commuterun -mode simulate -procs 1,2,4,8,16,32 -app water
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -27,6 +29,9 @@ func main() {
 	workers := flag.Int("workers", 4, "worker count for -mode parallel")
 	procs := flag.String("procs", "1,2,4,8,16,32", "processor counts for -mode simulate")
 	app := flag.String("app", "", "run a built-in application (barneshut, water, graph)")
+	timeout := flag.Duration("timeout", 0, "abort execution after this wall-clock deadline (0: none)")
+	fallback := flag.Bool("fallback", false, "re-run a failed parallel region with the serial version")
+	maxSteps := flag.Int64("maxsteps", 0, "abort after this many interpreter statements (0: unlimited)")
 	flag.Parse()
 
 	var name, source string
@@ -63,10 +68,17 @@ func main() {
 		os.Exit(1)
 	}
 
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+
 	switch *mode {
 	case "serial":
 		start := time.Now()
-		if _, err := sys.RunSerial(os.Stdout); err != nil {
+		if _, err := sys.RunSerialContext(ctx, os.Stdout); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
@@ -74,7 +86,12 @@ func main() {
 
 	case "parallel":
 		start := time.Now()
-		_, stats, err := sys.RunParallel(*workers, os.Stdout)
+		opts := commute.RunOptions{
+			Workers:        *workers,
+			SerialFallback: *fallback,
+			MaxSteps:       *maxSteps,
+		}
+		_, stats, err := sys.RunParallelOpts(ctx, opts, os.Stdout)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
@@ -83,6 +100,10 @@ func main() {
 		fmt.Printf("regions=%d loops=%d chunks=%d iterations=%d tasks=%d locks=%d\n",
 			stats.Regions, stats.ParallelLoops, stats.Chunks,
 			stats.Iterations, stats.Tasks, stats.LockAcquires)
+		if stats.TaskPanics > 0 || stats.SerialFallbacks > 0 {
+			fmt.Printf("panics isolated=%d serial fallbacks=%d\n",
+				stats.TaskPanics, stats.SerialFallbacks)
+		}
 
 	case "simulate":
 		tr, err := sys.Trace()

@@ -24,8 +24,10 @@
 package commute
 
 import (
+	"context"
 	"fmt"
 	"io"
+	"time"
 
 	"commute/internal/codegen"
 	"commute/internal/core"
@@ -132,16 +134,80 @@ func (s *System) ParallelMethods() []string {
 // RunSerial executes the program serially (the original semantics) and
 // returns the interpreter for state inspection.
 func (s *System) RunSerial(out io.Writer) (*interp.Interp, error) {
+	return s.RunSerialContext(context.Background(), out)
+}
+
+// RunSerialContext executes the program serially under ctx: a deadline
+// or cancellation on ctx aborts execution between statements, so a
+// runaway program returns an error instead of hanging the caller.
+func (s *System) RunSerialContext(ctx context.Context, out io.Writer) (*interp.Interp, error) {
 	ip := interp.New(s.Prog, out)
-	return ip, ip.Run(ip.NewCtx())
+	c := ip.NewCtx()
+	if ctx != nil && ctx.Done() != nil {
+		c.Interrupt = func() error {
+			if ctx.Err() != nil {
+				return context.Cause(ctx)
+			}
+			return nil
+		}
+	}
+	return ip, ip.Run(c)
 }
 
 // RunParallel executes the program with the generated parallel code on
 // a goroutine-backed runtime with the given number of workers.
 func (s *System) RunParallel(workers int, out io.Writer) (*interp.Interp, *rt.Stats, error) {
+	return s.RunParallelOpts(context.Background(), RunOptions{Workers: workers}, out)
+}
+
+// RunOptions configures hardened parallel execution.
+type RunOptions struct {
+	// Workers is the goroutine worker count (min 1).
+	Workers int
+	// Timeout, when positive, bounds the run's wall-clock time; on
+	// expiry the runtime drains its pools and returns
+	// context.DeadlineExceeded.
+	Timeout time.Duration
+	// SerialFallback re-executes a parallel region with the original
+	// serial version when the region fails with an infrastructure
+	// fault (see rt.Runtime.SerialFallback for the exactness caveat).
+	SerialFallback bool
+	// MaxSteps bounds interpreter statements across the run
+	// (0: unlimited) — a deterministic guard against runaway programs.
+	MaxSteps int64
+	// MaxDepth bounds method-activation depth
+	// (0: interp.DefaultMaxDepth).
+	MaxDepth int
+	// LazySpawnThreshold enables lazy task creation (see
+	// rt.Runtime.LazySpawnThreshold).
+	LazySpawnThreshold int
+	// Faults injects deterministic faults at the runtime's concurrency
+	// boundaries (testing the failure paths).
+	Faults *rt.FaultPlan
+}
+
+// RunParallelOpts executes the program on the hardened parallel
+// runtime: panics inside the parallel region surface as *rt.TaskError,
+// ctx cancellation and the Timeout/MaxSteps guards abort runaway
+// programs, and SerialFallback degrades failed regions to serial
+// re-execution.
+func (s *System) RunParallelOpts(ctx context.Context, opts RunOptions, out io.Writer) (*interp.Interp, *rt.Stats, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if opts.Timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, opts.Timeout)
+		defer cancel()
+	}
 	ip := interp.New(s.Prog, out)
-	r := rt.New(ip, s.Plan, workers)
-	err := r.Run()
+	r := rt.New(ip, s.Plan, opts.Workers)
+	r.SerialFallback = opts.SerialFallback
+	r.MaxSteps = opts.MaxSteps
+	r.MaxDepth = opts.MaxDepth
+	r.LazySpawnThreshold = opts.LazySpawnThreshold
+	r.Faults = opts.Faults
+	err := r.RunContext(ctx)
 	return ip, &r.Stats, err
 }
 

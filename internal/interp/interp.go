@@ -52,12 +52,57 @@ type Ctx struct {
 	// callback runs one iteration.
 	ForLoop func(fs *ast.ForStmt, fr *Frame, from, to, step int64) (handled bool, err error)
 
+	// Interrupt, when non-nil, is polled every InterruptStride
+	// statements; a non-nil result aborts execution with that error.
+	// Cancellation and deadlines reach user code through this hook, so
+	// an infinite loop in a user program returns an error instead of
+	// hanging the process.
+	Interrupt func() error
+	// MaxSteps bounds the statements executed under this context
+	// (0: unlimited). Exceeding it is a RuntimeError, giving callers a
+	// deterministic guard against runaway programs.
+	MaxSteps int64
+	// MaxDepth bounds the method-activation depth (0: DefaultMaxDepth).
+	// Unbounded recursion in a user program returns a RuntimeError
+	// instead of overflowing the goroutine stack.
+	MaxDepth int
+	// Depth is the current activation depth. Parallel executors seed it
+	// when deriving a context mid-computation so inline recursion keeps
+	// counting across derived contexts.
+	Depth int
+
 	// Cost is the default cost accumulator.
 	Cost int64
+
+	steps int64
 }
+
+// InterruptStride is how many statements execute between Interrupt
+// polls: frequent enough that a cancelled tight loop stops in
+// microseconds, rare enough that the poll doesn't show up in profiles.
+const InterruptStride = 64
+
+// DefaultMaxDepth is the activation-depth limit when Ctx.MaxDepth is
+// zero. Deep enough for the applications' recursive traversals, shallow
+// enough that the interpreter's Go-stack usage stays far from overflow.
+const DefaultMaxDepth = 4096
 
 // NewCtx returns a serial execution context.
 func (ip *Interp) NewCtx() *Ctx { return &Ctx{IP: ip} }
+
+// step enforces the statement budget and polls the interrupt hook.
+func (c *Ctx) step() error {
+	c.steps++
+	if c.MaxSteps > 0 && c.steps > c.MaxSteps {
+		return rtErrf("step budget of %d statements exhausted", c.MaxSteps)
+	}
+	if c.Interrupt != nil && c.steps%InterruptStride == 0 {
+		if err := c.Interrupt(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
 
 func (c *Ctx) charge(units int64) {
 	if c.Charge != nil {
@@ -74,6 +119,9 @@ type Frame struct {
 	vars   map[string]Value
 	ctx    *Ctx
 }
+
+// Method reports the frame's executing method (runtime diagnostics).
+func (fr *Frame) Method() *types.Method { return fr.method }
 
 // returnValue signals a return through the statement walkers.
 type returnValue struct {
@@ -94,6 +142,15 @@ func (ip *Interp) Call(ctx *Ctx, m *types.Method, this *Object, args []Value) (V
 	if m.Def == nil {
 		return nil, rtErrf("%s has no definition", m.FullName())
 	}
+	maxDepth := ctx.MaxDepth
+	if maxDepth <= 0 {
+		maxDepth = DefaultMaxDepth
+	}
+	if ctx.Depth >= maxDepth {
+		return nil, rtErrf("recursion depth limit of %d activations exceeded calling %s", maxDepth, m.FullName())
+	}
+	ctx.Depth++
+	defer func() { ctx.Depth-- }()
 	fr := &Frame{method: m, this: this, vars: make(map[string]Value, len(m.Params)+len(m.Locals)), ctx: ctx}
 	for i, p := range m.Params {
 		if i < len(args) {
@@ -115,6 +172,9 @@ func (ip *Interp) Call(ctx *Ctx, m *types.Method, this *Object, args []Value) (V
 // return.
 func (ip *Interp) execStmt(fr *Frame, s ast.Stmt) (*returnValue, error) {
 	fr.ctx.charge(costStmt)
+	if err := fr.ctx.step(); err != nil {
+		return nil, err
+	}
 	switch st := s.(type) {
 	case *ast.Block:
 		for _, sub := range st.Stmts {

@@ -1,0 +1,48 @@
+package rt
+
+import (
+	"fmt"
+	"runtime/debug"
+)
+
+// TaskError is a Go-level panic captured inside a parallel region:
+// in a spawned task, a GSS loop worker, or the region's root
+// activation. Panic isolation converts what would kill the process
+// into a value on the runtime's first-error-wins path, so the caller
+// of Run sees a structured error and the process survives.
+type TaskError struct {
+	// Origin names the execution structure that panicked: "task"
+	// (pool worker running a spawned operation), "loop" (guided
+	// self-scheduling worker), or "region" (the root activation of a
+	// parallel region, which runs on the caller's goroutine).
+	Origin string
+	// Method is the full name of the method the failed structure was
+	// executing, when known.
+	Method string
+	// Value is the recovered panic value.
+	Value any
+	// Stack is the goroutine stack captured at recovery.
+	Stack string
+}
+
+func (e *TaskError) Error() string {
+	if e.Method != "" {
+		return fmt.Sprintf("panic in parallel %s running %s: %v", e.Origin, e.Method, e.Value)
+	}
+	return fmt.Sprintf("panic in parallel %s: %v", e.Origin, e.Value)
+}
+
+// Unwrap exposes a panic value that was itself an error (notably an
+// InjectedFault) to errors.Is / errors.As.
+func (e *TaskError) Unwrap() error {
+	if err, ok := e.Value.(error); ok {
+		return err
+	}
+	return nil
+}
+
+// newTaskError captures the current stack; call it from inside the
+// deferred recover.
+func newTaskError(origin, method string, value any) *TaskError {
+	return &TaskError{Origin: origin, Method: method, Value: value, Stack: string(debug.Stack())}
+}

@@ -3,9 +3,20 @@
 // (spawn/wait), per-object mutual exclusion locks, and guided
 // self-scheduling for parallel loops — implemented with goroutine
 // worker pools. It executes a checked program under a codegen.Plan.
+//
+// The runtime is hardened against mid-region failure: panics in
+// spawned tasks, GSS loop workers, and region roots are isolated into
+// TaskError values; a caller context's cancellation or deadline drains
+// the pools promptly; and a failed region can optionally degrade to
+// the original serial version (SerialFallback). A FaultPlan injects
+// deterministic faults at the concurrency boundaries to test all of
+// this.
 package rt
 
 import (
+	"context"
+	"errors"
+	"fmt"
 	"sync"
 	"sync/atomic"
 
@@ -16,7 +27,7 @@ import (
 )
 
 // Stats counts run-time events (the raw material for Tables 5, 6 and
-// 11).
+// 11) plus the hardening layer's failure-handling events.
 type Stats struct {
 	ParallelLoops int64 // parallel loop executions
 	Chunks        int64 // GSS chunks claimed
@@ -25,6 +36,9 @@ type Stats struct {
 	LazyInlines   int64 // spawns absorbed inline by lazy task creation
 	LockAcquires  int64 // object-section lock acquisitions
 	Regions       int64 // serial→parallel region transitions
+
+	TaskPanics      int64 // panics captured and isolated as TaskError
+	SerialFallbacks int64 // regions re-executed serially after a fault
 }
 
 // Runtime executes a program in parallel according to a plan.
@@ -41,11 +55,41 @@ type Runtime struct {
 	// creates a task).
 	LazySpawnThreshold int
 
+	// SerialFallback re-executes a parallel region with the original
+	// serial version when the region fails with an infrastructure
+	// fault (a captured panic, or a cancellation raised below a
+	// still-live caller) rather than a user-program error. The region
+	// is re-run from its entry point: effects already applied by
+	// completed tasks are not rolled back, so the fallback is exact
+	// when the fault preceded any task effects (the case the fault
+	// harness exercises) or when the region's operations are
+	// idempotent. Recorded in Stats.SerialFallbacks.
+	SerialFallback bool
+
+	// MaxSteps bounds interpreter statements across the whole run
+	// (0: unlimited), measured at interp.InterruptStride granularity —
+	// a deterministic guard against runaway programs that complements
+	// wall-clock deadlines.
+	MaxSteps int64
+
+	// MaxDepth bounds method-activation depth on any single goroutine
+	// (0: interp.DefaultMaxDepth).
+	MaxDepth int
+
+	// Faults, when non-nil, injects deterministic panics, delays, and
+	// cancellations at the runtime's concurrency boundaries (tests).
+	Faults *FaultPlan
+
 	Stats Stats
 
-	errOnce sync.Once
-	err     error
-	failed  atomic.Bool
+	parent context.Context
+	runCtx context.Context
+	cancel context.CancelCauseFunc
+	steps  atomic.Int64
+
+	errMu  sync.Mutex
+	err    error
+	failed atomic.Bool
 }
 
 // New returns a runtime with the given worker count.
@@ -56,56 +100,171 @@ func New(ip *interp.Interp, plan *codegen.Plan, workers int) *Runtime {
 	return &Runtime{IP: ip, Plan: plan, Workers: workers}
 }
 
+// setErr records err on the first-error-wins path.
 func (rt *Runtime) setErr(err error) {
 	if err == nil {
 		return
 	}
-	rt.errOnce.Do(func() { rt.err = err })
+	rt.errMu.Lock()
+	if rt.err == nil {
+		rt.err = err
+	}
+	rt.errMu.Unlock()
 	rt.failed.Store(true)
 }
 
-// Run executes main: serial code runs inline; calls to parallel methods
-// open parallel regions.
-func (rt *Runtime) Run() error {
+func (rt *Runtime) firstErr() error {
+	rt.errMu.Lock()
+	defer rt.errMu.Unlock()
+	return rt.err
+}
+
+// clearErr resets the error path before a serial fallback re-run.
+func (rt *Runtime) clearErr() {
+	rt.errMu.Lock()
+	rt.err = nil
+	rt.errMu.Unlock()
+	rt.failed.Store(false)
+}
+
+// cancelled reports the run's cancellation cause, if any.
+func (rt *Runtime) cancelled() error {
+	if rt.runCtx == nil {
+		return nil
+	}
+	if rt.runCtx.Err() != nil {
+		return context.Cause(rt.runCtx)
+	}
+	return nil
+}
+
+// interrupt is the hook the interpreter polls between statements: it
+// surfaces cancellation and the global step budget into user-code
+// loops, and aborts sibling work promptly once the region has failed.
+func (rt *Runtime) interrupt() error {
+	if rt.failed.Load() {
+		if err := rt.firstErr(); err != nil {
+			return err
+		}
+	}
+	if err := rt.cancelled(); err != nil {
+		return err
+	}
+	if rt.MaxSteps > 0 && rt.steps.Add(interp.InterruptStride) > rt.MaxSteps {
+		return &interp.RuntimeError{Msg: fmt.Sprintf("run step budget of %d statements exhausted", rt.MaxSteps)}
+	}
+	return nil
+}
+
+// guardedCtx returns an execution context wired to the runtime's
+// interrupt hook and depth guard, seeded at the given activation
+// depth.
+func (rt *Runtime) guardedCtx(depth int) *interp.Ctx {
+	ctx := rt.IP.NewCtx()
+	ctx.Interrupt = rt.interrupt
+	ctx.MaxDepth = rt.MaxDepth
+	ctx.Depth = depth
+	return ctx
+}
+
+// Run executes main with no caller context (no deadline).
+func (rt *Runtime) Run() error { return rt.RunContext(context.Background()) }
+
+// RunContext executes main under parent: serial code runs inline;
+// calls to parallel methods open parallel regions. Cancellation or
+// deadline expiry on parent aborts the run promptly — it is observed
+// at task-start and chunk-claim boundaries and, via the interpreter's
+// interrupt hook, inside long-running statement loops.
+func (rt *Runtime) RunContext(parent context.Context) error {
 	if rt.IP.Prog.Main == nil {
 		return &interp.RuntimeError{Msg: "program has no main function"}
 	}
-	ctx := rt.serialCtx()
-	_, err := rt.IP.Call(ctx, rt.IP.Prog.Main, nil, nil)
-	if err != nil {
-		return err
-	}
-	return rt.err
+	rt.parent = parent
+	rt.runCtx, rt.cancel = context.WithCancelCause(parent)
+	defer func() { rt.cancel(nil) }()
+	_, err := rt.IP.Call(rt.serialCtx(), rt.IP.Prog.Main, nil, nil)
+	rt.setErr(err)
+	return rt.firstErr()
 }
 
 // serialCtx executes serial code, opening a parallel region when a
 // parallel method that actually generates concurrency is invoked.
 func (rt *Runtime) serialCtx() *interp.Ctx {
-	ctx := rt.IP.NewCtx()
+	ctx := rt.guardedCtx(0)
 	ctx.Invoke = func(site *types.CallSite, recv *interp.Object, args []interp.Value) (interp.Value, error) {
 		mp := rt.Plan.Methods[site.Callee]
 		if mp != nil && mp.Parallel && rt.Plan.GeneratesConcurrency(site.Callee) {
-			// The serial version of a parallel method invokes the
-			// parallel version and blocks until the region completes.
-			atomic.AddInt64(&rt.Stats.Regions, 1)
-			pool := newPool(rt)
-			err := rt.callVersion(pool, site.Callee, recv, args, versionParallel)
-			pool.wait()
-			if err != nil {
-				return nil, err
-			}
-			return nil, rt.regionErr(pool)
+			return nil, rt.runRegion(site, recv, args)
 		}
 		return rt.IP.Call(ctx, site.Callee, recv, args)
 	}
 	return ctx
 }
 
-func (rt *Runtime) regionErr(p *pool) error {
-	if rt.failed.Load() {
-		return rt.err
+// runRegion executes one serial→parallel region transition: the serial
+// version of a parallel method invokes the parallel version and blocks
+// until the region completes. All region error handling lives here —
+// the root activation runs under panic isolation, the pool is always
+// drained, and a failed region may degrade to the original serial
+// version.
+func (rt *Runtime) runRegion(site *types.CallSite, recv *interp.Object, args []interp.Value) error {
+	atomic.AddInt64(&rt.Stats.Regions, 1)
+	pool := newPool(rt)
+	err := rt.protect("region", site.Callee.FullName(), func() error {
+		return rt.callVersion(pool, site.Callee, recv, args, versionParallel, 0)
+	})
+	pool.wait()
+	rt.setErr(err)
+	ferr := rt.firstErr()
+	if ferr == nil {
+		return nil
 	}
-	return nil
+	if !rt.SerialFallback || !rt.fallbackEligible(ferr) {
+		return ferr
+	}
+	// Graceful degradation: the parallel schedule failed but the
+	// computation itself did not — re-execute the region with the
+	// original serial version so the caller still gets an answer.
+	atomic.AddInt64(&rt.Stats.SerialFallbacks, 1)
+	rt.clearErr()
+	if rt.runCtx.Err() != nil {
+		// The fault cancelled the run below a still-live caller
+		// (injected cancellation): re-arm the run context so the
+		// serial re-run is not stillborn.
+		rt.runCtx, rt.cancel = context.WithCancelCause(rt.parent)
+	}
+	serr := rt.callVersion(nil, site.Callee, recv, args, versionSerial, 0)
+	rt.setErr(serr)
+	return serr
+}
+
+// fallbackEligible decides whether a failed region may degrade to
+// serial re-execution: infrastructure faults (captured panics, or a
+// cancellation raised from inside the run while the caller's own
+// context is still live) are retryable; user-program semantic errors
+// are not — the serial version would fail identically — and neither is
+// a failure the caller caused by cancelling or timing out.
+func (rt *Runtime) fallbackEligible(err error) bool {
+	if rt.parent != nil && rt.parent.Err() != nil {
+		return false
+	}
+	var te *TaskError
+	if errors.As(err, &te) {
+		return true
+	}
+	return errors.Is(err, ErrInjectedCancel)
+}
+
+// protect runs f under panic isolation: a panic becomes a TaskError
+// instead of unwinding past the runtime.
+func (rt *Runtime) protect(origin, method string, f func() error) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			atomic.AddInt64(&rt.Stats.TaskPanics, 1)
+			err = newTaskError(origin, method, r)
+		}
+	}()
+	return f()
 }
 
 // version selects which generated variant of a method executes.
@@ -118,15 +277,18 @@ const (
 )
 
 // callVersion executes one method activation under the chosen version,
-// handling lock acquisition/release per the plan.
-func (rt *Runtime) callVersion(p *pool, m *types.Method, recv *interp.Object, args []interp.Value, ver version) error {
+// handling lock acquisition/release per the plan. depth seeds the
+// activation-depth guard: inline continuations (lazy spawns, mutex
+// versions) keep counting on the current goroutine stack, while
+// spawned tasks restart at zero on a fresh stack.
+func (rt *Runtime) callVersion(p *pool, m *types.Method, recv *interp.Object, args []interp.Value, ver version, depth int) error {
 	if rt.failed.Load() {
 		return nil
 	}
 	mp := rt.Plan.Methods[m]
 	if mp == nil || !mp.Parallel || ver == versionSerial {
 		// Plain serial execution (original version).
-		_, err := rt.IP.Call(rt.plainCtx(), m, recv, args)
+		_, err := rt.IP.Call(rt.guardedCtx(depth), m, recv, args)
 		rt.setErr(err)
 		return err
 	}
@@ -134,14 +296,23 @@ func (rt *Runtime) callVersion(p *pool, m *types.Method, recv *interp.Object, ar
 	locked := mp.NeedsLock && recv != nil
 	if locked {
 		atomic.AddInt64(&rt.Stats.LockAcquires, 1)
+		rt.injectLock()
 		recv.Mutex.Lock()
 	}
 	// Without hoisting the lock covers only the object section: it is
-	// released at the first spawned invocation.
+	// released at the first spawned invocation. The deferred release
+	// also runs when the activation panics, so panic isolation never
+	// strands a held lock (which would deadlock the region).
 	lockHeld := locked
 	releaseBeforeSpawn := locked && !mp.HoldsLockThrough
+	defer func() {
+		if lockHeld {
+			lockHeld = false
+			recv.Mutex.Unlock()
+		}
+	}()
 
-	ctx := rt.IP.NewCtx()
+	ctx := rt.guardedCtx(depth)
 	ctx.Invoke = func(site *types.CallSite, r2 *interp.Object, a2 []interp.Value) (interp.Value, error) {
 		switch mp.Site[site.ID] {
 		case codegen.ActionInline:
@@ -159,18 +330,18 @@ func (rt *Runtime) callVersion(p *pool, m *types.Method, recv *interp.Object, ar
 			}
 			if ver == versionMutex {
 				// Mutex versions execute invoked operations serially.
-				return nil, rt.callVersion(p, site.Callee, r2, a2, versionMutex)
+				return nil, rt.callVersion(p, site.Callee, r2, a2, versionMutex, ctx.Depth)
 			}
 			callee := site.Callee
 			if rt.LazySpawnThreshold > 0 && p.pendingCount() >= rt.LazySpawnThreshold {
 				// Lazy task creation: enough parallelism is already
 				// exposed; absorb the child into this task.
 				atomic.AddInt64(&rt.Stats.LazyInlines, 1)
-				return nil, rt.callVersion(p, callee, r2, a2, versionParallel)
+				return nil, rt.callVersion(p, callee, r2, a2, versionParallel, ctx.Depth)
 			}
 			atomic.AddInt64(&rt.Stats.Tasks, 1)
-			p.spawn(func() {
-				rt.setErr(rt.callVersion(p, callee, r2, a2, versionParallel))
+			p.spawn(callee.FullName(), func() {
+				rt.setErr(rt.callVersion(p, callee, r2, a2, versionParallel, 0))
 			})
 			return nil, nil
 		default:
@@ -190,28 +361,30 @@ func (rt *Runtime) callVersion(p *pool, m *types.Method, recv *interp.Object, ar
 	}
 
 	_, err := rt.IP.Call(ctx, m, recv, args)
-	if lockHeld {
-		recv.Mutex.Unlock()
-	}
 	rt.setErr(err)
 	return err
 }
 
-// plainCtx executes everything serially with no plan interpretation.
-func (rt *Runtime) plainCtx() *interp.Ctx { return rt.IP.NewCtx() }
-
 // parallelLoop runs a counted loop with guided self-scheduling across
-// the worker pool; iterations execute mutex versions (§5.2).
+// the worker pool; iterations execute mutex versions (§5.2). Each GSS
+// worker runs under panic isolation and observes cancellation and
+// region failure at chunk-claim boundaries.
 func (rt *Runtime) parallelLoop(p *pool, parent *interp.Ctx, fs *ast.ForStmt, fr *interp.Frame, from, to, step int64) error {
 	atomic.AddInt64(&rt.Stats.ParallelLoops, 1)
 	loopVar := interp.LoopVar(fs)
 	if loopVar == "" {
 		return &interp.RuntimeError{Msg: "parallel loop without a loop variable"}
 	}
+	if step <= 0 {
+		// A non-positive step would divide by zero in the chunk-size
+		// computation below (or claim chunks forever).
+		return &interp.RuntimeError{Msg: fmt.Sprintf("parallel loop at %s with non-positive step %d", fs.Pos(), step)}
+	}
 	total := (to - from + step - 1) / step
 	if total <= 0 {
 		return nil
 	}
+	label := fmt.Sprintf("%s (loop at %s)", fr.Method().FullName(), fs.Pos())
 	var next atomic.Int64
 	next.Store(from)
 	var wg sync.WaitGroup
@@ -219,12 +392,24 @@ func (rt *Runtime) parallelLoop(p *pool, parent *interp.Ctx, fs *ast.ForStmt, fr
 	if int64(workers) > total {
 		workers = int(total)
 	}
+	depth := parent.Depth
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			defer func() {
+				if r := recover(); r != nil {
+					atomic.AddInt64(&rt.Stats.TaskPanics, 1)
+					rt.setErr(newTaskError("loop", label, r))
+				}
+			}()
+			ctx := rt.mutexIterCtx(p, depth)
 			for {
 				if rt.failed.Load() {
+					return
+				}
+				if err := rt.interrupt(); err != nil {
+					rt.setErr(err)
 					return
 				}
 				// Guided self-scheduling: claim ⌈remaining/P⌉ iterations.
@@ -245,7 +430,7 @@ func (rt *Runtime) parallelLoop(p *pool, parent *interp.Ctx, fs *ast.ForStmt, fr
 					end = to
 				}
 				atomic.AddInt64(&rt.Stats.Chunks, 1)
-				ctx := rt.mutexIterCtx(p)
+				rt.injectChunk()
 				for i := start; i < end; i += step {
 					atomic.AddInt64(&rt.Stats.Iterations, 1)
 					if err := rt.IP.RunLoopIteration(ctx, fr, fs, loopVar, i); err != nil {
@@ -257,13 +442,13 @@ func (rt *Runtime) parallelLoop(p *pool, parent *interp.Ctx, fs *ast.ForStmt, fr
 		}()
 	}
 	wg.Wait()
-	return rt.err
+	return rt.firstErr()
 }
 
 // mutexIterCtx executes a parallel-loop iteration: direct invocations
 // run mutex versions.
-func (rt *Runtime) mutexIterCtx(p *pool) *interp.Ctx {
-	ctx := rt.IP.NewCtx()
+func (rt *Runtime) mutexIterCtx(p *pool, depth int) *interp.Ctx {
+	ctx := rt.guardedCtx(depth)
 	ctx.Invoke = func(site *types.CallSite, recv *interp.Object, args []interp.Value) (interp.Value, error) {
 		mp := rt.Plan.Methods[site.Caller]
 		if mp != nil && mp.Site[site.ID] == codegen.ActionInline {
@@ -271,7 +456,7 @@ func (rt *Runtime) mutexIterCtx(p *pool) *interp.Ctx {
 		}
 		cp := rt.Plan.Methods[site.Callee]
 		if cp != nil && cp.Parallel {
-			return nil, rt.callVersion(p, site.Callee, recv, args, versionMutex)
+			return nil, rt.callVersion(p, site.Callee, recv, args, versionMutex, ctx.Depth)
 		}
 		return rt.IP.Call(ctx, site.Callee, recv, args)
 	}
@@ -281,12 +466,18 @@ func (rt *Runtime) mutexIterCtx(p *pool) *interp.Ctx {
 // ---------------------------------------------------------------------
 // Task pool
 
+// task is one spawned operation with a label for diagnostics.
+type task struct {
+	label string
+	run   func()
+}
+
 // pool is a region-scoped worker pool with an unbounded task queue.
 type pool struct {
 	rt      *Runtime
 	mu      sync.Mutex
 	cond    *sync.Cond
-	queue   []func()
+	queue   []task
 	pending int  // queued + running tasks
 	done    bool // region shutting down
 }
@@ -309,10 +500,10 @@ func (p *pool) pendingCount() int {
 	return n
 }
 
-func (p *pool) spawn(f func()) {
+func (p *pool) spawn(label string, f func()) {
 	p.mu.Lock()
 	p.pending++
-	p.queue = append(p.queue, f)
+	p.queue = append(p.queue, task{label: label, run: f})
 	p.mu.Unlock()
 	p.cond.Signal()
 }
@@ -327,10 +518,10 @@ func (p *pool) worker() {
 			p.mu.Unlock()
 			return
 		}
-		f := p.queue[len(p.queue)-1]
+		t := p.queue[len(p.queue)-1]
 		p.queue = p.queue[:len(p.queue)-1]
 		p.mu.Unlock()
-		f()
+		p.runTask(t)
 		p.mu.Lock()
 		p.pending--
 		if p.pending == 0 {
@@ -338,6 +529,35 @@ func (p *pool) worker() {
 		}
 		p.mu.Unlock()
 	}
+}
+
+// runTask executes one spawned task under panic isolation. Once the
+// region has failed or the run is cancelled, remaining queued tasks
+// are drained without executing (first error wins; their effects would
+// be discarded anyway), which also lets pool.wait return promptly.
+func (p *pool) runTask(t task) {
+	rt := p.rt
+	defer func() {
+		if r := recover(); r != nil {
+			atomic.AddInt64(&rt.Stats.TaskPanics, 1)
+			rt.setErr(newTaskError("task", t.label, r))
+		}
+	}()
+	if rt.failed.Load() {
+		return
+	}
+	rt.injectSpawn()
+	// The full interrupt check (cancellation and step budget) runs at
+	// every task start: short-lived tasks never execute enough
+	// statements to reach the interpreter's poll stride, so without
+	// this an unbounded spawn chain would outlive the step budget. It
+	// runs after injection so an injected cancellation, like a real
+	// one, skips the task body before it can apply any effects.
+	if err := rt.interrupt(); err != nil {
+		rt.setErr(err)
+		return
+	}
+	t.run()
 }
 
 // wait blocks until all spawned tasks (including transitively spawned
