@@ -40,12 +40,33 @@ func main() {
 	procsFlag := flag.String("procs", "", "processor counts, e.g. 1,2,4,8,16,32")
 	list := flag.Bool("list", false, "list experiment IDs and exit")
 	timeout := flag.Duration("timeout", 0, "abort the whole regeneration after this deadline (0: none)")
+	jsonOut := flag.Bool("json", false, "measure real-execution performance and write BENCH_<rev>.json")
+	rev := flag.String("rev", "dev", "revision label for the -json output file")
+	outDir := flag.String("outdir", ".", "directory for the -json output file")
 	flag.Parse()
 
 	if *list {
 		for _, e := range bench.Experiments() {
 			fmt.Printf("%-18s %s\n", e.ID, e.Title)
 		}
+		return
+	}
+
+	if *jsonOut {
+		rep, err := bench.RunPerf(*rev)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		path, err := rep.WriteJSON(*outDir)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		for _, r := range rep.Results {
+			fmt.Printf("%-30s %12d ns/op %8d allocs/op\n", r.Name, r.NsPerOp, r.AllocsPerOp)
+		}
+		fmt.Printf("wrote %s\n", path)
 		return
 	}
 

@@ -22,6 +22,7 @@ import (
 
 	"commute"
 	"commute/internal/apps/src"
+	"commute/internal/rt"
 )
 
 func main() {
@@ -32,6 +33,7 @@ func main() {
 	timeout := flag.Duration("timeout", 0, "abort execution after this wall-clock deadline (0: none)")
 	fallback := flag.Bool("fallback", false, "re-run a failed parallel region with the serial version")
 	maxSteps := flag.Int64("maxsteps", 0, "abort after this many interpreter statements (0: unlimited)")
+	sched := flag.String("sched", "stealing", "task scheduler for -mode parallel: stealing | central")
 	flag.Parse()
 
 	var name, source string
@@ -91,15 +93,25 @@ func main() {
 			SerialFallback: *fallback,
 			MaxSteps:       *maxSteps,
 		}
+		switch *sched {
+		case "stealing":
+			opts.Sched = rt.SchedStealing
+		case "central":
+			opts.Sched = rt.SchedCentral
+		default:
+			fmt.Fprintf(os.Stderr, "unknown scheduler %q\n", *sched)
+			os.Exit(2)
+		}
 		_, stats, err := sys.RunParallelOpts(ctx, opts, os.Stdout)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
-		fmt.Printf("parallel execution (%d workers): %v\n", *workers, time.Since(start))
-		fmt.Printf("regions=%d loops=%d chunks=%d iterations=%d tasks=%d locks=%d\n",
+		fmt.Printf("parallel execution (%d workers, %s scheduler): %v\n", *workers, *sched, time.Since(start))
+		fmt.Printf("regions=%d loops=%d chunks=%d iterations=%d tasks=%d locks=%d steals=%d localpops=%d\n",
 			stats.Regions, stats.ParallelLoops, stats.Chunks,
-			stats.Iterations, stats.Tasks, stats.LockAcquires)
+			stats.Iterations, stats.Tasks, stats.LockAcquires,
+			stats.Steals, stats.LocalPops)
 		if stats.TaskPanics > 0 || stats.SerialFallbacks > 0 {
 			fmt.Printf("panics isolated=%d serial fallbacks=%d\n",
 				stats.TaskPanics, stats.SerialFallbacks)

@@ -181,6 +181,10 @@ type RunOptions struct {
 	// LazySpawnThreshold enables lazy task creation (see
 	// rt.Runtime.LazySpawnThreshold).
 	LazySpawnThreshold int
+	// Sched selects the task scheduler: work-stealing deques
+	// (rt.SchedStealing, the default) or the original central queue
+	// (rt.SchedCentral).
+	Sched rt.SchedMode
 	// Faults injects deterministic faults at the runtime's concurrency
 	// boundaries (testing the failure paths).
 	Faults *rt.FaultPlan
@@ -206,6 +210,7 @@ func (s *System) RunParallelOpts(ctx context.Context, opts RunOptions, out io.Wr
 	r.MaxSteps = opts.MaxSteps
 	r.MaxDepth = opts.MaxDepth
 	r.LazySpawnThreshold = opts.LazySpawnThreshold
+	r.Sched = opts.Sched
 	r.Faults = opts.Faults
 	err := r.RunContext(ctx)
 	return ip, &r.Stats, err

@@ -1,0 +1,147 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"testing"
+
+	"commute"
+	"commute/internal/apps"
+	"commute/internal/rt"
+)
+
+// PerfResult is one measured experiment in machine-readable form.
+type PerfResult struct {
+	Name        string           `json:"name"`
+	NsPerOp     int64            `json:"ns_per_op"`
+	AllocsPerOp int64            `json:"allocs_per_op"`
+	BytesPerOp  int64            `json:"bytes_per_op"`
+	Iterations  int              `json:"iterations"`
+	Stats       map[string]int64 `json:"stats,omitempty"`
+}
+
+// PerfReport is the BENCH_<rev>.json payload: the performance
+// trajectory of the execution engine, comparable across PRs.
+type PerfReport struct {
+	Rev     string       `json:"rev"`
+	Go      string       `json:"go"`
+	OS      string       `json:"os"`
+	Arch    string       `json:"arch"`
+	CPUs    int          `json:"cpus"`
+	Workers int          `json:"workers"`
+	Results []PerfResult `json:"results"`
+}
+
+// perfWorkers is the worker count for the parallel perf experiments.
+const perfWorkers = 4
+
+// statsMap extracts the scheduler counters worth tracking across PRs.
+func statsMap(st *rt.Stats) map[string]int64 {
+	return map[string]int64{
+		"regions":    st.Regions,
+		"loops":      st.ParallelLoops,
+		"chunks":     st.Chunks,
+		"iterations": st.Iterations,
+		"tasks":      st.Tasks,
+		"lazy":       st.LazyInlines,
+		"locks":      st.LockAcquires,
+		"steals":     st.Steals,
+		"local_pops": st.LocalPops,
+	}
+}
+
+// RunPerf measures wall-clock execution of the real applications under
+// the serial interpreter and both parallel schedulers, sized for a
+// quick smoke run (seconds, not minutes). Each result carries ns/op
+// and allocs/op from testing.Benchmark plus the runtime's scheduler
+// counters from a representative run.
+func RunPerf(rev string) (*PerfReport, error) {
+	bh, err := apps.BarnesHut(256, 1)
+	if err != nil {
+		return nil, fmt.Errorf("barnes-hut: %w", err)
+	}
+	water, err := apps.Water(64, 1)
+	if err != nil {
+		return nil, fmt.Errorf("water: %w", err)
+	}
+
+	rep := &PerfReport{
+		Rev:     rev,
+		Go:      runtime.Version(),
+		OS:      runtime.GOOS,
+		Arch:    runtime.GOARCH,
+		CPUs:    runtime.NumCPU(),
+		Workers: perfWorkers,
+	}
+
+	type cse struct {
+		name  string
+		sys   *commute.System
+		sched rt.SchedMode
+		ser   bool
+	}
+	cases := []cse{
+		{"barneshut-serial", bh, 0, true},
+		{"barneshut-parallel-stealing", bh, rt.SchedStealing, false},
+		{"barneshut-parallel-central", bh, rt.SchedCentral, false},
+		{"water-serial", water, 0, true},
+		{"water-parallel-stealing", water, rt.SchedStealing, false},
+		{"water-parallel-central", water, rt.SchedCentral, false},
+	}
+	for _, c := range cases {
+		c := c
+		var runErr error
+		var lastStats *rt.Stats
+		res := testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if c.ser {
+					if _, err := c.sys.RunSerial(io.Discard); err != nil {
+						runErr = err
+						b.FailNow()
+					}
+					continue
+				}
+				opts := commute.RunOptions{Workers: perfWorkers, Sched: c.sched}
+				_, st, err := c.sys.RunParallelOpts(nil, opts, io.Discard)
+				if err != nil {
+					runErr = err
+					b.FailNow()
+				}
+				lastStats = st
+			}
+		})
+		if runErr != nil {
+			return nil, fmt.Errorf("%s: %w", c.name, runErr)
+		}
+		pr := PerfResult{
+			Name:        c.name,
+			NsPerOp:     res.NsPerOp(),
+			AllocsPerOp: res.AllocsPerOp(),
+			BytesPerOp:  res.AllocedBytesPerOp(),
+			Iterations:  res.N,
+		}
+		if lastStats != nil {
+			pr.Stats = statsMap(lastStats)
+		}
+		rep.Results = append(rep.Results, pr)
+	}
+	return rep, nil
+}
+
+// WriteJSON writes the report to BENCH_<rev>.json in dir and returns
+// the path.
+func (r *PerfReport) WriteJSON(dir string) (string, error) {
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return "", err
+	}
+	path := fmt.Sprintf("%s/BENCH_%s.json", dir, r.Rev)
+	if dir == "" || dir == "." {
+		path = fmt.Sprintf("BENCH_%s.json", r.Rev)
+	}
+	return path, os.WriteFile(path, append(data, '\n'), 0o644)
+}

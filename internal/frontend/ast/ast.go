@@ -159,10 +159,14 @@ type Block struct {
 }
 
 // DeclStmt declares a local variable with an optional initializer.
+// Slot (the method-frame slot) and Coerce (the initializer's store
+// coercion) are filled by the interpreter's resolution pass.
 type DeclStmt struct {
 	Name   string
 	Type   *TypeExpr
 	Init   Expr // may be nil
+	Slot   int32
+	Coerce Coercion
 	TokPos token.Pos
 }
 
@@ -226,6 +230,20 @@ type Expr interface {
 	exprNode()
 }
 
+// Coercion is the store-coercion kind precomputed by the interpreter's
+// resolution pass: what implicit numeric conversion a value assigned
+// through this node undergoes (int↔double per the dialect's rules).
+// Precomputing it removes the per-store type-table lookup from the
+// interpreter's hot path.
+type Coercion uint8
+
+// Store coercion kinds.
+const (
+	CoNone   Coercion = iota // store as-is
+	CoInt                    // truncate double to int
+	CoDouble                 // widen int to double
+)
+
 // SymKind classifies what an identifier resolved to.
 type SymKind int
 
@@ -242,10 +260,18 @@ const (
 // Ident is a name use. Sym and (for SymField) FieldClass are filled in by
 // the type checker. For SymField, the identifier behaves as
 // this->Name with the field declared in class FieldClass.
+//
+// Slot and Coerce are filled in by the interpreter's resolution pass
+// (interp.resolve): Slot is the frame slot (SymLocal/SymParam), the
+// object slot offset (SymField — static because the layout is
+// base-class-first), the constant-table index (SymConst), or the
+// global-table index (SymGlobal).
 type Ident struct {
 	Name       string
 	Sym        SymKind
 	FieldClass string // class where the field is declared (SymField)
+	Slot       int32
+	Coerce     Coercion
 	TokPos     token.Pos
 }
 
@@ -285,18 +311,24 @@ type StringLit struct {
 
 // FieldAccess is `X.Name` (Arrow=false) or `X->Name` (Arrow=true).
 // DeclClass (set by the type checker) is the class that declares Name.
+// Slot is the static object-slot offset of the field and Coerce the
+// store coercion, both filled by the interpreter's resolution pass.
 type FieldAccess struct {
 	X         Expr
 	Name      string
 	Arrow     bool
 	DeclClass string
+	Slot      int32
+	Coerce    Coercion
 	TokPos    token.Pos
 }
 
-// IndexExpr is `X[Index]`.
+// IndexExpr is `X[Index]`. Coerce (resolution pass) is the element
+// store coercion.
 type IndexExpr struct {
 	X      Expr
 	Index  Expr
+	Coerce Coercion
 	TokPos token.Pos
 }
 
@@ -318,15 +350,20 @@ type CallExpr struct {
 	TokPos  token.Pos
 }
 
-// NewExpr allocates a new object: `new cl`.
+// NewExpr allocates a new object: `new cl`. ClassIdx is the index of
+// the class in the program's declaration order (resolution pass).
 type NewExpr struct {
 	ClassName string
+	ClassIdx  int32
 	TokPos    token.Pos
 }
 
 // CastExpr is `dynamic_cast<cl*>(X)` (or the C-style `(cl*)X`).
+// ClassIdx is the target class's declaration-order index (resolution
+// pass).
 type CastExpr struct {
 	ClassName string
+	ClassIdx  int32
 	X         Expr
 	Dynamic   bool // true for dynamic_cast (runtime-checked, NULL on failure)
 	TokPos    token.Pos

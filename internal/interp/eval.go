@@ -41,20 +41,16 @@ func (ip *Interp) eval(fr *Frame, e ast.Expr) (Value, error) {
 	case *ast.Ident:
 		switch x.Sym {
 		case ast.SymLocal, ast.SymParam:
-			return fr.vars[x.Name], nil
+			return fr.vars[x.Slot], nil
 		case ast.SymConst:
-			cv := ip.Prog.Consts[x.Name]
-			if cv.IsInt {
-				return cv.I, nil
-			}
-			return cv.F, nil
+			return ip.res.consts[x.Slot], nil
 		case ast.SymGlobal:
-			return ip.Globals[x.Name], nil
+			return ip.globals[x.Slot], nil
 		case ast.SymField:
 			if fr.this == nil {
 				return nil, rtErrf("field %s accessed without a receiver", x.Name)
 			}
-			return fr.this.Slots[ip.layout.slot(fr.this.Class, x.FieldClass, x.Name)], nil
+			return fr.this.Slots[x.Slot], nil
 		}
 		return nil, rtErrf("unresolved identifier %s at %s", x.Name, x.Pos())
 
@@ -70,7 +66,7 @@ func (ip *Interp) eval(fr *Frame, e ast.Expr) (Value, error) {
 			}
 			return nil, rtErrf("field access on non-object at %s", x.Pos())
 		}
-		return obj.Slots[ip.layout.slot(obj.Class, x.DeclClass, x.Name)], nil
+		return obj.Slots[x.Slot], nil
 
 	case *ast.IndexExpr:
 		arrV, err := ip.eval(fr, x.X)
@@ -99,8 +95,7 @@ func (ip *Interp) eval(fr *Frame, e ast.Expr) (Value, error) {
 
 	case *ast.NewExpr:
 		fr.ctx.charge(costAlloc)
-		cl := ip.Prog.Classes[x.ClassName]
-		return ip.NewObject(cl), nil
+		return ip.NewObject(ip.res.classList[x.ClassIdx]), nil
 
 	case *ast.CastExpr:
 		v, err := ip.eval(fr, x.X)
@@ -114,7 +109,7 @@ func (ip *Interp) eval(fr *Frame, e ast.Expr) (Value, error) {
 		if !ok {
 			return nil, rtErrf("cast of non-object at %s", x.Pos())
 		}
-		target := ip.Prog.Classes[x.ClassName]
+		target := ip.res.classList[x.ClassIdx]
 		if obj.Class.InheritsFrom(target) {
 			return obj, nil
 		}
@@ -352,15 +347,13 @@ func (ip *Interp) store(fr *Frame, lhs ast.Expr, v Value) error {
 	case *ast.Ident:
 		switch x.Sym {
 		case ast.SymLocal, ast.SymParam:
-			t := ip.Prog.TypeOf(x)
-			fr.vars[x.Name] = coerce(t, v)
+			fr.vars[x.Slot] = coerceKind(x.Coerce, v)
 			return nil
 		case ast.SymField:
 			if fr.this == nil {
 				return rtErrf("field %s written without a receiver", x.Name)
 			}
-			slot := ip.layout.slot(fr.this.Class, x.FieldClass, x.Name)
-			fr.this.Slots[slot] = coerce(ip.Prog.TypeOf(x), v)
+			fr.this.Slots[x.Slot] = coerceKind(x.Coerce, v)
 			return nil
 		}
 		return rtErrf("cannot assign to %s", x.Name)
@@ -373,7 +366,7 @@ func (ip *Interp) store(fr *Frame, lhs ast.Expr, v Value) error {
 		if !ok {
 			return rtErrf("field store on non-object at %s", x.Pos())
 		}
-		obj.Slots[ip.layout.slot(obj.Class, x.DeclClass, x.Name)] = coerce(ip.Prog.TypeOf(x), v)
+		obj.Slots[x.Slot] = coerceKind(x.Coerce, v)
 		return nil
 	case *ast.IndexExpr:
 		arrV, err := ip.eval(fr, x.X)
@@ -392,7 +385,7 @@ func (ip *Interp) store(fr *Frame, lhs ast.Expr, v Value) error {
 		if !ok || i < 0 || int(i) >= len(arr.Elems) {
 			return rtErrf("index %v out of range at %s", idxV, x.Pos())
 		}
-		arr.Elems[i] = coerce(ip.Prog.TypeOf(x), v)
+		arr.Elems[i] = coerceKind(x.Coerce, v)
 		return nil
 	}
 	return rtErrf("unsupported assignment target at %s", lhs.Pos())

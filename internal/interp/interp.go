@@ -12,28 +12,34 @@ import (
 // Interp holds the immutable program and the global object store.
 type Interp struct {
 	Prog    *types.Program
-	layout  *layout
+	res     *resolution
+	globals []*Object // declaration order, indexed by SymGlobal Ident.Slot
 	Globals map[string]*Object
 	Out     io.Writer
 }
 
-// New allocates an interpreter with default-initialized globals.
+// New allocates an interpreter with default-initialized globals. The
+// program's slot resolution (frame slots, field offsets, constant and
+// global tables) is computed once per program and shared by every
+// interpreter instance.
 func New(prog *types.Program, out io.Writer) *Interp {
 	ip := &Interp{
 		Prog:    prog,
-		layout:  newLayout(prog),
+		res:     resolve(prog),
 		Globals: make(map[string]*Object),
 		Out:     out,
 	}
 	for _, g := range prog.GlobalSeq {
-		ip.Globals[g.Name] = ip.NewObject(g.Class)
+		o := ip.NewObject(g.Class)
+		ip.globals = append(ip.globals, o)
+		ip.Globals[g.Name] = o
 	}
 	return ip
 }
 
 // FieldSlot exposes slot resolution for the runtime and tests.
 func (ip *Interp) FieldSlot(cl *types.Class, declClass, field string) int {
-	return ip.layout.slot(cl, declClass, field)
+	return ip.res.layout.slot(cl, declClass, field)
 }
 
 // Ctx carries the execution strategy: cost accounting and the call /
@@ -112,11 +118,15 @@ func (c *Ctx) charge(units int64) {
 	c.Cost += units
 }
 
-// frame is one activation record.
+// Frame is one activation record. Variables live in a flat slot array
+// (parameters first, then locals in declaration order) — the slot of
+// every name use was resolved ahead of time, so access is an array
+// index, not a map lookup.
 type Frame struct {
 	method *types.Method
+	slots  *methodSlots
 	this   *Object
-	vars   map[string]Value
+	vars   []Value
 	ctx    *Ctx
 }
 
@@ -151,10 +161,11 @@ func (ip *Interp) Call(ctx *Ctx, m *types.Method, this *Object, args []Value) (V
 	}
 	ctx.Depth++
 	defer func() { ctx.Depth-- }()
-	fr := &Frame{method: m, this: this, vars: make(map[string]Value, len(m.Params)+len(m.Locals)), ctx: ctx}
-	for i, p := range m.Params {
+	ms := ip.res.methods[m.ID]
+	fr := &Frame{method: m, slots: ms, this: this, vars: make([]Value, ms.n), ctx: ctx}
+	for i := range m.Params {
 		if i < len(args) {
-			fr.vars[p.Name] = coerce(p.Type, args[i])
+			fr.vars[i] = coerceKind(ms.paramCo[i], args[i])
 		}
 	}
 	ctx.charge(costCall)
@@ -186,14 +197,13 @@ func (ip *Interp) execStmt(fr *Frame, s ast.Stmt) (*returnValue, error) {
 		return nil, nil
 
 	case *ast.DeclStmt:
-		t := ip.Prog.DeclType[st]
-		fr.vars[st.Name] = ip.zeroValue(t)
+		fr.vars[st.Slot] = ip.zeroValue(fr.slots.types[st.Slot])
 		if st.Init != nil {
 			v, err := ip.eval(fr, st.Init)
 			if err != nil {
 				return nil, err
 			}
-			fr.vars[st.Name] = coerce(t, v)
+			fr.vars[st.Slot] = coerceKind(st.Coerce, v)
 		}
 		return nil, nil
 
@@ -248,7 +258,7 @@ func (ip *Interp) execStmt(fr *Frame, s ast.Stmt) (*returnValue, error) {
 		if err != nil {
 			return nil, err
 		}
-		return &returnValue{v: coerce(fr.method.Ret, v)}, nil
+		return &returnValue{v: coerceKind(fr.slots.retCo, v)}, nil
 	}
 	return nil, rtErrf("unsupported statement at %s", s.Pos())
 }
@@ -264,14 +274,14 @@ func (ip *Interp) execFor(fr *Frame, st *ast.ForStmt) (*returnValue, error) {
 	// Offer counted loops `v = from; v < to; v += step` to the parallel
 	// dispatcher.
 	if fr.ctx.ForLoop != nil {
-		if v, to, step, ok := ip.countedLoop(fr, st); ok {
-			from, _ := fr.vars[v].(int64)
+		if slot, to, step, ok := ip.countedLoop(fr, st); ok {
+			from, _ := fr.vars[slot].(int64)
 			handled, err := fr.ctx.ForLoop(st, fr, from, to, step)
 			if err != nil {
 				return nil, err
 			}
 			if handled {
-				fr.vars[v] = to
+				fr.vars[slot] = to
 				return nil, nil
 			}
 		}
@@ -303,68 +313,68 @@ func (ip *Interp) execFor(fr *Frame, st *ast.ForStmt) (*returnValue, error) {
 }
 
 // countedLoop matches `for (v = ...; v < bound; v++/v += step)` with an
-// int loop variable and evaluates the bound and step.
-func (ip *Interp) countedLoop(fr *Frame, st *ast.ForStmt) (v string, to, step int64, ok bool) {
-	var name string
+// int loop variable and evaluates the bound and step. It returns the
+// loop variable's frame slot.
+func (ip *Interp) countedLoop(fr *Frame, st *ast.ForStmt) (slot int, to, step int64, ok bool) {
 	switch init := st.Init.(type) {
 	case *ast.DeclStmt:
-		name = init.Name
+		slot = int(init.Slot)
 	case *ast.ExprStmt:
 		asn, isA := init.X.(*ast.Assign)
 		if !isA {
-			return "", 0, 0, false
+			return 0, 0, 0, false
 		}
 		id, isID := asn.LHS.(*ast.Ident)
-		if !isID {
-			return "", 0, 0, false
+		if !isID || (id.Sym != ast.SymLocal && id.Sym != ast.SymParam) {
+			return 0, 0, 0, false
 		}
-		name = id.Name
+		slot = int(id.Slot)
 	default:
-		return "", 0, 0, false
+		return 0, 0, 0, false
 	}
-	if _, isInt := fr.vars[name].(int64); !isInt {
-		return "", 0, 0, false
+	if _, isInt := fr.vars[slot].(int64); !isInt {
+		return 0, 0, 0, false
 	}
 	cmp, isC := st.Cond.(*ast.Binary)
 	if !isC || cmp.Op != token.LT {
-		return "", 0, 0, false
+		return 0, 0, 0, false
 	}
 	cid, isID := cmp.X.(*ast.Ident)
-	if !isID || cid.Name != name {
-		return "", 0, 0, false
+	if !isID || (cid.Sym != ast.SymLocal && cid.Sym != ast.SymParam) || int(cid.Slot) != slot {
+		return 0, 0, 0, false
 	}
 	// The bound is evaluated here once to offer the loop to the
 	// parallel dispatcher; if the dispatcher declines, the serial loop
 	// re-evaluates the condition per iteration — so the bound must be
 	// side-effect free.
 	if !pureExpr(cmp.Y) {
-		return "", 0, 0, false
+		return 0, 0, 0, false
 	}
 	bv, err := ip.eval(fr, cmp.Y)
 	if err != nil {
-		return "", 0, 0, false
+		return 0, 0, 0, false
 	}
 	bound, isI := bv.(int64)
 	if !isI {
-		return "", 0, 0, false
+		return 0, 0, 0, false
 	}
 	post, isP := st.Post.(*ast.ExprStmt)
 	if !isP {
-		return "", 0, 0, false
+		return 0, 0, 0, false
 	}
 	pasn, isA := post.X.(*ast.Assign)
 	if !isA || pasn.Op != token.PLUSEQ {
-		return "", 0, 0, false
+		return 0, 0, 0, false
 	}
 	pid, isID := pasn.LHS.(*ast.Ident)
-	if !isID || pid.Name != name {
-		return "", 0, 0, false
+	if !isID || (pid.Sym != ast.SymLocal && pid.Sym != ast.SymParam) || int(pid.Slot) != slot {
+		return 0, 0, 0, false
 	}
 	lit, isL := pasn.RHS.(*ast.IntLit)
 	if !isL || lit.Value <= 0 {
-		return "", 0, 0, false
+		return 0, 0, 0, false
 	}
-	return name, bound, lit.Value, true
+	return slot, bound, lit.Value, true
 }
 
 // pureExpr reports whether evaluating the expression is free of side
@@ -381,21 +391,28 @@ func pureExpr(e ast.Expr) bool {
 	return pure
 }
 
-// RunLoopIteration executes one iteration of a counted loop body with
-// the loop variable bound to i, in a fresh frame sharing the parent's
-// variables map copy (iterations in the dialect's parallel loops write
-// only their own locals).
-func (ip *Interp) RunLoopIteration(ctx *Ctx, fr *Frame, st *ast.ForStmt, loopVar string, i int64) error {
-	sub := &Frame{
-		method: fr.method,
-		this:   fr.this,
-		vars:   make(map[string]Value, len(fr.vars)+1),
-		ctx:    ctx,
+// NewIterFrame returns a frame for executing parallel-loop iterations
+// of fr's loop under ctx: the parent's slot array is copied once.
+// Iterations in the dialect's parallel loops write only their own
+// locals (exactly as the serial loop reuses one frame across
+// iterations), so a single iteration frame can serve every iteration a
+// worker executes — the per-iteration cost is one slot store, not a
+// map rebuild.
+func (ip *Interp) NewIterFrame(ctx *Ctx, fr *Frame) *Frame {
+	vars := make([]Value, len(fr.vars))
+	copy(vars, fr.vars)
+	return &Frame{method: fr.method, slots: fr.slots, this: fr.this, vars: vars, ctx: ctx}
+}
+
+// RunLoopIteration executes one iteration of the counted loop body in
+// an iteration frame obtained from NewIterFrame, with the loop
+// variable bound to i.
+func (ip *Interp) RunLoopIteration(sub *Frame, st *ast.ForStmt, i int64) error {
+	slot := loopVarSlot(st)
+	if slot < 0 {
+		return rtErrf("parallel loop at %s without a resolvable loop variable", st.Pos())
 	}
-	for k, v := range fr.vars {
-		sub.vars[k] = v
-	}
-	sub.vars[loopVar] = i
+	sub.vars[slot] = i
 	ret, err := ip.execStmt(sub, st.Body)
 	if err != nil {
 		return err

@@ -1,0 +1,218 @@
+package interp
+
+import (
+	"sort"
+	"sync"
+
+	"commute/internal/frontend/ast"
+	"commute/internal/frontend/types"
+)
+
+// methodSlots is the slot-resolution result for one method: every
+// parameter and local variable is assigned a fixed integer slot
+// (parameters first, then locals in declaration order), so activation
+// frames are flat []Value arrays instead of name-keyed maps.
+type methodSlots struct {
+	n       int            // total frame slots
+	names   []string       // slot -> variable name (diagnostics)
+	types   []types.Type   // slot -> declared type (DeclStmt re-zeroing)
+	paramCo []ast.Coercion // per-parameter store coercion
+	retCo   ast.Coercion   // return-value coercion
+	byName  map[string]int // name -> slot (cold paths only: loop offers)
+}
+
+// resolution is the per-program side table the interpreter executes
+// against. It is built exactly once per checked program (interp.New
+// shares it across instances): the pass assigns frame slots, computes
+// static object-slot offsets for every field reference (base-class-first
+// layout makes a field's offset identical in every class that inherits
+// it), indexes constants, globals, and classes, and precomputes store
+// coercions — after which the steady-state execution path performs no
+// map lookups.
+type resolution struct {
+	layout    *layout
+	methods   []*methodSlots // indexed by types.Method.ID
+	consts    []Value        // SymConst Ident.Slot -> value
+	globals   []string       // SymGlobal Ident.Slot -> global name
+	classList []*types.Class // NewExpr/CastExpr ClassIdx -> class
+}
+
+var (
+	resolveMu    sync.Mutex
+	resolveCache = map[*types.Program]*resolution{}
+)
+
+// resolve returns the program's cached resolution, building and
+// annotating the AST on first use. The cache also makes the AST
+// decoration safe when several interpreters are created for one
+// program: the pass runs once, under the lock.
+func resolve(prog *types.Program) *resolution {
+	resolveMu.Lock()
+	defer resolveMu.Unlock()
+	if r, ok := resolveCache[prog]; ok {
+		return r
+	}
+	r := buildResolution(prog)
+	resolveCache[prog] = r
+	return r
+}
+
+// coercionFor maps a declared type to the store coercion the
+// interpreter applies when assigning into it.
+func coercionFor(t types.Type) ast.Coercion {
+	b, ok := t.(types.Basic)
+	if !ok {
+		return ast.CoNone
+	}
+	switch b {
+	case types.Int:
+		return ast.CoInt
+	case types.Double:
+		return ast.CoDouble
+	}
+	return ast.CoNone
+}
+
+func buildResolution(prog *types.Program) *resolution {
+	r := &resolution{
+		layout:    newLayout(prog),
+		methods:   make([]*methodSlots, len(prog.Methods)),
+		classList: prog.ClassList,
+	}
+
+	// Constant table in sorted-name order (deterministic indices).
+	constIdx := make(map[string]int32, len(prog.Consts))
+	names := make([]string, 0, len(prog.Consts))
+	for name := range prog.Consts {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		cv := prog.Consts[name]
+		constIdx[name] = int32(len(r.consts))
+		if cv.IsInt {
+			r.consts = append(r.consts, cv.I)
+		} else {
+			r.consts = append(r.consts, cv.F)
+		}
+	}
+
+	// Global table in declaration order (matches Interp.globals).
+	globalIdx := make(map[string]int32, len(prog.GlobalSeq))
+	for i, g := range prog.GlobalSeq {
+		globalIdx[g.Name] = int32(i)
+		r.globals = append(r.globals, g.Name)
+	}
+
+	classIdx := make(map[string]int32, len(prog.ClassList))
+	for i, cl := range prog.ClassList {
+		classIdx[cl.Name] = int32(i)
+	}
+
+	for _, m := range prog.Methods {
+		r.methods[m.ID] = r.resolveMethod(prog, m, constIdx, globalIdx, classIdx)
+	}
+	return r
+}
+
+// resolveMethod assigns frame slots and annotates every name use,
+// field reference, and allocation site in the method body.
+func (r *resolution) resolveMethod(prog *types.Program, m *types.Method, constIdx, globalIdx, classIdx map[string]int32) *methodSlots {
+	ms := &methodSlots{byName: make(map[string]int, len(m.Params)+len(m.Locals))}
+	addSlot := func(name string, t types.Type) int {
+		slot := ms.n
+		ms.byName[name] = slot
+		ms.names = append(ms.names, name)
+		ms.types = append(ms.types, t)
+		ms.n++
+		return slot
+	}
+	for _, p := range m.Params {
+		addSlot(p.Name, p.Type)
+		ms.paramCo = append(ms.paramCo, coercionFor(p.Type))
+	}
+	ms.retCo = coercionFor(m.Ret)
+	if m.Def == nil {
+		return ms
+	}
+
+	// Declarations precede uses in the dialect and Inspect walks in
+	// source order, so a single pass both assigns and consumes slots.
+	// Sequential reuse of a name (two `for (int i ...)` loops) shares
+	// the method-level slot, mirroring the checker's Locals map.
+	ast.Inspect(m.Def.Body, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.DeclStmt:
+			slot, ok := ms.byName[x.Name]
+			if !ok {
+				slot = addSlot(x.Name, prog.DeclType[x])
+			}
+			x.Slot = int32(slot)
+			x.Coerce = coercionFor(prog.DeclType[x])
+		case *ast.Ident:
+			switch x.Sym {
+			case ast.SymLocal, ast.SymParam:
+				if slot, ok := ms.byName[x.Name]; ok {
+					x.Slot = int32(slot)
+				}
+				x.Coerce = coercionFor(prog.TypeOf(x))
+			case ast.SymConst:
+				x.Slot = constIdx[x.Name]
+			case ast.SymGlobal:
+				x.Slot = globalIdx[x.Name]
+			case ast.SymField:
+				// Base-class-first layout: the offset of a field
+				// declared in FieldClass is the same in every class
+				// inheriting it, so the slot is static.
+				if cl, ok := prog.Classes[x.FieldClass]; ok {
+					x.Slot = int32(r.layout.slot(cl, x.FieldClass, x.Name))
+				}
+				x.Coerce = coercionFor(prog.TypeOf(x))
+			}
+		case *ast.FieldAccess:
+			if cl, ok := prog.Classes[x.DeclClass]; ok {
+				x.Slot = int32(r.layout.slot(cl, x.DeclClass, x.Name))
+			}
+			x.Coerce = coercionFor(prog.TypeOf(x))
+		case *ast.IndexExpr:
+			x.Coerce = coercionFor(prog.TypeOf(x))
+		case *ast.NewExpr:
+			x.ClassIdx = classIdx[x.ClassName]
+		case *ast.CastExpr:
+			x.ClassIdx = classIdx[x.ClassName]
+		}
+		return true
+	})
+	return ms
+}
+
+// coerceKind applies a precomputed store coercion.
+func coerceKind(c ast.Coercion, v Value) Value {
+	switch c {
+	case ast.CoInt:
+		if f, isF := v.(float64); isF {
+			return int64(f)
+		}
+	case ast.CoDouble:
+		if i, isI := v.(int64); isI {
+			return float64(i)
+		}
+	}
+	return v
+}
+
+// loopVarSlot reads the loop variable's frame slot off a counted loop's
+// init statement (annotated by the resolution pass).
+func loopVarSlot(st *ast.ForStmt) int {
+	switch init := st.Init.(type) {
+	case *ast.DeclStmt:
+		return int(init.Slot)
+	case *ast.ExprStmt:
+		if asn, ok := init.X.(*ast.Assign); ok {
+			if id, ok2 := asn.LHS.(*ast.Ident); ok2 {
+				return int(id.Slot)
+			}
+		}
+	}
+	return -1
+}

@@ -88,12 +88,12 @@ var objectIDs atomic.Int64
 func (ip *Interp) NewObject(cl *types.Class) *Object {
 	o := &Object{
 		Class: cl,
-		Slots: make([]Value, ip.layout.size[cl]),
+		Slots: make([]Value, ip.res.layout.size[cl]),
 		ID:    objectIDs.Add(1),
 	}
 	for c := cl; c != nil; c = c.Base {
 		for _, f := range c.Fields {
-			o.Slots[ip.layout.slot(cl, f.Class.Name, f.Name)] = ip.zeroValue(f.Type)
+			o.Slots[ip.res.layout.slot(cl, f.Class.Name, f.Name)] = ip.zeroValue(f.Type)
 		}
 	}
 	return o
@@ -153,24 +153,4 @@ func asFloat(v Value) (float64, bool) {
 		return float64(x), true
 	}
 	return 0, false
-}
-
-// coerce converts a value to the declared type for stores (implicit
-// int↔double conversion).
-func coerce(t types.Type, v Value) Value {
-	b, ok := t.(types.Basic)
-	if !ok {
-		return v
-	}
-	switch b {
-	case types.Int:
-		if f, isF := v.(float64); isF {
-			return int64(f)
-		}
-	case types.Double:
-		if i, isI := v.(int64); isI {
-			return float64(i)
-		}
-	}
-	return v
 }

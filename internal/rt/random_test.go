@@ -107,16 +107,27 @@ func TestRandomCommutingPrograms(t *testing.T) {
 		}
 		want := counterState(t, prog, ipSerial, counters)
 
-		for _, workers := range []int{1, 4} {
-			ip := interp.New(prog, nil)
-			if err := rt.New(ip, plan, workers).Run(); err != nil {
-				t.Fatalf("trial %d parallel: %v", trial, err)
-			}
-			got := counterState(t, prog, ip, counters)
-			for i := range want {
-				if got[i] != want[i] {
-					t.Fatalf("trial %d workers %d: counter %d = %v, want %v (commuting updates must agree)",
-						trial, workers, i, got[i], want[i])
+		// Differential property: both schedulers (the central queue and
+		// the work-stealing deques) must reproduce the serial integer
+		// state exactly — the scheduler may only change the order of
+		// commuting updates, never the result.
+		for _, sched := range []struct {
+			name string
+			mode rt.SchedMode
+		}{{"central", rt.SchedCentral}, {"stealing", rt.SchedStealing}} {
+			for _, workers := range []int{1, 4} {
+				ip := interp.New(prog, nil)
+				r := rt.New(ip, plan, workers)
+				r.Sched = sched.mode
+				if err := r.Run(); err != nil {
+					t.Fatalf("trial %d %s parallel: %v", trial, sched.name, err)
+				}
+				got := counterState(t, prog, ip, counters)
+				for i := range want {
+					if got[i] != want[i] {
+						t.Fatalf("trial %d %s workers %d: counter %d = %v, want %v (commuting updates must agree)",
+							trial, sched.name, workers, i, got[i], want[i])
+					}
 				}
 			}
 		}

@@ -36,6 +36,8 @@ type Stats struct {
 	LazyInlines   int64 // spawns absorbed inline by lazy task creation
 	LockAcquires  int64 // object-section lock acquisitions
 	Regions       int64 // serial→parallel region transitions
+	Steals        int64 // tasks taken from another worker's deque
+	LocalPops     int64 // tasks popped from the spawning worker's own deque
 
 	TaskPanics      int64 // panics captured and isolated as TaskError
 	SerialFallbacks int64 // regions re-executed serially after a fault
@@ -46,6 +48,11 @@ type Runtime struct {
 	IP      *interp.Interp
 	Plan    *codegen.Plan
 	Workers int
+
+	// Sched selects the task scheduler: per-worker stealing deques
+	// (default) or the original central queue (A/B comparisons and
+	// differential testing).
+	Sched SchedMode
 
 	// LazySpawnThreshold enables lazy task creation (Mohr, Kranz &
 	// Halstead — the technique §2 of the paper points to for increasing
@@ -211,7 +218,7 @@ func (rt *Runtime) runRegion(site *types.CallSite, recv *interp.Object, args []i
 	atomic.AddInt64(&rt.Stats.Regions, 1)
 	pool := newPool(rt)
 	err := rt.protect("region", site.Callee.FullName(), func() error {
-		return rt.callVersion(pool, site.Callee, recv, args, versionParallel, 0)
+		return rt.callVersion(pool.external, site.Callee, recv, args, versionParallel, 0)
 	})
 	pool.wait()
 	rt.setErr(err)
@@ -277,11 +284,14 @@ const (
 )
 
 // callVersion executes one method activation under the chosen version,
-// handling lock acquisition/release per the plan. depth seeds the
+// handling lock acquisition/release per the plan. w is the scheduler
+// handle of the executing goroutine (a pool worker, or the pool's
+// external handle for the region root and GSS loop goroutines): spawns
+// from a pool worker push onto its own deque. depth seeds the
 // activation-depth guard: inline continuations (lazy spawns, mutex
 // versions) keep counting on the current goroutine stack, while
 // spawned tasks restart at zero on a fresh stack.
-func (rt *Runtime) callVersion(p *pool, m *types.Method, recv *interp.Object, args []interp.Value, ver version, depth int) error {
+func (rt *Runtime) callVersion(w *worker, m *types.Method, recv *interp.Object, args []interp.Value, ver version, depth int) error {
 	if rt.failed.Load() {
 		return nil
 	}
@@ -330,18 +340,18 @@ func (rt *Runtime) callVersion(p *pool, m *types.Method, recv *interp.Object, ar
 			}
 			if ver == versionMutex {
 				// Mutex versions execute invoked operations serially.
-				return nil, rt.callVersion(p, site.Callee, r2, a2, versionMutex, ctx.Depth)
+				return nil, rt.callVersion(w, site.Callee, r2, a2, versionMutex, ctx.Depth)
 			}
 			callee := site.Callee
-			if rt.LazySpawnThreshold > 0 && p.pendingCount() >= rt.LazySpawnThreshold {
+			if rt.LazySpawnThreshold > 0 && w.p.pendingCount() >= rt.LazySpawnThreshold {
 				// Lazy task creation: enough parallelism is already
 				// exposed; absorb the child into this task.
 				atomic.AddInt64(&rt.Stats.LazyInlines, 1)
-				return nil, rt.callVersion(p, callee, r2, a2, versionParallel, ctx.Depth)
+				return nil, rt.callVersion(w, callee, r2, a2, versionParallel, ctx.Depth)
 			}
 			atomic.AddInt64(&rt.Stats.Tasks, 1)
-			p.spawn(callee.FullName(), func() {
-				rt.setErr(rt.callVersion(p, callee, r2, a2, versionParallel, 0))
+			w.p.spawn(w, callee.FullName(), func(cw *worker) {
+				rt.setErr(rt.callVersion(cw, callee, r2, a2, versionParallel, 0))
 			})
 			return nil, nil
 		default:
@@ -357,7 +367,7 @@ func (rt *Runtime) callVersion(p *pool, m *types.Method, recv *interp.Object, ar
 			lockHeld = false
 			recv.Mutex.Unlock()
 		}
-		return true, rt.parallelLoop(p, ctx, fs, fr, from, to, step)
+		return true, rt.parallelLoop(w, ctx, fs, fr, from, to, step)
 	}
 
 	_, err := rt.IP.Call(ctx, m, recv, args)
@@ -369,10 +379,9 @@ func (rt *Runtime) callVersion(p *pool, m *types.Method, recv *interp.Object, ar
 // the worker pool; iterations execute mutex versions (§5.2). Each GSS
 // worker runs under panic isolation and observes cancellation and
 // region failure at chunk-claim boundaries.
-func (rt *Runtime) parallelLoop(p *pool, parent *interp.Ctx, fs *ast.ForStmt, fr *interp.Frame, from, to, step int64) error {
+func (rt *Runtime) parallelLoop(w *worker, parent *interp.Ctx, fs *ast.ForStmt, fr *interp.Frame, from, to, step int64) error {
 	atomic.AddInt64(&rt.Stats.ParallelLoops, 1)
-	loopVar := interp.LoopVar(fs)
-	if loopVar == "" {
+	if interp.LoopVar(fs) == "" {
 		return &interp.RuntimeError{Msg: "parallel loop without a loop variable"}
 	}
 	if step <= 0 {
@@ -393,7 +402,15 @@ func (rt *Runtime) parallelLoop(p *pool, parent *interp.Ctx, fs *ast.ForStmt, fr
 		workers = int(total)
 	}
 	depth := parent.Depth
-	for w := 0; w < workers; w++ {
+	// GSS workers are fresh goroutines, not pool workers: they schedule
+	// through the pool's external handle (mutex versions never spawn,
+	// but the handle keeps deque ownership single-threaded even if that
+	// changes).
+	var ext *worker
+	if w != nil {
+		ext = w.p.external
+	}
+	for g := 0; g < workers; g++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
@@ -403,7 +420,13 @@ func (rt *Runtime) parallelLoop(p *pool, parent *interp.Ctx, fs *ast.ForStmt, fr
 					rt.setErr(newTaskError("loop", label, r))
 				}
 			}()
-			ctx := rt.mutexIterCtx(p, depth)
+			ctx := rt.mutexIterCtx(ext, depth)
+			// One iteration frame per GSS worker: the parent frame's
+			// slot array is copied once here, not once per chunk (and
+			// not a full map rebuild per chunk as before) — iterations
+			// only write their own locals, exactly like the serial
+			// loop reusing one frame.
+			sub := rt.IP.NewIterFrame(ctx, fr)
 			for {
 				if rt.failed.Load() {
 					return
@@ -433,7 +456,7 @@ func (rt *Runtime) parallelLoop(p *pool, parent *interp.Ctx, fs *ast.ForStmt, fr
 				rt.injectChunk()
 				for i := start; i < end; i += step {
 					atomic.AddInt64(&rt.Stats.Iterations, 1)
-					if err := rt.IP.RunLoopIteration(ctx, fr, fs, loopVar, i); err != nil {
+					if err := rt.IP.RunLoopIteration(sub, fs, i); err != nil {
 						rt.setErr(err)
 						return
 					}
@@ -447,7 +470,7 @@ func (rt *Runtime) parallelLoop(p *pool, parent *interp.Ctx, fs *ast.ForStmt, fr
 
 // mutexIterCtx executes a parallel-loop iteration: direct invocations
 // run mutex versions.
-func (rt *Runtime) mutexIterCtx(p *pool, depth int) *interp.Ctx {
+func (rt *Runtime) mutexIterCtx(w *worker, depth int) *interp.Ctx {
 	ctx := rt.guardedCtx(depth)
 	ctx.Invoke = func(site *types.CallSite, recv *interp.Object, args []interp.Value) (interp.Value, error) {
 		mp := rt.Plan.Methods[site.Caller]
@@ -456,118 +479,9 @@ func (rt *Runtime) mutexIterCtx(p *pool, depth int) *interp.Ctx {
 		}
 		cp := rt.Plan.Methods[site.Callee]
 		if cp != nil && cp.Parallel {
-			return nil, rt.callVersion(p, site.Callee, recv, args, versionMutex, ctx.Depth)
+			return nil, rt.callVersion(w, site.Callee, recv, args, versionMutex, ctx.Depth)
 		}
 		return rt.IP.Call(ctx, site.Callee, recv, args)
 	}
 	return ctx
-}
-
-// ---------------------------------------------------------------------
-// Task pool
-
-// task is one spawned operation with a label for diagnostics.
-type task struct {
-	label string
-	run   func()
-}
-
-// pool is a region-scoped worker pool with an unbounded task queue.
-type pool struct {
-	rt      *Runtime
-	mu      sync.Mutex
-	cond    *sync.Cond
-	queue   []task
-	pending int  // queued + running tasks
-	done    bool // region shutting down
-}
-
-func newPool(rt *Runtime) *pool {
-	p := &pool{rt: rt}
-	p.cond = sync.NewCond(&p.mu)
-	for w := 0; w < rt.Workers; w++ {
-		go p.worker()
-	}
-	return p
-}
-
-// pendingCount reports the queued+running task count (used by lazy
-// task creation).
-func (p *pool) pendingCount() int {
-	p.mu.Lock()
-	n := p.pending
-	p.mu.Unlock()
-	return n
-}
-
-func (p *pool) spawn(label string, f func()) {
-	p.mu.Lock()
-	p.pending++
-	p.queue = append(p.queue, task{label: label, run: f})
-	p.mu.Unlock()
-	p.cond.Signal()
-}
-
-func (p *pool) worker() {
-	for {
-		p.mu.Lock()
-		for len(p.queue) == 0 && !p.done {
-			p.cond.Wait()
-		}
-		if p.done && len(p.queue) == 0 {
-			p.mu.Unlock()
-			return
-		}
-		t := p.queue[len(p.queue)-1]
-		p.queue = p.queue[:len(p.queue)-1]
-		p.mu.Unlock()
-		p.runTask(t)
-		p.mu.Lock()
-		p.pending--
-		if p.pending == 0 {
-			p.cond.Broadcast()
-		}
-		p.mu.Unlock()
-	}
-}
-
-// runTask executes one spawned task under panic isolation. Once the
-// region has failed or the run is cancelled, remaining queued tasks
-// are drained without executing (first error wins; their effects would
-// be discarded anyway), which also lets pool.wait return promptly.
-func (p *pool) runTask(t task) {
-	rt := p.rt
-	defer func() {
-		if r := recover(); r != nil {
-			atomic.AddInt64(&rt.Stats.TaskPanics, 1)
-			rt.setErr(newTaskError("task", t.label, r))
-		}
-	}()
-	if rt.failed.Load() {
-		return
-	}
-	rt.injectSpawn()
-	// The full interrupt check (cancellation and step budget) runs at
-	// every task start: short-lived tasks never execute enough
-	// statements to reach the interpreter's poll stride, so without
-	// this an unbounded spawn chain would outlive the step budget. It
-	// runs after injection so an injected cancellation, like a real
-	// one, skips the task body before it can apply any effects.
-	if err := rt.interrupt(); err != nil {
-		rt.setErr(err)
-		return
-	}
-	t.run()
-}
-
-// wait blocks until all spawned tasks (including transitively spawned
-// ones) complete, then shuts the pool down.
-func (p *pool) wait() {
-	p.mu.Lock()
-	for p.pending > 0 {
-		p.cond.Wait()
-	}
-	p.done = true
-	p.mu.Unlock()
-	p.cond.Broadcast()
 }

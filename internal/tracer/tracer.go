@@ -281,13 +281,13 @@ func (c *collector) runVersion(task *Task, m *types.Method, recv *interp.Object,
 			ts.endCrit(lockObj)
 		}
 		ts.flushCompute()
-		loopVar := interp.LoopVar(fs)
 		var iters []*Task
 		for i := from; i < to; i += step {
 			iter := &Task{}
 			its := &taskState{task: iter}
 			ictx := c.iterCtx(its)
-			if err := c.ip.RunLoopIteration(ictx, fr, fs, loopVar, i); err != nil {
+			sub := c.ip.NewIterFrame(ictx, fr)
+			if err := c.ip.RunLoopIteration(sub, fs, i); err != nil {
 				return true, err
 			}
 			its.flushCompute()
