@@ -1,0 +1,81 @@
+// Benchdiff compares two BENCH_<rev>.json reports produced by
+// `commutebench -json` and fails when the micro benchmark suite
+// regresses beyond a threshold. The micro benchmarks (names starting
+// with "micro-") are single-threaded tight loops with low run-to-run
+// variance, so they gate; the application and parallel-runtime results
+// are printed for context but carry too much scheduler and machine
+// noise to fail CI on.
+//
+// Usage:
+//
+//	benchdiff old.json new.json
+//	benchdiff -threshold 1.10 old.json new.json
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"commute/internal/bench"
+)
+
+func load(path string) (*bench.PerfReport, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var rep bench.PerfReport
+	if err := json.Unmarshal(data, &rep); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return &rep, nil
+}
+
+func main() {
+	threshold := flag.Float64("threshold", 1.25, "fail when a micro benchmark's ns/op grows by more than this factor")
+	flag.Parse()
+	if flag.NArg() != 2 {
+		fmt.Fprintln(os.Stderr, "usage: benchdiff [-threshold 1.25] old.json new.json")
+		os.Exit(2)
+	}
+	oldRep, err := load(flag.Arg(0))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	newRep, err := load(flag.Arg(1))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
+	oldBy := make(map[string]bench.PerfResult, len(oldRep.Results))
+	for _, r := range oldRep.Results {
+		oldBy[r.Name] = r
+	}
+
+	fmt.Printf("%-30s %14s %14s %8s\n", "benchmark", "old ns/op", "new ns/op", "ratio")
+	failed := false
+	for _, nr := range newRep.Results {
+		or, ok := oldBy[nr.Name]
+		if !ok || or.NsPerOp == 0 {
+			fmt.Printf("%-30s %14s %14d %8s\n", nr.Name, "-", nr.NsPerOp, "new")
+			continue
+		}
+		ratio := float64(nr.NsPerOp) / float64(or.NsPerOp)
+		mark := ""
+		if strings.HasPrefix(nr.Name, "micro-") && ratio > *threshold {
+			mark = "  REGRESSION"
+			failed = true
+		}
+		fmt.Printf("%-30s %14d %14d %7.2fx%s\n", nr.Name, or.NsPerOp, nr.NsPerOp, ratio, mark)
+	}
+	if failed {
+		fmt.Fprintf(os.Stderr, "benchdiff: micro suite regressed beyond %.2fx (%s -> %s)\n",
+			*threshold, oldRep.Rev, newRep.Rev)
+		os.Exit(1)
+	}
+}

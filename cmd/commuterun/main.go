@@ -22,6 +22,7 @@ import (
 
 	"commute"
 	"commute/internal/apps/src"
+	"commute/internal/interp"
 	"commute/internal/rt"
 )
 
@@ -34,7 +35,14 @@ func main() {
 	fallback := flag.Bool("fallback", false, "re-run a failed parallel region with the serial version")
 	maxSteps := flag.Int64("maxsteps", 0, "abort after this many interpreter statements (0: unlimited)")
 	sched := flag.String("sched", "stealing", "task scheduler for -mode parallel: stealing | central")
+	engine := flag.String("engine", "compiled", "execution engine: compiled | walk")
 	flag.Parse()
+
+	eng, ok := interp.ParseEngine(*engine)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "unknown engine %q\n", *engine)
+		os.Exit(2)
+	}
 
 	var name, source string
 	switch {
@@ -80,7 +88,7 @@ func main() {
 	switch *mode {
 	case "serial":
 		start := time.Now()
-		if _, err := sys.RunSerialContext(ctx, os.Stdout); err != nil {
+		if _, err := sys.RunSerialEngineContext(ctx, eng, os.Stdout); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
@@ -92,6 +100,7 @@ func main() {
 			Workers:        *workers,
 			SerialFallback: *fallback,
 			MaxSteps:       *maxSteps,
+			Engine:         eng,
 		}
 		switch *sched {
 		case "stealing":
@@ -118,7 +127,7 @@ func main() {
 		}
 
 	case "simulate":
-		tr, err := sys.Trace()
+		tr, err := sys.TraceEngine(eng)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)

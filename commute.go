@@ -137,11 +137,26 @@ func (s *System) RunSerial(out io.Writer) (*interp.Interp, error) {
 	return s.RunSerialContext(context.Background(), out)
 }
 
+// RunSerialEngine executes the program serially on the chosen
+// execution engine (interp.EngineCompiled or interp.EngineWalk).
+func (s *System) RunSerialEngine(eng interp.Engine, out io.Writer) (*interp.Interp, error) {
+	return s.runSerial(context.Background(), eng, out)
+}
+
+// RunSerialEngineContext combines RunSerialEngine and RunSerialContext.
+func (s *System) RunSerialEngineContext(ctx context.Context, eng interp.Engine, out io.Writer) (*interp.Interp, error) {
+	return s.runSerial(ctx, eng, out)
+}
+
 // RunSerialContext executes the program serially under ctx: a deadline
 // or cancellation on ctx aborts execution between statements, so a
 // runaway program returns an error instead of hanging the caller.
 func (s *System) RunSerialContext(ctx context.Context, out io.Writer) (*interp.Interp, error) {
-	ip := interp.New(s.Prog, out)
+	return s.runSerial(ctx, interp.EngineCompiled, out)
+}
+
+func (s *System) runSerial(ctx context.Context, eng interp.Engine, out io.Writer) (*interp.Interp, error) {
+	ip := interp.NewEngine(s.Prog, out, eng)
 	c := ip.NewCtx()
 	if ctx != nil && ctx.Done() != nil {
 		c.Interrupt = func() error {
@@ -185,6 +200,10 @@ type RunOptions struct {
 	// (rt.SchedStealing, the default) or the original central queue
 	// (rt.SchedCentral).
 	Sched rt.SchedMode
+	// Engine selects the execution engine: closure-compiled bodies
+	// (interp.EngineCompiled, the default) or the tree-walking
+	// evaluator (interp.EngineWalk).
+	Engine interp.Engine
 	// Faults injects deterministic faults at the runtime's concurrency
 	// boundaries (testing the failure paths).
 	Faults *rt.FaultPlan
@@ -204,7 +223,7 @@ func (s *System) RunParallelOpts(ctx context.Context, opts RunOptions, out io.Wr
 		ctx, cancel = context.WithTimeout(ctx, opts.Timeout)
 		defer cancel()
 	}
-	ip := interp.New(s.Prog, out)
+	ip := interp.NewEngine(s.Prog, out, opts.Engine)
 	r := rt.New(ip, s.Plan, opts.Workers)
 	r.SerialFallback = opts.SerialFallback
 	r.MaxSteps = opts.MaxSteps
@@ -219,7 +238,16 @@ func (s *System) RunParallelOpts(ctx context.Context, opts RunOptions, out io.Wr
 // Trace executes the program once, recording the parallel task/lock
 // event structure for simulation.
 func (s *System) Trace() (*tracer.Trace, error) {
-	ip := interp.New(s.Prog, nil)
+	return s.TraceEngine(interp.EngineCompiled)
+}
+
+// TraceEngine records the trace using the chosen execution engine.
+// Both engines charge identical cost totals between dispatcher-hook
+// boundaries, so the resulting traces — and any DASH simulation of
+// them — are identical; the engine parameter exists so tests can
+// verify exactly that.
+func (s *System) TraceEngine(eng interp.Engine) (*tracer.Trace, error) {
+	ip := interp.NewEngine(s.Prog, nil, eng)
 	return tracer.Collect(ip, s.Plan)
 }
 

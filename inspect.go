@@ -24,17 +24,17 @@ func (s *System) Read(ip *interp.Interp, path string) (any, error) {
 	if !ok {
 		return nil, fmt.Errorf("unknown global %q", segs[0].name)
 	}
-	var cur any = obj
+	cur := interp.ObjectValue(obj)
 	if segs[0].indexed {
 		return nil, fmt.Errorf("global %q cannot be indexed", segs[0].name)
 	}
 	for _, seg := range segs[1:] {
-		o, isObj := cur.(*interp.Object)
-		if !isObj {
-			if cur == nil {
+		o := cur.Object()
+		if o == nil {
+			if cur.IsNull() {
 				return nil, fmt.Errorf("nil object before field %q", seg.name)
 			}
-			return nil, fmt.Errorf("field %q applied to non-object %T", seg.name, cur)
+			return nil, fmt.Errorf("field %q applied to non-object %T", seg.name, cur.Any())
 		}
 		f := o.Class.FieldByName(seg.name)
 		if f == nil {
@@ -42,8 +42,8 @@ func (s *System) Read(ip *interp.Interp, path string) (any, error) {
 		}
 		cur = o.Slots[ip.FieldSlot(o.Class, f.Class.Name, f.Name)]
 		if seg.indexed {
-			arr, isArr := cur.(*interp.Array)
-			if !isArr {
+			arr := cur.Array()
+			if arr == nil {
 				return nil, fmt.Errorf("field %q is not an array", seg.name)
 			}
 			if seg.index < 0 || seg.index >= len(arr.Elems) {
@@ -52,7 +52,7 @@ func (s *System) Read(ip *interp.Interp, path string) (any, error) {
 			cur = arr.Elems[seg.index]
 		}
 	}
-	return cur, nil
+	return cur.Any(), nil
 }
 
 // ReadInt reads an integer-valued path.

@@ -10,6 +10,7 @@ import (
 
 	"commute"
 	"commute/internal/apps"
+	"commute/internal/interp"
 	"commute/internal/rt"
 )
 
@@ -37,6 +38,68 @@ type PerfReport struct {
 
 // perfWorkers is the worker count for the parallel perf experiments.
 const perfWorkers = 4
+
+// Micro benchmark programs: tight loops isolating the interpreter's
+// hottest paths (frame-slot access, object-field access, and float
+// arithmetic). Each runs under both execution engines so the report
+// tracks the compiled engine's advantage over the tree walker.
+const (
+	microIdentSrc = `
+class bench {
+public:
+  int acc;
+  int spin(int n);
+};
+int bench::spin(int n) {
+  int i; int a; int b; int c;
+  a = 1; b = 2; c = 0;
+  for (i = 0; i < n; i++) {
+    c = c + a;
+    a = b - c;
+    b = c + i;
+  }
+  return c;
+}
+bench B;
+void main() { B.spin(60000); }
+`
+	microFieldSrc = `
+class point {
+public:
+  int x; int y; int z;
+  void jiggle(int n);
+};
+void point::jiggle(int n) {
+  int i;
+  for (i = 0; i < n; i++) {
+    x = x + 1;
+    y = y + x;
+    z = z + y;
+  }
+}
+point P;
+void main() { P.jiggle(60000); }
+`
+	microArithSrc = `
+class acc {
+public:
+  double sum;
+  double step(int n);
+};
+double acc::step(int n) {
+  int i; double x; double y;
+  x = 0.5; y = 1.25;
+  for (i = 0; i < n; i++) {
+    x = x * 1.0000001 + y;
+    y = y * 0.5 + x * 0.25;
+    sum = sum + x - y;
+  }
+  return sum;
+}
+acc A;
+void main() { A.step(60000); }
+`
+)
 
 // statsMap extracts the scheduler counters worth tracking across PRs.
 func statsMap(st *rt.Stats) map[string]int64 {
@@ -68,6 +131,33 @@ func RunPerf(rev string) (*PerfReport, error) {
 		return nil, fmt.Errorf("water: %w", err)
 	}
 
+	micros := []struct {
+		name string
+		src  string
+	}{
+		{"micro-ident", microIdentSrc},
+		{"micro-field", microFieldSrc},
+		{"micro-arith", microArithSrc},
+	}
+	type cse struct {
+		name  string
+		sys   *commute.System
+		sched rt.SchedMode
+		ser   bool
+		eng   interp.Engine
+	}
+	var cases []cse
+	for _, m := range micros {
+		sys, err := commute.Load(m.name+".mc", m.src)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", m.name, err)
+		}
+		cases = append(cases,
+			cse{m.name + "-compiled", sys, 0, true, interp.EngineCompiled},
+			cse{m.name + "-walk", sys, 0, true, interp.EngineWalk},
+		)
+	}
+
 	rep := &PerfReport{
 		Rev:     rev,
 		Go:      runtime.Version(),
@@ -77,20 +167,14 @@ func RunPerf(rev string) (*PerfReport, error) {
 		Workers: perfWorkers,
 	}
 
-	type cse struct {
-		name  string
-		sys   *commute.System
-		sched rt.SchedMode
-		ser   bool
-	}
-	cases := []cse{
-		{"barneshut-serial", bh, 0, true},
-		{"barneshut-parallel-stealing", bh, rt.SchedStealing, false},
-		{"barneshut-parallel-central", bh, rt.SchedCentral, false},
-		{"water-serial", water, 0, true},
-		{"water-parallel-stealing", water, rt.SchedStealing, false},
-		{"water-parallel-central", water, rt.SchedCentral, false},
-	}
+	cases = append(cases,
+		cse{"barneshut-serial", bh, 0, true, interp.EngineCompiled},
+		cse{"barneshut-parallel-stealing", bh, rt.SchedStealing, false, interp.EngineCompiled},
+		cse{"barneshut-parallel-central", bh, rt.SchedCentral, false, interp.EngineCompiled},
+		cse{"water-serial", water, 0, true, interp.EngineCompiled},
+		cse{"water-parallel-stealing", water, rt.SchedStealing, false, interp.EngineCompiled},
+		cse{"water-parallel-central", water, rt.SchedCentral, false, interp.EngineCompiled},
+	)
 	for _, c := range cases {
 		c := c
 		var runErr error
@@ -99,13 +183,13 @@ func RunPerf(rev string) (*PerfReport, error) {
 			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				if c.ser {
-					if _, err := c.sys.RunSerial(io.Discard); err != nil {
+					if _, err := c.sys.RunSerialEngine(c.eng, io.Discard); err != nil {
 						runErr = err
 						b.FailNow()
 					}
 					continue
 				}
-				opts := commute.RunOptions{Workers: perfWorkers, Sched: c.sched}
+				opts := commute.RunOptions{Workers: perfWorkers, Sched: c.sched, Engine: c.eng}
 				_, st, err := c.sys.RunParallelOpts(nil, opts, io.Discard)
 				if err != nil {
 					runErr = err

@@ -9,17 +9,52 @@ import (
 )
 
 // benchProg compiles a source string and returns the checked program.
-func benchProg(b *testing.B, source string) *types.Program {
-	b.Helper()
+func benchProg(tb testing.TB, source string) *types.Program {
+	tb.Helper()
 	f, err := parser.Parse("bench.mc", source)
 	if err != nil {
-		b.Fatalf("parse: %v", err)
+		tb.Fatalf("parse: %v", err)
 	}
 	prog, err := types.Check(f)
 	if err != nil {
-		b.Fatalf("check: %v", err)
+		tb.Fatalf("check: %v", err)
 	}
 	return prog
+}
+
+// benchEngines enumerates both execution engines so every micro
+// benchmark reports the walk/compiled pair side by side.
+var benchEngines = []struct {
+	name string
+	eng  interp.Engine
+}{
+	{"compiled", interp.EngineCompiled},
+	{"walk", interp.EngineWalk},
+}
+
+// benchCall measures repeated calls of method full on a fresh program
+// instance per engine.
+func benchCall(b *testing.B, source, full, recvGlobal string) {
+	prog := benchProg(b, source)
+	for _, e := range benchEngines {
+		b.Run(e.name, func(b *testing.B) {
+			ip := interp.NewEngine(prog, nil, e.eng)
+			m := prog.MethodByFullName(full)
+			if m == nil {
+				b.Fatalf("%s not found", full)
+			}
+			recv := ip.Globals[recvGlobal]
+			ctx := ip.NewCtx()
+			args := []interp.Value{interp.IntValue(1000)}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := ip.Call(ctx, m, recv, args); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
 }
 
 const identBenchSrc = `
@@ -55,23 +90,10 @@ void main() {
 // BenchmarkIdentAccess measures the steady-state local-variable path:
 // the loop body is nothing but ident reads and writes, so ns/op tracks
 // the cost of frame-slot access (previously a map[string]Value lookup
-// per access).
+// per access) and, under the compiled engine, of the pre-lowered
+// closure tree versus the per-node AST type switch.
 func BenchmarkIdentAccess(b *testing.B) {
-	prog := benchProg(b, identBenchSrc)
-	ip := interp.New(prog, nil)
-	m := prog.MethodByFullName("bench::spin")
-	if m == nil {
-		b.Fatal("bench::spin not found")
-	}
-	recv := ip.Globals["B"]
-	b.ReportAllocs()
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		ctx := ip.NewCtx()
-		if _, err := ip.Call(ctx, m, recv, []interp.Value{int64(1000)}); err != nil {
-			b.Fatal(err)
-		}
-	}
+	benchCall(b, identBenchSrc, "bench::spin", "B")
 }
 
 const fieldBenchSrc = `
@@ -104,19 +126,69 @@ void main() {
 // object-slot offset (previously a string concatenation plus two map
 // lookups per access in layout.slot).
 func BenchmarkFieldAccess(b *testing.B) {
-	prog := benchProg(b, fieldBenchSrc)
-	ip := interp.New(prog, nil)
-	m := prog.MethodByFullName("point::jiggle")
+	benchCall(b, fieldBenchSrc, "point::jiggle", "P")
+}
+
+const arithBenchSrc = `
+class acc {
+public:
+  double sum;
+  double step(int n);
+};
+
+double acc::step(int n) {
+  int i;
+  double x;
+  double y;
+  x = 0.5;
+  y = 1.25;
+  for (i = 0; i < n; i++) {
+    x = x * 1.0000001 + y;
+    y = y * 0.5 + x * 0.25;
+    sum = sum + x - y;
+  }
+  return sum;
+}
+
+acc A;
+
+void main() {
+  A.step(10);
+}
+`
+
+// BenchmarkFloatArith measures double-precision arithmetic in a tight
+// loop. With the tagged Value representation the float results live in
+// the value's number word, so the compiled engine's loop body performs
+// no heap allocation at all (see TestCompiledFloatArithZeroAlloc).
+func BenchmarkFloatArith(b *testing.B) {
+	benchCall(b, arithBenchSrc, "acc::step", "A")
+}
+
+// TestCompiledFloatArithZeroAlloc pins the headline property of the
+// unboxed representation: steady-state float arithmetic under the
+// compiled engine allocates nothing. The first call warms the frame
+// pool; after that a full call — frame, loop, arithmetic, return —
+// must run at allocs/op = 0.
+func TestCompiledFloatArithZeroAlloc(t *testing.T) {
+	prog := benchProg(t, arithBenchSrc)
+	ip := interp.NewEngine(prog, nil, interp.EngineCompiled)
+	m := prog.MethodByFullName("acc::step")
 	if m == nil {
-		b.Fatal("point::jiggle not found")
+		t.Fatal("acc::step not found")
 	}
-	recv := ip.Globals["P"]
-	b.ReportAllocs()
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		ctx := ip.NewCtx()
-		if _, err := ip.Call(ctx, m, recv, []interp.Value{int64(1000)}); err != nil {
-			b.Fatal(err)
+	recv := ip.Globals["A"]
+	ctx := ip.NewCtx()
+	args := []interp.Value{interp.IntValue(200)}
+	if _, err := ip.Call(ctx, m, recv, args); err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		if _, err := ip.Call(ctx, m, recv, args); err != nil {
+			t.Fatal(err)
 		}
+	})
+	if allocs != 0 {
+		t.Errorf("compiled float arithmetic allocates %v allocs/op, want 0", allocs)
 	}
 }

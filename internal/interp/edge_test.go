@@ -58,7 +58,7 @@ void main() { M.go(); }
 	v, _ := ip.Globals["M"], 0
 	_ = v
 	got := ip.Globals["M"].Slots[1] // r is the second field
-	if got != int64(12) {
+	if got.Any() != int64(12) {
 		t.Errorf("r = %v, want 12", got)
 	}
 }
@@ -86,7 +86,7 @@ void main() { M.go(); }
 	M := ip.Globals["M"]
 	wants := []int64{3, 2, -3, 8}
 	for i, w := range wants {
-		if M.Slots[i] != w {
+		if M.Slots[i].Any() != w {
 			t.Errorf("slot %d = %v, want %d", i, M.Slots[i], w)
 		}
 	}
@@ -110,10 +110,10 @@ void m::go() {
 void main() { M.go(); }
 `)
 	M := ip.Globals["M"]
-	if M.Slots[0] != 4.0 {
+	if M.Slots[0].Any() != 4.0 {
 		t.Errorf("d = %v, want 4.0", M.Slots[0])
 	}
-	if M.Slots[1] != int64(9) {
+	if M.Slots[1].Any() != int64(9) {
 		t.Errorf("i = %v, want 9", M.Slots[1])
 	}
 }
@@ -146,11 +146,11 @@ void main() { O.go(); }
 `)
 	O := ip.Globals["O"]
 	// Fields: a (slot 0), b (slot 1), sum (slot 2).
-	if got := O.Slots[2]; got != int64(1102) {
+	if got := O.Slots[2]; got.Any() != int64(1102) {
 		t.Errorf("sum = %v, want 1102 (a=11, b=2)", got)
 	}
-	a := O.Slots[0].(*interp.Object)
-	b := O.Slots[1].(*interp.Object)
+	a := O.Slots[0].Object()
+	b := O.Slots[1].Object()
 	if a == b {
 		t.Error("nested objects a and b must be distinct")
 	}
@@ -180,7 +180,7 @@ void m::go() { found = this->probe(5); }
 void main() { M.go(); }
 `)
 	M := ip.Globals["M"]
-	if M.Slots[0] != int64(5) || M.Slots[1] != int64(5) {
+	if M.Slots[0].Any() != int64(5) || M.Slots[1].Any() != int64(5) {
 		t.Errorf("steps=%v found=%v, want 5/5", M.Slots[0], M.Slots[1])
 	}
 }
@@ -200,7 +200,7 @@ void m::down(int n) {
 }
 void main() { M.down(100); }
 `)
-	if got := ip.Globals["M"].Slots[0]; got != int64(5050) {
+	if got := ip.Globals["M"].Slots[0]; got.Any() != int64(5050) {
 		t.Errorf("total = %v, want 5050", got)
 	}
 }

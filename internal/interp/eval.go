@@ -9,7 +9,9 @@ import (
 
 // Abstract cost units charged by the interpreter. One unit corresponds
 // to roughly one simple machine operation; the simulator converts units
-// to microseconds with a calibration constant.
+// to microseconds with a calibration constant. Both engines charge the
+// same totals between dispatcher-hook boundaries (see compile.go), so
+// DASH simulation results are independent of the engine.
 const (
 	costStmt    = 1
 	costExpr    = 1
@@ -18,25 +20,52 @@ const (
 	costAlloc   = 40
 )
 
+// Error format strings shared by the walking and compiled engines, so
+// differential tests can compare error classes byte for byte.
+const (
+	errDivZero        = "integer division by zero at %s"
+	errModZero        = "integer modulo by zero at %s"
+	errNonNumbers     = "arithmetic on non-numbers at %s"
+	errBadBinary      = "bad binary operator at %s"
+	errCompoundNonNum = "compound assignment on non-numbers at %s"
+	errBadCompound    = "bad compound operator at %s"
+	errUnaryNonNum    = "unary - on non-number at %s"
+	errBadUnary       = "bad unary operator at %s"
+	errNullDeref      = "NULL dereference at %s"
+	errFieldNonObj    = "field access on non-object at %s"
+	errIndexNonArr    = "indexing non-array at %s"
+	errIndexNonInt    = "non-integer index at %s"
+	errIndexRange     = "index %d out of range [0,%d) at %s"
+	errFieldNoRecv    = "field %s accessed without a receiver"
+	errFieldNoRecvWr  = "field %s written without a receiver"
+	errCastNonObj     = "cast of non-object at %s"
+	errCallOnNull     = "method call on NULL at %s"
+	errCallNonObj     = "method call on non-object at %s"
+	errFieldStoreObj  = "field store on non-object at %s"
+	errIndexStoreArr  = "index store on non-array at %s"
+	errIndexStoreRng  = "index %v out of range at %s"
+	errUnknownBuiltin = "unknown builtin %s"
+)
+
 func formatInt(v int64) string     { return strconv.FormatInt(v, 10) }
 func formatFloat(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
 
-// eval evaluates an expression to a value.
+// eval evaluates an expression to a value (tree-walking engine).
 func (ip *Interp) eval(fr *Frame, e ast.Expr) (Value, error) {
 	fr.ctx.charge(costExpr)
 	switch x := e.(type) {
 	case *ast.IntLit:
-		return x.Value, nil
+		return IntValue(x.Value), nil
 	case *ast.FloatLit:
-		return x.Value, nil
+		return FloatValue(x.Value), nil
 	case *ast.BoolLit:
-		return x.Value, nil
+		return BoolValue(x.Value), nil
 	case *ast.NullLit:
-		return nil, nil
+		return Value{}, nil
 	case *ast.StringLit:
-		return x.Value, nil
+		return StringValue(x.Value), nil
 	case *ast.ThisExpr:
-		return fr.this, nil
+		return ObjectValue(fr.this), nil
 
 	case *ast.Ident:
 		switch x.Sym {
@@ -45,98 +74,59 @@ func (ip *Interp) eval(fr *Frame, e ast.Expr) (Value, error) {
 		case ast.SymConst:
 			return ip.res.consts[x.Slot], nil
 		case ast.SymGlobal:
-			return ip.globals[x.Slot], nil
+			return ObjectValue(ip.globals[x.Slot]), nil
 		case ast.SymField:
 			if fr.this == nil {
-				return nil, rtErrf("field %s accessed without a receiver", x.Name)
+				return Value{}, rtErrf(errFieldNoRecv, x.Name)
 			}
 			return fr.this.Slots[x.Slot], nil
 		}
-		return nil, rtErrf("unresolved identifier %s at %s", x.Name, x.Pos())
+		return Value{}, rtErrf("unresolved identifier %s at %s", x.Name, x.Pos())
 
 	case *ast.FieldAccess:
 		base, err := ip.eval(fr, x.X)
 		if err != nil {
-			return nil, err
+			return Value{}, err
 		}
-		obj, ok := base.(*Object)
-		if !ok {
-			if base == nil {
-				return nil, rtErrf("NULL dereference at %s", x.Pos())
+		if base.kind != KObject {
+			if base.kind == KNull {
+				return Value{}, rtErrf(errNullDeref, x.Pos())
 			}
-			return nil, rtErrf("field access on non-object at %s", x.Pos())
+			return Value{}, rtErrf(errFieldNonObj, x.Pos())
 		}
-		return obj.Slots[x.Slot], nil
+		return base.ref.(*Object).Slots[x.Slot], nil
 
 	case *ast.IndexExpr:
 		arrV, err := ip.eval(fr, x.X)
 		if err != nil {
-			return nil, err
+			return Value{}, err
 		}
 		idxV, err := ip.eval(fr, x.Index)
 		if err != nil {
-			return nil, err
+			return Value{}, err
 		}
-		arr, ok := arrV.(*Array)
-		if !ok {
-			return nil, rtErrf("indexing non-array at %s", x.Pos())
-		}
-		i, ok := idxV.(int64)
-		if !ok {
-			return nil, rtErrf("non-integer index at %s", x.Pos())
-		}
-		if i < 0 || int(i) >= len(arr.Elems) {
-			return nil, rtErrf("index %d out of range [0,%d) at %s", i, len(arr.Elems), x.Pos())
-		}
-		return arr.Elems[i], nil
+		return indexLoad(arrV, idxV, x)
 
 	case *ast.CallExpr:
 		return ip.evalCall(fr, x)
 
 	case *ast.NewExpr:
 		fr.ctx.charge(costAlloc)
-		return ip.NewObject(ip.res.classList[x.ClassIdx]), nil
+		return ObjectValue(ip.NewObject(ip.res.classList[x.ClassIdx])), nil
 
 	case *ast.CastExpr:
 		v, err := ip.eval(fr, x.X)
 		if err != nil {
-			return nil, err
+			return Value{}, err
 		}
-		if v == nil {
-			return nil, nil
-		}
-		obj, ok := v.(*Object)
-		if !ok {
-			return nil, rtErrf("cast of non-object at %s", x.Pos())
-		}
-		target := ip.res.classList[x.ClassIdx]
-		if obj.Class.InheritsFrom(target) {
-			return obj, nil
-		}
-		return nil, nil // failed dynamic cast yields NULL
+		return castValue(ip, v, x)
 
 	case *ast.Unary:
 		v, err := ip.eval(fr, x.X)
 		if err != nil {
-			return nil, err
+			return Value{}, err
 		}
-		switch x.Op {
-		case token.MINUS:
-			switch n := v.(type) {
-			case int64:
-				return -n, nil
-			case float64:
-				return -n, nil
-			}
-			return nil, rtErrf("unary - on non-number at %s", x.Pos())
-		case token.NOT:
-			b, err := truthy(v)
-			if err != nil {
-				return nil, err
-			}
-			return !b, nil
-		}
-		return nil, rtErrf("bad unary operator at %s", x.Pos())
+		return applyUnary(x, v)
 
 	case *ast.Binary:
 		return ip.evalBinary(fr, x)
@@ -144,7 +134,60 @@ func (ip *Interp) eval(fr *Frame, e ast.Expr) (Value, error) {
 	case *ast.Assign:
 		return ip.evalAssign(fr, x)
 	}
-	return nil, rtErrf("unsupported expression at %s", e.Pos())
+	return Value{}, rtErrf("unsupported expression at %s", e.Pos())
+}
+
+// indexLoad is the array-read kernel shared by both engines.
+func indexLoad(arrV, idxV Value, x *ast.IndexExpr) (Value, error) {
+	if arrV.kind != KArray {
+		return Value{}, rtErrf(errIndexNonArr, x.Pos())
+	}
+	if idxV.kind != KInt {
+		return Value{}, rtErrf(errIndexNonInt, x.Pos())
+	}
+	arr := arrV.ref.(*Array)
+	i := int64(idxV.num)
+	if i < 0 || int(i) >= len(arr.Elems) {
+		return Value{}, rtErrf(errIndexRange, i, len(arr.Elems), x.Pos())
+	}
+	return arr.Elems[i], nil
+}
+
+// castValue is the dynamic-cast kernel shared by both engines: a failed
+// cast yields NULL, matching the dialect's checked downcasts.
+func castValue(ip *Interp, v Value, x *ast.CastExpr) (Value, error) {
+	if v.kind == KNull {
+		return Value{}, nil
+	}
+	if v.kind != KObject {
+		return Value{}, rtErrf(errCastNonObj, x.Pos())
+	}
+	obj := v.ref.(*Object)
+	if obj.Class.InheritsFrom(ip.res.classList[x.ClassIdx]) {
+		return v, nil
+	}
+	return Value{}, nil // failed dynamic cast yields NULL
+}
+
+// applyUnary is the unary-operator kernel shared by both engines.
+func applyUnary(x *ast.Unary, v Value) (Value, error) {
+	switch x.Op {
+	case token.MINUS:
+		switch v.kind {
+		case KInt:
+			return IntValue(-int64(v.num)), nil
+		case KFloat:
+			return FloatValue(-v.Float()), nil
+		}
+		return Value{}, rtErrf(errUnaryNonNum, x.Pos())
+	case token.NOT:
+		b, err := truthy(v)
+		if err != nil {
+			return Value{}, err
+		}
+		return BoolValue(!b), nil
+	}
+	return Value{}, rtErrf(errBadUnary, x.Pos())
 }
 
 func (ip *Interp) evalBinary(fr *Frame, x *ast.Binary) (Value, error) {
@@ -152,129 +195,132 @@ func (ip *Interp) evalBinary(fr *Frame, x *ast.Binary) (Value, error) {
 	if x.Op == token.AND || x.Op == token.OR {
 		l, err := ip.eval(fr, x.X)
 		if err != nil {
-			return nil, err
+			return Value{}, err
 		}
 		lb, err := truthy(l)
 		if err != nil {
-			return nil, err
+			return Value{}, err
 		}
 		if x.Op == token.AND && !lb {
-			return false, nil
+			return BoolValue(false), nil
 		}
 		if x.Op == token.OR && lb {
-			return true, nil
+			return BoolValue(true), nil
 		}
 		r, err := ip.eval(fr, x.Y)
 		if err != nil {
-			return nil, err
+			return Value{}, err
 		}
 		return truthyVal(r)
 	}
 
 	l, err := ip.eval(fr, x.X)
 	if err != nil {
-		return nil, err
+		return Value{}, err
 	}
 	r, err := ip.eval(fr, x.Y)
 	if err != nil {
-		return nil, err
+		return Value{}, err
 	}
+	return applyBinary(x, l, r)
+}
 
+// applyBinary is the strict (non-short-circuit) binary-operator kernel
+// shared by both engines.
+func applyBinary(x *ast.Binary, l, r Value) (Value, error) {
 	switch x.Op {
 	case token.EQ, token.NEQ:
 		eq, err := valueEqual(l, r)
 		if err != nil {
-			return nil, err
+			return Value{}, err
 		}
 		if x.Op == token.NEQ {
-			return !eq, nil
+			return BoolValue(!eq), nil
 		}
-		return eq, nil
+		return BoolValue(eq), nil
 	}
 
-	li, lIsInt := l.(int64)
-	ri, rIsInt := r.(int64)
-	if lIsInt && rIsInt {
+	if l.kind == KInt && r.kind == KInt {
+		li, ri := int64(l.num), int64(r.num)
 		switch x.Op {
 		case token.PLUS:
-			return li + ri, nil
+			return IntValue(li + ri), nil
 		case token.MINUS:
-			return li - ri, nil
+			return IntValue(li - ri), nil
 		case token.STAR:
-			return li * ri, nil
+			return IntValue(li * ri), nil
 		case token.SLASH:
 			if ri == 0 {
-				return nil, rtErrf("integer division by zero at %s", x.Pos())
+				return Value{}, rtErrf(errDivZero, x.Pos())
 			}
-			return li / ri, nil
+			return IntValue(li / ri), nil
 		case token.PERCENT:
 			if ri == 0 {
-				return nil, rtErrf("integer modulo by zero at %s", x.Pos())
+				return Value{}, rtErrf(errModZero, x.Pos())
 			}
-			return li % ri, nil
+			return IntValue(li % ri), nil
 		case token.LT:
-			return li < ri, nil
+			return BoolValue(li < ri), nil
 		case token.LEQ:
-			return li <= ri, nil
+			return BoolValue(li <= ri), nil
 		case token.GT:
-			return li > ri, nil
+			return BoolValue(li > ri), nil
 		case token.GEQ:
-			return li >= ri, nil
+			return BoolValue(li >= ri), nil
 		}
 	}
 
 	lf, lok := asFloat(l)
 	rf, rok := asFloat(r)
 	if !lok || !rok {
-		return nil, rtErrf("arithmetic on non-numbers at %s", x.Pos())
+		return Value{}, rtErrf(errNonNumbers, x.Pos())
 	}
 	switch x.Op {
 	case token.PLUS:
-		return lf + rf, nil
+		return FloatValue(lf + rf), nil
 	case token.MINUS:
-		return lf - rf, nil
+		return FloatValue(lf - rf), nil
 	case token.STAR:
-		return lf * rf, nil
+		return FloatValue(lf * rf), nil
 	case token.SLASH:
-		return lf / rf, nil
+		return FloatValue(lf / rf), nil
 	case token.LT:
-		return lf < rf, nil
+		return BoolValue(lf < rf), nil
 	case token.LEQ:
-		return lf <= rf, nil
+		return BoolValue(lf <= rf), nil
 	case token.GT:
-		return lf > rf, nil
+		return BoolValue(lf > rf), nil
 	case token.GEQ:
-		return lf >= rf, nil
+		return BoolValue(lf >= rf), nil
 	}
-	return nil, rtErrf("bad binary operator at %s", x.Pos())
+	return Value{}, rtErrf(errBadBinary, x.Pos())
 }
 
 func truthyVal(v Value) (Value, error) {
 	b, err := truthy(v)
 	if err != nil {
-		return nil, err
+		return Value{}, err
 	}
-	return b, nil
+	return BoolValue(b), nil
 }
 
 func valueEqual(l, r Value) (bool, error) {
-	lo, lIsObj := l.(*Object)
-	ro, rIsObj := r.(*Object)
-	if l == nil || r == nil || lIsObj || rIsObj {
-		if l != nil && !lIsObj {
+	lIsPtr := l.kind == KNull || l.kind == KObject
+	rIsPtr := r.kind == KNull || r.kind == KObject
+	if lIsPtr || rIsPtr {
+		if !lIsPtr {
 			return false, rtErrf("comparing pointer with non-pointer")
 		}
-		if r != nil && !rIsObj {
+		if !rIsPtr {
 			return false, rtErrf("comparing pointer with non-pointer")
 		}
-		return lo == ro, nil
+		return l.Object() == r.Object(), nil
 	}
-	if lb, ok := l.(bool); ok {
-		rb, ok2 := r.(bool)
-		if !ok2 {
+	if l.kind == KBool {
+		if r.kind != KBool {
 			return false, rtErrf("comparing boolean with non-boolean")
 		}
-		return lb == rb, nil
+		return l.num == r.num, nil
 	}
 	lf, lok := asFloat(l)
 	rf, rok := asFloat(r)
@@ -287,58 +333,59 @@ func valueEqual(l, r Value) (bool, error) {
 func (ip *Interp) evalAssign(fr *Frame, x *ast.Assign) (Value, error) {
 	rhs, err := ip.eval(fr, x.RHS)
 	if err != nil {
-		return nil, err
+		return Value{}, err
 	}
 	if x.Op != token.ASSIGN {
 		old, err := ip.eval(fr, x.LHS)
 		if err != nil {
-			return nil, err
+			return Value{}, err
 		}
 		rhs, err = applyCompound(x, old, rhs)
 		if err != nil {
-			return nil, err
+			return Value{}, err
 		}
 	}
 	if err := ip.store(fr, x.LHS, rhs); err != nil {
-		return nil, err
+		return Value{}, err
 	}
 	return rhs, nil
 }
 
+// applyCompound is the compound-assignment kernel shared by both
+// engines.
 func applyCompound(x *ast.Assign, old, rhs Value) (Value, error) {
-	oi, oIsInt := old.(int64)
-	ri, rIsInt := rhs.(int64)
-	if oIsInt && rIsInt {
+	if old.kind == KInt && rhs.kind == KInt {
+		oi, ri := int64(old.num), int64(rhs.num)
 		switch x.Op {
 		case token.PLUSEQ:
-			return oi + ri, nil
+			return IntValue(oi + ri), nil
 		case token.MINUSEQ:
-			return oi - ri, nil
+			return IntValue(oi - ri), nil
 		case token.STAREQ:
-			return oi * ri, nil
+			return IntValue(oi * ri), nil
 		case token.SLASHEQ:
 			if ri == 0 {
-				return nil, rtErrf("integer division by zero at %s", x.Pos())
+				return Value{}, rtErrf(errDivZero, x.Pos())
 			}
-			return oi / ri, nil
+			return IntValue(oi / ri), nil
 		}
 	}
 	of, ook := asFloat(old)
 	rf, rok := asFloat(rhs)
 	if !ook || !rok {
-		return nil, rtErrf("compound assignment on non-numbers at %s", x.Pos())
+		return Value{}, rtErrf(errCompoundNonNum, x.Pos())
 	}
 	switch x.Op {
 	case token.PLUSEQ:
-		return of + rf, nil
+		return FloatValue(of + rf), nil
 	case token.MINUSEQ:
-		return of - rf, nil
+		return FloatValue(of - rf), nil
 	case token.STAREQ:
-		return of * rf, nil
+		return FloatValue(of * rf), nil
 	case token.SLASHEQ:
-		return of / rf, nil
+		return FloatValue(of / rf), nil
 	}
-	return nil, rtErrf("bad compound operator at %s", x.Pos())
+	return Value{}, rtErrf(errBadCompound, x.Pos())
 }
 
 // store writes a value to an lvalue.
@@ -351,7 +398,7 @@ func (ip *Interp) store(fr *Frame, lhs ast.Expr, v Value) error {
 			return nil
 		case ast.SymField:
 			if fr.this == nil {
-				return rtErrf("field %s written without a receiver", x.Name)
+				return rtErrf(errFieldNoRecvWr, x.Name)
 			}
 			fr.this.Slots[x.Slot] = coerceKind(x.Coerce, v)
 			return nil
@@ -362,11 +409,10 @@ func (ip *Interp) store(fr *Frame, lhs ast.Expr, v Value) error {
 		if err != nil {
 			return err
 		}
-		obj, ok := base.(*Object)
-		if !ok {
-			return rtErrf("field store on non-object at %s", x.Pos())
+		if base.kind != KObject {
+			return rtErrf(errFieldStoreObj, x.Pos())
 		}
-		obj.Slots[x.Slot] = coerceKind(x.Coerce, v)
+		base.ref.(*Object).Slots[x.Slot] = coerceKind(x.Coerce, v)
 		return nil
 	case *ast.IndexExpr:
 		arrV, err := ip.eval(fr, x.X)
@@ -377,18 +423,26 @@ func (ip *Interp) store(fr *Frame, lhs ast.Expr, v Value) error {
 		if err != nil {
 			return err
 		}
-		arr, ok := arrV.(*Array)
-		if !ok {
-			return rtErrf("index store on non-array at %s", x.Pos())
-		}
-		i, ok := idxV.(int64)
-		if !ok || i < 0 || int(i) >= len(arr.Elems) {
-			return rtErrf("index %v out of range at %s", idxV, x.Pos())
-		}
-		arr.Elems[i] = coerceKind(x.Coerce, v)
-		return nil
+		return indexStore(arrV, idxV, v, x)
 	}
 	return rtErrf("unsupported assignment target at %s", lhs.Pos())
+}
+
+// indexStore is the array-write kernel shared by both engines.
+func indexStore(arrV, idxV, v Value, x *ast.IndexExpr) error {
+	if arrV.kind != KArray {
+		return rtErrf(errIndexStoreArr, x.Pos())
+	}
+	arr := arrV.ref.(*Array)
+	if idxV.kind != KInt {
+		return rtErrf(errIndexStoreRng, idxV.Any(), x.Pos())
+	}
+	i := int64(idxV.num)
+	if i < 0 || int(i) >= len(arr.Elems) {
+		return rtErrf(errIndexStoreRng, idxV.Any(), x.Pos())
+	}
+	arr.Elems[i] = coerceKind(x.Coerce, v)
+	return nil
 }
 
 // evalCall evaluates receiver and arguments, then dispatches through
@@ -399,11 +453,12 @@ func (ip *Interp) evalCall(fr *Frame, x *ast.CallExpr) (Value, error) {
 		for i, a := range x.Args {
 			v, err := ip.eval(fr, a)
 			if err != nil {
-				return nil, err
+				return Value{}, err
 			}
 			args[i] = v
 		}
-		return callBuiltin(ip, fr, x, args)
+		fr.ctx.charge(costBuiltin)
+		return callBuiltin(ip, x.Method, x, args)
 	}
 	site := ip.Prog.CallSites[x.Site]
 
@@ -411,16 +466,15 @@ func (ip *Interp) evalCall(fr *Frame, x *ast.CallExpr) (Value, error) {
 	if x.Recv != nil {
 		rv, err := ip.eval(fr, x.Recv)
 		if err != nil {
-			return nil, err
+			return Value{}, err
 		}
-		obj, ok := rv.(*Object)
-		if !ok {
-			if rv == nil {
-				return nil, rtErrf("method call on NULL at %s", x.Pos())
+		if rv.kind != KObject {
+			if rv.kind == KNull {
+				return Value{}, rtErrf(errCallOnNull, x.Pos())
 			}
-			return nil, rtErrf("method call on non-object at %s", x.Pos())
+			return Value{}, rtErrf(errCallNonObj, x.Pos())
 		}
-		recv = obj
+		recv = rv.ref.(*Object)
 	} else if site.Callee.Class != nil {
 		recv = fr.this
 	}
@@ -429,7 +483,7 @@ func (ip *Interp) evalCall(fr *Frame, x *ast.CallExpr) (Value, error) {
 	for i, a := range x.Args {
 		v, err := ip.eval(fr, a)
 		if err != nil {
-			return nil, err
+			return Value{}, err
 		}
 		args[i] = v
 	}

@@ -3,29 +3,79 @@ package interp
 import (
 	"io"
 	"math"
+	"os"
+	"sync"
 
 	"commute/internal/frontend/ast"
 	"commute/internal/frontend/token"
 	"commute/internal/frontend/types"
 )
 
+// Engine selects the execution strategy for method bodies.
+type Engine uint8
+
+const (
+	// EngineCompiled executes closure-compiled bodies (the default):
+	// each method is lowered once per program to a tree of thunks, so
+	// steady-state execution performs no AST type-switches.
+	EngineCompiled Engine = iota
+	// EngineWalk executes the tree-walking evaluator. It is the
+	// semantic baseline for differential testing and an escape hatch
+	// (-engine walk) if a compiled-mode bug is suspected.
+	EngineWalk
+)
+
+// ParseEngine maps a command-line engine name to an Engine.
+func ParseEngine(s string) (Engine, bool) {
+	switch s {
+	case "compiled", "":
+		return EngineCompiled, true
+	case "walk":
+		return EngineWalk, true
+	}
+	return EngineCompiled, false
+}
+
+func (e Engine) String() string {
+	if e == EngineWalk {
+		return "walk"
+	}
+	return "compiled"
+}
+
 // Interp holds the immutable program and the global object store.
 type Interp struct {
 	Prog    *types.Program
 	res     *resolution
+	engine  Engine
 	globals []*Object // declaration order, indexed by SymGlobal Ident.Slot
 	Globals map[string]*Object
 	Out     io.Writer
 }
 
-// New allocates an interpreter with default-initialized globals. The
-// program's slot resolution (frame slots, field offsets, constant and
-// global tables) is computed once per program and shared by every
-// interpreter instance.
+// defaultEngine is EngineCompiled unless the COMMUTE_ENGINE
+// environment variable overrides it — `COMMUTE_ENGINE=walk go test
+// ./...` runs every suite that uses New against the tree walker.
+var defaultEngine = func() Engine {
+	e, _ := ParseEngine(os.Getenv("COMMUTE_ENGINE"))
+	return e
+}()
+
+// New allocates an interpreter with default-initialized globals,
+// executing with the default engine (compiled, unless COMMUTE_ENGINE
+// says otherwise). The program's slot resolution and compiled bodies
+// are computed once per program and shared by every interpreter
+// instance.
 func New(prog *types.Program, out io.Writer) *Interp {
+	return NewEngine(prog, out, defaultEngine)
+}
+
+// NewEngine allocates an interpreter using the given execution engine.
+func NewEngine(prog *types.Program, out io.Writer, eng Engine) *Interp {
 	ip := &Interp{
 		Prog:    prog,
 		res:     resolve(prog),
+		engine:  eng,
 		Globals: make(map[string]*Object),
 		Out:     out,
 	}
@@ -36,6 +86,9 @@ func New(prog *types.Program, out io.Writer) *Interp {
 	}
 	return ip
 }
+
+// Engine reports the interpreter's execution engine.
+func (ip *Interp) Engine() Engine { return ip.engine }
 
 // FieldSlot exposes slot resolution for the runtime and tests.
 func (ip *Interp) FieldSlot(cl *types.Class, declClass, field string) int {
@@ -81,6 +134,12 @@ type Ctx struct {
 	Cost int64
 
 	steps int64
+
+	// argScratch recycles call-argument slices, LIFO. It is used only
+	// when Invoke is nil: dispatcher hooks may capture argument slices
+	// into spawned task closures, so those slices cannot be recycled. A
+	// Ctx is goroutine-local, so no locking is needed.
+	argScratch [][]Value
 }
 
 // InterruptStride is how many statements execute between Interrupt
@@ -118,20 +177,78 @@ func (c *Ctx) charge(units int64) {
 	c.Cost += units
 }
 
+// getArgs returns an argument slice of length n, recycling the most
+// recently released slice when it fits.
+func (c *Ctx) getArgs(n int) []Value {
+	if ln := len(c.argScratch); ln > 0 {
+		s := c.argScratch[ln-1]
+		if cap(s) >= n {
+			c.argScratch = c.argScratch[:ln-1]
+			return s[:n]
+		}
+	}
+	return make([]Value, n)
+}
+
+// putArgs releases an argument slice obtained from getArgs. The callee
+// has already copied the arguments into its frame.
+func (c *Ctx) putArgs(s []Value) {
+	clear(s)
+	c.argScratch = append(c.argScratch, s)
+}
+
 // Frame is one activation record. Variables live in a flat slot array
 // (parameters first, then locals in declaration order) — the slot of
 // every name use was resolved ahead of time, so access is an array
-// index, not a map lookup.
+// index, not a map lookup. Frames are recycled through a sync.Pool;
+// freeFrame zeroes the slot array, so a pooled frame's backing array is
+// all-zero up to its capacity (frames abandoned by a panic unwind are
+// simply collected by the GC).
 type Frame struct {
 	method *types.Method
 	slots  *methodSlots
 	this   *Object
 	vars   []Value
 	ctx    *Ctx
+	// ret receives the return value in compiled execution (the walker
+	// threads a *returnValue instead).
+	ret Value
 }
 
 // Method reports the frame's executing method (runtime diagnostics).
 func (fr *Frame) Method() *types.Method { return fr.method }
+
+var framePool = sync.Pool{New: func() any { return &Frame{} }}
+
+// newFrame acquires a pooled frame with n zeroed variable slots.
+func newFrame(n int) *Frame {
+	fr := framePool.Get().(*Frame)
+	if cap(fr.vars) >= n {
+		// The pool invariant guarantees every slot up to cap is zero.
+		fr.vars = fr.vars[:n]
+	} else {
+		fr.vars = make([]Value, n)
+	}
+	return fr
+}
+
+// freeFrame zeroes and recycles a frame. Callers release frames only on
+// the normal (non-panicking) paths; a panic abandons the frame to the
+// garbage collector, which keeps the pool invariant (all slots zero)
+// trivially true.
+func freeFrame(fr *Frame) {
+	clear(fr.vars)
+	fr.method = nil
+	fr.slots = nil
+	fr.this = nil
+	fr.ctx = nil
+	fr.ret = Value{}
+	framePool.Put(fr)
+}
+
+// ReleaseFrame recycles an iteration frame obtained from NewIterFrame
+// once no more iterations will run in it.
+func (ip *Interp) ReleaseFrame(fr *Frame) { freeFrame(fr) }
 
 // returnValue signals a return through the statement walkers.
 type returnValue struct {
@@ -150,37 +267,53 @@ func (ip *Interp) Run(ctx *Ctx) error {
 // Call executes method m with the given receiver and arguments.
 func (ip *Interp) Call(ctx *Ctx, m *types.Method, this *Object, args []Value) (Value, error) {
 	if m.Def == nil {
-		return nil, rtErrf("%s has no definition", m.FullName())
+		return Value{}, rtErrf("%s has no definition", m.FullName())
 	}
 	maxDepth := ctx.MaxDepth
 	if maxDepth <= 0 {
 		maxDepth = DefaultMaxDepth
 	}
 	if ctx.Depth >= maxDepth {
-		return nil, rtErrf("recursion depth limit of %d activations exceeded calling %s", maxDepth, m.FullName())
+		return Value{}, rtErrf("recursion depth limit of %d activations exceeded calling %s", maxDepth, m.FullName())
 	}
 	ctx.Depth++
 	defer func() { ctx.Depth-- }()
 	ms := ip.res.methods[m.ID]
-	fr := &Frame{method: m, slots: ms, this: this, vars: make([]Value, ms.n), ctx: ctx}
+	fr := newFrame(ms.n)
+	fr.method, fr.slots, fr.this, fr.ctx = m, ms, this, ctx
 	for i := range m.Params {
 		if i < len(args) {
 			fr.vars[i] = coerceKind(ms.paramCo[i], args[i])
 		}
 	}
 	ctx.charge(costCall)
-	ret, err := ip.execStmt(fr, m.Def.Body)
-	if err != nil {
-		return nil, err
+
+	var out Value
+	if ip.engine == EngineWalk {
+		ret, err := ip.execStmt(fr, m.Def.Body)
+		if err != nil {
+			freeFrame(fr)
+			return Value{}, err
+		}
+		if ret != nil {
+			out = ret.v
+		}
+	} else {
+		fl, err := ip.res.compiled[m.ID].body(fr)
+		if err != nil {
+			freeFrame(fr)
+			return Value{}, err
+		}
+		if fl == flowReturn {
+			out = fr.ret
+		}
 	}
-	if ret != nil {
-		return ret.v, nil
-	}
-	return nil, nil
+	freeFrame(fr)
+	return out, nil
 }
 
 // execStmt executes a statement; a non-nil *returnValue unwinds a
-// return.
+// return. (Tree-walking engine.)
 func (ip *Interp) execStmt(fr *Frame, s ast.Stmt) (*returnValue, error) {
 	fr.ctx.charge(costStmt)
 	if err := fr.ctx.step(); err != nil {
@@ -275,13 +408,13 @@ func (ip *Interp) execFor(fr *Frame, st *ast.ForStmt) (*returnValue, error) {
 	// dispatcher.
 	if fr.ctx.ForLoop != nil {
 		if slot, to, step, ok := ip.countedLoop(fr, st); ok {
-			from, _ := fr.vars[slot].(int64)
+			from := fr.vars[slot].Int()
 			handled, err := fr.ctx.ForLoop(st, fr, from, to, step)
 			if err != nil {
 				return nil, err
 			}
 			if handled {
-				fr.vars[slot] = to
+				fr.vars[slot] = IntValue(to)
 				return nil, nil
 			}
 		}
@@ -312,69 +445,90 @@ func (ip *Interp) execFor(fr *Frame, st *ast.ForStmt) (*returnValue, error) {
 	}
 }
 
-// countedLoop matches `for (v = ...; v < bound; v++/v += step)` with an
+// countedLoop matches `for (v = ...; v < bound; v += step)` with an
 // int loop variable and evaluates the bound and step. It returns the
-// loop variable's frame slot.
+// loop variable's frame slot. The structural half of the match is
+// shared with the compiler (matchCountedLoop); the walker adds the
+// runtime parts: the loop variable currently holds an int, and the
+// bound evaluates without error to an int.
 func (ip *Interp) countedLoop(fr *Frame, st *ast.ForStmt) (slot int, to, step int64, ok bool) {
+	m, ok := matchCountedLoop(st)
+	if !ok {
+		return 0, 0, 0, false
+	}
+	if fr.vars[m.slot].kind != KInt {
+		return 0, 0, 0, false
+	}
+	bv, err := ip.eval(fr, m.bound)
+	if err != nil || bv.kind != KInt {
+		return 0, 0, 0, false
+	}
+	return m.slot, bv.Int(), m.step, true
+}
+
+// countedLoopShape is the compile-time-checkable half of the counted
+// loop pattern.
+type countedLoopShape struct {
+	slot  int
+	bound ast.Expr
+	step  int64
+}
+
+// matchCountedLoop performs the structural counted-loop match:
+// `for (v = ...; v < bound; v += step)` with a pure bound and a
+// positive integer literal step.
+func matchCountedLoop(st *ast.ForStmt) (countedLoopShape, bool) {
+	var m countedLoopShape
 	switch init := st.Init.(type) {
 	case *ast.DeclStmt:
-		slot = int(init.Slot)
+		m.slot = int(init.Slot)
 	case *ast.ExprStmt:
 		asn, isA := init.X.(*ast.Assign)
 		if !isA {
-			return 0, 0, 0, false
+			return m, false
 		}
 		id, isID := asn.LHS.(*ast.Ident)
 		if !isID || (id.Sym != ast.SymLocal && id.Sym != ast.SymParam) {
-			return 0, 0, 0, false
+			return m, false
 		}
-		slot = int(id.Slot)
+		m.slot = int(id.Slot)
 	default:
-		return 0, 0, 0, false
-	}
-	if _, isInt := fr.vars[slot].(int64); !isInt {
-		return 0, 0, 0, false
+		return m, false
 	}
 	cmp, isC := st.Cond.(*ast.Binary)
 	if !isC || cmp.Op != token.LT {
-		return 0, 0, 0, false
+		return m, false
 	}
 	cid, isID := cmp.X.(*ast.Ident)
-	if !isID || (cid.Sym != ast.SymLocal && cid.Sym != ast.SymParam) || int(cid.Slot) != slot {
-		return 0, 0, 0, false
+	if !isID || (cid.Sym != ast.SymLocal && cid.Sym != ast.SymParam) || int(cid.Slot) != m.slot {
+		return m, false
 	}
-	// The bound is evaluated here once to offer the loop to the
-	// parallel dispatcher; if the dispatcher declines, the serial loop
+	// The bound is evaluated once to offer the loop to the parallel
+	// dispatcher; if the dispatcher declines, the serial loop
 	// re-evaluates the condition per iteration — so the bound must be
 	// side-effect free.
 	if !pureExpr(cmp.Y) {
-		return 0, 0, 0, false
+		return m, false
 	}
-	bv, err := ip.eval(fr, cmp.Y)
-	if err != nil {
-		return 0, 0, 0, false
-	}
-	bound, isI := bv.(int64)
-	if !isI {
-		return 0, 0, 0, false
-	}
+	m.bound = cmp.Y
 	post, isP := st.Post.(*ast.ExprStmt)
 	if !isP {
-		return 0, 0, 0, false
+		return m, false
 	}
 	pasn, isA := post.X.(*ast.Assign)
 	if !isA || pasn.Op != token.PLUSEQ {
-		return 0, 0, 0, false
+		return m, false
 	}
 	pid, isID := pasn.LHS.(*ast.Ident)
-	if !isID || (pid.Sym != ast.SymLocal && pid.Sym != ast.SymParam) || int(pid.Slot) != slot {
-		return 0, 0, 0, false
+	if !isID || (pid.Sym != ast.SymLocal && pid.Sym != ast.SymParam) || int(pid.Slot) != m.slot {
+		return m, false
 	}
 	lit, isL := pasn.RHS.(*ast.IntLit)
 	if !isL || lit.Value <= 0 {
-		return 0, 0, 0, false
+		return m, false
 	}
-	return slot, bound, lit.Value, true
+	m.step = lit.Value
+	return m, true
 }
 
 // pureExpr reports whether evaluating the expression is free of side
@@ -397,11 +551,12 @@ func pureExpr(e ast.Expr) bool {
 // locals (exactly as the serial loop reuses one frame across
 // iterations), so a single iteration frame can serve every iteration a
 // worker executes — the per-iteration cost is one slot store, not a
-// map rebuild.
+// map rebuild. Release with ReleaseFrame when the worker is done.
 func (ip *Interp) NewIterFrame(ctx *Ctx, fr *Frame) *Frame {
-	vars := make([]Value, len(fr.vars))
-	copy(vars, fr.vars)
-	return &Frame{method: fr.method, slots: fr.slots, this: fr.this, vars: vars, ctx: ctx}
+	sub := newFrame(len(fr.vars))
+	sub.method, sub.slots, sub.this, sub.ctx = fr.method, fr.slots, fr.this, ctx
+	copy(sub.vars, fr.vars)
+	return sub
 }
 
 // RunLoopIteration executes one iteration of the counted loop body in
@@ -412,7 +567,19 @@ func (ip *Interp) RunLoopIteration(sub *Frame, st *ast.ForStmt, i int64) error {
 	if slot < 0 {
 		return rtErrf("parallel loop at %s without a resolvable loop variable", st.Pos())
 	}
-	sub.vars[slot] = i
+	sub.vars[slot] = IntValue(i)
+	if ip.engine != EngineWalk {
+		if body, ok := ip.res.loopBodies[st]; ok {
+			fl, err := body(sub)
+			if err != nil {
+				return err
+			}
+			if fl == flowReturn {
+				return rtErrf("return inside a parallel loop")
+			}
+			return nil
+		}
+	}
 	ret, err := ip.execStmt(sub, st.Body)
 	if err != nil {
 		return err
@@ -439,30 +606,30 @@ func LoopVar(st *ast.ForStmt) string {
 	return ""
 }
 
-// Math builtin dispatch.
-func callBuiltin(ip *Interp, fr *Frame, x *ast.CallExpr, args []Value) (Value, error) {
-	fr.ctx.charge(costBuiltin)
+// callBuiltin dispatches a math or print builtin on evaluated
+// arguments. The caller has already charged costBuiltin.
+func callBuiltin(ip *Interp, name string, x *ast.CallExpr, args []Value) (Value, error) {
 	f := func(i int) float64 {
 		v, _ := asFloat(args[i])
 		return v
 	}
-	switch x.Method {
+	switch name {
 	case "sqrt":
-		return math.Sqrt(f(0)), nil
+		return FloatValue(math.Sqrt(f(0))), nil
 	case "fabs":
-		return math.Abs(f(0)), nil
+		return FloatValue(math.Abs(f(0))), nil
 	case "exp":
-		return math.Exp(f(0)), nil
+		return FloatValue(math.Exp(f(0))), nil
 	case "log":
-		return math.Log(f(0)), nil
+		return FloatValue(math.Log(f(0))), nil
 	case "floor":
-		return math.Floor(f(0)), nil
+		return FloatValue(math.Floor(f(0))), nil
 	case "sin":
-		return math.Sin(f(0)), nil
+		return FloatValue(math.Sin(f(0))), nil
 	case "cos":
-		return math.Cos(f(0)), nil
+		return FloatValue(math.Cos(f(0))), nil
 	case "pow":
-		return math.Pow(f(0), f(1)), nil
+		return FloatValue(math.Pow(f(0), f(1))), nil
 	case "print":
 		if ip.Out != nil {
 			for i, a := range args {
@@ -473,29 +640,29 @@ func callBuiltin(ip *Interp, fr *Frame, x *ast.CallExpr, args []Value) (Value, e
 			}
 			io.WriteString(ip.Out, "\n")
 		}
-		return nil, nil
+		return Value{}, nil
 	}
-	return nil, rtErrf("unknown builtin %s", x.Method)
+	return Value{}, rtErrf(errUnknownBuiltin, name)
 }
 
 func printValue(w io.Writer, v Value) {
-	switch x := v.(type) {
-	case int64:
-		io.WriteString(w, formatInt(x))
-	case float64:
-		io.WriteString(w, formatFloat(x))
-	case bool:
-		if x {
+	switch v.kind {
+	case KInt:
+		io.WriteString(w, formatInt(v.Int()))
+	case KFloat:
+		io.WriteString(w, formatFloat(v.Float()))
+	case KBool:
+		if v.num != 0 {
 			io.WriteString(w, "TRUE")
 		} else {
 			io.WriteString(w, "FALSE")
 		}
-	case string:
-		io.WriteString(w, x)
-	case nil:
+	case KString:
+		io.WriteString(w, v.Str())
+	case KNull:
 		io.WriteString(w, "NULL")
-	case *Object:
-		io.WriteString(w, "<"+x.Class.Name+">")
+	case KObject:
+		io.WriteString(w, "<"+v.Object().Class.Name+">")
 	default:
 		io.WriteString(w, "?")
 	}

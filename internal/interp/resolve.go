@@ -35,6 +35,11 @@ type resolution struct {
 	consts    []Value        // SymConst Ident.Slot -> value
 	globals   []string       // SymGlobal Ident.Slot -> global name
 	classList []*types.Class // NewExpr/CastExpr ClassIdx -> class
+
+	// Closure-compiled bodies (see compile.go), built once with the
+	// resolution and shared by every interpreter for the program.
+	compiled   []*compiledMethod // indexed by types.Method.ID
+	loopBodies map[*ast.ForStmt]stmtFn
 }
 
 var (
@@ -91,9 +96,9 @@ func buildResolution(prog *types.Program) *resolution {
 		cv := prog.Consts[name]
 		constIdx[name] = int32(len(r.consts))
 		if cv.IsInt {
-			r.consts = append(r.consts, cv.I)
+			r.consts = append(r.consts, IntValue(cv.I))
 		} else {
-			r.consts = append(r.consts, cv.F)
+			r.consts = append(r.consts, FloatValue(cv.F))
 		}
 	}
 
@@ -111,6 +116,16 @@ func buildResolution(prog *types.Program) *resolution {
 
 	for _, m := range prog.Methods {
 		r.methods[m.ID] = r.resolveMethod(prog, m, constIdx, globalIdx, classIdx)
+	}
+
+	// Lower every resolved body to closures. The compiled forms read
+	// only the annotations written above, so this runs after the whole
+	// program is resolved.
+	c := &compiler{prog: prog, res: r}
+	r.compiled = make([]*compiledMethod, len(prog.Methods))
+	r.loopBodies = make(map[*ast.ForStmt]stmtFn)
+	for _, m := range prog.Methods {
+		r.compiled[m.ID] = c.compileMethod(m)
 	}
 	return r
 }
@@ -190,12 +205,12 @@ func (r *resolution) resolveMethod(prog *types.Program, m *types.Method, constId
 func coerceKind(c ast.Coercion, v Value) Value {
 	switch c {
 	case ast.CoInt:
-		if f, isF := v.(float64); isF {
-			return int64(f)
+		if v.kind == KFloat {
+			return IntValue(int64(v.Float()))
 		}
 	case ast.CoDouble:
-		if i, isI := v.(int64); isI {
-			return float64(i)
+		if v.kind == KInt {
+			return FloatValue(float64(int64(v.num)))
 		}
 	}
 	return v

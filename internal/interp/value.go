@@ -1,20 +1,161 @@
-// Package interp implements a tree-walking interpreter for the
-// mini-C++ dialect. It provides the serial executor, the instrumented
-// executor that records task/lock event traces for the DASH simulator,
-// and the object model shared with the real parallel runtime.
+// Package interp implements the execution engines for the mini-C++
+// dialect: a tree-walking interpreter (the semantic baseline) and a
+// closure-compiled engine that lowers each method body to a tree of
+// thunks once per program. Both engines share the object model used by
+// the real parallel runtime and the instrumented executor that records
+// task/lock event traces for the DASH simulator.
 package interp
 
 import (
 	"fmt"
+	"math"
 	"sync"
 	"sync/atomic"
 
 	"commute/internal/frontend/types"
 )
 
-// Value is a runtime value: int64, float64, bool, string, *Object,
-// *Array, or nil (the NULL pointer).
-type Value any
+// Kind discriminates the payload of a Value.
+type Kind uint8
+
+// Value kinds. KNull is the zero value: a zeroed Value is the NULL
+// pointer.
+const (
+	KNull Kind = iota
+	KInt
+	KFloat
+	KBool
+	KString
+	KObject
+	KArray
+)
+
+func (k Kind) String() string {
+	switch k {
+	case KNull:
+		return "null"
+	case KInt:
+		return "int"
+	case KFloat:
+		return "double"
+	case KBool:
+		return "boolean"
+	case KString:
+		return "string"
+	case KObject:
+		return "object"
+	case KArray:
+		return "array"
+	}
+	return "invalid"
+}
+
+// Value is an unboxed tagged runtime value. Numeric and boolean
+// payloads live in the num word (int64 bits, float64 bits, or 0/1), so
+// int/float/bool arithmetic never heap-allocates — the previous
+// `Value = any` representation boxed every float64 result through an
+// interface conversion, which was the dominant allocation source on
+// float-heavy kernels. Reference payloads (*Object, *Array, string)
+// live in ref.
+type Value struct {
+	kind Kind
+	num  uint64
+	ref  any
+}
+
+// IntValue wraps an int64.
+func IntValue(v int64) Value { return Value{kind: KInt, num: uint64(v)} }
+
+// FloatValue wraps a float64.
+func FloatValue(v float64) Value { return Value{kind: KFloat, num: math.Float64bits(v)} }
+
+// BoolValue wraps a bool.
+func BoolValue(v bool) Value {
+	var n uint64
+	if v {
+		n = 1
+	}
+	return Value{kind: KBool, num: n}
+}
+
+// StringValue wraps a string (print builtins only).
+func StringValue(v string) Value { return Value{kind: KString, ref: v} }
+
+// ObjectValue wraps an object pointer; a nil *Object is NULL.
+func ObjectValue(o *Object) Value {
+	if o == nil {
+		return Value{}
+	}
+	return Value{kind: KObject, ref: o}
+}
+
+// ArrayValue wraps an array pointer.
+func ArrayValue(a *Array) Value { return Value{kind: KArray, ref: a} }
+
+// Kind reports the value's kind.
+func (v Value) Kind() Kind { return v.kind }
+
+// IsNull reports whether the value is the NULL pointer.
+func (v Value) IsNull() bool { return v.kind == KNull }
+
+// Int returns the int64 payload (zero for other kinds).
+func (v Value) Int() int64 {
+	if v.kind != KInt {
+		return 0
+	}
+	return int64(v.num)
+}
+
+// Float returns the float64 payload (zero for other kinds).
+func (v Value) Float() float64 {
+	if v.kind != KFloat {
+		return 0
+	}
+	return math.Float64frombits(v.num)
+}
+
+// Bool returns the boolean payload (false for other kinds).
+func (v Value) Bool() bool { return v.kind == KBool && v.num != 0 }
+
+// Str returns the string payload ("" for other kinds).
+func (v Value) Str() string {
+	if v.kind != KString {
+		return ""
+	}
+	return v.ref.(string)
+}
+
+// Object returns the object payload (nil for other kinds).
+func (v Value) Object() *Object {
+	if v.kind != KObject {
+		return nil
+	}
+	return v.ref.(*Object)
+}
+
+// Array returns the array payload (nil for other kinds).
+func (v Value) Array() *Array {
+	if v.kind != KArray {
+		return nil
+	}
+	return v.ref.(*Array)
+}
+
+// Any unwraps the value to its natural Go representation: int64,
+// float64, bool, string, *Object, *Array, or nil (state inspection).
+func (v Value) Any() any {
+	switch v.kind {
+	case KInt:
+		return int64(v.num)
+	case KFloat:
+		return math.Float64frombits(v.num)
+	case KBool:
+		return v.num != 0
+	case KString, KObject, KArray:
+		return v.ref
+	}
+	return nil
+}
 
 // Object is a heap object. Fields are stored in a flat slot array laid
 // out base-class-first so that concurrent access to distinct fields of
@@ -104,25 +245,25 @@ func (ip *Interp) zeroValue(t types.Type) Value {
 	case types.Basic:
 		switch tt {
 		case types.Int:
-			return int64(0)
+			return IntValue(0)
 		case types.Double:
-			return float64(0)
+			return FloatValue(0)
 		case types.Bool:
-			return false
+			return BoolValue(false)
 		}
-		return nil
+		return Value{}
 	case types.Pointer:
-		return nil
+		return Value{}
 	case types.Object:
-		return ip.NewObject(tt.Class)
+		return ObjectValue(ip.NewObject(tt.Class))
 	case types.Array:
 		a := &Array{Elems: make([]Value, tt.Len)}
 		for i := range a.Elems {
 			a.Elems[i] = ip.zeroValue(tt.Elem)
 		}
-		return a
+		return ArrayValue(a)
 	}
-	return nil
+	return Value{}
 }
 
 // RuntimeError is a failure during interpretation.
@@ -138,19 +279,18 @@ func rtErrf(format string, args ...any) *RuntimeError {
 
 // Truthy coerces a Value used as a condition.
 func truthy(v Value) (bool, error) {
-	b, ok := v.(bool)
-	if !ok {
-		return false, rtErrf("condition is not boolean: %T", v)
+	if v.kind != KBool {
+		return false, rtErrf("condition is not boolean: %s", v.kind)
 	}
-	return b, nil
+	return v.num != 0, nil
 }
 
 func asFloat(v Value) (float64, bool) {
-	switch x := v.(type) {
-	case float64:
-		return x, true
-	case int64:
-		return float64(x), true
+	switch v.kind {
+	case KFloat:
+		return math.Float64frombits(v.num), true
+	case KInt:
+		return float64(int64(v.num)), true
 	}
 	return 0, false
 }

@@ -3,6 +3,7 @@ package rt_test
 import (
 	"fmt"
 	"math/rand"
+	"slices"
 	"strings"
 	"testing"
 
@@ -101,32 +102,60 @@ func TestRandomCommutingPrograms(t *testing.T) {
 			t.Fatalf("trial %d: update loop not parallelized", trial)
 		}
 
-		ipSerial := interp.New(prog, nil)
+		engines := []struct {
+			name string
+			eng  interp.Engine
+		}{{"walk", interp.EngineWalk}, {"compiled", interp.EngineCompiled}}
+
+		// Differential property across execution engines: the closure
+		// compiler must be observationally identical to the tree walker.
+		// The walk engine's serial state is the reference for everything.
+		ipSerial := interp.NewEngine(prog, nil, interp.EngineWalk)
 		if err := ipSerial.Run(ipSerial.NewCtx()); err != nil {
-			t.Fatalf("trial %d serial: %v", trial, err)
+			t.Fatalf("trial %d serial walk: %v", trial, err)
 		}
 		want := counterState(t, prog, ipSerial, counters)
 
-		// Differential property: both schedulers (the central queue and
-		// the work-stealing deques) must reproduce the serial integer
-		// state exactly — the scheduler may only change the order of
-		// commuting updates, never the result.
+		ipComp := interp.NewEngine(prog, nil, interp.EngineCompiled)
+		if err := ipComp.Run(ipComp.NewCtx()); err != nil {
+			t.Fatalf("trial %d serial compiled: %v", trial, err)
+		}
+		if got := counterState(t, prog, ipComp, counters); !slices.Equal(got, want) {
+			t.Fatalf("trial %d: serial compiled state %v, want %v", trial, got, want)
+		}
+
+		// Differential property across schedulers and engines: the
+		// scheduler may only change the order of commuting updates, never
+		// the result; the engine may change nothing observable at all —
+		// including the deterministic scheduler counters (regions, loops,
+		// iterations, tasks, lock acquires).
 		for _, sched := range []struct {
 			name string
 			mode rt.SchedMode
 		}{{"central", rt.SchedCentral}, {"stealing", rt.SchedStealing}} {
 			for _, workers := range []int{1, 4} {
-				ip := interp.New(prog, nil)
-				r := rt.New(ip, plan, workers)
-				r.Sched = sched.mode
-				if err := r.Run(); err != nil {
-					t.Fatalf("trial %d %s parallel: %v", trial, sched.name, err)
-				}
-				got := counterState(t, prog, ip, counters)
-				for i := range want {
-					if got[i] != want[i] {
-						t.Fatalf("trial %d %s workers %d: counter %d = %v, want %v (commuting updates must agree)",
-							trial, sched.name, workers, i, got[i], want[i])
+				var refStats []int64
+				for _, e := range engines {
+					ip := interp.NewEngine(prog, nil, e.eng)
+					r := rt.New(ip, plan, workers)
+					r.Sched = sched.mode
+					if err := r.Run(); err != nil {
+						t.Fatalf("trial %d %s/%s parallel: %v", trial, sched.name, e.name, err)
+					}
+					got := counterState(t, prog, ip, counters)
+					for i := range want {
+						if got[i] != want[i] {
+							t.Fatalf("trial %d %s/%s workers %d: counter %d = %v, want %v (commuting updates must agree)",
+								trial, sched.name, e.name, workers, i, got[i], want[i])
+						}
+					}
+					st := []int64{r.Stats.Regions, r.Stats.ParallelLoops, r.Stats.Iterations,
+						r.Stats.Tasks, r.Stats.LockAcquires}
+					if refStats == nil {
+						refStats = st
+					} else if !slices.Equal(st, refStats) {
+						t.Fatalf("trial %d %s workers %d: compiled stats %v, walk stats %v (engines must schedule identical work)",
+							trial, sched.name, workers, st, refStats)
 					}
 				}
 			}
@@ -140,13 +169,13 @@ func counterState(t *testing.T, prog *types.Program, ip *interp.Interp, counters
 	d := ip.Globals["D"]
 	driverCl := prog.Classes["driver"]
 	counterCl := prog.Classes["counter"]
-	cs := d.Slots[ip.FieldSlot(driverCl, "driver", "cs")].(*interp.Array)
+	cs := d.Slots[ip.FieldSlot(driverCl, "driver", "cs")].Array()
 	var out []int64
 	for i := 0; i < counters; i++ {
-		c := cs.Elems[i].(*interp.Object)
+		c := cs.Elems[i].Object()
 		out = append(out,
-			c.Slots[ip.FieldSlot(counterCl, "counter", "adds")].(int64),
-			c.Slots[ip.FieldSlot(counterCl, "counter", "prods")].(int64),
+			c.Slots[ip.FieldSlot(counterCl, "counter", "adds")].Int(),
+			c.Slots[ip.FieldSlot(counterCl, "counter", "prods")].Int(),
 		)
 	}
 	return out

@@ -201,7 +201,7 @@ func (rt *Runtime) serialCtx() *interp.Ctx {
 	ctx.Invoke = func(site *types.CallSite, recv *interp.Object, args []interp.Value) (interp.Value, error) {
 		mp := rt.Plan.Methods[site.Callee]
 		if mp != nil && mp.Parallel && rt.Plan.GeneratesConcurrency(site.Callee) {
-			return nil, rt.runRegion(site, recv, args)
+			return interp.Value{}, rt.runRegion(site, recv, args)
 		}
 		return rt.IP.Call(ctx, site.Callee, recv, args)
 	}
@@ -332,7 +332,7 @@ func (rt *Runtime) callVersion(w *worker, m *types.Method, recv *interp.Object, 
 			// Nested-object operation under the hoisted lock: run the
 			// original serial version inline.
 			_, err := rt.IP.Call(ctx, site.Callee, r2, a2)
-			return nil, err
+			return interp.Value{}, err
 		case codegen.ActionSpawn:
 			if releaseBeforeSpawn && lockHeld {
 				lockHeld = false
@@ -340,20 +340,20 @@ func (rt *Runtime) callVersion(w *worker, m *types.Method, recv *interp.Object, 
 			}
 			if ver == versionMutex {
 				// Mutex versions execute invoked operations serially.
-				return nil, rt.callVersion(w, site.Callee, r2, a2, versionMutex, ctx.Depth)
+				return interp.Value{}, rt.callVersion(w, site.Callee, r2, a2, versionMutex, ctx.Depth)
 			}
 			callee := site.Callee
 			if rt.LazySpawnThreshold > 0 && w.p.pendingCount() >= rt.LazySpawnThreshold {
 				// Lazy task creation: enough parallelism is already
 				// exposed; absorb the child into this task.
 				atomic.AddInt64(&rt.Stats.LazyInlines, 1)
-				return nil, rt.callVersion(w, callee, r2, a2, versionParallel, ctx.Depth)
+				return interp.Value{}, rt.callVersion(w, callee, r2, a2, versionParallel, ctx.Depth)
 			}
 			atomic.AddInt64(&rt.Stats.Tasks, 1)
 			w.p.spawn(w, callee.FullName(), func(cw *worker) {
 				rt.setErr(rt.callVersion(cw, callee, r2, a2, versionParallel, 0))
 			})
-			return nil, nil
+			return interp.Value{}, nil
 		default:
 			return rt.IP.Call(ctx, site.Callee, r2, a2)
 		}
@@ -427,6 +427,7 @@ func (rt *Runtime) parallelLoop(w *worker, parent *interp.Ctx, fs *ast.ForStmt, 
 			// only write their own locals, exactly like the serial
 			// loop reusing one frame.
 			sub := rt.IP.NewIterFrame(ctx, fr)
+			defer rt.IP.ReleaseFrame(sub)
 			for {
 				if rt.failed.Load() {
 					return
@@ -479,7 +480,7 @@ func (rt *Runtime) mutexIterCtx(w *worker, depth int) *interp.Ctx {
 		}
 		cp := rt.Plan.Methods[site.Callee]
 		if cp != nil && cp.Parallel {
-			return nil, rt.callVersion(w, site.Callee, recv, args, versionMutex, ctx.Depth)
+			return interp.Value{}, rt.callVersion(w, site.Callee, recv, args, versionMutex, ctx.Depth)
 		}
 		return rt.IP.Call(ctx, site.Callee, recv, args)
 	}

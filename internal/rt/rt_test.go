@@ -33,14 +33,14 @@ func graphSums(t *testing.T, prog *types.Program, ip *interp.Interp) ([]int64, i
 	b := ip.Globals["Builder"]
 	builderCl := prog.Classes["builder"]
 	graphCl := prog.Classes["graph"]
-	nodes := b.Slots[ip.FieldSlot(builderCl, "builder", "nodes")].(*interp.Array)
-	n := b.Slots[ip.FieldSlot(builderCl, "builder", "numnodes")].(int64)
+	nodes := b.Slots[ip.FieldSlot(builderCl, "builder", "nodes")].Array()
+	n := b.Slots[ip.FieldSlot(builderCl, "builder", "numnodes")].Int()
 	sums := make([]int64, n)
 	marked := 0
 	for i := int64(0); i < n; i++ {
-		node := nodes.Elems[i].(*interp.Object)
-		sums[i] = node.Slots[ip.FieldSlot(graphCl, "graph", "sum")].(int64)
-		if node.Slots[ip.FieldSlot(graphCl, "graph", "mark")] == true {
+		node := nodes.Elems[i].Object()
+		sums[i] = node.Slots[ip.FieldSlot(graphCl, "graph", "sum")].Int()
+		if node.Slots[ip.FieldSlot(graphCl, "graph", "mark")].Bool() {
 			marked++
 		}
 	}
@@ -89,17 +89,17 @@ func bhState(prog *types.Program, ip *interp.Interp) ([]float64, [][3]float64) {
 	nbodyCl := prog.Classes["nbody"]
 	bodyCl := prog.Classes["body"]
 	nodeCl := prog.Classes["node"]
-	n := nb.Slots[ip.FieldSlot(nbodyCl, "nbody", "numbodies")].(int64)
-	bodies := nb.Slots[ip.FieldSlot(nbodyCl, "nbody", "bodies")].(*interp.Array)
+	n := nb.Slots[ip.FieldSlot(nbodyCl, "nbody", "numbodies")].Int()
+	bodies := nb.Slots[ip.FieldSlot(nbodyCl, "nbody", "bodies")].Array()
 	phis := make([]float64, n)
 	poss := make([][3]float64, n)
 	for i := int64(0); i < n; i++ {
-		b := bodies.Elems[i].(*interp.Object)
-		phis[i] = b.Slots[ip.FieldSlot(bodyCl, "body", "phi")].(float64)
-		pos := b.Slots[ip.FieldSlot(bodyCl, "node", "pos")].(*interp.Object)
-		val := pos.Slots[ip.FieldSlot(prog.Classes["vector"], "vector", "val")].(*interp.Array)
+		b := bodies.Elems[i].Object()
+		phis[i] = b.Slots[ip.FieldSlot(bodyCl, "body", "phi")].Float()
+		pos := b.Slots[ip.FieldSlot(bodyCl, "node", "pos")].Object()
+		val := pos.Slots[ip.FieldSlot(prog.Classes["vector"], "vector", "val")].Array()
 		for d := 0; d < 3; d++ {
-			poss[i][d] = val.Elems[d].(float64)
+			poss[i][d] = val.Elems[d].Float()
 		}
 	}
 	_ = nodeCl

@@ -14,19 +14,19 @@ func waterState(prog *types.Program, ip *interp.Interp) ([]float64, float64, flo
 	w := ip.Globals["Water"]
 	waterCl := prog.Classes["water"]
 	h2oCl := prog.Classes["h2o"]
-	n := w.Slots[ip.FieldSlot(waterCl, "water", "nmol")].(int64)
-	mols := w.Slots[ip.FieldSlot(waterCl, "water", "mols")].(*interp.Array)
+	n := w.Slots[ip.FieldSlot(waterCl, "water", "nmol")].Int()
+	mols := w.Slots[ip.FieldSlot(waterCl, "water", "mols")].Array()
 	var vels []float64
 	for i := int64(0); i < n; i++ {
-		m := mols.Elems[i].(*interp.Object)
+		m := mols.Elems[i].Object()
 		for _, f := range []string{"vx", "vy", "vz"} {
-			vels = append(vels, m.Slots[ip.FieldSlot(h2oCl, "h2o", f)].(float64))
+			vels = append(vels, m.Slots[ip.FieldSlot(h2oCl, "h2o", f)].Float())
 		}
 	}
 	s := ip.Globals["Sums"]
 	sumsCl := prog.Classes["sums"]
-	pot := s.Slots[ip.FieldSlot(sumsCl, "sums", "pot")].(float64)
-	kin := s.Slots[ip.FieldSlot(sumsCl, "sums", "kin")].(float64)
+	pot := s.Slots[ip.FieldSlot(sumsCl, "sums", "pot")].Float()
+	kin := s.Slots[ip.FieldSlot(sumsCl, "sums", "kin")].Float()
 	return vels, pot, kin
 }
 

@@ -1,0 +1,99 @@
+package tracer_test
+
+import (
+	"reflect"
+	"testing"
+
+	"commute/internal/apps/src"
+	"commute/internal/interp"
+	"commute/internal/simdash"
+	"commute/internal/tracer"
+)
+
+// canonicalizeObjIDs renumbers every Event.Obj in first-seen traversal
+// order so traces from different interpreter instances compare equal.
+func canonicalizeObjIDs(tr *tracer.Trace) {
+	ids := map[int64]int64{}
+	var renumber func(tk *tracer.Task)
+	renumber = func(tk *tracer.Task) {
+		if tk == nil {
+			return
+		}
+		for i := range tk.Events {
+			e := &tk.Events[i]
+			if e.Obj != 0 {
+				id, ok := ids[e.Obj]
+				if !ok {
+					id = int64(len(ids) + 1)
+					ids[e.Obj] = id
+				}
+				e.Obj = id
+			}
+			renumber(e.Child)
+			for _, it := range e.Iters {
+				renumber(it)
+			}
+		}
+	}
+	for i := range tr.Phases {
+		renumber(tr.Phases[i].Root)
+	}
+}
+
+// TestEngineTraceParity: the closure-compiled engine charges exactly
+// the cost totals the tree walker charges between dispatcher-hook
+// boundaries, so the recorded traces — phase structure, task events,
+// compute and critical-section units, object identities — must be
+// deeply equal, and any DASH simulation of them must produce identical
+// times. This is the property that lets the compiled engine replace
+// the walker without perturbing a single simulation result.
+func TestEngineTraceParity(t *testing.T) {
+	for _, tc := range []struct {
+		name   string
+		source string
+	}{
+		{"graph", src.Graph},
+		{"barneshut", src.BarnesHut},
+		{"water", src.Water},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			prog, plan := setup(t, tc.source)
+
+			ipWalk := interp.NewEngine(prog, nil, interp.EngineWalk)
+			trWalk, err := tracer.Collect(ipWalk, plan)
+			if err != nil {
+				t.Fatalf("walk collect: %v", err)
+			}
+			ipComp := interp.NewEngine(prog, nil, interp.EngineCompiled)
+			trComp, err := tracer.Collect(ipComp, plan)
+			if err != nil {
+				t.Fatalf("compiled collect: %v", err)
+			}
+
+			if w, c := trWalk.SerialUnits(), trComp.SerialUnits(); w != c {
+				t.Errorf("serial units: walk %d, compiled %d", w, c)
+			}
+			if w, c := trWalk.ParallelUnits(), trComp.ParallelUnits(); w != c {
+				t.Errorf("parallel units: walk %d, compiled %d", w, c)
+			}
+			// Object IDs are allocated from a counter shared across
+			// interpreter instances, so the second trace's IDs are offset
+			// by the first run's allocations. Renumber both in first-seen
+			// order: the lock-sharing structure is what must agree.
+			canonicalizeObjIDs(trWalk)
+			canonicalizeObjIDs(trComp)
+			if !reflect.DeepEqual(trWalk, trComp) {
+				t.Errorf("traces differ structurally (phases: walk %d, compiled %d)",
+					len(trWalk.Phases), len(trComp.Phases))
+			}
+			for _, procs := range []int{1, 8, 32} {
+				w := simdash.Simulate(trWalk, simdash.DefaultParams(procs))
+				c := simdash.Simulate(trComp, simdash.DefaultParams(procs))
+				if w.TimeMicros != c.TimeMicros {
+					t.Errorf("procs %d: simulated time walk %v, compiled %v",
+						procs, w.TimeMicros, c.TimeMicros)
+				}
+			}
+		})
+	}
+}

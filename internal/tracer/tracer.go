@@ -140,14 +140,14 @@ func (c *collector) serialCtx() *interp.Ctx {
 			c.replicated = make(map[int64]bool)
 			err := c.runVersion(root, site.Callee, recv, args, parVersion)
 			if err != nil {
-				return nil, err
+				return interp.Value{}, err
 			}
 			c.trace.Phases = append(c.trace.Phases, Phase{
 				Label: site.Callee.FullName(), Root: root,
 				ReduceObjects: len(c.replicated),
 			})
 			c.replicated = nil
-			return nil, nil
+			return interp.Value{}, nil
 		}
 		return c.ip.Call(ctx, site.Callee, recv, args)
 	}
@@ -253,18 +253,18 @@ func (c *collector) runVersion(task *Task, m *types.Method, recv *interp.Object,
 				ts.flushCompute()
 				sub := &Task{}
 				if err := c.runVersion(sub, site.Callee, r2, a2, mutexVersion); err != nil {
-					return nil, err
+					return interp.Value{}, err
 				}
 				task.Events = append(task.Events, sub.Events...)
-				return nil, nil
+				return interp.Value{}, nil
 			}
 			ts.flushCompute()
 			child := &Task{}
 			if err := c.runVersion(child, site.Callee, r2, a2, parVersion); err != nil {
-				return nil, err
+				return interp.Value{}, err
 			}
 			task.Events = append(task.Events, Event{Kind: EvSpawn, Child: child})
-			return nil, nil
+			return interp.Value{}, nil
 		default:
 			return c.ip.Call(ctx, site.Callee, r2, a2)
 		}
@@ -287,7 +287,9 @@ func (c *collector) runVersion(task *Task, m *types.Method, recv *interp.Object,
 			its := &taskState{task: iter}
 			ictx := c.iterCtx(its)
 			sub := c.ip.NewIterFrame(ictx, fr)
-			if err := c.ip.RunLoopIteration(sub, fs, i); err != nil {
+			err := c.ip.RunLoopIteration(sub, fs, i)
+			c.ip.ReleaseFrame(sub)
+			if err != nil {
 				return true, err
 			}
 			its.flushCompute()
@@ -319,10 +321,10 @@ func (c *collector) iterCtx(ts *taskState) *interp.Ctx {
 			ts.flushCompute()
 			sub := &Task{}
 			if err := c.runVersion(sub, site.Callee, recv, args, mutexVersion); err != nil {
-				return nil, err
+				return interp.Value{}, err
 			}
 			ts.task.Events = append(ts.task.Events, sub.Events...)
-			return nil, nil
+			return interp.Value{}, nil
 		}
 		return c.ip.Call(ctx, site.Callee, recv, args)
 	}
