@@ -47,6 +47,10 @@ func main() {
 	outDir := flag.String("outdir", ".", "directory for the -json output file")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memProfile := flag.String("memprofile", "", "write a heap profile to this file on exit")
+	serveLoad := flag.Bool("serve-load", false, "load-test an in-process commuted server and report throughput, p99, and cache hit rate")
+	loadRequests := flag.Int("load-requests", 200, "total requests for -serve-load")
+	loadConcurrency := flag.Int("load-concurrency", 16, "concurrent clients for -serve-load")
+	loadWorkers := flag.Int("load-workers", 0, "server worker-pool size for -serve-load (0: GOMAXPROCS)")
 	flag.Parse()
 
 	if *cpuProfile != "" {
@@ -77,6 +81,20 @@ func main() {
 				fmt.Fprintln(os.Stderr, err)
 			}
 		}()
+	}
+
+	if *serveLoad {
+		out, err := bench.RunServeLoad(bench.ServeLoadConfig{
+			Requests:    *loadRequests,
+			Concurrency: *loadConcurrency,
+			Workers:     *loadWorkers,
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Print(out)
+		return
 	}
 
 	if *list {

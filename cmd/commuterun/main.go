@@ -13,6 +13,7 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -24,6 +25,7 @@ import (
 	"commute/internal/apps/src"
 	"commute/internal/interp"
 	"commute/internal/rt"
+	"commute/internal/server/api"
 )
 
 func main() {
@@ -36,6 +38,7 @@ func main() {
 	maxSteps := flag.Int64("maxsteps", 0, "abort after this many interpreter statements (0: unlimited)")
 	sched := flag.String("sched", "stealing", "task scheduler for -mode parallel: stealing | central")
 	engine := flag.String("engine", "compiled", "execution engine: compiled | walk")
+	statsJSON := flag.Bool("stats-json", false, "emit run stats as one JSON line (the daemon's /v1/run stats schema) instead of the human summary")
 	flag.Parse()
 
 	eng, ok := interp.ParseEngine(*engine)
@@ -85,6 +88,19 @@ func main() {
 		defer cancel()
 	}
 
+	// emitStats writes the machine-readable run summary — one JSON line
+	// in the same schema the commuted daemon returns from /v1/run
+	// (internal/server/api.RunStats), so tooling parses both outputs
+	// identically.
+	emitStats := func(st api.RunStats) {
+		line, err := json.Marshal(st)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Println(string(line))
+	}
+
 	switch *mode {
 	case "serial":
 		start := time.Now()
@@ -92,7 +108,16 @@ func main() {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
-		fmt.Printf("serial execution: %v\n", time.Since(start))
+		wall := time.Since(start)
+		if *statsJSON {
+			emitStats(api.RunStats{
+				Mode:   "serial",
+				Engine: eng.String(),
+				WallMS: float64(wall) / float64(time.Millisecond),
+			})
+			return
+		}
+		fmt.Printf("serial execution: %v\n", wall)
 
 	case "parallel":
 		start := time.Now()
@@ -116,7 +141,29 @@ func main() {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
-		fmt.Printf("parallel execution (%d workers, %s scheduler): %v\n", *workers, *sched, time.Since(start))
+		wall := time.Since(start)
+		if *statsJSON {
+			emitStats(api.RunStats{
+				Mode:            "parallel",
+				Engine:          eng.String(),
+				Sched:           *sched,
+				Workers:         *workers,
+				WallMS:          float64(wall) / float64(time.Millisecond),
+				Regions:         stats.Regions,
+				ParallelLoops:   stats.ParallelLoops,
+				Chunks:          stats.Chunks,
+				Iterations:      stats.Iterations,
+				Tasks:           stats.Tasks,
+				LazyInlines:     stats.LazyInlines,
+				LockAcquires:    stats.LockAcquires,
+				Steals:          stats.Steals,
+				LocalPops:       stats.LocalPops,
+				TaskPanics:      stats.TaskPanics,
+				SerialFallbacks: stats.SerialFallbacks,
+			})
+			return
+		}
+		fmt.Printf("parallel execution (%d workers, %s scheduler): %v\n", *workers, *sched, wall)
 		fmt.Printf("regions=%d loops=%d chunks=%d iterations=%d tasks=%d locks=%d steals=%d localpops=%d\n",
 			stats.Regions, stats.ParallelLoops, stats.Chunks,
 			stats.Iterations, stats.Tasks, stats.LockAcquires,

@@ -25,6 +25,8 @@ package commute
 
 import (
 	"context"
+	"crypto/sha256"
+	"encoding/hex"
 	"fmt"
 	"io"
 	"time"
@@ -86,6 +88,56 @@ func LoadTransformed(name, source string) (*System, string, []transform.Rewrite,
 	}
 	return sys, out, rewrites, nil
 }
+
+// LoadOptions selects load-time dialect options. The options are part
+// of a program's cache identity: two loads of the same source with
+// different options are different programs (see Fingerprint).
+type LoadOptions struct {
+	// Transform applies the §7.2 loop-replacement rewrite (while loops
+	// → tail-recursive auxiliary methods) before analysis, as
+	// LoadTransformed does.
+	Transform bool
+}
+
+// Fingerprint returns the content address of a (source, options) pair:
+// the hex SHA-256 of a canonical encoding of the name, source text, and
+// load options. Equal fingerprints mean Load would produce an
+// equivalent System, so a caching layer may reuse a previously loaded
+// one — including its warm per-program resolution and compiled-closure
+// caches — without re-running any phase of the pipeline.
+func Fingerprint(name, source string, opts LoadOptions) string {
+	h := sha256.New()
+	// Length-prefix each field so no two distinct inputs collide by
+	// concatenation.
+	fmt.Fprintf(h, "%d:%s;%d:%s;transform=%t", len(name), name, len(source), source, opts.Transform)
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// LoadOpts loads a program under the given options. It is the
+// cache-facing entry point: the result of LoadOpts is fully determined
+// by Fingerprint(name, source, opts).
+func LoadOpts(name, source string, opts LoadOptions) (*System, error) {
+	if opts.Transform {
+		sys, _, _, err := LoadTransformed(name, source)
+		return sys, err
+	}
+	return Load(name, source)
+}
+
+// Warm forces the per-program lazy caches — slot resolution and the
+// closure-compiled method bodies — to build now instead of on the first
+// execution. A caching layer calls this once at load time so every
+// subsequent request, including the first execution, runs against a
+// fully warm System.
+func (s *System) Warm() { interp.Warm(s.Prog) }
+
+// Release drops the per-program resolution and compiled-closure caches,
+// releasing their memory. Call it when evicting a System from a cache.
+// The caller must guarantee no executions of this System are in flight
+// (and none start concurrently): a later execution would rebuild the
+// caches, including re-annotating the shared AST, which is only safe
+// once every prior reader is done.
+func (s *System) Release() { interp.Release(s.Prog) }
 
 // LoadFiles parses several source files into one program (class and
 // global declarations are visible across files).

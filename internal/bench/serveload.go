@@ -1,0 +1,192 @@
+package bench
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"commute/internal/apps/src"
+	"commute/internal/server"
+	"commute/internal/server/api"
+)
+
+// ServeLoadConfig shapes one load run against an in-process commuted.
+type ServeLoadConfig struct {
+	// Requests is the total request count (default 200).
+	Requests int
+	// Concurrency is the number of concurrent clients (default 16).
+	Concurrency int
+	// Workers is the server's worker-pool size (0: GOMAXPROCS);
+	// Queue its wait-queue bound (0: server default).
+	Workers int
+	Queue   int
+	// CacheBytes is the server's artifact cache budget (0: default).
+	CacheBytes int64
+}
+
+// loadCall is one templated request in the replay corpus.
+type loadCall struct {
+	label string
+	path  string
+	body  []byte
+}
+
+// serveLoadCorpus builds the replay mix over the example corpus: the
+// §2 graph traversal at several node counts (distinct cache keys) is
+// analyzed and executed, so the run exercises cold loads, warm hits,
+// and real parallel execution under concurrency.
+func serveLoadCorpus() []loadCall {
+	var calls []loadCall
+	mustJSON := func(v any) []byte {
+		b, err := json.Marshal(v)
+		if err != nil {
+			panic(err)
+		}
+		return b
+	}
+	for _, nodes := range []int{48, 64, 96, 128} {
+		source := src.GraphBase + src.GraphMain(nodes, 12345)
+		name := fmt.Sprintf("graph%d.mc", nodes)
+		calls = append(calls, loadCall{
+			label: fmt.Sprintf("analyze/graph%d", nodes),
+			path:  "/v1/analyze",
+			body: mustJSON(api.AnalyzeRequest{
+				SourceRequest: api.SourceRequest{Name: name, Source: source},
+			}),
+		})
+		calls = append(calls, loadCall{
+			label: fmt.Sprintf("run/graph%d", nodes),
+			path:  "/v1/run",
+			body: mustJSON(api.RunRequest{
+				SourceRequest: api.SourceRequest{Name: name, Source: source},
+				Mode:          "parallel",
+				Workers:       4,
+			}),
+		})
+	}
+	calls = append(calls, loadCall{
+		label: "simulate/graph",
+		path:  "/v1/simulate",
+		body: mustJSON(api.SimulateRequest{
+			SourceRequest: api.SourceRequest{App: "graph"},
+			Procs:         []int{1, 4, 16},
+		}),
+	})
+	return calls
+}
+
+// RunServeLoad spins up commuted in-process, replays the corpus from
+// Concurrency clients, and reports throughput, latency percentiles,
+// shed rate, and the cache hit rate.
+func RunServeLoad(cfg ServeLoadConfig) (string, error) {
+	if cfg.Requests <= 0 {
+		cfg.Requests = 200
+	}
+	if cfg.Concurrency <= 0 {
+		cfg.Concurrency = 16
+	}
+
+	srv := server.New(server.Config{
+		Workers:    cfg.Workers,
+		Queue:      cfg.Queue,
+		CacheBytes: cfg.CacheBytes,
+	})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	client := ts.Client()
+	client.Timeout = 2 * time.Minute
+
+	corpus := serveLoadCorpus()
+	var (
+		next      atomic.Int64
+		shed      atomic.Int64
+		errs      atomic.Int64
+		latMu     sync.Mutex
+		latencies []time.Duration
+	)
+	record := func(d time.Duration) {
+		latMu.Lock()
+		latencies = append(latencies, d)
+		latMu.Unlock()
+	}
+
+	start := time.Now()
+	var wg sync.WaitGroup
+	for c := 0; c < cfg.Concurrency; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := next.Add(1) - 1
+				if i >= int64(cfg.Requests) {
+					return
+				}
+				call := corpus[i%int64(len(corpus))]
+				t0 := time.Now()
+				resp, err := client.Post(ts.URL+call.path, "application/json", bytes.NewReader(call.body))
+				if err != nil {
+					errs.Add(1)
+					continue
+				}
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+				record(time.Since(t0))
+				switch {
+				case resp.StatusCode == http.StatusTooManyRequests:
+					shed.Add(1)
+				case resp.StatusCode != http.StatusOK:
+					errs.Add(1)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	wall := time.Since(start)
+
+	// Cache hit rate from the daemon's own counters.
+	var st api.StatusZ
+	if resp, err := client.Get(ts.URL + "/statusz"); err == nil {
+		json.NewDecoder(resp.Body).Decode(&st)
+		resp.Body.Close()
+	}
+	hitRate := 0.0
+	if tot := st.CacheHits + st.CacheMisses; tot > 0 {
+		hitRate = float64(st.CacheHits) / float64(tot)
+	}
+
+	sort.Slice(latencies, func(i, j int) bool { return latencies[i] < latencies[j] })
+	pick := func(q float64) time.Duration {
+		if len(latencies) == 0 {
+			return 0
+		}
+		i := int(q*float64(len(latencies))+0.5) - 1
+		if i < 0 {
+			i = 0
+		}
+		if i >= len(latencies) {
+			i = len(latencies) - 1
+		}
+		return latencies[i]
+	}
+
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "serve-load: %d requests, %d clients, %d corpus entries\n",
+		cfg.Requests, cfg.Concurrency, len(corpus))
+	fmt.Fprintf(&sb, "  wall time     %v\n", wall.Round(time.Millisecond))
+	fmt.Fprintf(&sb, "  throughput    %.1f req/s\n", float64(cfg.Requests)/wall.Seconds())
+	fmt.Fprintf(&sb, "  p50 latency   %v\n", pick(0.50).Round(time.Microsecond))
+	fmt.Fprintf(&sb, "  p99 latency   %v\n", pick(0.99).Round(time.Microsecond))
+	fmt.Fprintf(&sb, "  shed (429)    %d\n", shed.Load())
+	fmt.Fprintf(&sb, "  errors        %d\n", errs.Load())
+	fmt.Fprintf(&sb, "  cache         %d hits / %d misses / %d evictions (%.1f%% hit rate)\n",
+		st.CacheHits, st.CacheMisses, st.CacheEvictions, hitRate*100)
+	return sb.String(), nil
+}

@@ -8,6 +8,7 @@ package core
 import (
 	"fmt"
 	"sort"
+	"sync"
 
 	"commute/internal/analysis/effects"
 	"commute/internal/analysis/extent"
@@ -21,6 +22,12 @@ type Analysis struct {
 	Prog *types.Program
 	Eff  *effects.Analyzer
 
+	// mu guards reports and serializes analyze(): the analysis is
+	// normally fully populated at load time (codegen.Build runs
+	// AnalyzeAll), but a System shared by concurrent servers may still
+	// call Report for a methodless name after the fact, and the effects
+	// analyzer's internal memo tables are not otherwise synchronized.
+	mu      sync.Mutex
 	reports map[*types.Method]*MethodReport
 
 	// Options.
@@ -69,7 +76,10 @@ type MethodReport struct {
 }
 
 // IsParallel runs the Figure 3 algorithm for m, caching the result.
+// Safe for concurrent use.
 func (a *Analysis) IsParallel(m *types.Method) *MethodReport {
+	a.mu.Lock()
+	defer a.mu.Unlock()
 	if r, ok := a.reports[m]; ok {
 		return r
 	}

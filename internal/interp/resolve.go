@@ -42,25 +42,44 @@ type resolution struct {
 	loopBodies map[*ast.ForStmt]stmtFn
 }
 
-var (
-	resolveMu    sync.Mutex
-	resolveCache = map[*types.Program]*resolution{}
-)
+// resolveCache maps *types.Program -> *resolveEntry. Entries carry a
+// sync.Once so that N goroutines racing to create the first interpreter
+// for one program dedupe to a single buildResolution (which both
+// computes the side tables and annotates the shared AST), while
+// first-builds of *different* programs proceed concurrently — a
+// long-running daemon loading many programs must not serialize all
+// compilation behind one global lock. The Once also publishes the
+// finished resolution with a happens-before edge, so no goroutine can
+// observe a torn (partially built) resolution or half-annotated AST.
+var resolveCache sync.Map
+
+type resolveEntry struct {
+	once sync.Once
+	res  *resolution
+}
 
 // resolve returns the program's cached resolution, building and
-// annotating the AST on first use. The cache also makes the AST
-// decoration safe when several interpreters are created for one
-// program: the pass runs once, under the lock.
+// annotating the AST on first use.
 func resolve(prog *types.Program) *resolution {
-	resolveMu.Lock()
-	defer resolveMu.Unlock()
-	if r, ok := resolveCache[prog]; ok {
-		return r
-	}
-	r := buildResolution(prog)
-	resolveCache[prog] = r
-	return r
+	e, _ := resolveCache.LoadOrStore(prog, &resolveEntry{})
+	ent := e.(*resolveEntry)
+	ent.once.Do(func() { ent.res = buildResolution(prog) })
+	return ent.res
 }
+
+// Warm forces the program's slot resolution and closure compilation to
+// run now (they otherwise run lazily on the first interpreter
+// creation), so a caching layer can pay the one-time cost at load time
+// instead of on the first request.
+func Warm(prog *types.Program) { resolve(prog) }
+
+// Release drops the program's cached resolution and compiled bodies,
+// letting a long-running process reclaim the memory of programs it has
+// evicted. The caller must guarantee no executions of prog are in
+// flight and none will start concurrently with the release: a later
+// execution rebuilds the caches from scratch (including re-annotating
+// the AST), which is only safe once all prior readers are done.
+func Release(prog *types.Program) { resolveCache.Delete(prog) }
 
 // coercionFor maps a declared type to the store coercion the
 // interpreter applies when assigning into it.

@@ -1,0 +1,175 @@
+// Package api defines the JSON types of the commuted serving layer —
+// the request/response bodies of /v1/analyze, /v1/run, and
+// /v1/simulate, plus the /statusz counter snapshot. The CLI tools speak
+// the same schema: commuterun -stats-json emits a RunStats line, so a
+// pipeline that parses daemon responses parses CLI output unchanged.
+package api
+
+// Options selects load-time dialect options; they are part of the
+// cache key (commute.Fingerprint).
+type Options struct {
+	// Transform applies the §7.2 while→tail-recursion rewrite before
+	// analysis.
+	Transform bool `json:"transform,omitempty"`
+}
+
+// SourceRequest identifies the program a request operates on: inline
+// source, or a built-in application from the evaluation corpus.
+type SourceRequest struct {
+	// Name labels the program in diagnostics (default "request.mc").
+	Name string `json:"name,omitempty"`
+	// Source is the mini-C++ program text.
+	Source string `json:"source,omitempty"`
+	// App selects a built-in application instead of Source:
+	// "barneshut", "water", "graph", or "quickstart".
+	App string `json:"app,omitempty"`
+	// Options are the dialect options (part of the cache key).
+	Options Options `json:"options,omitempty"`
+}
+
+// AnalyzeRequest asks for the commutativity analysis of a program.
+type AnalyzeRequest struct {
+	SourceRequest
+	// Emit includes the generated parallel source (the paper's Figure 2
+	// style output) in the response.
+	Emit bool `json:"emit,omitempty"`
+}
+
+// MethodReport is the analysis outcome for one method.
+type MethodReport struct {
+	Method             string `json:"method"`
+	Parallel           bool   `json:"parallel"`
+	Reason             string `json:"reason,omitempty"`
+	ExtentSize         int    `json:"extent_size"`
+	AuxiliaryCallSites int    `json:"auxiliary_call_sites"`
+	IndependentPairs   int    `json:"independent_pairs"`
+	SymbolicPairs      int    `json:"symbolic_pairs"`
+}
+
+// AnalyzeResponse is the commutativity report for a program.
+type AnalyzeResponse struct {
+	// Key is the program's content address (hex SHA-256 of source and
+	// options); Cache is "hit" or "miss" for this request.
+	Key   string `json:"key"`
+	Cache string `json:"cache"`
+
+	Methods         []MethodReport `json:"methods"`
+	ParallelMethods []string       `json:"parallel_methods"`
+	LoopsFound      int            `json:"loops_found"`
+	LoopsSuppressed int            `json:"loops_suppressed"`
+	ParallelSource  string         `json:"parallel_source,omitempty"`
+	ElapsedMS       float64        `json:"elapsed_ms"`
+}
+
+// RunRequest asks for one execution of a program.
+type RunRequest struct {
+	SourceRequest
+	// Mode is "serial" or "parallel" (default "parallel").
+	Mode string `json:"mode,omitempty"`
+	// Workers is the parallel worker count (default 4).
+	Workers int `json:"workers,omitempty"`
+	// Engine is "compiled" (default) or "walk".
+	Engine string `json:"engine,omitempty"`
+	// Sched is "stealing" (default) or "central".
+	Sched string `json:"sched,omitempty"`
+	// TimeoutMS bounds the execution's wall-clock time; the server
+	// clamps it to its configured ceiling. 0 means the server default.
+	TimeoutMS int64 `json:"timeout_ms,omitempty"`
+	// MaxSteps bounds interpreter statements (0: unlimited).
+	MaxSteps int64 `json:"max_steps,omitempty"`
+	// Fallback enables serial re-execution of failed parallel regions.
+	Fallback bool `json:"fallback,omitempty"`
+}
+
+// RunStats is the machine-readable execution summary shared by the
+// daemon's /v1/run responses and commuterun -stats-json.
+type RunStats struct {
+	Mode    string  `json:"mode"`
+	Engine  string  `json:"engine"`
+	Sched   string  `json:"sched,omitempty"`
+	Workers int     `json:"workers,omitempty"`
+	WallMS  float64 `json:"wall_ms"`
+
+	Regions         int64 `json:"regions,omitempty"`
+	ParallelLoops   int64 `json:"parallel_loops,omitempty"`
+	Chunks          int64 `json:"chunks,omitempty"`
+	Iterations      int64 `json:"iterations,omitempty"`
+	Tasks           int64 `json:"tasks,omitempty"`
+	LazyInlines     int64 `json:"lazy_inlines,omitempty"`
+	LockAcquires    int64 `json:"lock_acquires,omitempty"`
+	Steals          int64 `json:"steals,omitempty"`
+	LocalPops       int64 `json:"local_pops,omitempty"`
+	TaskPanics      int64 `json:"task_panics,omitempty"`
+	SerialFallbacks int64 `json:"serial_fallbacks,omitempty"`
+}
+
+// RunResponse is the outcome of one execution.
+type RunResponse struct {
+	Key   string `json:"key"`
+	Cache string `json:"cache"`
+
+	// Output is the program's print output, truncated at the server's
+	// per-request cap (OutputTruncated reports whether bytes were
+	// dropped).
+	Output          string   `json:"output"`
+	OutputTruncated bool     `json:"output_truncated,omitempty"`
+	Stats           RunStats `json:"stats"`
+}
+
+// SimulateRequest asks for simulated-multiprocessor speedups.
+type SimulateRequest struct {
+	SourceRequest
+	// Procs are the processor counts to simulate (default
+	// 1,2,4,8,16,32).
+	Procs []int `json:"procs,omitempty"`
+}
+
+// SimPoint is the simulation outcome at one processor count.
+type SimPoint struct {
+	Procs         int     `json:"procs"`
+	TimeMicros    float64 `json:"time_us"`
+	Speedup       float64 `json:"speedup"`
+	BlockedMicros float64 `json:"blocked_us"`
+}
+
+// SimulateResponse is a speedup curve.
+type SimulateResponse struct {
+	Key     string     `json:"key"`
+	Cache   string     `json:"cache"`
+	Results []SimPoint `json:"results"`
+	// ElapsedMS covers tracing plus all simulations.
+	ElapsedMS float64 `json:"elapsed_ms"`
+}
+
+// EndpointStats is the per-endpoint latency summary in /statusz.
+type EndpointStats struct {
+	Requests int64   `json:"requests"`
+	Errors   int64   `json:"errors"`
+	P50MS    float64 `json:"p50_ms"`
+	P99MS    float64 `json:"p99_ms"`
+}
+
+// StatusZ is the daemon's counter snapshot.
+type StatusZ struct {
+	UptimeSec float64 `json:"uptime_sec"`
+
+	Requests   int64 `json:"requests"`
+	InFlight   int64 `json:"in_flight"`
+	QueueDepth int64 `json:"queue_depth"`
+	Rejected   int64 `json:"rejected"` // 429 load sheds
+	Panics     int64 `json:"panics"`   // isolated request panics
+	Fallbacks  int64 `json:"fallbacks"`
+
+	CacheHits      int64 `json:"cache_hits"`
+	CacheMisses    int64 `json:"cache_misses"`
+	CacheEvictions int64 `json:"cache_evictions"`
+	CacheEntries   int64 `json:"cache_entries"`
+	CacheBytes     int64 `json:"cache_bytes"`
+
+	Endpoints map[string]EndpointStats `json:"endpoints"`
+}
+
+// Error is the JSON error envelope for non-2xx responses.
+type Error struct {
+	Error string `json:"error"`
+}

@@ -1,0 +1,187 @@
+package cache
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"commute"
+)
+
+// tinySystem loads a minimal real system for cache-mechanics tests
+// (the cache stores *commute.System; the same instance may back many
+// keys).
+func tinySystem(t *testing.T) *commute.System {
+	t.Helper()
+	sys, err := commute.Load("tiny.mc", "void main() { print(1); }")
+	if err != nil {
+		t.Fatalf("load tiny system: %v", err)
+	}
+	return sys
+}
+
+func TestHitMiss(t *testing.T) {
+	sys := tinySystem(t)
+	c := New(0, nil)
+	loads := 0
+	load := func() (*commute.System, int64, error) {
+		loads++
+		return sys, 100, nil
+	}
+
+	h1, hit, err := c.GetOrLoad("k1", load)
+	if err != nil || hit {
+		t.Fatalf("first get: hit=%v err=%v, want miss", hit, err)
+	}
+	h1.Close()
+	h2, hit, err := c.GetOrLoad("k1", load)
+	if err != nil || !hit {
+		t.Fatalf("second get: hit=%v err=%v, want hit", hit, err)
+	}
+	if h2.System() != sys {
+		t.Fatal("hit returned a different system")
+	}
+	h2.Close()
+	if loads != 1 {
+		t.Fatalf("loader ran %d times, want 1", loads)
+	}
+	st := c.Snapshot()
+	if st.Hits != 1 || st.Misses != 1 || st.Entries != 1 || st.Bytes != 100 {
+		t.Fatalf("snapshot = %+v, want 1 hit / 1 miss / 1 entry / 100 bytes", st)
+	}
+}
+
+func TestSingleflight(t *testing.T) {
+	sys := tinySystem(t)
+	c := New(0, nil)
+	var loads atomic.Int64
+	const goroutines = 32
+
+	var wg sync.WaitGroup
+	start := make(chan struct{})
+	for i := 0; i < goroutines; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			<-start
+			h, _, err := c.GetOrLoad("shared", func() (*commute.System, int64, error) {
+				loads.Add(1)
+				time.Sleep(20 * time.Millisecond) // widen the race window
+				return sys, 1, nil
+			})
+			if err != nil {
+				t.Errorf("get: %v", err)
+				return
+			}
+			if h.System() != sys {
+				t.Error("waiter saw a different system")
+			}
+			h.Close()
+		}()
+	}
+	close(start)
+	wg.Wait()
+	if n := loads.Load(); n != 1 {
+		t.Fatalf("%d concurrent first requests ran the loader %d times, want 1", goroutines, n)
+	}
+	st := c.Snapshot()
+	if st.Misses != 1 || st.Hits != goroutines-1 {
+		t.Fatalf("snapshot = %+v, want 1 miss and %d hits", st, goroutines-1)
+	}
+}
+
+func TestErrorNotCached(t *testing.T) {
+	sys := tinySystem(t)
+	c := New(0, nil)
+	boom := errors.New("boom")
+	loads := 0
+
+	_, _, err := c.GetOrLoad("k", func() (*commute.System, int64, error) {
+		loads++
+		return nil, 0, boom
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("first get err = %v, want boom", err)
+	}
+	// The failed load left no entry; the next get loads again and can
+	// succeed.
+	h, hit, err := c.GetOrLoad("k", func() (*commute.System, int64, error) {
+		loads++
+		return sys, 1, nil
+	})
+	if err != nil || hit {
+		t.Fatalf("retry: hit=%v err=%v, want fresh miss", hit, err)
+	}
+	h.Close()
+	if loads != 2 {
+		t.Fatalf("loader ran %d times, want 2", loads)
+	}
+}
+
+func TestEvictionByByteBudget(t *testing.T) {
+	sys := tinySystem(t)
+	var released atomic.Int64
+	c := New(250, func(*commute.System) { released.Add(1) })
+
+	for i := 0; i < 3; i++ {
+		h, _, err := c.GetOrLoad(fmt.Sprintf("k%d", i), func() (*commute.System, int64, error) {
+			return sys, 100, nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		h.Close()
+	}
+	st := c.Snapshot()
+	if st.Evictions != 1 || st.Entries != 2 || st.Bytes != 200 {
+		t.Fatalf("snapshot = %+v, want 1 eviction, 2 entries, 200 bytes", st)
+	}
+	if released.Load() != 1 {
+		t.Fatalf("release hook ran %d times, want 1", released.Load())
+	}
+	// k0 was the LRU victim; k2 must still be resident.
+	if _, hit, _ := c.GetOrLoad("k2", func() (*commute.System, int64, error) {
+		t.Fatal("k2 should be cached")
+		return nil, 0, nil
+	}); !hit {
+		t.Fatal("k2 evicted, want resident")
+	}
+}
+
+func TestLeasedEvictionDefersRelease(t *testing.T) {
+	sys := tinySystem(t)
+	var released atomic.Int64
+	c := New(150, func(*commute.System) { released.Add(1) })
+
+	h0, _, err := c.GetOrLoad("k0", func() (*commute.System, int64, error) {
+		return sys, 100, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Inserting k1 pushes the cache over budget and evicts k0 — but k0
+	// is still leased, so its release hook must wait for Close.
+	h1, _, err := c.GetOrLoad("k1", func() (*commute.System, int64, error) {
+		return sys, 100, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h1.Close()
+	if st := c.Snapshot(); st.Evictions != 1 {
+		t.Fatalf("snapshot = %+v, want 1 eviction", st)
+	}
+	if released.Load() != 0 {
+		t.Fatal("release hook ran while the entry was still leased")
+	}
+	if h0.System() != sys {
+		t.Fatal("leased system invalidated by eviction")
+	}
+	h0.Close()
+	if released.Load() != 1 {
+		t.Fatalf("release hook ran %d times after last Close, want 1", released.Load())
+	}
+}

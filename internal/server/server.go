@@ -1,0 +1,588 @@
+// Package server is the commuted serving layer: a long-running HTTP
+// daemon exposing the whole pipeline — commutativity analysis
+// (/v1/analyze), hardened serial/parallel execution (/v1/run), and
+// simulated-multiprocessor speedups (/v1/simulate) — over a
+// content-addressed artifact cache (see package
+// commute/internal/server/cache).
+//
+// The serving layer is production-shaped:
+//
+//   - Admission control: a bounded worker pool plus a bounded wait
+//     queue; past both, requests shed with 429 + Retry-After instead
+//     of growing memory without bound.
+//   - Per-request deadlines threaded into RunSerialContext /
+//     RunParallelOpts (PR 1 semantics: a caller timeout never triggers
+//     serial fallback).
+//   - Per-request output caps: a runaway program's print output is
+//     truncated at a byte budget, never buffered unboundedly.
+//   - Panic isolation per request: a panic becomes one 500, not a dead
+//     daemon.
+//   - Observability: /healthz for liveness and /statusz for the
+//     counter set (requests, cache hits/misses/evictions, in-flight,
+//     queue depth, load sheds, fallbacks, p50/p99 per endpoint).
+//
+// Graceful drain is the embedder's job: cmd/commuted calls SetDraining
+// and then http.Server.Shutdown on SIGTERM, which stops new
+// connections and waits for in-flight requests to finish.
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"runtime"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"commute"
+	"commute/internal/apps/src"
+	"commute/internal/interp"
+	"commute/internal/rt"
+	"commute/internal/server/api"
+	"commute/internal/server/cache"
+)
+
+// Config shapes the serving layer. Zero fields take the documented
+// defaults.
+type Config struct {
+	// Workers bounds concurrently executing requests (default:
+	// GOMAXPROCS).
+	Workers int
+	// Queue bounds requests waiting for a worker slot beyond Workers;
+	// past it the server sheds load with 429 (default 64). Negative:
+	// no waiting, shed as soon as every worker is busy.
+	Queue int
+	// CacheBytes is the artifact cache budget (default 256 MiB).
+	CacheBytes int64
+	// MaxOutputBytes caps one request's program output (default 1 MiB).
+	MaxOutputBytes int64
+	// DefaultTimeout bounds an execution when the request doesn't ask
+	// for a deadline (default 10s); MaxTimeout is the ceiling a request
+	// can ask for (default 60s).
+	DefaultTimeout time.Duration
+	MaxTimeout     time.Duration
+	// MaxSourceBytes caps a request body (default 4 MiB).
+	MaxSourceBytes int64
+	// RetryAfter is the client backoff hint sent with 429s (default 1s).
+	RetryAfter time.Duration
+}
+
+func (c Config) withDefaults() Config {
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.Queue == 0 {
+		c.Queue = 64
+	}
+	if c.Queue < 0 {
+		c.Queue = 0
+	}
+	if c.CacheBytes == 0 {
+		c.CacheBytes = 256 << 20
+	}
+	if c.MaxOutputBytes == 0 {
+		c.MaxOutputBytes = 1 << 20
+	}
+	if c.DefaultTimeout == 0 {
+		c.DefaultTimeout = 10 * time.Second
+	}
+	if c.MaxTimeout == 0 {
+		c.MaxTimeout = 60 * time.Second
+	}
+	if c.MaxSourceBytes == 0 {
+		c.MaxSourceBytes = 4 << 20
+	}
+	if c.RetryAfter == 0 {
+		c.RetryAfter = time.Second
+	}
+	return c
+}
+
+// Server is the commuted HTTP service. Create with New; serve
+// Handler().
+type Server struct {
+	cfg   Config
+	cache *cache.Cache
+	mux   *http.ServeMux
+	start time.Time
+
+	slots    chan struct{} // worker tokens
+	queued   atomic.Int64
+	inflight atomic.Int64
+
+	requests  atomic.Int64
+	rejected  atomic.Int64
+	panics    atomic.Int64
+	fallbacks atomic.Int64
+	draining  atomic.Bool
+
+	lat map[string]*latencyRecorder
+}
+
+// New returns a server with the given configuration.
+func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	s := &Server{
+		cfg:   cfg,
+		cache: cache.New(cfg.CacheBytes, func(sys *commute.System) { sys.Release() }),
+		mux:   http.NewServeMux(),
+		start: time.Now(),
+		slots: make(chan struct{}, cfg.Workers),
+		lat: map[string]*latencyRecorder{
+			"analyze":  {},
+			"run":      {},
+			"simulate": {},
+		},
+	}
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /statusz", s.handleStatusz)
+	s.mux.HandleFunc("POST /v1/analyze", s.guard("analyze", s.handleAnalyze))
+	s.mux.HandleFunc("POST /v1/run", s.guard("run", s.handleRun))
+	s.mux.HandleFunc("POST /v1/simulate", s.guard("simulate", s.handleSimulate))
+	return s
+}
+
+// Handler returns the HTTP handler tree.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Cache exposes the artifact cache (load harness, tests).
+func (s *Server) Cache() *cache.Cache { return s.cache }
+
+// SetDraining flips /healthz to 503 so load balancers stop routing new
+// work while in-flight requests finish. Call before http.Server.Shutdown.
+func (s *Server) SetDraining() { s.draining.Store(true) }
+
+// ---------------------------------------------------------------------
+// Admission control and request guarding
+
+// admit acquires a worker slot, waiting in the bounded queue if every
+// worker is busy. It reports false when the queue is full (shed with
+// 429) or the client went away while queued.
+func (s *Server) admit(ctx context.Context) (release func(), ok bool) {
+	select {
+	case s.slots <- struct{}{}:
+		return func() { <-s.slots }, true
+	default:
+	}
+	if s.queued.Add(1) > int64(s.cfg.Queue) {
+		s.queued.Add(-1)
+		return nil, false
+	}
+	defer s.queued.Add(-1)
+	select {
+	case s.slots <- struct{}{}:
+		return func() { <-s.slots }, true
+	case <-ctx.Done():
+		return nil, false
+	}
+}
+
+// guard wraps an endpoint with admission control, panic isolation, and
+// latency accounting.
+func (s *Server) guard(name string, h func(w http.ResponseWriter, r *http.Request) error) http.HandlerFunc {
+	rec := s.lat[name]
+	return func(w http.ResponseWriter, r *http.Request) {
+		s.requests.Add(1)
+		release, ok := s.admit(r.Context())
+		if !ok {
+			s.rejected.Add(1)
+			w.Header().Set("Retry-After", strconv.Itoa(int((s.cfg.RetryAfter+time.Second-1)/time.Second)))
+			writeErr(w, http.StatusTooManyRequests, "server at capacity, retry later")
+			return
+		}
+		defer release()
+		s.inflight.Add(1)
+		defer s.inflight.Add(-1)
+
+		start := time.Now()
+		var err error
+		func() {
+			defer func() {
+				if p := recover(); p != nil {
+					s.panics.Add(1)
+					err = fmt.Errorf("panic: %v", p)
+					writeErr(w, http.StatusInternalServerError, "internal error")
+				}
+			}()
+			err = h(w, r)
+		}()
+		rec.record(time.Since(start), err != nil)
+	}
+}
+
+// ---------------------------------------------------------------------
+// Program loading through the artifact cache
+
+// appSource maps a built-in application name to its source. The
+// "quickstart" alias serves the §2 running example (the graph
+// traversal), matching examples/quickstart.
+func appSource(app string) (name, source string, ok bool) {
+	switch app {
+	case "barneshut":
+		return "barneshut.mc", src.BarnesHut, true
+	case "water":
+		return "water.mc", src.Water, true
+	case "graph", "quickstart":
+		return "graph.mc", src.Graph, true
+	}
+	return "", "", false
+}
+
+// systemSize estimates the retained bytes of a loaded system (AST,
+// types, analysis reports, codegen plan, slot resolution, compiled
+// closures) for the cache's byte accounting. The structures are all
+// roughly proportional to the source text, with a fixed floor for the
+// per-program tables.
+func systemSize(source string) int64 {
+	return int64(len(source))*48 + 64<<10
+}
+
+// loadSystem resolves the request's program through the cache. The
+// returned handle must be Closed when the request is done with the
+// system.
+func (s *Server) loadSystem(req api.SourceRequest) (h *cache.Handle, key string, hit bool, err error) {
+	name, source := req.Name, req.Source
+	if req.App != "" {
+		var ok bool
+		if name, source, ok = appSource(req.App); !ok {
+			return nil, "", false, fmt.Errorf("unknown app %q (have barneshut, water, graph, quickstart)", req.App)
+		}
+	}
+	if source == "" {
+		return nil, "", false, errors.New("request needs source or app")
+	}
+	if name == "" {
+		name = "request.mc"
+	}
+	opts := commute.LoadOptions{Transform: req.Options.Transform}
+	key = commute.Fingerprint(name, source, opts)
+	h, hit, err = s.cache.GetOrLoad(key, func() (*commute.System, int64, error) {
+		sys, lerr := commute.LoadOpts(name, source, opts)
+		if lerr != nil {
+			return nil, 0, lerr
+		}
+		// Pay the lazy costs (slot resolution, closure compilation) now
+		// so every request against this entry — including this one —
+		// executes fully warm.
+		sys.Warm()
+		return sys, systemSize(source), nil
+	})
+	return h, key, hit, err
+}
+
+func cacheWord(hit bool) string {
+	if hit {
+		return "hit"
+	}
+	return "miss"
+}
+
+// ---------------------------------------------------------------------
+// Endpoints
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	if s.draining.Load() {
+		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "draining"})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+func (s *Server) handleStatusz(w http.ResponseWriter, r *http.Request) {
+	cs := s.cache.Snapshot()
+	st := api.StatusZ{
+		UptimeSec:      time.Since(s.start).Seconds(),
+		Requests:       s.requests.Load(),
+		InFlight:       s.inflight.Load(),
+		QueueDepth:     s.queued.Load(),
+		Rejected:       s.rejected.Load(),
+		Panics:         s.panics.Load(),
+		Fallbacks:      s.fallbacks.Load(),
+		CacheHits:      cs.Hits,
+		CacheMisses:    cs.Misses,
+		CacheEvictions: cs.Evictions,
+		CacheEntries:   cs.Entries,
+		CacheBytes:     cs.Bytes,
+		Endpoints:      make(map[string]api.EndpointStats, len(s.lat)),
+	}
+	for name, rec := range s.lat {
+		st.Endpoints[name] = rec.snapshot()
+	}
+	writeJSON(w, http.StatusOK, st)
+}
+
+func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) error {
+	start := time.Now()
+	var req api.AnalyzeRequest
+	if err := s.readJSON(w, r, &req); err != nil {
+		return err
+	}
+	h, key, hit, err := s.loadSystem(req.SourceRequest)
+	if err != nil {
+		return writeErr(w, http.StatusUnprocessableEntity, err.Error())
+	}
+	defer h.Close()
+	sys := h.System()
+
+	resp := api.AnalyzeResponse{
+		Key:             key,
+		Cache:           cacheWord(hit),
+		ParallelMethods: sys.ParallelMethods(),
+		LoopsFound:      sys.Plan.LoopsFound,
+		LoopsSuppressed: sys.Plan.LoopsSuppressed,
+	}
+	for _, mr := range sys.Reports() {
+		resp.Methods = append(resp.Methods, api.MethodReport{
+			Method:             mr.Method.FullName(),
+			Parallel:           mr.Parallel,
+			Reason:             mr.Reason,
+			ExtentSize:         mr.ExtentSize,
+			AuxiliaryCallSites: mr.AuxiliaryCallSites,
+			IndependentPairs:   mr.IndependentPairs,
+			SymbolicPairs:      mr.SymbolicPairs,
+		})
+	}
+	if req.Emit && sys.File != nil {
+		resp.ParallelSource = sys.Plan.EmitParallelSource(sys.File)
+	}
+	resp.ElapsedMS = float64(time.Since(start)) / float64(time.Millisecond)
+	return writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) error {
+	var req api.RunRequest
+	if err := s.readJSON(w, r, &req); err != nil {
+		return err
+	}
+	mode := req.Mode
+	if mode == "" {
+		mode = "parallel"
+	}
+	if mode != "serial" && mode != "parallel" {
+		return writeErr(w, http.StatusBadRequest, fmt.Sprintf("unknown mode %q (serial | parallel)", req.Mode))
+	}
+	eng, ok := interp.ParseEngine(req.Engine)
+	if !ok {
+		return writeErr(w, http.StatusBadRequest, fmt.Sprintf("unknown engine %q (compiled | walk)", req.Engine))
+	}
+	var sched rt.SchedMode
+	switch req.Sched {
+	case "", "stealing":
+		sched = rt.SchedStealing
+	case "central":
+		sched = rt.SchedCentral
+	default:
+		return writeErr(w, http.StatusBadRequest, fmt.Sprintf("unknown scheduler %q (stealing | central)", req.Sched))
+	}
+	workers := req.Workers
+	if workers <= 0 {
+		workers = 4
+	}
+	if mode == "serial" && req.MaxSteps > 0 {
+		// The step budget lives in the parallel runtime; reject rather
+		// than silently ignore the bound.
+		return writeErr(w, http.StatusBadRequest, "max_steps requires mode=parallel")
+	}
+
+	h, key, hit, err := s.loadSystem(req.SourceRequest)
+	if err != nil {
+		return writeErr(w, http.StatusUnprocessableEntity, err.Error())
+	}
+	defer h.Close()
+	sys := h.System()
+
+	// Per-request deadline, clamped to the server ceiling and derived
+	// from the connection context so a vanished client cancels the run.
+	timeout := s.cfg.DefaultTimeout
+	if req.TimeoutMS > 0 {
+		timeout = time.Duration(req.TimeoutMS) * time.Millisecond
+	}
+	if timeout > s.cfg.MaxTimeout {
+		timeout = s.cfg.MaxTimeout
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), timeout)
+	defer cancel()
+
+	out := newCappedWriter(s.cfg.MaxOutputBytes)
+	start := time.Now()
+	stats := api.RunStats{Mode: mode, Engine: eng.String(), Workers: workers}
+	var runErr error
+	if mode == "serial" {
+		_, runErr = sys.RunSerialEngineContext(ctx, eng, out)
+	} else {
+		stats.Sched = req.Sched
+		if stats.Sched == "" {
+			stats.Sched = "stealing"
+		}
+		var rs *rt.Stats
+		_, rs, runErr = sys.RunParallelOpts(ctx, commute.RunOptions{
+			Workers:        workers,
+			SerialFallback: req.Fallback,
+			MaxSteps:       req.MaxSteps,
+			Sched:          sched,
+			Engine:         eng,
+		}, out)
+		if rs != nil {
+			stats.Regions = rs.Regions
+			stats.ParallelLoops = rs.ParallelLoops
+			stats.Chunks = rs.Chunks
+			stats.Iterations = rs.Iterations
+			stats.Tasks = rs.Tasks
+			stats.LazyInlines = rs.LazyInlines
+			stats.LockAcquires = rs.LockAcquires
+			stats.Steals = rs.Steals
+			stats.LocalPops = rs.LocalPops
+			stats.TaskPanics = rs.TaskPanics
+			stats.SerialFallbacks = rs.SerialFallbacks
+			s.fallbacks.Add(rs.SerialFallbacks)
+		}
+	}
+	stats.WallMS = float64(time.Since(start)) / float64(time.Millisecond)
+	if runErr != nil {
+		code := http.StatusUnprocessableEntity
+		if errors.Is(runErr, context.DeadlineExceeded) {
+			code = http.StatusGatewayTimeout
+		}
+		return writeErr(w, code, runErr.Error())
+	}
+	return writeJSON(w, http.StatusOK, api.RunResponse{
+		Key:             key,
+		Cache:           cacheWord(hit),
+		Output:          out.String(),
+		OutputTruncated: out.Truncated(),
+		Stats:           stats,
+	})
+}
+
+func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) error {
+	start := time.Now()
+	var req api.SimulateRequest
+	if err := s.readJSON(w, r, &req); err != nil {
+		return err
+	}
+	procs := req.Procs
+	if len(procs) == 0 {
+		procs = []int{1, 2, 4, 8, 16, 32}
+	}
+	if len(procs) > 64 {
+		return writeErr(w, http.StatusBadRequest, "at most 64 processor counts per request")
+	}
+	for _, p := range procs {
+		if p < 1 || p > 4096 {
+			return writeErr(w, http.StatusBadRequest, fmt.Sprintf("processor count %d out of range [1, 4096]", p))
+		}
+	}
+
+	h, key, hit, err := s.loadSystem(req.SourceRequest)
+	if err != nil {
+		return writeErr(w, http.StatusUnprocessableEntity, err.Error())
+	}
+	defer h.Close()
+	sys := h.System()
+
+	tr, err := sys.Trace()
+	if err != nil {
+		return writeErr(w, http.StatusUnprocessableEntity, err.Error())
+	}
+	resp := api.SimulateResponse{Key: key, Cache: cacheWord(hit)}
+	var base float64
+	for _, p := range procs {
+		res := commute.Simulate(tr, p)
+		if base == 0 {
+			base = res.TimeMicros
+		}
+		speedup := 0.0
+		if res.TimeMicros > 0 {
+			speedup = base / res.TimeMicros
+		}
+		resp.Results = append(resp.Results, api.SimPoint{
+			Procs:         p,
+			TimeMicros:    res.TimeMicros,
+			Speedup:       speedup,
+			BlockedMicros: res.Breakdown.Blocked,
+		})
+	}
+	resp.ElapsedMS = float64(time.Since(start)) / float64(time.Millisecond)
+	return writeJSON(w, http.StatusOK, resp)
+}
+
+// ---------------------------------------------------------------------
+// Helpers
+
+// readJSON decodes the request body with the size cap applied. On
+// failure it writes a 400 and returns the error.
+func (s *Server) readJSON(w http.ResponseWriter, r *http.Request, dst any) error {
+	dec := json.NewDecoder(io.LimitReader(r.Body, s.cfg.MaxSourceBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(dst); err != nil {
+		return writeErr(w, http.StatusBadRequest, "bad request body: "+err.Error())
+	}
+	return nil
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) error {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	return json.NewEncoder(w).Encode(v)
+}
+
+// writeErr writes the JSON error envelope and returns an error carrying
+// the message, so guarded handlers can `return writeErr(...)` and have
+// the request counted as failed.
+func writeErr(w http.ResponseWriter, code int, msg string) error {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(api.Error{Error: msg})
+	return errors.New(msg)
+}
+
+// cappedWriter buffers program output up to a byte budget and discards
+// the rest, so a print-heavy runaway program cannot grow the daemon's
+// heap: past the cap, writes cost nothing and the response marks the
+// output truncated.
+type cappedWriter struct {
+	mu        sync.Mutex
+	buf       []byte
+	limit     int64
+	truncated bool
+}
+
+func newCappedWriter(limit int64) *cappedWriter {
+	return &cappedWriter{limit: limit}
+}
+
+// Write is safe for concurrent use: parallel-mode programs print from
+// many worker goroutines.
+func (cw *cappedWriter) Write(p []byte) (int, error) {
+	cw.mu.Lock()
+	defer cw.mu.Unlock()
+	room := cw.limit - int64(len(cw.buf))
+	if room <= 0 {
+		cw.truncated = true
+		return len(p), nil
+	}
+	if int64(len(p)) > room {
+		cw.buf = append(cw.buf, p[:room]...)
+		cw.truncated = true
+		return len(p), nil
+	}
+	cw.buf = append(cw.buf, p...)
+	return len(p), nil
+}
+
+func (cw *cappedWriter) String() string {
+	cw.mu.Lock()
+	defer cw.mu.Unlock()
+	return string(cw.buf)
+}
+
+func (cw *cappedWriter) Truncated() bool {
+	cw.mu.Lock()
+	defer cw.mu.Unlock()
+	return cw.truncated
+}

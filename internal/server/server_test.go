@@ -1,0 +1,453 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"commute/internal/server/api"
+)
+
+// spinSource loops forever; only a deadline or step budget stops it.
+const spinSource = `
+void main() {
+  int i;
+  i = 0;
+  while (i < 1) {
+    i = 0;
+  }
+}
+`
+
+func newTestServer(t *testing.T, cfg Config) (*Server, *httptest.Server) {
+	t.Helper()
+	s := New(cfg)
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+	return s, ts
+}
+
+func post(t *testing.T, ts *httptest.Server, path string, req any) (*http.Response, []byte) {
+	t.Helper()
+	body, err := json.Marshal(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := ts.Client().Post(ts.URL+path, "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp, data
+}
+
+func statusz(t *testing.T, ts *httptest.Server) api.StatusZ {
+	t.Helper()
+	resp, err := ts.Client().Get(ts.URL + "/statusz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var st api.StatusZ
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	return st
+}
+
+func TestHealthz(t *testing.T) {
+	s, ts := newTestServer(t, Config{})
+	resp, err := ts.Client().Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz = %d, want 200", resp.StatusCode)
+	}
+	s.SetDraining()
+	resp, err = ts.Client().Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("healthz while draining = %d, want 503", resp.StatusCode)
+	}
+}
+
+func TestAnalyzeCacheHit(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	req := api.AnalyzeRequest{SourceRequest: api.SourceRequest{App: "graph"}}
+
+	resp, data := post(t, ts, "/v1/analyze", req)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("cold analyze = %d: %s", resp.StatusCode, data)
+	}
+	var cold api.AnalyzeResponse
+	if err := json.Unmarshal(data, &cold); err != nil {
+		t.Fatal(err)
+	}
+	if cold.Cache != "miss" {
+		t.Fatalf("cold request cache = %q, want miss", cold.Cache)
+	}
+	if len(cold.ParallelMethods) == 0 {
+		t.Fatal("graph analysis found no parallel methods")
+	}
+
+	resp, data = post(t, ts, "/v1/analyze", req)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("warm analyze = %d: %s", resp.StatusCode, data)
+	}
+	var warm api.AnalyzeResponse
+	if err := json.Unmarshal(data, &warm); err != nil {
+		t.Fatal(err)
+	}
+	if warm.Cache != "hit" {
+		t.Fatalf("warm request cache = %q, want hit", warm.Cache)
+	}
+	if warm.Key != cold.Key {
+		t.Fatalf("keys differ across identical requests: %s vs %s", cold.Key, warm.Key)
+	}
+	if len(warm.Methods) != len(cold.Methods) {
+		t.Fatal("warm response reports differ from cold")
+	}
+
+	st := statusz(t, ts)
+	if st.CacheHits < 1 || st.CacheMisses < 1 {
+		t.Fatalf("statusz cache counters = %d hits / %d misses, want >=1 each", st.CacheHits, st.CacheMisses)
+	}
+	ep := st.Endpoints["analyze"]
+	if ep.Requests != 2 || ep.Errors != 0 {
+		t.Fatalf("analyze endpoint stats = %+v, want 2 requests 0 errors", ep)
+	}
+}
+
+// TestAnalyzeCacheSpeedupBarnesHut is the acceptance bar: a second
+// identical analyze of Barnes-Hut must be served from cache at least
+// 10x faster than the cold request (the cold request pays parse, type
+// check, §3–§4 analysis, codegen, slot resolution, and closure
+// compilation; the hit pays a map lookup and response assembly).
+func TestAnalyzeCacheSpeedupBarnesHut(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing test")
+	}
+	_, ts := newTestServer(t, Config{})
+	req := api.AnalyzeRequest{SourceRequest: api.SourceRequest{App: "barneshut"}}
+
+	t0 := time.Now()
+	resp, data := post(t, ts, "/v1/analyze", req)
+	cold := time.Since(t0)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("cold analyze = %d: %s", resp.StatusCode, data)
+	}
+
+	t1 := time.Now()
+	resp, data = post(t, ts, "/v1/analyze", req)
+	warm := time.Since(t1)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("warm analyze = %d: %s", resp.StatusCode, data)
+	}
+	var wr api.AnalyzeResponse
+	if err := json.Unmarshal(data, &wr); err != nil {
+		t.Fatal(err)
+	}
+	if wr.Cache != "hit" {
+		t.Fatalf("second request cache = %q, want hit", wr.Cache)
+	}
+	if warm*10 > cold {
+		t.Fatalf("cached analyze took %v vs cold %v — want >= 10x faster", warm, cold)
+	}
+}
+
+func TestRunSerialAndParallelAgree(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	serial := api.RunRequest{SourceRequest: api.SourceRequest{App: "graph"}, Mode: "serial"}
+	parallel := api.RunRequest{SourceRequest: api.SourceRequest{App: "graph"}, Mode: "parallel", Workers: 8}
+
+	resp, data := post(t, ts, "/v1/run", serial)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("serial run = %d: %s", resp.StatusCode, data)
+	}
+	var sr api.RunResponse
+	if err := json.Unmarshal(data, &sr); err != nil {
+		t.Fatal(err)
+	}
+	if sr.Stats.Mode != "serial" || sr.Stats.Engine != "compiled" {
+		t.Fatalf("serial stats = %+v", sr.Stats)
+	}
+
+	resp, data = post(t, ts, "/v1/run", parallel)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("parallel run = %d: %s", resp.StatusCode, data)
+	}
+	var pr api.RunResponse
+	if err := json.Unmarshal(data, &pr); err != nil {
+		t.Fatal(err)
+	}
+	if pr.Cache != "hit" {
+		t.Fatalf("parallel run after serial run cache = %q, want hit (same program)", pr.Cache)
+	}
+	if pr.Output != sr.Output {
+		t.Fatalf("parallel output differs from serial:\nserial:   %q\nparallel: %q", sr.Output, pr.Output)
+	}
+	if pr.Stats.Regions == 0 {
+		t.Fatalf("parallel run opened no regions: %+v", pr.Stats)
+	}
+}
+
+func TestRunDeadline(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	req := api.RunRequest{
+		SourceRequest: api.SourceRequest{Name: "spin.mc", Source: spinSource},
+		Mode:          "serial",
+		TimeoutMS:     150,
+	}
+	t0 := time.Now()
+	resp, data := post(t, ts, "/v1/run", req)
+	if resp.StatusCode != http.StatusGatewayTimeout {
+		t.Fatalf("runaway run = %d: %s, want 504", resp.StatusCode, data)
+	}
+	if d := time.Since(t0); d > 5*time.Second {
+		t.Fatalf("deadline enforcement took %v", d)
+	}
+}
+
+func TestRunMaxSteps(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	resp, data := post(t, ts, "/v1/run", api.RunRequest{
+		SourceRequest: api.SourceRequest{Name: "spin.mc", Source: spinSource},
+		Mode:          "parallel",
+		MaxSteps:      10000,
+	})
+	if resp.StatusCode != http.StatusUnprocessableEntity {
+		t.Fatalf("step-budget run = %d: %s, want 422", resp.StatusCode, data)
+	}
+	if !strings.Contains(string(data), "step budget") {
+		t.Fatalf("error body %s, want step budget message", data)
+	}
+}
+
+func TestOutputCap(t *testing.T) {
+	_, ts := newTestServer(t, Config{MaxOutputBytes: 64})
+	src := `
+void main() {
+  for (int i = 0; i < 1000; i += 1)
+    print(i);
+}
+`
+	resp, data := post(t, ts, "/v1/run", api.RunRequest{
+		SourceRequest: api.SourceRequest{Name: "chatty.mc", Source: src},
+		Mode:          "serial",
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("chatty run = %d: %s", resp.StatusCode, data)
+	}
+	var rr api.RunResponse
+	if err := json.Unmarshal(data, &rr); err != nil {
+		t.Fatal(err)
+	}
+	if !rr.OutputTruncated {
+		t.Fatal("output not marked truncated")
+	}
+	if len(rr.Output) > 64 {
+		t.Fatalf("output length %d exceeds the 64-byte cap", len(rr.Output))
+	}
+}
+
+func TestSimulate(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	resp, data := post(t, ts, "/v1/simulate", api.SimulateRequest{
+		SourceRequest: api.SourceRequest{App: "graph"},
+		Procs:         []int{1, 4},
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("simulate = %d: %s", resp.StatusCode, data)
+	}
+	var sim api.SimulateResponse
+	if err := json.Unmarshal(data, &sim); err != nil {
+		t.Fatal(err)
+	}
+	if len(sim.Results) != 2 {
+		t.Fatalf("got %d results, want 2", len(sim.Results))
+	}
+	if sim.Results[0].Procs != 1 || sim.Results[0].Speedup != 1 {
+		t.Fatalf("uniprocessor point = %+v, want speedup 1", sim.Results[0])
+	}
+	if sim.Results[1].TimeMicros >= sim.Results[0].TimeMicros {
+		t.Fatalf("4-proc time %.0fus not below 1-proc %.0fus",
+			sim.Results[1].TimeMicros, sim.Results[0].TimeMicros)
+	}
+}
+
+func TestBadRequests(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	cases := []struct {
+		path string
+		req  any
+		want int
+	}{
+		{"/v1/analyze", api.AnalyzeRequest{SourceRequest: api.SourceRequest{App: "nope"}}, http.StatusUnprocessableEntity},
+		{"/v1/analyze", api.AnalyzeRequest{}, http.StatusUnprocessableEntity},
+		{"/v1/analyze", api.AnalyzeRequest{SourceRequest: api.SourceRequest{Source: "void main("}}, http.StatusUnprocessableEntity},
+		{"/v1/run", api.RunRequest{SourceRequest: api.SourceRequest{App: "graph"}, Mode: "warp"}, http.StatusBadRequest},
+		{"/v1/run", api.RunRequest{SourceRequest: api.SourceRequest{App: "graph"}, Engine: "jit"}, http.StatusBadRequest},
+		{"/v1/run", api.RunRequest{SourceRequest: api.SourceRequest{App: "graph"}, Mode: "serial", MaxSteps: 5}, http.StatusBadRequest},
+		{"/v1/simulate", api.SimulateRequest{SourceRequest: api.SourceRequest{App: "graph"}, Procs: []int{0}}, http.StatusBadRequest},
+	}
+	for _, tc := range cases {
+		resp, data := post(t, ts, tc.path, tc.req)
+		if resp.StatusCode != tc.want {
+			t.Errorf("%s %+v = %d (%s), want %d", tc.path, tc.req, resp.StatusCode, data, tc.want)
+		}
+		var e api.Error
+		if err := json.Unmarshal(data, &e); err != nil || e.Error == "" {
+			t.Errorf("%s error envelope missing: %s", tc.path, data)
+		}
+	}
+}
+
+func TestAdmissionControl(t *testing.T) {
+	// One worker, no queue: while a slow request holds the only slot,
+	// every other request sheds with 429 + Retry-After.
+	_, ts := newTestServer(t, Config{Workers: 1, Queue: -1})
+
+	started := make(chan struct{})
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		close(started)
+		post(t, ts, "/v1/run", api.RunRequest{
+			SourceRequest: api.SourceRequest{Name: "spin.mc", Source: spinSource},
+			Mode:          "serial",
+			TimeoutMS:     1500,
+		})
+	}()
+	<-started
+	// Wait until the slow request actually occupies the worker slot.
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		if st := statusz(t, ts); st.InFlight >= 1 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("slow request never became in-flight")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	resp, data := post(t, ts, "/v1/analyze", api.AnalyzeRequest{SourceRequest: api.SourceRequest{App: "graph"}})
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("request under full queue = %d (%s), want 429", resp.StatusCode, data)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatal("429 without Retry-After")
+	}
+	<-done
+
+	if st := statusz(t, ts); st.Rejected < 1 {
+		t.Fatalf("statusz rejected = %d, want >= 1", st.Rejected)
+	}
+}
+
+func TestConcurrentMixedLoad(t *testing.T) {
+	// Hammer one server from many clients mixing all three endpoints
+	// against a shared cached system — the daemon-side version of the
+	// shared-*System stress test.
+	_, ts := newTestServer(t, Config{})
+	var wg sync.WaitGroup
+	errc := make(chan error, 64)
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			var resp *http.Response
+			var data []byte
+			switch i % 3 {
+			case 0:
+				resp, data = post(t, ts, "/v1/analyze", api.AnalyzeRequest{SourceRequest: api.SourceRequest{App: "graph"}})
+			case 1:
+				resp, data = post(t, ts, "/v1/run", api.RunRequest{SourceRequest: api.SourceRequest{App: "graph"}, Mode: "parallel", Workers: 4})
+			case 2:
+				resp, data = post(t, ts, "/v1/simulate", api.SimulateRequest{SourceRequest: api.SourceRequest{App: "graph"}, Procs: []int{1, 4}})
+			}
+			if resp.StatusCode != http.StatusOK {
+				errc <- fmt.Errorf("request %d = %d: %s", i, resp.StatusCode, data)
+			}
+		}(i)
+	}
+	wg.Wait()
+	close(errc)
+	for err := range errc {
+		t.Error(err)
+	}
+	st := statusz(t, ts)
+	if st.CacheMisses != 1 {
+		t.Errorf("16 requests for one program cost %d loads, want 1", st.CacheMisses)
+	}
+}
+
+func TestGracefulDrain(t *testing.T) {
+	// The embedder contract: SetDraining + http.Server.Shutdown lets
+	// in-flight requests finish before the listener dies.
+	s := New(Config{})
+	hs := &http.Server{Handler: s.Handler()}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go hs.Serve(ln)
+	url := "http://" + ln.Addr().String()
+
+	slowDone := make(chan int, 1)
+	go func() {
+		body, _ := json.Marshal(api.RunRequest{
+			SourceRequest: api.SourceRequest{Name: "spin.mc", Source: spinSource},
+			Mode:          "serial",
+			TimeoutMS:     800,
+		})
+		resp, err := http.Post(url+"/v1/run", "application/json", bytes.NewReader(body))
+		if err != nil {
+			slowDone <- 0
+			return
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		slowDone <- resp.StatusCode
+	}()
+
+	// Wait for the slow request to be in flight, then drain.
+	deadline := time.Now().Add(2 * time.Second)
+	for s.inflight.Load() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("slow request never became in-flight")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	s.SetDraining()
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	t0 := time.Now()
+	if err := hs.Shutdown(ctx); err != nil {
+		t.Fatalf("shutdown did not drain cleanly: %v", err)
+	}
+	if code := <-slowDone; code != http.StatusGatewayTimeout {
+		t.Fatalf("in-flight request finished with %d, want its own 504 (deadline), not a dropped connection", code)
+	}
+	if d := time.Since(t0); d < 200*time.Millisecond {
+		t.Fatalf("shutdown returned in %v — did not wait for the in-flight request", d)
+	}
+}

@@ -1,0 +1,47 @@
+#!/usr/bin/env bash
+# Server smoke: start commuted, verify liveness, one analyze+run
+# round-trip against the quickstart corpus, a cache hit on the second
+# identical request, then SIGTERM and a clean drain (exit 0).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+ADDR=127.0.0.1:18080
+BIN=$(mktemp -d)/commuted
+
+go build -o "$BIN" ./cmd/commuted
+"$BIN" -addr "$ADDR" &
+PID=$!
+cleanup() { kill "$PID" 2>/dev/null || true; }
+trap cleanup EXIT
+
+# Wait for liveness.
+for _ in $(seq 1 100); do
+  if curl -fs "http://$ADDR/healthz" >/dev/null 2>&1; then break; fi
+  sleep 0.1
+done
+curl -fs "http://$ADDR/healthz" | grep -q '"ok"'
+echo "healthz ok"
+
+# Cold analyze misses; the second identical request must be a cache hit.
+curl -fs -X POST "http://$ADDR/v1/analyze" -d '{"app":"quickstart"}' | grep -q '"cache":"miss"'
+curl -fs -X POST "http://$ADDR/v1/analyze" -d '{"app":"quickstart"}' | grep -q '"cache":"hit"'
+curl -fs "http://$ADDR/statusz" | grep -Eq '"cache_hits":[1-9]'
+echo "analyze cache hit ok"
+
+# Run round-trip reuses the same cached system.
+RUN=$(curl -fs -X POST "http://$ADDR/v1/run" \
+  -d '{"app":"quickstart","mode":"parallel","workers":4}')
+echo "$RUN" | grep -q '"cache":"hit"'
+echo "$RUN" | grep -q '"regions":'
+echo "run round-trip ok"
+
+# SIGTERM must drain and exit 0.
+kill -TERM "$PID"
+if wait "$PID"; then
+  echo "clean drain ok"
+else
+  echo "commuted exited non-zero on SIGTERM" >&2
+  exit 1
+fi
+trap - EXIT
+echo "server smoke OK"
