@@ -1,8 +1,9 @@
 // Benchdiff compares two BENCH_<rev>.json reports produced by
-// `commutebench -json` and fails when the micro benchmark suite
-// regresses beyond a threshold. The micro benchmarks (names starting
-// with "micro-") are single-threaded tight loops with low run-to-run
-// variance, so they gate; the application and parallel-runtime results
+// `commutebench -json` and fails when the gated suites regress beyond
+// a threshold. Two name prefixes gate: "micro-" (single-threaded
+// interpreter tight loops) and "analysis-" (cold-path analysis:
+// AnalyzeAll, deep simplification, pair testing) — both have low
+// run-to-run variance. The application and parallel-runtime results
 // are printed for context but carry too much scheduler and machine
 // noise to fail CI on.
 //
@@ -35,7 +36,7 @@ func load(path string) (*bench.PerfReport, error) {
 }
 
 func main() {
-	threshold := flag.Float64("threshold", 1.25, "fail when a micro benchmark's ns/op grows by more than this factor")
+	threshold := flag.Float64("threshold", 1.25, "fail when a gated (micro-/analysis-) benchmark's ns/op grows by more than this factor")
 	flag.Parse()
 	if flag.NArg() != 2 {
 		fmt.Fprintln(os.Stderr, "usage: benchdiff [-threshold 1.25] old.json new.json")
@@ -66,15 +67,16 @@ func main() {
 			continue
 		}
 		ratio := float64(nr.NsPerOp) / float64(or.NsPerOp)
+		gated := strings.HasPrefix(nr.Name, "micro-") || strings.HasPrefix(nr.Name, "analysis-")
 		mark := ""
-		if strings.HasPrefix(nr.Name, "micro-") && ratio > *threshold {
+		if gated && ratio > *threshold {
 			mark = "  REGRESSION"
 			failed = true
 		}
 		fmt.Printf("%-30s %14d %14d %7.2fx%s\n", nr.Name, or.NsPerOp, nr.NsPerOp, ratio, mark)
 	}
 	if failed {
-		fmt.Fprintf(os.Stderr, "benchdiff: micro suite regressed beyond %.2fx (%s -> %s)\n",
+		fmt.Fprintf(os.Stderr, "benchdiff: gated suite (micro-/analysis-) regressed beyond %.2fx (%s -> %s)\n",
 			*threshold, oldRep.Rev, newRep.Rev)
 		os.Exit(1)
 	}

@@ -42,6 +42,7 @@ func main() {
 	defaultTimeout := flag.Duration("default-timeout", 10*time.Second, "execution deadline when a request doesn't set one")
 	maxTimeout := flag.Duration("max-timeout", 60*time.Second, "ceiling on requested execution deadlines")
 	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "how long to wait for in-flight requests on shutdown")
+	analysisWorkers := flag.Int("analysis-workers", 0, "goroutines for cold-load commutativity analysis (0: GOMAXPROCS, 1: serial)")
 	flag.Parse()
 
 	q := *queue
@@ -49,12 +50,13 @@ func main() {
 		q = -1 // Config treats 0 as "default"; the flag's 0 means none.
 	}
 	srv := server.New(server.Config{
-		Workers:        *workers,
-		Queue:          q,
-		CacheBytes:     *cacheBytes,
-		MaxOutputBytes: *maxOutput,
-		DefaultTimeout: *defaultTimeout,
-		MaxTimeout:     *maxTimeout,
+		Workers:         *workers,
+		Queue:           q,
+		CacheBytes:      *cacheBytes,
+		MaxOutputBytes:  *maxOutput,
+		DefaultTimeout:  *defaultTimeout,
+		MaxTimeout:      *maxTimeout,
+		AnalysisWorkers: *analysisWorkers,
 	})
 
 	hs := &http.Server{

@@ -39,6 +39,7 @@ func main() {
 	sched := flag.String("sched", "stealing", "task scheduler for -mode parallel: stealing | central")
 	engine := flag.String("engine", "compiled", "execution engine: compiled | walk")
 	statsJSON := flag.Bool("stats-json", false, "emit run stats as one JSON line (the daemon's /v1/run stats schema) instead of the human summary")
+	analysisWorkers := flag.Int("analysis-workers", 0, "goroutines for load-time commutativity analysis (0: GOMAXPROCS, 1: serial)")
 	flag.Parse()
 
 	eng, ok := interp.ParseEngine(*engine)
@@ -75,7 +76,7 @@ func main() {
 		os.Exit(2)
 	}
 
-	sys, err := commute.Load(name, source)
+	sys, err := commute.LoadOpts(name, source, commute.LoadOptions{AnalysisWorkers: *analysisWorkers})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)

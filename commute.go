@@ -53,8 +53,14 @@ type System struct {
 }
 
 // Load parses, type checks, analyzes, and plans a program written in
-// the mini-C++ dialect.
+// the mini-C++ dialect. The analysis phase fans out across GOMAXPROCS
+// goroutines; use LoadOpts with AnalysisWorkers to tune or serialize
+// it.
 func Load(name, source string) (*System, error) {
+	return load(name, source, 0)
+}
+
+func load(name, source string, workers int) (*System, error) {
 	file, err := parser.Parse(name, source)
 	if err != nil {
 		return nil, fmt.Errorf("parse: %w", err)
@@ -64,6 +70,7 @@ func Load(name, source string) (*System, error) {
 		return nil, fmt.Errorf("type check: %w", err)
 	}
 	analysis := core.New(prog)
+	analysis.Workers = workers
 	plan := codegen.Build(analysis)
 	return &System{File: file, Prog: prog, Analysis: analysis, Plan: plan}, nil
 }
@@ -74,7 +81,11 @@ func Load(name, source string) (*System, error) {
 // analyze (e.g. pointer-chasing accumulation loops). It returns the
 // loaded system, the transformed source, and the rewrites performed.
 func LoadTransformed(name, source string) (*System, string, []transform.Rewrite, error) {
-	pre, err := Load(name, source)
+	return loadTransformed(name, source, 0)
+}
+
+func loadTransformed(name, source string, workers int) (*System, string, []transform.Rewrite, error) {
+	pre, err := load(name, source, workers)
 	if err != nil {
 		return nil, "", nil, err
 	}
@@ -82,7 +93,7 @@ func LoadTransformed(name, source string) (*System, string, []transform.Rewrite,
 	if len(rewrites) == 0 {
 		return pre, source, nil, nil
 	}
-	sys, err := Load(name, out)
+	sys, err := load(name, out, workers)
 	if err != nil {
 		return nil, out, rewrites, fmt.Errorf("transformed source failed to reload: %w", err)
 	}
@@ -97,6 +108,15 @@ type LoadOptions struct {
 	// → tail-recursive auxiliary methods) before analysis, as
 	// LoadTransformed does.
 	Transform bool
+
+	// AnalysisWorkers bounds the goroutines the commutativity analysis
+	// fans out across at load time (core.Analysis.Workers). Zero means
+	// GOMAXPROCS; 1 forces the serial driver. It only changes how fast
+	// the analysis runs, never its result — reports are deterministic
+	// and identical at every worker count — so it is deliberately NOT
+	// part of Fingerprint: a cached System loaded at one worker count is
+	// interchangeable with any other.
+	AnalysisWorkers int
 }
 
 // Fingerprint returns the content address of a (source, options) pair:
@@ -118,10 +138,10 @@ func Fingerprint(name, source string, opts LoadOptions) string {
 // by Fingerprint(name, source, opts).
 func LoadOpts(name, source string, opts LoadOptions) (*System, error) {
 	if opts.Transform {
-		sys, _, _, err := LoadTransformed(name, source)
+		sys, _, _, err := loadTransformed(name, source, opts.AnalysisWorkers)
 		return sys, err
 	}
-	return Load(name, source)
+	return load(name, source, opts.AnalysisWorkers)
 }
 
 // Warm forces the per-program lazy caches — slot resolution and the

@@ -14,23 +14,31 @@ import (
 // fixpoint; branches merge by union (weak updates), which is the
 // conservative direction — dep sets can only grow, and a larger dep set
 // only makes fewer call sites auxiliary.
-func (a *Analyzer) depAnalysis(m *types.Method) {
+//
+// The result maps call-site IDs to their dep sets. It is built
+// entirely within this pass and published whole through the analyzer's
+// dep memo (never patched into the already-published MethodInfo), so
+// concurrent readers of Info(m) are unaffected by a dep pass in
+// flight.
+func (a *Analyzer) depAnalysis(m *types.Method) map[int]*Set {
+	deps := make(map[int]*Set)
 	if m.Def == nil {
-		return
+		return deps
 	}
 	d := &depWalker{
 		a:     a,
 		m:     m,
-		info:  a.Info(m),
+		deps:  deps,
 		taint: make(map[string]*Set),
 	}
 	d.stmt(m.Def.Body)
+	return deps
 }
 
 type depWalker struct {
 	a     *Analyzer
 	m     *types.Method
-	info  *MethodInfo
+	deps  map[int]*Set // call-site ID → dep set (the pass's result)
 	taint map[string]*Set
 	path  []*Set // control-condition taints, innermost last
 }
@@ -171,7 +179,7 @@ func (d *depWalker) exprTaint(e ast.Expr) *Set {
 		}
 	case *ast.FieldAccess:
 		out := d.exprTaint(x.X)
-		w := &localWalker{a: d.a, m: d.m, info: &MethodInfo{Reads: NewSet(), Writes: NewSet(), Dep: map[int]*Set{}}}
+		w := &localWalker{a: d.a, m: d.m, info: &MethodInfo{Reads: NewSet(), Writes: NewSet()}}
 		if desc, kind := w.accessDesc(x); kind == accField || kind == accRefParam {
 			out.Add(desc)
 		}
@@ -280,10 +288,10 @@ func (d *depWalker) callTaint(x *ast.CallExpr) *Set {
 
 	// Record dep(c). Multiple syntactic evaluations (loop fixpoint)
 	// accumulate.
-	existing, ok := d.info.Dep[site.ID]
+	existing, ok := d.deps[site.ID]
 	if !ok {
 		existing = NewSet()
-		d.info.Dep[site.ID] = existing
+		d.deps[site.ID] = existing
 	}
 	existing.AddAll(dep)
 

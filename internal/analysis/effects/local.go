@@ -57,7 +57,10 @@ type CallContext struct {
 }
 
 // MethodInfo is the cached local analysis of one method: its direct
-// memory accesses, call contexts, dep sets, and purity flags.
+// memory accesses, call contexts, and purity flags. A MethodInfo is
+// immutable once published by Analyzer.Info; the §4.2 dep sets live in
+// a separate per-caller memo (see Analyzer.Dep) because they need the
+// transitive effects of callees and are computed lazily.
 type MethodInfo struct {
 	M *types.Method
 
@@ -71,11 +74,6 @@ type MethodInfo struct {
 	// Calls holds one CallContext per non-builtin call site, in source
 	// order.
 	Calls []CallContext
-
-	// Dep maps call-site IDs to the dep sets of §4.2: the storage read
-	// by this method to compute the values (and the invocation
-	// decision) at the call site.
-	Dep map[int]*Set
 
 	// CreatesObject and PerformsIO are the direct purity flags.
 	CreatesObject bool
@@ -92,15 +90,12 @@ func (a *Analyzer) localAnalysis(m *types.Method) *MethodInfo {
 		M:      m,
 		Reads:  NewSet(),
 		Writes: NewSet(),
-		Dep:    make(map[int]*Set),
 	}
 	if m.Def == nil {
 		return info
 	}
 	w := &localWalker{a: a, m: m, info: info}
 	w.stmt(m.Def.Body)
-	// dep analysis is a separate pass (it needs transitive effects of
-	// callees and is therefore run lazily; see depAnalysis).
 	return info
 }
 
@@ -451,7 +446,7 @@ type Resolver struct {
 func NewResolver(prog *types.Program, m *types.Method) *Resolver {
 	a := &Analyzer{Prog: prog}
 	return &Resolver{w: &localWalker{a: a, m: m, info: &MethodInfo{
-		Reads: NewSet(), Writes: NewSet(), Dep: map[int]*Set{},
+		Reads: NewSet(), Writes: NewSet(),
 	}}}
 }
 

@@ -1,0 +1,42 @@
+package effects
+
+import (
+	"sync"
+
+	"commute/internal/frontend/types"
+)
+
+// memoTable is a per-method once-published memo: the first caller for a
+// key computes the value, every other caller blocks on that one
+// computation and then shares the published result. The mutex guards
+// only the cell map — compute runs outside it, so distinct methods
+// memoize concurrently. The zero value is ready to use.
+//
+// Values published through a memoTable are immutable from the moment
+// get returns: computations build their result completely before
+// publication and no later pass mutates it (dep sets live in their own
+// table rather than being patched into MethodInfo, see Analyzer.Dep).
+type memoTable[V any] struct {
+	mu sync.Mutex
+	m  map[*types.Method]*memoCell[V]
+}
+
+type memoCell[V any] struct {
+	once sync.Once
+	v    V
+}
+
+func (t *memoTable[V]) get(m *types.Method, compute func() V) V {
+	t.mu.Lock()
+	if t.m == nil {
+		t.m = make(map[*types.Method]*memoCell[V])
+	}
+	c, ok := t.m[m]
+	if !ok {
+		c = new(memoCell[V])
+		t.m[m] = c
+	}
+	t.mu.Unlock()
+	c.once.Do(func() { c.v = compute() })
+	return c.v
+}

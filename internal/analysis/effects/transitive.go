@@ -6,14 +6,24 @@ import (
 
 // Analyzer caches the per-method local analyses and the transitive
 // closures over the call graph for one checked program.
+//
+// Concurrency contract: an Analyzer is safe for concurrent use by any
+// number of goroutines. Each memo (local info, transitive effects,
+// dep sets, purity flags) publishes per method through a sync.Once
+// cell, so every result is computed exactly once and is immutable
+// after publication — callers must treat returned *MethodInfo, *TE,
+// *Set and dep maps as read-only (clone before mutating, as the
+// binding substitutions already do). The memo dependency graph
+// (dep → transitive effects → local info) is acyclic, so concurrent
+// first computations cannot deadlock.
 type Analyzer struct {
 	Prog *types.Program
 
-	info    map[*types.Method]*MethodInfo
-	te      map[*types.Method]*TE
-	dep     map[*types.Method]bool // dep pass done
-	creates map[*types.Method]bool
-	io      map[*types.Method]bool
+	info    memoTable[*MethodInfo]
+	te      memoTable[*TE]
+	deps    memoTable[map[int]*Set] // call-site ID → dep set, per caller
+	creates memoTable[bool]
+	io      memoTable[bool]
 }
 
 // TE is a transitive effects result: the storage the computation rooted
@@ -27,24 +37,13 @@ type TE struct {
 
 // NewAnalyzer returns an analyzer for prog.
 func NewAnalyzer(prog *types.Program) *Analyzer {
-	return &Analyzer{
-		Prog:    prog,
-		info:    make(map[*types.Method]*MethodInfo),
-		te:      make(map[*types.Method]*TE),
-		dep:     make(map[*types.Method]bool),
-		creates: make(map[*types.Method]bool),
-		io:      make(map[*types.Method]bool),
-	}
+	return &Analyzer{Prog: prog}
 }
 
-// Info returns the cached local analysis of m.
+// Info returns the cached local analysis of m. The result is computed
+// once and immutable; see the Analyzer concurrency contract.
 func (a *Analyzer) Info(m *types.Method) *MethodInfo {
-	if mi, ok := a.info[m]; ok {
-		return mi
-	}
-	mi := a.localAnalysis(m)
-	a.info[m] = mi
-	return mi
+	return a.info.get(m, func() *MethodInfo { return a.localAnalysis(m) })
 }
 
 // TransitiveEffects computes the paper's transitiveEffects(m): an
@@ -52,9 +51,10 @@ func (a *Analyzer) Info(m *types.Method) *MethodInfo {
 // the identity binding, accumulating substituted read and write sets.
 // Local-variable descriptors are subtracted from the final result.
 func (a *Analyzer) TransitiveEffects(m *types.Method) *TE {
-	if te, ok := a.te[m]; ok {
-		return te
-	}
+	return a.te.get(m, func() *TE { return a.transitiveEffects(m) })
+}
+
+func (a *Analyzer) transitiveEffects(m *types.Method) *TE {
 	rd, wr := NewSet(), NewSet()
 
 	type item struct {
@@ -83,48 +83,43 @@ func (a *Analyzer) TransitiveEffects(m *types.Method) *TE {
 	}
 
 	notLocal := func(d Desc) bool { return d.Space != DescLocal }
-	te := &TE{Reads: rd.Filter(notLocal), Writes: wr.Filter(notLocal)}
-	a.te[m] = te
-	return te
+	return &TE{Reads: rd.Filter(notLocal), Writes: wr.Filter(notLocal)}
 }
 
 // MayCreateObject reports whether the computation rooted at m may
 // allocate a new object.
 func (a *Analyzer) MayCreateObject(m *types.Method) bool {
-	return a.transitiveFlag(m, a.creates, func(mi *MethodInfo) bool { return mi.CreatesObject })
+	return a.transitiveFlag(m, &a.creates, func(mi *MethodInfo) bool { return mi.CreatesObject })
 }
 
 // MayPerformIO reports whether the computation rooted at m may perform
 // input or output.
 func (a *Analyzer) MayPerformIO(m *types.Method) bool {
-	return a.transitiveFlag(m, a.io, func(mi *MethodInfo) bool { return mi.PerformsIO })
+	return a.transitiveFlag(m, &a.io, func(mi *MethodInfo) bool { return mi.PerformsIO })
 }
 
-func (a *Analyzer) transitiveFlag(m *types.Method, cache map[*types.Method]bool, local func(*MethodInfo) bool) bool {
-	if v, ok := cache[m]; ok {
-		return v
-	}
-	visited := make(map[*types.Method]bool)
-	var visit func(x *types.Method) bool
-	visit = func(x *types.Method) bool {
-		if visited[x] {
-			return false
-		}
-		visited[x] = true
-		mi := a.Info(x)
-		if local(mi) {
-			return true
-		}
-		for _, cc := range mi.Calls {
-			if visit(cc.Site.Callee) {
+func (a *Analyzer) transitiveFlag(m *types.Method, cache *memoTable[bool], local func(*MethodInfo) bool) bool {
+	return cache.get(m, func() bool {
+		visited := make(map[*types.Method]bool)
+		var visit func(x *types.Method) bool
+		visit = func(x *types.Method) bool {
+			if visited[x] {
+				return false
+			}
+			visited[x] = true
+			mi := a.Info(x)
+			if local(mi) {
 				return true
 			}
+			for _, cc := range mi.Calls {
+				if visit(cc.Site.Callee) {
+					return true
+				}
+			}
+			return false
 		}
-		return false
-	}
-	v := visit(m)
-	cache[m] = v
-	return v
+		return visit(m)
+	})
 }
 
 // Dep returns the dep set of a call site (§4.2): the storage the caller
@@ -138,11 +133,8 @@ func (a *Analyzer) Dep(site *types.CallSite) *Set {
 	if m == nil {
 		return NewSet()
 	}
-	if !a.dep[m] {
-		a.depAnalysis(m)
-		a.dep[m] = true
-	}
-	if d, ok := a.Info(m).Dep[site.ID]; ok {
+	deps := a.deps.get(m, func() map[int]*Set { return a.depAnalysis(m) })
+	if d, ok := deps[site.ID]; ok {
 		return d
 	}
 	return NewSet()

@@ -2,6 +2,10 @@ package symbolic
 
 import (
 	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
 
 	"commute/internal/analysis/effects"
 	"commute/internal/frontend/ast"
@@ -10,22 +14,58 @@ import (
 
 // Env supplies the context a symbolic execution runs in: the checked
 // program, the extent-constant set, and the auxiliary call-site
-// classification of the extent under test.
+// classification of the extent under test. An Env is safe for
+// concurrent use by multiple symbolic executions.
 type Env struct {
 	Prog *types.Program
 	EC   *effects.Set
 	// Aux reports whether a call site is auxiliary in the current
 	// extent.
 	Aux map[int]bool
-	// ConstArgs caches the footnote-4 optimization: if every call site
+	// constArgs caches the footnote-4 optimization: if every call site
 	// of a method passes the same literal for a parameter, the literal
-	// is used in all symbolic executions. Computed lazily.
+	// is used in all symbolic executions. Computed lazily under mu.
+	mu        sync.Mutex
 	constArgs map[*types.Method][]Expr
+	// fp is the environment fingerprint (see Fingerprint).
+	fp string
 }
 
 // NewEnv builds an execution environment.
 func NewEnv(prog *types.Program, ec *effects.Set, aux map[int]bool) *Env {
-	return &Env{Prog: prog, EC: ec, Aux: aux, constArgs: make(map[*types.Method][]Expr)}
+	env := &Env{Prog: prog, EC: ec, Aux: aux, constArgs: make(map[*types.Method][]Expr)}
+	env.fp = env.fingerprint()
+	return env
+}
+
+// Fingerprint identifies everything about the environment that can
+// influence a symbolic execution within one program: the extent
+// constant set and the auxiliary call-site classification. Two Envs
+// over the same program with equal fingerprints produce identical
+// execution results, which is what lets pair-test verdicts be cached
+// across methods whose extents share an environment.
+func (env *Env) Fingerprint() string { return env.fp }
+
+func (env *Env) fingerprint() string {
+	var sb strings.Builder
+	if env.EC != nil {
+		sb.WriteString(env.EC.Key())
+	}
+	sb.WriteByte('|')
+	sites := make([]int, 0, len(env.Aux))
+	for id, on := range env.Aux {
+		if on {
+			sites = append(sites, id)
+		}
+	}
+	sort.Ints(sites)
+	for i, id := range sites {
+		if i > 0 {
+			sb.WriteByte(',')
+		}
+		sb.WriteString(strconv.Itoa(id))
+	}
+	return sb.String()
 }
 
 // UnanalyzableError reports why a method could not be symbolically
@@ -166,7 +206,7 @@ func (ex *executor) curGuard() Expr {
 	}
 	args := make([]Expr, len(ex.guard))
 	copy(args, ex.guard)
-	return Simplify(Nary{Op: OpAnd, Args: args})
+	return Simplify(mkNary(OpAnd, args))
 }
 
 // snapshot/restore of the mutable value state (ivars + locals + params).
@@ -278,7 +318,7 @@ func (ex *executor) ifStmt(st *ast.IfStmt) error {
 	}
 
 	ex.restore(pre)
-	notC := Simplify(Not{X: c})
+	notC := Simplify(mkNot(c))
 	ex.guard = append(ex.guard, notC)
 	if st.Else != nil {
 		if err := ex.stmt(st.Else); err != nil {
@@ -306,7 +346,7 @@ func mergeState(c Expr, t, f map[string]Expr) map[string]Expr {
 			out[k] = tv
 			continue
 		}
-		out[k] = Simplify(Cond{C: c, T: tv, F: fv})
+		out[k] = Simplify(mkCond(c, tv, fv))
 	}
 	for k, fv := range f {
 		if _, ok := t[k]; !ok {

@@ -11,8 +11,11 @@ import (
 
 // constArgsOf implements the footnote-4 optimization: for each
 // parameter, if every call site in the program passes the same literal,
-// symbolic executions use the literal itself.
+// symbolic executions use the literal itself. Concurrent executions
+// share the cache under env.mu.
 func (env *Env) constArgsOf(m *types.Method) []Expr {
+	env.mu.Lock()
+	defer env.mu.Unlock()
 	if v, ok := env.constArgs[m]; ok {
 		return v
 	}
@@ -95,16 +98,16 @@ func (ex *executor) eval(e ast.Expr) (Expr, error) {
 		if err != nil {
 			return nil, err
 		}
-		return ArrSel{Arr: arr, Idx: idx}, nil
+		return mkArrSel(arr, idx), nil
 	case *ast.Unary:
 		v, err := ex.eval(x.X)
 		if err != nil {
 			return nil, err
 		}
 		if x.Op == token.MINUS {
-			return Neg{X: v}, nil
+			return mkNeg(v), nil
 		}
-		return Not{X: v}, nil
+		return mkNot(v), nil
 	case *ast.Binary:
 		return ex.evalBinary(x)
 	case *ast.CastExpr:
@@ -112,7 +115,7 @@ func (ex *executor) eval(e ast.Expr) (Expr, error) {
 		if err != nil {
 			return nil, err
 		}
-		return Call{Fn: "cast:" + x.ClassName, Args: []Expr{v}}, nil
+		return mkCall("cast:"+x.ClassName, []Expr{v}), nil
 	case *ast.Assign:
 		return ex.evalAssign(x)
 	case *ast.CallExpr:
@@ -229,31 +232,31 @@ func (ex *executor) evalBinary(x *ast.Binary) (Expr, error) {
 	}
 	switch x.Op {
 	case token.PLUS:
-		return Nary{Op: OpAdd, Args: []Expr{l, r}}, nil
+		return mkNary(OpAdd, []Expr{l, r}), nil
 	case token.MINUS:
-		return Nary{Op: OpAdd, Args: []Expr{l, Neg{X: r}}}, nil
+		return mkNary(OpAdd, []Expr{l, mkNeg(r)}), nil
 	case token.STAR:
-		return Nary{Op: OpMul, Args: []Expr{l, r}}, nil
+		return mkNary(OpMul, []Expr{l, r}), nil
 	case token.SLASH:
-		return Bin{Op: OpDiv, L: l, R: r}, nil
+		return mkBin(OpDiv, l, r), nil
 	case token.PERCENT:
-		return Bin{Op: OpMod, L: l, R: r}, nil
+		return mkBin(OpMod, l, r), nil
 	case token.LT:
-		return Bin{Op: OpLt, L: l, R: r}, nil
+		return mkBin(OpLt, l, r), nil
 	case token.LEQ:
-		return Bin{Op: OpLe, L: l, R: r}, nil
+		return mkBin(OpLe, l, r), nil
 	case token.GT:
-		return Bin{Op: OpGt, L: l, R: r}, nil
+		return mkBin(OpGt, l, r), nil
 	case token.GEQ:
-		return Bin{Op: OpGe, L: l, R: r}, nil
+		return mkBin(OpGe, l, r), nil
 	case token.EQ:
-		return Bin{Op: OpEq, L: l, R: r}, nil
+		return mkBin(OpEq, l, r), nil
 	case token.NEQ:
-		return Bin{Op: OpNe, L: l, R: r}, nil
+		return mkBin(OpNe, l, r), nil
 	case token.AND:
-		return Nary{Op: OpAnd, Args: []Expr{l, r}}, nil
+		return mkNary(OpAnd, []Expr{l, r}), nil
 	case token.OR:
-		return Nary{Op: OpOr, Args: []Expr{l, r}}, nil
+		return mkNary(OpOr, []Expr{l, r}), nil
 	}
 	return nil, ex.failf("unsupported operator %s", x.Op)
 }
@@ -270,13 +273,13 @@ func (ex *executor) evalAssign(x *ast.Assign) (Expr, error) {
 		}
 		switch x.Op {
 		case token.PLUSEQ:
-			rhs = Nary{Op: OpAdd, Args: []Expr{old, rhs}}
+			rhs = mkNary(OpAdd, []Expr{old, rhs})
 		case token.MINUSEQ:
-			rhs = Nary{Op: OpAdd, Args: []Expr{old, Neg{X: rhs}}}
+			rhs = mkNary(OpAdd, []Expr{old, mkNeg(rhs)})
 		case token.STAREQ:
-			rhs = Nary{Op: OpMul, Args: []Expr{old, rhs}}
+			rhs = mkNary(OpMul, []Expr{old, rhs})
 		case token.SLASHEQ:
-			rhs = Bin{Op: OpDiv, L: old, R: rhs}
+			rhs = mkBin(OpDiv, old, rhs)
 		}
 	}
 	if err := ex.store(x.LHS, rhs); err != nil {
@@ -323,7 +326,7 @@ func (ex *executor) store(lhs ast.Expr, v Expr) error {
 		if kind == arrParam {
 			return ex.failf("write to reference parameter array")
 		}
-		ex.storeArray(name, kind, ArrStore{Arr: ex.loadArray(name, kind), Idx: Simplify(idx), Val: v})
+		ex.storeArray(name, kind, mkArrStore(ex.loadArray(name, kind), Simplify(idx), v))
 		return nil
 	}
 	return ex.failf("unanalyzable lvalue")
@@ -344,7 +347,7 @@ func (ex *executor) evalCall(x *ast.CallExpr) (Expr, error) {
 			}
 			args[i] = v
 		}
-		return Call{Fn: x.Method, Args: args}, nil
+		return mkCall(x.Method, args), nil
 	}
 	site := ex.env.Prog.CallSites[x.Site]
 	if ex.env.Aux[x.Site] {

@@ -168,11 +168,11 @@ func (ex *executor) tryArrayForm(st *ast.ForStmt) (bool, error) {
 			return false, err
 		}
 		if negate {
-			operand = Simplify(Neg{X: operand})
+			operand = Simplify(mkNeg(operand))
 		}
-		ex.storeArray(target, tKind, ArrUpd{
-			Arr: ex.loadArray(target, tKind), Op: op, Operand: Simplify(operand),
-		})
+		ex.storeArray(target, tKind, mkArrUpd(
+			ex.loadArray(target, tKind), op, Simplify(operand),
+		))
 		return true, nil
 	}
 	fill := func(e ast.Expr) (bool, error) {
@@ -180,7 +180,7 @@ func (ex *executor) tryArrayForm(st *ast.ForStmt) (bool, error) {
 		if err != nil {
 			return false, err
 		}
-		ex.storeArray(target, tKind, ArrFill{Elem: Simplify(val)})
+		ex.storeArray(target, tKind, mkArrFill(Simplify(val)))
 		return true, nil
 	}
 

@@ -69,6 +69,15 @@ func (o Op) Commutative() bool {
 // Expr is a symbolic expression. Expressions are immutable; Key returns
 // a canonical string used for structural (isomorphism) comparison after
 // simplification.
+//
+// Leaf expressions (Num, Bool, Null, Extent, Var) are comparable value
+// types. Composite expressions are pointer types hash-consed through
+// the package's intern table: nodes built by the executor or the
+// simplifier with identical canonical keys share one allocation, so
+// `==` on Expr values is both safe and a cheap structural fast path.
+// Composite literals constructed outside the package (`&Nary{...}`)
+// are legal but uninterned; Key falls back to recomputing the
+// rendering for them.
 type Expr interface {
 	Key() string
 	expr()
@@ -100,29 +109,41 @@ type Var struct{ Name string }
 type Nary struct {
 	Op   Op
 	Args []Expr
+	key  string
 }
 
 // Bin is a binary non-commutative operator application.
 type Bin struct {
 	Op   Op
 	L, R Expr
+	key  string
 }
 
 // Neg is arithmetic negation.
-type Neg struct{ X Expr }
+type Neg struct {
+	X   Expr
+	key string
+}
 
 // Not is boolean negation.
-type Not struct{ X Expr }
+type Not struct {
+	X   Expr
+	key string
+}
 
 // Call is a pure builtin application (sqrt, fabs, ...) or an
 // uninterpreted operation such as a pointer cast ("cast:cell").
 type Call struct {
 	Fn   string
 	Args []Expr
+	key  string
 }
 
 // Cond is a conditional expression: C ? T : F.
-type Cond struct{ C, T, F Expr }
+type Cond struct {
+	C, T, F Expr
+	key     string
+}
 
 // ArrUpd is a whole-array elementwise update v = v ⊕ operand (the
 // paper's first recognized loop form). Operand is either a scalar
@@ -132,23 +153,29 @@ type ArrUpd struct {
 	Arr     Expr
 	Op      Op
 	Operand Expr
+	key     string
 }
 
 // ArrFill is a whole-array elementwise store v[l] = e with e
 // loop-invariant.
-type ArrFill struct{ Elem Expr }
+type ArrFill struct {
+	Elem Expr
+	key  string
+}
 
 // ArrStore is a single-element array store.
 type ArrStore struct {
 	Arr Expr
 	Idx Expr
 	Val Expr
+	key string
 }
 
 // ArrSel is a single-element array read.
 type ArrSel struct {
 	Arr Expr
 	Idx Expr
+	key string
 }
 
 // AccumAt is a commutative accumulation into one array element:
@@ -161,27 +188,30 @@ type AccumAt struct {
 	Op    Op
 	Idx   Expr
 	Delta Expr
+	key   string
 }
 
-func (Num) expr()      {}
-func (Bool) expr()     {}
-func (Null) expr()     {}
-func (Extent) expr()   {}
-func (Var) expr()      {}
-func (Nary) expr()     {}
-func (Bin) expr()      {}
-func (Neg) expr()      {}
-func (Not) expr()      {}
-func (Call) expr()     {}
-func (Cond) expr()     {}
-func (ArrUpd) expr()   {}
-func (ArrFill) expr()  {}
-func (ArrStore) expr() {}
-func (ArrSel) expr()   {}
-func (AccumAt) expr()  {}
+func (Num) expr()       {}
+func (Bool) expr()      {}
+func (Null) expr()      {}
+func (Extent) expr()    {}
+func (Var) expr()       {}
+func (*Nary) expr()     {}
+func (*Bin) expr()      {}
+func (*Neg) expr()      {}
+func (*Not) expr()      {}
+func (*Call) expr()     {}
+func (*Cond) expr()     {}
+func (*ArrUpd) expr()   {}
+func (*ArrFill) expr()  {}
+func (*ArrStore) expr() {}
+func (*ArrSel) expr()   {}
+func (*AccumAt) expr()  {}
 
 // Key implementations produce a canonical rendering; after Simplify,
-// equal keys mean structurally isomorphic expressions.
+// equal keys mean structurally isomorphic expressions. Interned nodes
+// carry the rendering computed once at construction; uninterned
+// literals recompute it on demand.
 
 func (e Num) Key() string {
 	if e.IsInt {
@@ -201,54 +231,137 @@ func (Null) Key() string     { return "NULL" }
 func (e Extent) Key() string { return "⟨" + e.ID + "⟩" }
 func (e Var) Key() string    { return e.Name }
 
-func (e Nary) Key() string {
-	parts := make([]string, len(e.Args))
-	for i, a := range e.Args {
+func naryKey(op Op, args []Expr) string {
+	parts := make([]string, len(args))
+	for i, a := range args {
 		parts[i] = a.Key()
 	}
-	return "(" + strings.Join(parts, " "+e.Op.String()+" ") + ")"
+	return "(" + strings.Join(parts, " "+op.String()+" ") + ")"
 }
 
-func (e Bin) Key() string {
-	return "(" + e.L.Key() + " " + e.Op.String() + " " + e.R.Key() + ")"
+func (e *Nary) Key() string {
+	if e.key != "" {
+		return e.key
+	}
+	return naryKey(e.Op, e.Args)
 }
 
-func (e Neg) Key() string { return "(-" + e.X.Key() + ")" }
-func (e Not) Key() string { return "(!" + e.X.Key() + ")" }
+func binKey(op Op, l, r Expr) string {
+	return "(" + l.Key() + " " + op.String() + " " + r.Key() + ")"
+}
 
-func (e Call) Key() string {
-	parts := make([]string, len(e.Args))
-	for i, a := range e.Args {
+func (e *Bin) Key() string {
+	if e.key != "" {
+		return e.key
+	}
+	return binKey(e.Op, e.L, e.R)
+}
+
+func negKey(x Expr) string { return "(-" + x.Key() + ")" }
+func notKey(x Expr) string { return "(!" + x.Key() + ")" }
+
+func (e *Neg) Key() string {
+	if e.key != "" {
+		return e.key
+	}
+	return negKey(e.X)
+}
+
+func (e *Not) Key() string {
+	if e.key != "" {
+		return e.key
+	}
+	return notKey(e.X)
+}
+
+func callKey(fn string, args []Expr) string {
+	parts := make([]string, len(args))
+	for i, a := range args {
 		parts[i] = a.Key()
 	}
-	return e.Fn + "(" + strings.Join(parts, ", ") + ")"
+	return fn + "(" + strings.Join(parts, ", ") + ")"
 }
 
-func (e Cond) Key() string {
-	return "(" + e.C.Key() + " ? " + e.T.Key() + " : " + e.F.Key() + ")"
+func (e *Call) Key() string {
+	if e.key != "" {
+		return e.key
+	}
+	return callKey(e.Fn, e.Args)
 }
 
-func (e ArrUpd) Key() string {
-	return "upd(" + e.Arr.Key() + " " + e.Op.String() + "= " + e.Operand.Key() + ")"
+func condKey(c, t, f Expr) string {
+	return "(" + c.Key() + " ? " + t.Key() + " : " + f.Key() + ")"
 }
 
-func (e ArrFill) Key() string { return "fill(" + e.Elem.Key() + ")" }
-
-func (e ArrStore) Key() string {
-	return "store(" + e.Arr.Key() + ", " + e.Idx.Key() + ", " + e.Val.Key() + ")"
+func (e *Cond) Key() string {
+	if e.key != "" {
+		return e.key
+	}
+	return condKey(e.C, e.T, e.F)
 }
 
-func (e ArrSel) Key() string {
-	return "sel(" + e.Arr.Key() + ", " + e.Idx.Key() + ")"
+func arrUpdKey(arr Expr, op Op, operand Expr) string {
+	return "upd(" + arr.Key() + " " + op.String() + "= " + operand.Key() + ")"
 }
 
-func (e AccumAt) Key() string {
-	return "accum(" + e.Arr.Key() + "[" + e.Idx.Key() + "] " +
-		e.Op.String() + "= " + e.Delta.Key() + ")"
+func (e *ArrUpd) Key() string {
+	if e.key != "" {
+		return e.key
+	}
+	return arrUpdKey(e.Arr, e.Op, e.Operand)
+}
+
+func arrFillKey(elem Expr) string { return "fill(" + elem.Key() + ")" }
+
+func (e *ArrFill) Key() string {
+	if e.key != "" {
+		return e.key
+	}
+	return arrFillKey(e.Elem)
+}
+
+func arrStoreKey(arr, idx, val Expr) string {
+	return "store(" + arr.Key() + ", " + idx.Key() + ", " + val.Key() + ")"
+}
+
+func (e *ArrStore) Key() string {
+	if e.key != "" {
+		return e.key
+	}
+	return arrStoreKey(e.Arr, e.Idx, e.Val)
+}
+
+func arrSelKey(arr, idx Expr) string {
+	return "sel(" + arr.Key() + ", " + idx.Key() + ")"
+}
+
+func (e *ArrSel) Key() string {
+	if e.key != "" {
+		return e.key
+	}
+	return arrSelKey(e.Arr, e.Idx)
+}
+
+func accumAtKey(arr Expr, op Op, idx, delta Expr) string {
+	return "accum(" + arr.Key() + "[" + idx.Key() + "] " +
+		op.String() + "= " + delta.Key() + ")"
+}
+
+func (e *AccumAt) Key() string {
+	if e.key != "" {
+		return e.key
+	}
+	return accumAtKey(e.Arr, e.Op, e.Idx, e.Delta)
 }
 
 // Equal reports whether two expressions have identical canonical form.
-func Equal(a, b Expr) bool { return a.Key() == b.Key() }
+// Interned nodes compare by pointer first.
+func Equal(a, b Expr) bool {
+	if a == b {
+		return true
+	}
+	return a.Key() == b.Key()
+}
 
 // ---------------------------------------------------------------------
 // Invocation expressions (MX)

@@ -1,0 +1,81 @@
+package symbolic_test
+
+import (
+	"sync"
+	"testing"
+
+	"commute/internal/analysis/symbolic"
+)
+
+// TestInternCanonicalizes: structurally equal composite expressions
+// intern to the same node, so equality is pointer equality.
+func TestInternCanonicalizes(t *testing.T) {
+	mk := func() symbolic.Expr {
+		return &symbolic.Nary{Op: symbolic.OpAdd, Args: []symbolic.Expr{
+			symbolic.Var{Name: "x"},
+			&symbolic.Neg{X: symbolic.Var{Name: "y"}},
+			symbolic.Num{V: 3, IsInt: true},
+		}}
+	}
+	a, b := symbolic.Intern(mk()), symbolic.Intern(mk())
+	if a != b {
+		t.Fatalf("structurally equal expressions interned to distinct nodes: %s", a.Key())
+	}
+	if !symbolic.Equal(a, b) {
+		t.Fatalf("interned nodes not Equal: %s", a.Key())
+	}
+	// Distinct structures must stay distinct.
+	c := symbolic.Intern(&symbolic.Neg{X: symbolic.Var{Name: "x"}})
+	if c == a {
+		t.Fatalf("distinct expressions interned to the same node")
+	}
+}
+
+// TestSimplifyReturnsOriginalWhenUnchanged: a node whose children
+// simplify to themselves comes back as the very same node — no fresh
+// argument slice, no rebuilt parent.
+func TestSimplifyReturnsOriginalWhenUnchanged(t *testing.T) {
+	// Call arguments are leaves: nothing to simplify.
+	in := symbolic.Intern(&symbolic.Call{Fn: "f", Args: []symbolic.Expr{
+		symbolic.Var{Name: "x"}, symbolic.Num{V: 2, IsInt: true},
+	}})
+	if out := symbolic.Simplify(in); out != in {
+		t.Fatalf("Simplify rebuilt an already-simplified call: %s → %s", in.Key(), out.Key())
+	}
+	// Leaves short-circuit outright.
+	leaf := symbolic.Var{Name: "v"}
+	if out := symbolic.Simplify(leaf); out != symbolic.Expr(leaf) {
+		t.Fatalf("Simplify rebuilt a leaf")
+	}
+}
+
+// TestSimplifyMemoized: simplifying the same canonical node twice
+// returns the identical result node, including from many goroutines at
+// once (the memo publishes one result per node).
+func TestSimplifyMemoized(t *testing.T) {
+	e := symbolic.Intern(&symbolic.Nary{Op: symbolic.OpAdd, Args: []symbolic.Expr{
+		symbolic.Var{Name: "a"},
+		&symbolic.Nary{Op: symbolic.OpAdd, Args: []symbolic.Expr{
+			symbolic.Var{Name: "b"}, symbolic.Num{V: 1, IsInt: true},
+		}},
+		symbolic.Num{V: 2, IsInt: true},
+	}})
+	first := symbolic.Simplify(e)
+	const goroutines = 8
+	results := make([]symbolic.Expr, goroutines)
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		g := g
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			results[g] = symbolic.Simplify(e)
+		}()
+	}
+	wg.Wait()
+	for g, r := range results {
+		if r != first {
+			t.Fatalf("goroutine %d: Simplify returned a different node: %s vs %s", g, r.Key(), first.Key())
+		}
+	}
+}

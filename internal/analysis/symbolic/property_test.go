@@ -24,19 +24,19 @@ func genExpr(r *rand.Rand, depth int) symbolic.Expr {
 	}
 	switch r.Intn(4) {
 	case 0:
-		return symbolic.Nary{Op: symbolic.OpAdd, Args: []symbolic.Expr{
+		return &symbolic.Nary{Op: symbolic.OpAdd, Args: []symbolic.Expr{
 			genExpr(r, depth-1), genExpr(r, depth-1),
 		}}
 	case 1:
-		return symbolic.Nary{Op: symbolic.OpMul, Args: []symbolic.Expr{
+		return &symbolic.Nary{Op: symbolic.OpMul, Args: []symbolic.Expr{
 			genExpr(r, depth-1), genExpr(r, depth-1),
 		}}
 	case 2:
-		return symbolic.Neg{X: genExpr(r, depth-1)}
+		return &symbolic.Neg{X: genExpr(r, depth-1)}
 	default:
-		return symbolic.Nary{Op: symbolic.OpAdd, Args: []symbolic.Expr{
+		return &symbolic.Nary{Op: symbolic.OpAdd, Args: []symbolic.Expr{
 			genExpr(r, depth-1),
-			symbolic.Neg{X: genExpr(r, depth-1)},
+			&symbolic.Neg{X: genExpr(r, depth-1)},
 		}}
 	}
 }
@@ -50,9 +50,9 @@ func evalNumeric(e symbolic.Expr, env map[string]float64) float64 {
 		return env[x.Name]
 	case symbolic.Extent:
 		return env["ec:"+x.ID]
-	case symbolic.Neg:
+	case *symbolic.Neg:
 		return -evalNumeric(x.X, env)
-	case symbolic.Nary:
+	case *symbolic.Nary:
 		switch x.Op {
 		case symbolic.OpAdd:
 			s := 0.0
@@ -67,7 +67,7 @@ func evalNumeric(e symbolic.Expr, env map[string]float64) float64 {
 			}
 			return p
 		}
-	case symbolic.Bin:
+	case *symbolic.Bin:
 		l, r := evalNumeric(x.L, env), evalNumeric(x.R, env)
 		if x.Op == symbolic.OpDiv {
 			return l / r
@@ -123,12 +123,12 @@ func TestCommutativeOperandOrderIrrelevant(t *testing.T) {
 		if r.Intn(2) == 0 {
 			op = symbolic.OpMul
 		}
-		fwd := symbolic.Simplify(symbolic.Nary{Op: op, Args: args})
+		fwd := symbolic.Simplify(&symbolic.Nary{Op: op, Args: args})
 		perm := make([]symbolic.Expr, n)
 		for j, k := range r.Perm(n) {
 			perm[j] = args[k]
 		}
-		rev := symbolic.Simplify(symbolic.Nary{Op: op, Args: perm})
+		rev := symbolic.Simplify(&symbolic.Nary{Op: op, Args: perm})
 		if fwd.Key() != rev.Key() {
 			t.Fatalf("iteration %d: operand order changed canonical form\n  %s\n  %s",
 				i, fwd.Key(), rev.Key())
@@ -152,11 +152,11 @@ func TestAccumChainsCommute(t *testing.T) {
 			var e symbolic.Expr = base
 			for _, k := range order {
 				u := updates[k]
-				e = symbolic.ArrStore{
+				e = &symbolic.ArrStore{
 					Arr: e,
 					Idx: symbolic.Num{V: float64(u.Idx % 4), IsInt: true},
-					Val: symbolic.Nary{Op: symbolic.OpAdd, Args: []symbolic.Expr{
-						symbolic.ArrSel{Arr: e, Idx: symbolic.Num{V: float64(u.Idx % 4), IsInt: true}},
+					Val: &symbolic.Nary{Op: symbolic.OpAdd, Args: []symbolic.Expr{
+						&symbolic.ArrSel{Arr: e, Idx: symbolic.Num{V: float64(u.Idx % 4), IsInt: true}},
 						symbolic.Num{V: float64(u.Delta), IsInt: true},
 					}},
 				}
@@ -180,14 +180,14 @@ func TestAccumChainsCommute(t *testing.T) {
 func TestBooleanTautologies(t *testing.T) {
 	r := rand.New(rand.NewSource(3))
 	for i := 0; i < 200; i++ {
-		x := symbolic.Bin{Op: symbolic.OpLt, L: genExpr(r, 2), R: genExpr(r, 2)}
-		or := symbolic.Simplify(symbolic.Nary{Op: symbolic.OpOr,
-			Args: []symbolic.Expr{x, symbolic.Not{X: x}}})
+		x := &symbolic.Bin{Op: symbolic.OpLt, L: genExpr(r, 2), R: genExpr(r, 2)}
+		or := symbolic.Simplify(&symbolic.Nary{Op: symbolic.OpOr,
+			Args: []symbolic.Expr{x, &symbolic.Not{X: x}}})
 		if or.Key() != "true" {
 			t.Fatalf("x∨¬x = %s for x=%s", or.Key(), x.Key())
 		}
-		and := symbolic.Simplify(symbolic.Nary{Op: symbolic.OpAnd,
-			Args: []symbolic.Expr{x, symbolic.Not{X: x}}})
+		and := symbolic.Simplify(&symbolic.Nary{Op: symbolic.OpAnd,
+			Args: []symbolic.Expr{x, &symbolic.Not{X: x}}})
 		if and.Key() != "false" {
 			t.Fatalf("x∧¬x = %s for x=%s", and.Key(), x.Key())
 		}

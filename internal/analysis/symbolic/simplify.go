@@ -8,56 +8,82 @@ import "sort"
 // normalize negation, flatten associative-commutative operators into
 // sorted n-ary applications, apply boolean/conditional rules, distribute
 // products over (small) sums, and canonicalize array-update chains.
+//
+// Simplification is memoized per node in the intern table's epoch:
+// because composite nodes are hash-consed, a subterm shared by many
+// expressions is simplified once and every later Simplify of the same
+// node is a map hit. The memo key is node identity, so uninterned
+// composite literals still simplify correctly (they just memoize under
+// their own pointer). A node whose children all simplify to themselves
+// is returned as-is rather than rebuilt.
 func Simplify(e Expr) Expr {
-	switch x := e.(type) {
-	case Num, Bool, Null, Extent, Var:
+	switch e.(type) {
+	case nil, Num, Bool, Null, Extent, Var:
 		return e
+	}
+	t := tab()
+	if v, ok := t.simplify.Load(e); ok {
+		return v.(Expr)
+	}
+	out := simplifyNode(e)
+	if _, loaded := t.simplify.LoadOrStore(e, out); !loaded {
+		t.bump()
+	}
+	return out
+}
 
-	case Neg:
+func simplifyNode(e Expr) Expr {
+	switch x := e.(type) {
+	case *Neg:
 		return simplifyNeg(Simplify(x.X))
 
-	case Not:
+	case *Not:
 		return simplifyNot(Simplify(x.X))
 
-	case Nary:
+	case *Nary:
 		args := make([]Expr, len(x.Args))
 		for i, a := range x.Args {
 			args[i] = Simplify(a)
 		}
 		return simplifyNary(x.Op, args)
 
-	case Bin:
+	case *Bin:
 		return simplifyBin(x.Op, Simplify(x.L), Simplify(x.R))
 
-	case Call:
+	case *Call:
+		changed := false
 		args := make([]Expr, len(x.Args))
 		for i, a := range x.Args {
 			args[i] = Simplify(a)
+			if args[i] != a {
+				changed = true
+			}
 		}
-		return Call{Fn: x.Fn, Args: args}
+		if !changed {
+			return x
+		}
+		return mkCall(x.Fn, args)
 
-	case Cond:
+	case *Cond:
 		return simplifyCond(Simplify(x.C), Simplify(x.T), Simplify(x.F))
 
-	case ArrUpd:
+	case *ArrUpd:
 		return simplifyArrUpd(Simplify(x.Arr), x.Op, Simplify(x.Operand))
 
-	case ArrFill:
-		return ArrFill{Elem: Simplify(x.Elem)}
+	case *ArrFill:
+		if el := Simplify(x.Elem); el != x.Elem {
+			return mkArrFill(el)
+		}
+		return x
 
-	case ArrStore:
+	case *ArrStore:
 		return simplifyArrStore(Simplify(x.Arr), Simplify(x.Idx), Simplify(x.Val))
 
-	case ArrSel:
+	case *ArrSel:
 		return simplifyArrSel(Simplify(x.Arr), Simplify(x.Idx))
 
-	case AccumAt:
-		return canonAccum(AccumAt{
-			Arr:   Simplify(x.Arr),
-			Op:    x.Op,
-			Idx:   Simplify(x.Idx),
-			Delta: Simplify(x.Delta),
-		})
+	case *AccumAt:
+		return canonAccum(Simplify(x.Arr), x.Op, Simplify(x.Idx), Simplify(x.Delta))
 	}
 	return e
 }
@@ -66,9 +92,9 @@ func simplifyNeg(x Expr) Expr {
 	switch v := x.(type) {
 	case Num:
 		return Num{V: -v.V, IsInt: v.IsInt}
-	case Neg:
+	case *Neg:
 		return v.X
-	case Nary:
+	case *Nary:
 		if v.Op == OpAdd {
 			args := make([]Expr, len(v.Args))
 			for i, a := range v.Args {
@@ -82,16 +108,16 @@ func simplifyNeg(x Expr) Expr {
 			return simplifyNary(OpMul, args)
 		}
 	}
-	return Neg{X: x}
+	return mkNeg(x)
 }
 
 func simplifyNot(x Expr) Expr {
 	switch v := x.(type) {
 	case Bool:
 		return Bool{V: !v.V}
-	case Not:
+	case *Not:
 		return v.X
-	case Bin:
+	case *Bin:
 		// Flip comparisons so guards canonicalize.
 		switch v.Op {
 		case OpLt:
@@ -108,7 +134,7 @@ func simplifyNot(x Expr) Expr {
 			return simplifyBin(OpEq, v.L, v.R)
 		}
 	}
-	return Not{X: x}
+	return mkNot(x)
 }
 
 // simplifyNary assumes args are already simplified.
@@ -116,7 +142,7 @@ func simplifyNary(op Op, args []Expr) Expr {
 	// Flatten nested applications of the same operator.
 	flat := make([]Expr, 0, len(args))
 	for _, a := range args {
-		if n, ok := a.(Nary); ok && n.Op == op {
+		if n, ok := a.(*Nary); ok && n.Op == op {
 			flat = append(flat, n.Args...)
 		} else {
 			flat = append(flat, a)
@@ -129,14 +155,14 @@ func simplifyNary(op Op, args []Expr) Expr {
 	case OpAnd, OpOr:
 		return simplifyBool(op, flat)
 	}
-	return Nary{Op: op, Args: flat}
+	return mkNary(op, flat)
 }
 
 func simplifyArith(op Op, flat []Expr) Expr {
 	// Distribute multiplication over small sums.
 	if op == OpMul {
 		for i, a := range flat {
-			if add, ok := a.(Nary); ok && add.Op == OpAdd && len(flat) <= 8 && len(add.Args) <= 8 {
+			if add, ok := a.(*Nary); ok && add.Op == OpAdd && len(flat) <= 8 && len(add.Args) <= 8 {
 				rest := make([]Expr, 0, len(flat)-1)
 				rest = append(rest, flat[:i]...)
 				rest = append(rest, flat[i+1:]...)
@@ -186,7 +212,7 @@ func simplifyArith(op Op, flat []Expr) Expr {
 		return rest[0]
 	}
 	sortExprs(rest)
-	return Nary{Op: op, Args: rest}
+	return mkNary(op, rest)
 }
 
 func simplifyBool(op Op, flat []Expr) Expr {
@@ -227,7 +253,7 @@ func simplifyBool(op Op, flat []Expr) Expr {
 		return rest[0]
 	}
 	sortExprs(rest)
-	return Nary{Op: op, Args: rest}
+	return mkNary(op, rest)
 }
 
 func simplifyBin(op Op, l, r Expr) Expr {
@@ -280,7 +306,7 @@ func simplifyBin(op Op, l, r Expr) Expr {
 			return l
 		}
 	}
-	return Bin{Op: op, L: l, R: r}
+	return mkBin(op, l, r)
 }
 
 // binOrSame folds reflexive comparisons: x < x ⇒ false, x <= x ⇒ true.
@@ -288,18 +314,18 @@ func binOrSame(op Op, l, r Expr) Expr {
 	if l.Key() == r.Key() {
 		return Bool{V: op == OpLe}
 	}
-	return Bin{Op: op, L: l, R: r}
+	return mkBin(op, l, r)
 }
 
 // isBoolish reports whether an expression is boolean-valued, enabling
 // the Cond→And/Or rewrites.
 func isBoolish(e Expr) bool {
 	switch x := e.(type) {
-	case Bool, Not:
+	case Bool, *Not:
 		return true
-	case Nary:
+	case *Nary:
 		return x.Op == OpAnd || x.Op == OpOr
-	case Bin:
+	case *Bin:
 		switch x.Op {
 		case OpLt, OpLe, OpGt, OpGe, OpEq, OpNe:
 			return true
@@ -341,15 +367,15 @@ func simplifyCond(c, t, f Expr) Expr {
 		return factored
 	}
 	// Canonicalize the branch order using the condition's negation.
-	if n, ok := c.(Not); ok {
-		return Cond{C: n.X, T: f, F: t}
+	if n, ok := c.(*Not); ok {
+		return mkCond(n.X, f, t)
 	}
-	return Cond{C: c, T: t, F: f}
+	return mkCond(c, t, f)
 }
 
 // addTerms flattens an expression into additive terms.
 func addTerms(e Expr) []Expr {
-	if n, ok := e.(Nary); ok && n.Op == OpAdd {
+	if n, ok := e.(*Nary); ok && n.Op == OpAdd {
 		return n.Args
 	}
 	return []Expr{e}
@@ -419,13 +445,13 @@ func factorCondAdd(c, t, f Expr) (Expr, bool) {
 // same commutative operator by sorting the operands.
 func simplifyArrUpd(arr Expr, op Op, operand Expr) Expr {
 	if !op.Commutative() {
-		return ArrUpd{Arr: arr, Op: op, Operand: operand}
+		return mkArrUpd(arr, op, operand)
 	}
 	// Collect the chain.
 	operands := []Expr{operand}
 	base := arr
 	for {
-		u, ok := base.(ArrUpd)
+		u, ok := base.(*ArrUpd)
 		if !ok || u.Op != op {
 			break
 		}
@@ -435,7 +461,7 @@ func simplifyArrUpd(arr Expr, op Op, operand Expr) Expr {
 	sortExprs(operands)
 	out := base
 	for i := len(operands) - 1; i >= 0; i-- {
-		out = ArrUpd{Arr: out, Op: op, Operand: operands[i]}
+		out = mkArrUpd(out, op, operands[i])
 	}
 	return out
 }
@@ -446,9 +472,9 @@ func simplifyArrUpd(arr Expr, op Op, operand Expr) Expr {
 // shadowed by a later store to the same index is dropped.
 func simplifyArrStore(arr, idx, val Expr) Expr {
 	if acc, ok := recognizeAccum(arr, idx, val); ok {
-		return canonAccum(acc)
+		return acc
 	}
-	if inner, ok := arr.(ArrStore); ok {
+	if inner, ok := arr.(*ArrStore); ok {
 		ii, iok := inner.Idx.(Num)
 		oi, ook := idx.(Num)
 		if iok && ook {
@@ -458,22 +484,22 @@ func simplifyArrStore(arr, idx, val Expr) Expr {
 			}
 			if oi.V < ii.V {
 				// Reorder: stores to distinct indices commute.
-				return ArrStore{
-					Arr: simplifyArrStore(inner.Arr, idx, val),
-					Idx: inner.Idx,
-					Val: inner.Val,
-				}
+				return mkArrStore(
+					simplifyArrStore(inner.Arr, idx, val),
+					inner.Idx,
+					inner.Val,
+				)
 			}
 		}
 	}
-	return ArrStore{Arr: arr, Idx: idx, Val: val}
+	return mkArrStore(arr, idx, val)
 }
 
 func simplifyArrSel(arr, idx Expr) Expr {
 	switch a := arr.(type) {
-	case ArrFill:
+	case *ArrFill:
 		return a.Elem
-	case ArrStore:
+	case *ArrStore:
 		si, sok := a.Idx.(Num)
 		qi, qok := idx.(Num)
 		if sok && qok {
@@ -485,7 +511,7 @@ func simplifyArrSel(arr, idx Expr) Expr {
 		if a.Idx.Key() == idx.Key() {
 			return a.Val
 		}
-	case AccumAt:
+	case *AccumAt:
 		if a.Idx.Key() == idx.Key() {
 			return simplifyNary(a.Op, []Expr{simplifyArrSel(a.Arr, idx), a.Delta})
 		}
@@ -495,39 +521,39 @@ func simplifyArrSel(arr, idx Expr) Expr {
 			return simplifyArrSel(a.Arr, idx)
 		}
 	}
-	return ArrSel{Arr: arr, Idx: idx}
+	return mkArrSel(arr, idx)
 }
 
 // recognizeAccum matches a store of the form a[i] = a[i] ⊕ d (with the
 // select on the same pre-store array value and index) and yields the
-// commuting AccumAt form. Because ArrSel folds through AccumAt chains
-// (sel(accum(a,i,δ), i) ⇒ sel(a,i)+δ), the select may also reference
-// the chain's base array; in that additive case the store overwrites
-// index i with base[i]+D, which is the accumulation of D minus the
-// chain's existing deltas at i.
-func recognizeAccum(arr, idx, val Expr) (AccumAt, bool) {
+// commuting, canonically ordered AccumAt form. Because ArrSel folds
+// through AccumAt chains (sel(accum(a,i,δ), i) ⇒ sel(a,i)+δ), the
+// select may also reference the chain's base array; in that additive
+// case the store overwrites index i with base[i]+D, which is the
+// accumulation of D minus the chain's existing deltas at i.
+func recognizeAccum(arr, idx, val Expr) (Expr, bool) {
 	var op Op
 	var args []Expr
 	switch v := val.(type) {
-	case Nary:
+	case *Nary:
 		if !v.Op.Commutative() || (v.Op != OpAdd && v.Op != OpMul) {
-			return AccumAt{}, false
+			return nil, false
 		}
 		op = v.Op
 		args = v.Args
-	case ArrSel:
+	case *ArrSel:
 		// A degenerate accumulation (delta folded to the identity):
 		// a[i] = a[i] + 0.
 		op = OpAdd
 		args = []Expr{v}
 	default:
-		return AccumAt{}, false
+		return nil, false
 	}
 	base, entries := accumChain(arr)
 	selAt := -1
 	viaBase := false
 	for i, a := range args {
-		sel, isSel := a.(ArrSel)
+		sel, isSel := a.(*ArrSel)
 		if !isSel || sel.Idx.Key() != idx.Key() {
 			continue
 		}
@@ -542,7 +568,7 @@ func recognizeAccum(arr, idx, val Expr) (AccumAt, bool) {
 		}
 	}
 	if selAt < 0 {
-		return AccumAt{}, false
+		return nil, false
 	}
 	rest := make([]Expr, 0, len(args)+4)
 	rest = append(rest, args[:selAt]...)
@@ -553,10 +579,10 @@ func recognizeAccum(arr, idx, val Expr) (AccumAt, bool) {
 		// uniformly additive entries support this.
 		for _, e := range entries {
 			if e.op != OpAdd {
-				return AccumAt{}, false
+				return nil, false
 			}
 			if e.idx.Key() == idx.Key() {
-				rest = append(rest, Neg{X: e.delta})
+				rest = append(rest, mkNeg(e.delta))
 			}
 		}
 	}
@@ -564,9 +590,9 @@ func recognizeAccum(arr, idx, val Expr) (AccumAt, bool) {
 	if len(rest) == 1 {
 		delta = Simplify(rest[0])
 	} else {
-		delta = Simplify(Nary{Op: op, Args: rest})
+		delta = Simplify(mkNary(op, rest))
 	}
-	return AccumAt{Arr: arr, Op: op, Idx: idx, Delta: delta}, true
+	return canonAccum(arr, op, idx, delta), true
 }
 
 // accumEntry is one accumulation step of a chain.
@@ -582,7 +608,7 @@ func accumChain(arr Expr) (Expr, []accumEntry) {
 	var entries []accumEntry
 	base := arr
 	for {
-		a, ok := base.(AccumAt)
+		a, ok := base.(*AccumAt)
 		if !ok {
 			return base, entries
 		}
@@ -594,13 +620,13 @@ func accumChain(arr Expr) (Expr, []accumEntry) {
 // canonAccum sorts chains of same-operator accumulations by
 // (index, delta) canonical key — accumulations into array elements
 // commute regardless of index equality.
-func canonAccum(a AccumAt) Expr {
+func canonAccum(arr Expr, op Op, idx, delta Expr) Expr {
 	type entry struct{ idx, delta Expr }
-	entries := []entry{{a.Idx, a.Delta}}
-	base := a.Arr
+	entries := []entry{{idx, delta}}
+	base := arr
 	for {
-		inner, ok := base.(AccumAt)
-		if !ok || inner.Op != a.Op {
+		inner, ok := base.(*AccumAt)
+		if !ok || inner.Op != op {
 			break
 		}
 		entries = append(entries, entry{inner.Idx, inner.Delta})
@@ -613,7 +639,7 @@ func canonAccum(a AccumAt) Expr {
 	})
 	out := base
 	for i := len(entries) - 1; i >= 0; i-- {
-		out = AccumAt{Arr: out, Op: a.Op, Idx: entries[i].idx, Delta: entries[i].delta}
+		out = mkAccumAt(out, op, entries[i].idx, entries[i].delta)
 	}
 	return out
 }
@@ -622,7 +648,8 @@ func sortExprs(xs []Expr) {
 	sort.Slice(xs, func(i, j int) bool { return xs[i].Key() < xs[j].Key() })
 }
 
-// SimplifyMX simplifies an invocation expression's components.
+// SimplifyMX simplifies an invocation expression's components, reusing
+// unchanged pieces.
 func SimplifyMX(m MX) MX {
 	out := MX{
 		Guard:  Simplify(m.Guard),
@@ -638,9 +665,18 @@ func SimplifyMX(m MX) MX {
 			Step: Simplify(m.Loop.Step),
 		}
 	}
-	out.Args = make([]Expr, len(m.Args))
+	changed := false
+	args := make([]Expr, len(m.Args))
 	for i, a := range m.Args {
-		out.Args[i] = Simplify(a)
+		args[i] = Simplify(a)
+		if args[i] != a {
+			changed = true
+		}
+	}
+	if changed {
+		out.Args = args
+	} else {
+		out.Args = m.Args
 	}
 	return out
 }

@@ -174,46 +174,46 @@ func TestSimplifyRules(t *testing.T) {
 		want string
 	}{
 		// x - y ⇒ x + (-y), sorted n-ary.
-		{symbolic.Nary{Op: symbolic.OpAdd, Args: []symbolic.Expr{x, symbolic.Neg{X: y}}}, "((-y) + x)"},
+		{&symbolic.Nary{Op: symbolic.OpAdd, Args: []symbolic.Expr{x, &symbolic.Neg{X: y}}}, "((-y) + x)"},
 		// Double negation.
-		{symbolic.Neg{X: symbolic.Neg{X: x}}, "x"},
+		{&symbolic.Neg{X: &symbolic.Neg{X: x}}, "x"},
 		// Constant folding and identity elimination.
-		{symbolic.Nary{Op: symbolic.OpAdd, Args: []symbolic.Expr{i(2), x, i(3)}}, "(5 + x)"},
-		{symbolic.Nary{Op: symbolic.OpAdd, Args: []symbolic.Expr{i(0), x}}, "x"},
-		{symbolic.Nary{Op: symbolic.OpMul, Args: []symbolic.Expr{i(1), x}}, "x"},
-		{symbolic.Nary{Op: symbolic.OpMul, Args: []symbolic.Expr{i(0), x}}, "0"},
+		{&symbolic.Nary{Op: symbolic.OpAdd, Args: []symbolic.Expr{i(2), x, i(3)}}, "(5 + x)"},
+		{&symbolic.Nary{Op: symbolic.OpAdd, Args: []symbolic.Expr{i(0), x}}, "x"},
+		{&symbolic.Nary{Op: symbolic.OpMul, Args: []symbolic.Expr{i(1), x}}, "x"},
+		{&symbolic.Nary{Op: symbolic.OpMul, Args: []symbolic.Expr{i(0), x}}, "0"},
 		// Flattening: (x + (y + 1)) ⇒ (1 + x + y).
-		{symbolic.Nary{Op: symbolic.OpAdd, Args: []symbolic.Expr{x,
-			symbolic.Nary{Op: symbolic.OpAdd, Args: []symbolic.Expr{y, i(1)}}}}, "(1 + x + y)"},
+		{&symbolic.Nary{Op: symbolic.OpAdd, Args: []symbolic.Expr{x,
+			&symbolic.Nary{Op: symbolic.OpAdd, Args: []symbolic.Expr{y, i(1)}}}}, "(1 + x + y)"},
 		// Distribution: 2 * (x + y) ⇒ ((2 * x) + (2 * y)).
-		{symbolic.Nary{Op: symbolic.OpMul, Args: []symbolic.Expr{i(2),
-			symbolic.Nary{Op: symbolic.OpAdd, Args: []symbolic.Expr{x, y}}}}, "((2 * x) + (2 * y))"},
+		{&symbolic.Nary{Op: symbolic.OpMul, Args: []symbolic.Expr{i(2),
+			&symbolic.Nary{Op: symbolic.OpAdd, Args: []symbolic.Expr{x, y}}}}, "((2 * x) + (2 * y))"},
 		// Boolean complement: x || !x ⇒ true.
-		{symbolic.Nary{Op: symbolic.OpOr, Args: []symbolic.Expr{x, symbolic.Not{X: x}}}, "true"},
-		{symbolic.Nary{Op: symbolic.OpAnd, Args: []symbolic.Expr{x, symbolic.Not{X: x}}}, "false"},
+		{&symbolic.Nary{Op: symbolic.OpOr, Args: []symbolic.Expr{x, &symbolic.Not{X: x}}}, "true"},
+		{&symbolic.Nary{Op: symbolic.OpAnd, Args: []symbolic.Expr{x, &symbolic.Not{X: x}}}, "false"},
 		// Idempotence.
-		{symbolic.Nary{Op: symbolic.OpAnd, Args: []symbolic.Expr{x, x}}, "x"},
+		{&symbolic.Nary{Op: symbolic.OpAnd, Args: []symbolic.Expr{x, x}}, "x"},
 		// Conditional rules.
-		{symbolic.Cond{C: symbolic.Bool{V: true}, T: x, F: y}, "x"},
-		{symbolic.Cond{C: x, T: y, F: y}, "y"},
-		{symbolic.Cond{C: x, T: symbolic.Bool{V: true}, F: symbolic.Not{X: x}}, "true"},
+		{&symbolic.Cond{C: symbolic.Bool{V: true}, T: x, F: y}, "x"},
+		{&symbolic.Cond{C: x, T: y, F: y}, "y"},
+		{&symbolic.Cond{C: x, T: symbolic.Bool{V: true}, F: &symbolic.Not{X: x}}, "true"},
 		// Comparison canonicalization: y > x ⇒ x < y; ¬(a<b) ⇒ a>=b ⇒ ...
-		{symbolic.Bin{Op: symbolic.OpGt, L: y, R: x}, "(x < y)"},
-		{symbolic.Not{X: symbolic.Bin{Op: symbolic.OpLt, L: x, R: y}}, "(y <= x)"},
+		{&symbolic.Bin{Op: symbolic.OpGt, L: y, R: x}, "(x < y)"},
+		{&symbolic.Not{X: &symbolic.Bin{Op: symbolic.OpLt, L: x, R: y}}, "(y <= x)"},
 		// Numeric comparison folding.
-		{symbolic.Bin{Op: symbolic.OpLt, L: n(1), R: n(2)}, "true"},
+		{&symbolic.Bin{Op: symbolic.OpLt, L: n(1), R: n(2)}, "true"},
 		// Division by one.
-		{symbolic.Bin{Op: symbolic.OpDiv, L: x, R: i(1)}, "x"},
+		{&symbolic.Bin{Op: symbolic.OpDiv, L: x, R: i(1)}, "x"},
 		// Array store shadowing and reordering.
-		{symbolic.ArrStore{
-			Arr: symbolic.ArrStore{Arr: x, Idx: i(1), Val: y},
+		{&symbolic.ArrStore{
+			Arr: &symbolic.ArrStore{Arr: x, Idx: i(1), Val: y},
 			Idx: i(0), Val: x,
 		}, "store(store(x, 0, x), 1, y)"},
-		{symbolic.ArrSel{
-			Arr: symbolic.ArrStore{Arr: x, Idx: i(2), Val: y},
+		{&symbolic.ArrSel{
+			Arr: &symbolic.ArrStore{Arr: x, Idx: i(2), Val: y},
 			Idx: i(2),
 		}, "y"},
-		{symbolic.ArrSel{Arr: symbolic.ArrFill{Elem: y}, Idx: x}, "y"},
+		{&symbolic.ArrSel{Arr: &symbolic.ArrFill{Elem: y}, Idx: x}, "y"},
 	}
 	for _, tc := range cases {
 		got := symbolic.Simplify(tc.in).Key()
@@ -227,13 +227,13 @@ func TestArrUpdChainCanonicalization(t *testing.T) {
 	a := symbolic.Var{Name: "a"}
 	c1 := symbolic.Extent{ID: "c1"}
 	c2 := symbolic.Extent{ID: "c2"}
-	ab := symbolic.Simplify(symbolic.ArrUpd{
-		Arr:     symbolic.ArrUpd{Arr: a, Op: symbolic.OpAdd, Operand: c1},
+	ab := symbolic.Simplify(&symbolic.ArrUpd{
+		Arr:     &symbolic.ArrUpd{Arr: a, Op: symbolic.OpAdd, Operand: c1},
 		Op:      symbolic.OpAdd,
 		Operand: c2,
 	})
-	ba := symbolic.Simplify(symbolic.ArrUpd{
-		Arr:     symbolic.ArrUpd{Arr: a, Op: symbolic.OpAdd, Operand: c2},
+	ba := symbolic.Simplify(&symbolic.ArrUpd{
+		Arr:     &symbolic.ArrUpd{Arr: a, Op: symbolic.OpAdd, Operand: c2},
 		Op:      symbolic.OpAdd,
 		Operand: c1,
 	})
@@ -241,13 +241,13 @@ func TestArrUpdChainCanonicalization(t *testing.T) {
 		t.Errorf("update chains should canonicalize equal: %s vs %s", ab.Key(), ba.Key())
 	}
 	// Mixed operators do not reorder.
-	mixed1 := symbolic.Simplify(symbolic.ArrUpd{
-		Arr:     symbolic.ArrUpd{Arr: a, Op: symbolic.OpAdd, Operand: c1},
+	mixed1 := symbolic.Simplify(&symbolic.ArrUpd{
+		Arr:     &symbolic.ArrUpd{Arr: a, Op: symbolic.OpAdd, Operand: c1},
 		Op:      symbolic.OpMul,
 		Operand: c2,
 	})
-	mixed2 := symbolic.Simplify(symbolic.ArrUpd{
-		Arr:     symbolic.ArrUpd{Arr: a, Op: symbolic.OpMul, Operand: c2},
+	mixed2 := symbolic.Simplify(&symbolic.ArrUpd{
+		Arr:     &symbolic.ArrUpd{Arr: a, Op: symbolic.OpMul, Operand: c2},
 		Op:      symbolic.OpAdd,
 		Operand: c1,
 	})

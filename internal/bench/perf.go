@@ -213,6 +213,9 @@ func RunPerf(rev string) (*PerfReport, error) {
 		}
 		rep.Results = append(rep.Results, pr)
 	}
+	if err := analysisPerf(rep, bh, water); err != nil {
+		return nil, err
+	}
 	return rep, nil
 }
 

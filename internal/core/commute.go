@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"sort"
 
 	"commute/internal/analysis/symbolic"
 	"commute/internal/frontend/types"
@@ -12,12 +13,29 @@ import (
 // same instance-variable values and the same multiset of directly
 // invoked operations.
 func (a *Analysis) commute(m1, m2 *types.Method, env *symbolic.Env) PairResult {
-	pr := PairResult{M1: m1, M2: m2}
 	if a.independent(m1, m2) {
-		pr.Independent = true
-		pr.Commutes = true
-		return pr
+		return PairResult{M1: m1, M2: m2, Independent: true, Commutes: true}
 	}
+	return a.symbolicPair(m1, m2, env)
+}
+
+// symbolicPair runs the symbolic-execution half of the Figure 11 test,
+// memoizing the outcome in pairCache. Methods whose extents overlap
+// retest the same pairs; the cache key includes the environment
+// fingerprint (extent constants + auxiliary sites) because the outcome
+// depends on it.
+func (a *Analysis) symbolicPair(m1, m2 *types.Method, env *symbolic.Env) PairResult {
+	key := fmt.Sprintf("%d#%d#%s", m1.ID, m2.ID, env.Fingerprint())
+	if v, ok := a.pairCache.Load(key); ok {
+		return v.(PairResult)
+	}
+	pr := a.commuteSymbolic(m1, m2, env)
+	a.pairCache.Store(key, pr)
+	return pr
+}
+
+func (a *Analysis) commuteSymbolic(m1, m2 *types.Method, env *symbolic.Env) PairResult {
+	pr := PairResult{M1: m1, M2: m2}
 	if err := symbolic.Analyzable(m1, env); err != nil {
 		pr.Reason = "unanalyzable: " + err.Error()
 		return pr
@@ -40,15 +58,24 @@ func (a *Analysis) commute(m1, m2 *types.Method, env *symbolic.Env) PairResult {
 
 	// Compare the new values of every instance variable either order
 	// touched (untouched variables keep their initial symbolic value
-	// and compare equal trivially).
-	keys := make(map[string]bool)
+	// and compare equal trivially). Keys are visited in sorted order so
+	// the first-difference Reason is deterministic.
+	seen := make(map[string]bool)
+	var keys []string
 	for k := range c12.IVars {
-		keys[k] = true
+		if !seen[k] {
+			seen[k] = true
+			keys = append(keys, k)
+		}
 	}
 	for k := range c21.IVars {
-		keys[k] = true
+		if !seen[k] {
+			seen[k] = true
+			keys = append(keys, k)
+		}
 	}
-	for k := range keys {
+	sort.Strings(keys)
+	for _, k := range keys {
 		v12, ok12 := c12.IVars[k]
 		v21, ok21 := c21.IVars[k]
 		if !ok12 || !ok21 {

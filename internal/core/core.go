@@ -7,6 +7,7 @@ package core
 
 import (
 	"fmt"
+	"runtime"
 	"sort"
 	"sync"
 
@@ -18,17 +19,32 @@ import (
 )
 
 // Analysis runs commutativity analysis over one checked program.
+//
+// Concurrency contract: an Analysis is safe for concurrent use. Each
+// method's report is computed exactly once and published through a
+// sync.Once cell, so any number of goroutines may call IsParallel /
+// AnalyzeAll / Report concurrently; later callers share the first
+// computation's immutable *MethodReport. The effects analyzer carries
+// its own per-method once-published memos (see effects.Analyzer), so
+// distinct methods analyze concurrently without coordination. Results
+// are deterministic — identical regardless of Workers.
 type Analysis struct {
 	Prog *types.Program
 	Eff  *effects.Analyzer
 
-	// mu guards reports and serializes analyze(): the analysis is
-	// normally fully populated at load time (codegen.Build runs
-	// AnalyzeAll), but a System shared by concurrent servers may still
-	// call Report for a methodless name after the fact, and the effects
-	// analyzer's internal memo tables are not otherwise synchronized.
+	// Workers bounds the analysis parallelism: the number of goroutines
+	// AnalyzeAll fans method analyses across and the number used for
+	// the symbolic stage of pairwise commutativity testing. Zero means
+	// GOMAXPROCS; 1 is the serial escape hatch (everything runs on the
+	// calling goroutine). Set before the first analysis call.
+	Workers int
+
 	mu      sync.Mutex
-	reports map[*types.Method]*MethodReport
+	reports map[*types.Method]*reportCell
+
+	// pairCache memoizes symbolic pair-test outcomes across methods
+	// whose extents share pairs, keyed by (m1, m2, env fingerprint).
+	pairCache sync.Map // string → PairResult
 
 	// Options.
 
@@ -40,13 +56,36 @@ type Analysis struct {
 	DisableExtentConstants bool
 }
 
+// reportCell publishes one method's report exactly once; see the
+// Analysis concurrency contract.
+type reportCell struct {
+	once sync.Once
+	r    *MethodReport
+}
+
 // New returns an Analysis for prog.
 func New(prog *types.Program) *Analysis {
 	return &Analysis{
 		Prog:    prog,
 		Eff:     effects.NewAnalyzer(prog),
-		reports: make(map[*types.Method]*MethodReport),
+		reports: make(map[*types.Method]*reportCell),
 	}
+}
+
+// workerCount resolves the Workers setting to a concrete parallelism
+// bound, never above n (the amount of work available).
+func (a *Analysis) workerCount(n int) int {
+	w := a.Workers
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	if w > n {
+		w = n
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
 }
 
 // PairResult records the outcome of one commutativity test.
@@ -75,17 +114,21 @@ type MethodReport struct {
 	Pairs []PairResult
 }
 
-// IsParallel runs the Figure 3 algorithm for m, caching the result.
-// Safe for concurrent use.
+// IsParallel runs the Figure 3 algorithm for m, computing the report
+// once and sharing it with every caller. Safe for concurrent use.
 func (a *Analysis) IsParallel(m *types.Method) *MethodReport {
 	a.mu.Lock()
-	defer a.mu.Unlock()
-	if r, ok := a.reports[m]; ok {
-		return r
+	if a.reports == nil {
+		a.reports = make(map[*types.Method]*reportCell)
 	}
-	r := a.analyze(m)
-	a.reports[m] = r
-	return r
+	c, ok := a.reports[m]
+	if !ok {
+		c = new(reportCell)
+		a.reports[m] = c
+	}
+	a.mu.Unlock()
+	c.once.Do(func() { c.r = a.analyze(m) })
+	return c.r
 }
 
 func (a *Analysis) analyze(m *types.Method) *MethodReport {
@@ -142,30 +185,75 @@ func (a *Analysis) analyze(m *types.Method) *MethodReport {
 		}
 	}
 
-	// Pairwise commutativity testing.
+	// Pairwise commutativity testing, in two stages: the cheap §4.7
+	// independence test runs first over every pair, and only the
+	// survivors go through symbolic execution — concurrently when
+	// Workers allows. Results land in a slice pre-indexed by pair
+	// position, so the report (ordering, counters, first-failure
+	// Reason) is byte-identical to the serial driver's.
 	aux := make(map[int]bool, len(ext.Aux))
 	for _, c := range ext.Aux {
 		aux[c.ID] = true
 	}
 	env := symbolic.NewEnv(a.Prog, ecForExtent, aux)
 
-	ok := true
-	for i := 0; i < len(ext.Methods); i++ {
-		for j := i; j < len(ext.Methods); j++ {
-			pr := a.commute(ext.Methods[i], ext.Methods[j], env)
-			r.Pairs = append(r.Pairs, pr)
-			if pr.Independent {
-				r.IndependentPairs++
+	n := len(ext.Methods)
+	pairs := make([]PairResult, 0, n*(n+1)/2)
+	type job struct {
+		p      int
+		m1, m2 *types.Method
+	}
+	var survivors []job
+	for i := 0; i < n; i++ {
+		for j := i; j < n; j++ {
+			m1, m2 := ext.Methods[i], ext.Methods[j]
+			if a.independent(m1, m2) {
+				pairs = append(pairs, PairResult{M1: m1, M2: m2, Independent: true, Commutes: true})
 			} else {
-				r.SymbolicPairs++
-			}
-			if !pr.Commutes && ok {
-				ok = false
-				r.Reason = fmt.Sprintf("operations %s and %s may not commute: %s",
-					pr.M1.FullName(), pr.M2.FullName(), pr.Reason)
+				survivors = append(survivors, job{p: len(pairs), m1: m1, m2: m2})
+				pairs = append(pairs, PairResult{})
 			}
 		}
 	}
+
+	if w := a.workerCount(len(survivors)); w > 1 {
+		ch := make(chan job)
+		var wg sync.WaitGroup
+		for k := 0; k < w; k++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for jb := range ch {
+					// Workers write disjoint indices; no locking needed.
+					pairs[jb.p] = a.symbolicPair(jb.m1, jb.m2, env)
+				}
+			}()
+		}
+		for _, jb := range survivors {
+			ch <- jb
+		}
+		close(ch)
+		wg.Wait()
+	} else {
+		for _, jb := range survivors {
+			pairs[jb.p] = a.symbolicPair(jb.m1, jb.m2, env)
+		}
+	}
+
+	ok := true
+	for _, pr := range pairs {
+		if pr.Independent {
+			r.IndependentPairs++
+		} else {
+			r.SymbolicPairs++
+		}
+		if !pr.Commutes && ok {
+			ok = false
+			r.Reason = fmt.Sprintf("operations %s and %s may not commute: %s",
+				pr.M1.FullName(), pr.M2.FullName(), pr.Reason)
+		}
+	}
+	r.Pairs = pairs
 	r.Parallel = ok
 	if ok {
 		r.Reason = ""
@@ -198,17 +286,42 @@ func extentWithoutAux(a *effects.Analyzer, m *types.Method, _ *extent.Result) *e
 	return extent.Compute(a, m, effects.NewSet())
 }
 
-// AnalyzeAll runs IsParallel over every defined method and returns the
-// reports ordered by method ID.
+// AnalyzeAll runs IsParallel over every defined method — fanning the
+// work across workerCount goroutines — and returns the reports ordered
+// by method ID. The reports are identical to a serial run's (Workers=1)
+// in both content and order.
 func (a *Analysis) AnalyzeAll() []*MethodReport {
-	out := make([]*MethodReport, 0, len(a.Prog.Methods))
+	var methods []*types.Method
 	for _, m := range a.Prog.Methods {
-		if m.Def == nil {
-			continue
+		if m.Def != nil {
+			methods = append(methods, m)
 		}
-		out = append(out, a.IsParallel(m))
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i].Method.ID < out[j].Method.ID })
+	sort.Slice(methods, func(i, j int) bool { return methods[i].ID < methods[j].ID })
+
+	if w := a.workerCount(len(methods)); w > 1 {
+		ch := make(chan *types.Method)
+		var wg sync.WaitGroup
+		for k := 0; k < w; k++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for m := range ch {
+					a.IsParallel(m)
+				}
+			}()
+		}
+		for _, m := range methods {
+			ch <- m
+		}
+		close(ch)
+		wg.Wait()
+	}
+
+	out := make([]*MethodReport, len(methods))
+	for i, m := range methods {
+		out[i] = a.IsParallel(m) // memo hit after the fan-out
+	}
 	return out
 }
 

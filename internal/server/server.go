@@ -70,6 +70,11 @@ type Config struct {
 	MaxSourceBytes int64
 	// RetryAfter is the client backoff hint sent with 429s (default 1s).
 	RetryAfter time.Duration
+	// AnalysisWorkers bounds the goroutines a cold load's commutativity
+	// analysis fans out across (0: GOMAXPROCS, 1: serial driver). Purely
+	// a latency knob — analysis results are identical at every worker
+	// count — so it is not part of the cache key.
+	AnalysisWorkers int
 }
 
 func (c Config) withDefaults() Config {
@@ -137,6 +142,12 @@ func New(cfg Config) *Server {
 			"analyze":  {},
 			"run":      {},
 			"simulate": {},
+			// Program-load latency, split by cache outcome: load-cold is
+			// the full pipeline (parse → analysis → codegen → warm),
+			// load-warm a cache hit. The gap is what the parallel
+			// analysis driver buys.
+			"load-cold": {},
+			"load-warm": {},
 		},
 	}
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
@@ -259,8 +270,14 @@ func (s *Server) loadSystem(req api.SourceRequest) (h *cache.Handle, key string,
 	if name == "" {
 		name = "request.mc"
 	}
-	opts := commute.LoadOptions{Transform: req.Options.Transform}
+	opts := commute.LoadOptions{
+		Transform:       req.Options.Transform,
+		AnalysisWorkers: s.cfg.AnalysisWorkers,
+	}
+	// Fingerprint ignores AnalysisWorkers: it changes only load
+	// latency, never the loaded System.
 	key = commute.Fingerprint(name, source, opts)
+	start := time.Now()
 	h, hit, err = s.cache.GetOrLoad(key, func() (*commute.System, int64, error) {
 		sys, lerr := commute.LoadOpts(name, source, opts)
 		if lerr != nil {
@@ -272,7 +289,17 @@ func (s *Server) loadSystem(req api.SourceRequest) (h *cache.Handle, key string,
 		sys.Warm()
 		return sys, systemSize(source), nil
 	})
+	if rec := s.lat[loadWord(hit)]; rec != nil {
+		rec.record(time.Since(start), err != nil)
+	}
 	return h, key, hit, err
+}
+
+func loadWord(hit bool) string {
+	if hit {
+		return "load-warm"
+	}
+	return "load-cold"
 }
 
 func cacheWord(hit bool) string {

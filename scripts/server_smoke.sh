@@ -28,6 +28,25 @@ curl -fs -X POST "http://$ADDR/v1/analyze" -d '{"app":"quickstart"}' | grep -q '
 curl -fs "http://$ADDR/statusz" | grep -Eq '"cache_hits":[1-9]'
 echo "analyze cache hit ok"
 
+# /statusz splits load latency by cache outcome: after a miss and a
+# hit, both recorders must have samples, and the warm path must not be
+# slower than the cold path (the cold load runs the whole pipeline —
+# parse, analysis, codegen, warm-up — the warm load is a cache lookup).
+STATUS=$(curl -fs "http://$ADDR/statusz")
+echo "$STATUS" | grep -q '"load-cold"'
+echo "$STATUS" | grep -q '"load-warm"'
+python3 - "$STATUS" <<'EOF'
+import json, sys
+st = json.loads(sys.argv[1])
+cold = st["endpoints"]["load-cold"]
+warm = st["endpoints"]["load-warm"]
+assert cold["requests"] >= 1, f"no cold load recorded: {cold}"
+assert warm["requests"] >= 1, f"no warm load recorded: {warm}"
+assert warm["p50_ms"] <= cold["p50_ms"], \
+    f"warm load p50 {warm['p50_ms']}ms slower than cold {cold['p50_ms']}ms"
+EOF
+echo "cold-vs-warm load latency ok"
+
 # Run round-trip reuses the same cached system.
 RUN=$(curl -fs -X POST "http://$ADDR/v1/run" \
   -d '{"app":"quickstart","mode":"parallel","workers":4}')
