@@ -1,16 +1,20 @@
 // Benchdiff compares two BENCH_<rev>.json reports produced by
 // `commutebench -json` and fails when the gated suites regress beyond
-// a threshold. Two name prefixes gate: "micro-" (single-threaded
-// interpreter tight loops) and "analysis-" (cold-path analysis:
-// AnalyzeAll, deep simplification, pair testing) — both have low
-// run-to-run variance. The application and parallel-runtime results
-// are printed for context but carry too much scheduler and machine
-// noise to fail CI on.
+// a threshold. By default two name prefixes gate: "micro-"
+// (single-threaded interpreter tight loops) and "analysis-" (cold-path
+// analysis: AnalyzeAll, deep simplification, pair testing) — both have
+// low run-to-run variance. The application and parallel-runtime
+// results are printed for context but carry too much scheduler and
+// machine noise to fail CI on. -gate narrows or widens the gated set
+// with a regexp over benchmark names, so a CI step can hold one suite
+// to a tighter threshold (e.g. compiled-engine micros at 5% while the
+// speculation monitor touches the walker).
 //
 // Usage:
 //
 //	benchdiff old.json new.json
 //	benchdiff -threshold 1.10 old.json new.json
+//	benchdiff -gate '^micro-.*-compiled' -threshold 1.05 old.json new.json
 package main
 
 import (
@@ -18,7 +22,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
-	"strings"
+	"regexp"
 
 	"commute/internal/bench"
 )
@@ -36,10 +40,16 @@ func load(path string) (*bench.PerfReport, error) {
 }
 
 func main() {
-	threshold := flag.Float64("threshold", 1.25, "fail when a gated (micro-/analysis-) benchmark's ns/op grows by more than this factor")
+	threshold := flag.Float64("threshold", 1.25, "fail when a gated benchmark's ns/op grows by more than this factor")
+	gate := flag.String("gate", "^(micro-|analysis-)", "regexp over benchmark names selecting which results gate the exit status")
 	flag.Parse()
 	if flag.NArg() != 2 {
-		fmt.Fprintln(os.Stderr, "usage: benchdiff [-threshold 1.25] old.json new.json")
+		fmt.Fprintln(os.Stderr, "usage: benchdiff [-threshold 1.25] [-gate regexp] old.json new.json")
+		os.Exit(2)
+	}
+	gateRe, err := regexp.Compile(*gate)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "bad -gate regexp: %v\n", err)
 		os.Exit(2)
 	}
 	oldRep, err := load(flag.Arg(0))
@@ -67,17 +77,16 @@ func main() {
 			continue
 		}
 		ratio := float64(nr.NsPerOp) / float64(or.NsPerOp)
-		gated := strings.HasPrefix(nr.Name, "micro-") || strings.HasPrefix(nr.Name, "analysis-")
 		mark := ""
-		if gated && ratio > *threshold {
+		if gateRe.MatchString(nr.Name) && ratio > *threshold {
 			mark = "  REGRESSION"
 			failed = true
 		}
 		fmt.Printf("%-30s %14d %14d %7.2fx%s\n", nr.Name, or.NsPerOp, nr.NsPerOp, ratio, mark)
 	}
 	if failed {
-		fmt.Fprintf(os.Stderr, "benchdiff: gated suite (micro-/analysis-) regressed beyond %.2fx (%s -> %s)\n",
-			*threshold, oldRep.Rev, newRep.Rev)
+		fmt.Fprintf(os.Stderr, "benchdiff: gated suite (%s) regressed beyond %.2fx (%s -> %s)\n",
+			*gate, *threshold, oldRep.Rev, newRep.Rev)
 		os.Exit(1)
 	}
 }

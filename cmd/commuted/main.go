@@ -43,6 +43,8 @@ func main() {
 	maxTimeout := flag.Duration("max-timeout", 60*time.Second, "ceiling on requested execution deadlines")
 	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "how long to wait for in-flight requests on shutdown")
 	analysisWorkers := flag.Int("analysis-workers", 0, "goroutines for cold-load commutativity analysis (0: GOMAXPROCS, 1: serial)")
+	speculate := flag.String("speculate", "off", "default speculation policy for /v1/run: off | auto | force")
+	specThreshold := flag.Float64("speculate-threshold", 0, "default minimum analysis confidence for auto speculation (0: the 0.5 default)")
 	flag.Parse()
 
 	q := *queue
@@ -57,6 +59,9 @@ func main() {
 		DefaultTimeout:  *defaultTimeout,
 		MaxTimeout:      *maxTimeout,
 		AnalysisWorkers: *analysisWorkers,
+
+		Speculate:          *speculate,
+		SpeculateThreshold: *specThreshold,
 	})
 
 	hs := &http.Server{

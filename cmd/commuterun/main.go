@@ -32,12 +32,14 @@ func main() {
 	mode := flag.String("mode", "serial", "serial | parallel | simulate")
 	workers := flag.Int("workers", 4, "worker count for -mode parallel")
 	procs := flag.String("procs", "1,2,4,8,16,32", "processor counts for -mode simulate")
-	app := flag.String("app", "", "run a built-in application (barneshut, water, graph)")
+	app := flag.String("app", "", "run a built-in application (barneshut, water, graph, specdisjoint, specconflict)")
 	timeout := flag.Duration("timeout", 0, "abort execution after this wall-clock deadline (0: none)")
 	fallback := flag.Bool("fallback", false, "re-run a failed parallel region with the serial version")
 	maxSteps := flag.Int64("maxsteps", 0, "abort after this many interpreter statements (0: unlimited)")
 	sched := flag.String("sched", "stealing", "task scheduler for -mode parallel: stealing | central")
 	engine := flag.String("engine", "compiled", "execution engine: compiled | walk")
+	speculate := flag.String("speculate", "off", "speculative parallelization of rejected extents: off | auto | force")
+	specThreshold := flag.Float64("speculate-threshold", 0, "minimum analysis confidence for -speculate auto (0: the 0.5 default)")
 	statsJSON := flag.Bool("stats-json", false, "emit run stats as one JSON line (the daemon's /v1/run stats schema) instead of the human summary")
 	analysisWorkers := flag.Int("analysis-workers", 0, "goroutines for load-time commutativity analysis (0: GOMAXPROCS, 1: serial)")
 	flag.Parse()
@@ -45,6 +47,11 @@ func main() {
 	eng, ok := interp.ParseEngine(*engine)
 	if !ok {
 		fmt.Fprintf(os.Stderr, "unknown engine %q\n", *engine)
+		os.Exit(2)
+	}
+	spec, ok := rt.ParseSpecMode(*speculate)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "unknown speculate mode %q\n", *speculate)
 		os.Exit(2)
 	}
 
@@ -59,6 +66,10 @@ func main() {
 			source = src.Water
 		case "graph":
 			source = src.Graph
+		case "specdisjoint":
+			source = src.SpecDisjoint
+		case "specconflict":
+			source = src.SpecConflict
 		default:
 			fmt.Fprintf(os.Stderr, "unknown app %q\n", *app)
 			os.Exit(2)
@@ -123,10 +134,12 @@ func main() {
 	case "parallel":
 		start := time.Now()
 		opts := commute.RunOptions{
-			Workers:        *workers,
-			SerialFallback: *fallback,
-			MaxSteps:       *maxSteps,
-			Engine:         eng,
+			Workers:            *workers,
+			SerialFallback:     *fallback,
+			MaxSteps:           *maxSteps,
+			Engine:             eng,
+			Speculate:          spec,
+			SpeculateThreshold: *specThreshold,
 		}
 		switch *sched {
 		case "stealing":
@@ -161,6 +174,10 @@ func main() {
 				LocalPops:       stats.LocalPops,
 				TaskPanics:      stats.TaskPanics,
 				SerialFallbacks: stats.SerialFallbacks,
+
+				SpeculativeRegions: stats.SpeculativeRegions,
+				SpeculationCommits: stats.SpeculationCommits,
+				SpeculationAborts:  stats.SpeculationAborts,
 			})
 			return
 		}
@@ -172,6 +189,10 @@ func main() {
 		if stats.TaskPanics > 0 || stats.SerialFallbacks > 0 {
 			fmt.Printf("panics isolated=%d serial fallbacks=%d\n",
 				stats.TaskPanics, stats.SerialFallbacks)
+		}
+		if stats.SpeculativeRegions > 0 {
+			fmt.Printf("speculative regions=%d commits=%d aborts=%d\n",
+				stats.SpeculativeRegions, stats.SpeculationCommits, stats.SpeculationAborts)
 		}
 
 	case "simulate":

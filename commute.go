@@ -50,6 +50,13 @@ type System struct {
 	Prog     *types.Program
 	Analysis *core.Analysis
 	Plan     *codegen.Plan
+
+	// SpecPlan is the speculative code generation plan: like Plan, but
+	// extents the analysis rejected only at the symbolic pair stage are
+	// additionally planned parallel with write-buffered speculative
+	// execution (codegen.Options.SpeculateRejected). RunParallelOpts
+	// executes against it when RunOptions.Speculate enables speculation.
+	SpecPlan *codegen.Plan
 }
 
 // Load parses, type checks, analyzes, and plans a program written in
@@ -72,7 +79,8 @@ func load(name, source string, workers int) (*System, error) {
 	analysis := core.New(prog)
 	analysis.Workers = workers
 	plan := codegen.Build(analysis)
-	return &System{File: file, Prog: prog, Analysis: analysis, Plan: plan}, nil
+	spec := codegen.BuildWithOptions(analysis, codegen.Options{SpeculateRejected: true})
+	return &System{File: file, Prog: prog, Analysis: analysis, Plan: plan, SpecPlan: spec}, nil
 }
 
 // LoadTransformed applies the §7.2 loop-replacement transformation —
@@ -176,7 +184,8 @@ func LoadFiles(sources map[string]string) (*System, error) {
 	}
 	analysis := core.New(prog)
 	plan := codegen.Build(analysis)
-	return &System{Prog: prog, Analysis: analysis, Plan: plan}, nil
+	spec := codegen.BuildWithOptions(analysis, codegen.Options{SpeculateRejected: true})
+	return &System{Prog: prog, Analysis: analysis, Plan: plan, SpecPlan: spec}, nil
 }
 
 // Report returns the commutativity analysis report for a method named
@@ -279,6 +288,17 @@ type RunOptions struct {
 	// Faults injects deterministic faults at the runtime's concurrency
 	// boundaries (testing the failure paths).
 	Faults *rt.FaultPlan
+	// Speculate enables speculative parallelization of extents the
+	// analysis rejected at the symbolic pair stage: the run executes
+	// against System.SpecPlan, buffering such extents' writes in
+	// per-task journals that are validated and committed at the join
+	// barrier, or discarded and re-run serially on a violation
+	// (rt.SpecOff, the default; rt.SpecAuto; rt.SpecForce).
+	Speculate rt.SpecMode
+	// SpeculateThreshold is the minimum analysis confidence an extent
+	// needs to be speculated under rt.SpecAuto
+	// (0: rt.DefaultSpecThreshold).
+	SpeculateThreshold float64
 }
 
 // RunParallelOpts executes the program on the hardened parallel
@@ -296,7 +316,13 @@ func (s *System) RunParallelOpts(ctx context.Context, opts RunOptions, out io.Wr
 		defer cancel()
 	}
 	ip := interp.NewEngine(s.Prog, out, opts.Engine)
-	r := rt.New(ip, s.Plan, opts.Workers)
+	plan := s.Plan
+	if opts.Speculate != rt.SpecOff && s.SpecPlan != nil {
+		plan = s.SpecPlan
+	}
+	r := rt.New(ip, plan, opts.Workers)
+	r.Speculate = opts.Speculate
+	r.SpecThreshold = opts.SpeculateThreshold
 	r.SerialFallback = opts.SerialFallback
 	r.MaxSteps = opts.MaxSteps
 	r.MaxDepth = opts.MaxDepth

@@ -1,0 +1,113 @@
+package src
+
+// SpecDisjoint is a speculation demonstrator whose static analysis
+// fails but whose runtime behavior is conflict-free. The fill loop
+// invokes cell::set — an overwrite, so the (set, set) pair fails the
+// symbolic commutativity test and the extent is rejected — yet every
+// iteration targets a distinct cell, so under speculative execution
+// the per-task logs never conflict and the region commits in parallel.
+const SpecDisjoint = `
+const int N = 16;
+
+class cell {
+public:
+  int val;
+  void set(int v);
+};
+
+class table {
+public:
+  cell *cells[N];
+  int sum;
+  void init();
+  void fill();
+  void report();
+};
+
+// Global Variables
+table T;
+
+void cell::set(int v) {
+  val = v;
+}
+
+void table::init() {
+  int i;
+  for (i = 0; i < N; i += 1) {
+    cells[i] = new cell;
+  }
+}
+
+void table::fill() {
+  int i;
+  for (i = 0; i < N; i += 1) {
+    cells[i]->set(i * 3 + 1);
+  }
+}
+
+void table::report() {
+  int i;
+  sum = 0;
+  for (i = 0; i < N; i += 1) {
+    sum = sum + cells[i]->val;
+  }
+  print(sum);
+}
+
+void main() {
+  T.init();
+  T.fill();
+  T.report();
+}
+`
+
+// SpecConflict is a speculation demonstrator that is guaranteed to
+// violate: run spawns two mark operations on the same counter, mark
+// overwrites last (so (mark, mark) fails the static test), and at run
+// time both tasks really do write the same slots — the validator
+// detects the write-write conflict at the join barrier, the region
+// aborts, and the serial rerun produces the authoritative state
+// (last = 2, total = 3).
+const SpecConflict = `
+class counter {
+public:
+  int last;
+  int total;
+  void mark(int v);
+};
+
+class driver {
+public:
+  counter *c;
+  void init();
+  void run();
+  void show();
+};
+
+// Global Variables
+driver D;
+
+void counter::mark(int v) {
+  last = v;
+  total = total + v;
+}
+
+void driver::init() {
+  c = new counter;
+}
+
+void driver::run() {
+  c->mark(1);
+  c->mark(2);
+}
+
+void driver::show() {
+  print(c->last, c->total);
+}
+
+void main() {
+  D.init();
+  D.run();
+  D.show();
+}
+`

@@ -54,6 +54,25 @@ type MethodPlan struct {
 	// Site maps call-site IDs within this method to their actions when
 	// executing the parallel (or mutex) version.
 	Site map[int]SiteAction
+
+	// Speculative marks a method planned for optimistic execution: its
+	// extent failed the static commutativity test, so its parallel
+	// version runs under effect monitoring with per-task write
+	// buffering and rollback instead of locks (Options.SpeculateRejected).
+	Speculative bool
+	// SpecEligible, Confidence, and Condition copy the method's own
+	// analysis report so the runtime's speculation policy (auto mode
+	// with a confidence threshold) can decide at region entry without
+	// reaching back into the analysis.
+	SpecEligible bool
+	Confidence   float64
+	Condition    string
+	// SpecReads and SpecWrites are the declared transitive effects of
+	// the computation rooted at this method (extent operations plus
+	// auxiliary callees); the speculation validator checks every
+	// observed object-field access against them.
+	SpecReads  *effects.Set
+	SpecWrites *effects.Set
 }
 
 // LoopPlan is the decision for one for loop in a parallel method.
@@ -100,6 +119,13 @@ type Options struct {
 	// against per-processor replicas (no locks, no contention) that a
 	// phase-end reduction merges.
 	ReplicateAccumulators bool
+	// SpeculateRejected extends the plan with speculative parallel
+	// versions for extents that failed only the pairwise commutativity
+	// test (core.MethodReport.SpeculationEligible). Methods covered by
+	// a proven extent keep their proven plans; the additional methods
+	// are marked MethodPlan.Speculative and carry the confidence score
+	// and declared effects the runtime's monitor validates against.
+	SpeculateRejected bool
 }
 
 // Build computes the plan from the analysis results with the default
@@ -141,6 +167,31 @@ func BuildWithOptions(a *core.Analysis, opt Options) *Plan {
 		}
 	}
 
+	// Speculative extension: extents rejected only at the pair stage
+	// get optimistic parallel versions. A method already covered by a
+	// proven extent keeps its proven plan (its own pairs are a subset
+	// of the proven extent's, so the two sets never disagree).
+	inSpecExtent := make(map[*types.Method]*core.MethodReport)
+	specAuxSites := make(map[int]bool)
+	if opt.SpeculateRejected {
+		for _, r := range reports {
+			if r.Parallel || !r.SpeculationEligible {
+				continue
+			}
+			for _, m := range r.Ext.Methods {
+				if _, ok := inParallelExtent[m]; ok {
+					continue
+				}
+				if _, ok := inSpecExtent[m]; !ok {
+					inSpecExtent[m] = r
+				}
+			}
+			for _, c := range r.Ext.Aux {
+				specAuxSites[c.ID] = true
+			}
+		}
+	}
+
 	for _, m := range a.Prog.Methods {
 		if m.Def == nil {
 			continue
@@ -149,6 +200,10 @@ func BuildWithOptions(a *core.Analysis, opt Options) *Plan {
 		p.Methods[m] = mp
 		r, inPar := inParallelExtent[m]
 		if !inPar {
+			if root, inSpec := inSpecExtent[m]; inSpec {
+				p.planSpeculative(a, mp, root, byMethod[m], specAuxSites)
+				continue
+			}
 			for _, cs := range m.CallSites {
 				mp.Site[cs.ID] = ActionSerial
 			}
@@ -214,6 +269,42 @@ func BuildWithOptions(a *core.Analysis, opt Options) *Plan {
 	p.findLoops(a, inParallelExtent)
 	p.computeLockedClasses()
 	return p
+}
+
+// planSpeculative fills the plan for a method executing only inside
+// speculative regions: the site actions mirror the proven-extent
+// policy (auxiliary inline, nested-via-this hoisted, the rest
+// spawned), but no locks are planned — isolation comes from the
+// per-task write buffers, and a detected conflict aborts the whole
+// region before any buffered write reaches the heap.
+func (p *Plan) planSpeculative(a *core.Analysis, mp *MethodPlan, root, own *core.MethodReport, specAux map[int]bool) {
+	m := mp.Method
+	mp.Parallel = true
+	mp.Speculative = true
+	if own != nil {
+		mp.SpecEligible = own.SpeculationEligible
+		mp.Confidence = own.Confidence
+		mp.Condition = own.Condition
+	}
+	te := a.Eff.TransitiveEffects(m)
+	mp.SpecReads, mp.SpecWrites = effects.NewSet(), effects.NewSet()
+	mp.SpecReads.AddAll(te.Reads)
+	mp.SpecWrites.AddAll(te.Writes)
+
+	mi := a.Eff.Info(m)
+	for i := range mi.Calls {
+		cc := &mi.Calls[i]
+		id := cc.Site.ID
+		if specAux[id] || root.Ext.IsAux(cc.Site) {
+			mp.Site[id] = ActionInline
+			continue
+		}
+		if cc.Recv.Kind == effects.RecvNested && cc.Recv.ViaThis {
+			mp.Site[id] = ActionHoisted
+		} else {
+			mp.Site[id] = ActionSpawn
+		}
+	}
 }
 
 // computeLockedClasses decides which class declarations keep their

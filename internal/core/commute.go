@@ -86,6 +86,9 @@ func (a *Analysis) commuteSymbolic(m1, m2 *types.Method, env *symbolic.Env) Pair
 		}
 		if !symbolic.Equal(v12, v21) {
 			pr.Reason = fmt.Sprintf("instance variable %s: %s vs %s", k, v12.Key(), v21.Key())
+			// The residual commutativity condition: the pair commutes
+			// exactly when the two orders' final values agree.
+			pr.Condition = fmt.Sprintf("%s == %s", v12.Key(), v21.Key())
 			return pr
 		}
 	}

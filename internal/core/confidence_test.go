@@ -1,0 +1,137 @@
+package core_test
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestConfidenceProvenExtent: a proven-parallel extent scores 1.0 and
+// carries no residual condition.
+func TestConfidenceProvenExtent(t *testing.T) {
+	_, a := analyze(t, `
+class counter {
+public:
+  int n;
+  void add(int k);
+};
+class driver {
+public:
+  counter *c;
+  int dummy;
+  void run();
+};
+void counter::add(int k) { n = n + k; }
+void driver::run() {
+  c->add(1);
+  c->add(2);
+}
+`)
+	r := a.IsParallel(a.Prog.MethodByFullName("driver::run"))
+	if !r.Parallel {
+		t.Fatalf("run should be parallel; reason: %s", r.Reason)
+	}
+	if r.Confidence != 1 {
+		t.Errorf("Confidence = %v, want 1", r.Confidence)
+	}
+	if r.Condition != "" {
+		t.Errorf("Condition = %q, want empty", r.Condition)
+	}
+	if r.SpeculationEligible {
+		t.Error("proven extent must not be marked speculation-eligible")
+	}
+}
+
+// TestConfidencePairFailure: an extent rejected only at the pair stage
+// scores the fraction of proven pairs, records the first failing pair's
+// residual condition, and is speculation-eligible.
+func TestConfidencePairFailure(t *testing.T) {
+	_, a := analyze(t, `
+class counter {
+public:
+  int n;
+  void add(int k);
+  void set(int k);
+};
+class driver {
+public:
+  counter *c;
+  int dummy;
+  void run();
+};
+void counter::add(int k) { n = n + k; }
+void counter::set(int k) { n = k; }
+void driver::run() {
+  c->add(1);
+  c->set(5);
+}
+`)
+	r := a.IsParallel(a.Prog.MethodByFullName("driver::run"))
+	if r.Parallel {
+		t.Fatal("run must not be parallel")
+	}
+	if r.Confidence <= 0 || r.Confidence >= 1 {
+		t.Errorf("Confidence = %v, want strictly between 0 and 1", r.Confidence)
+	}
+	// Extent {run, add, set}: 6 pairs, with at least (add,set) and
+	// (set,set) failing symbolically.
+	total := r.IndependentPairs + r.SymbolicPairs
+	passed := 0
+	failedConds := 0
+	for _, pr := range r.Pairs {
+		if pr.Commutes {
+			passed++
+			if pr.Condition != "" {
+				t.Errorf("commuting pair %s/%s has condition %q",
+					pr.M1.FullName(), pr.M2.FullName(), pr.Condition)
+			}
+		} else if pr.Condition != "" {
+			failedConds++
+			if !strings.Contains(pr.Condition, "==") {
+				t.Errorf("condition %q is not a residual equality", pr.Condition)
+			}
+		}
+	}
+	if want := float64(passed) / float64(total); r.Confidence != want {
+		t.Errorf("Confidence = %v, want %v (%d/%d)", r.Confidence, want, passed, total)
+	}
+	if failedConds == 0 {
+		t.Error("no failing pair carried a residual condition")
+	}
+	if r.Condition == "" {
+		t.Error("report Condition empty; want the first failing pair's residual")
+	}
+	if !r.SpeculationEligible {
+		t.Error("pair-stage failure with no I/O must be speculation-eligible")
+	}
+}
+
+// TestConfidenceStructuralFailure: extents rejected before pair testing
+// (here: I/O in the extent) score 0 and are not speculation-eligible —
+// rollback cannot retract a print.
+func TestConfidenceStructuralFailure(t *testing.T) {
+	_, a := analyze(t, `
+class cnt {
+public:
+  int n;
+  void add(int k);
+};
+class driver {
+public:
+  cnt *c;
+  int dummy;
+  void run();
+};
+void cnt::add(int k) { n = n + k; print("added"); }
+void driver::run() { c->add(1); c->add(2); }
+`)
+	r := a.IsParallel(a.Prog.MethodByFullName("driver::run"))
+	if r.Parallel {
+		t.Fatal("I/O in the extent must prevent parallelization")
+	}
+	if r.Confidence != 0 {
+		t.Errorf("Confidence = %v, want 0 for a structural rejection", r.Confidence)
+	}
+	if r.SpeculationEligible {
+		t.Error("extent with I/O must not be speculation-eligible")
+	}
+}

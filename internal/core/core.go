@@ -94,6 +94,14 @@ type PairResult struct {
 	Independent bool
 	Commutes    bool
 	Reason      string
+	// Condition, for a pair that failed the symbolic test on an
+	// instance-variable mismatch, is the residual equality that would
+	// have to hold for the pair to commute (the two orders' unequal
+	// final terms, in the spirit of generated commutativity
+	// conditions). Empty for pairs that commute and for failures with
+	// no residual term (unanalyzable bodies, differing footprints or
+	// invocation multisets).
+	Condition string
 }
 
 // MethodReport is the analysis result for one method.
@@ -112,6 +120,25 @@ type MethodReport struct {
 	SymbolicPairs      int
 
 	Pairs []PairResult
+
+	// Confidence scores how close the extent came to the static proof:
+	// 1.0 for a proven-parallel extent, the fraction of pairs proven
+	// independent or commuting when only pairwise testing failed, and
+	// 0.0 when a structural check (separability, reference parameters,
+	// consumed return values, I/O, allocation) rejected the extent
+	// before pair testing. A speculation policy uses it to decide
+	// which rejected extents are worth running optimistically.
+	Confidence float64
+	// Condition is the first failing pair's residual condition (see
+	// PairResult.Condition); empty when the extent is parallel or the
+	// failure carries no residual term.
+	Condition string
+	// SpeculationEligible is true when the extent failed *only* the
+	// pairwise commutativity test — its structure is sound, every
+	// effect is a rollback-safe object write, and no auxiliary callee
+	// performs I/O — so speculative execution with write buffering can
+	// run it in parallel and fall back to the serial version exactly.
+	SpeculationEligible bool
 }
 
 // IsParallel runs the Figure 3 algorithm for m, computing the report
@@ -241,22 +268,43 @@ func (a *Analysis) analyze(m *types.Method) *MethodReport {
 	}
 
 	ok := true
+	passed := 0
 	for _, pr := range pairs {
 		if pr.Independent {
 			r.IndependentPairs++
 		} else {
 			r.SymbolicPairs++
 		}
-		if !pr.Commutes && ok {
+		if pr.Commutes {
+			passed++
+		} else if ok {
 			ok = false
 			r.Reason = fmt.Sprintf("operations %s and %s may not commute: %s",
 				pr.M1.FullName(), pr.M2.FullName(), pr.Reason)
+			r.Condition = pr.Condition
 		}
 	}
 	r.Pairs = pairs
 	r.Parallel = ok
 	if ok {
 		r.Reason = ""
+		r.Confidence = 1
+	} else if len(pairs) > 0 {
+		// The extent reached the pair stage, so every structural
+		// property speculation relies on already holds: operations are
+		// separable (effects are object writes, undoable by buffering),
+		// perform no I/O, allocate nothing, and return no consumed
+		// values. The only remaining hazard is the unproven pairs —
+		// exactly what runtime monitoring checks — unless an auxiliary
+		// callee performs I/O the rollback could not retract.
+		r.Confidence = float64(passed) / float64(len(pairs))
+		r.SpeculationEligible = true
+		for _, c := range ext.Aux {
+			if a.Eff.MayPerformIO(c.Callee) {
+				r.SpeculationEligible = false
+				break
+			}
+		}
 	}
 	return r
 }

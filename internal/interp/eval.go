@@ -79,6 +79,9 @@ func (ip *Interp) eval(fr *Frame, e ast.Expr) (Value, error) {
 			if fr.this == nil {
 				return Value{}, rtErrf(errFieldNoRecv, x.Name)
 			}
+			if fr.ctx.Mon != nil {
+				return fr.ctx.Mon.LoadField(fr.this, int(x.Slot)), nil
+			}
 			return fr.this.Slots[x.Slot], nil
 		}
 		return Value{}, rtErrf("unresolved identifier %s at %s", x.Name, x.Pos())
@@ -94,6 +97,9 @@ func (ip *Interp) eval(fr *Frame, e ast.Expr) (Value, error) {
 			}
 			return Value{}, rtErrf(errFieldNonObj, x.Pos())
 		}
+		if fr.ctx.Mon != nil {
+			return fr.ctx.Mon.LoadField(base.ref.(*Object), int(x.Slot)), nil
+		}
 		return base.ref.(*Object).Slots[x.Slot], nil
 
 	case *ast.IndexExpr:
@@ -104,6 +110,9 @@ func (ip *Interp) eval(fr *Frame, e ast.Expr) (Value, error) {
 		idxV, err := ip.eval(fr, x.Index)
 		if err != nil {
 			return Value{}, err
+		}
+		if fr.ctx.Mon != nil {
+			return indexLoadMon(fr.ctx.Mon, arrV, idxV, x)
 		}
 		return indexLoad(arrV, idxV, x)
 
@@ -400,6 +409,10 @@ func (ip *Interp) store(fr *Frame, lhs ast.Expr, v Value) error {
 			if fr.this == nil {
 				return rtErrf(errFieldNoRecvWr, x.Name)
 			}
+			if fr.ctx.Mon != nil {
+				fr.ctx.Mon.StoreField(fr.this, int(x.Slot), coerceKind(x.Coerce, v))
+				return nil
+			}
 			fr.this.Slots[x.Slot] = coerceKind(x.Coerce, v)
 			return nil
 		}
@@ -412,6 +425,10 @@ func (ip *Interp) store(fr *Frame, lhs ast.Expr, v Value) error {
 		if base.kind != KObject {
 			return rtErrf(errFieldStoreObj, x.Pos())
 		}
+		if fr.ctx.Mon != nil {
+			fr.ctx.Mon.StoreField(base.ref.(*Object), int(x.Slot), coerceKind(x.Coerce, v))
+			return nil
+		}
 		base.ref.(*Object).Slots[x.Slot] = coerceKind(x.Coerce, v)
 		return nil
 	case *ast.IndexExpr:
@@ -422,6 +439,9 @@ func (ip *Interp) store(fr *Frame, lhs ast.Expr, v Value) error {
 		idxV, err := ip.eval(fr, x.Index)
 		if err != nil {
 			return err
+		}
+		if fr.ctx.Mon != nil {
+			return indexStoreMon(fr.ctx.Mon, arrV, idxV, v, x)
 		}
 		return indexStore(arrV, idxV, v, x)
 	}

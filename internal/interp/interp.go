@@ -111,6 +111,13 @@ type Ctx struct {
 	// callback runs one iteration.
 	ForLoop func(fs *ast.ForStmt, fr *Frame, from, to, step int64) (handled bool, err error)
 
+	// Mon, when non-nil, observes every object-field and array-element
+	// access and may redirect loads to buffered state (speculative
+	// execution). Setting it forces the tree-walking engine for bodies
+	// executed under this context — the compiled engine carries no
+	// monitor checks.
+	Mon Mon
+
 	// Interrupt, when non-nil, is polled every InterruptStride
 	// statements; a non-nil result aborts execution with that error.
 	// Cancellation and deadlines reach user code through this hook, so
@@ -289,7 +296,7 @@ func (ip *Interp) Call(ctx *Ctx, m *types.Method, this *Object, args []Value) (V
 	ctx.charge(costCall)
 
 	var out Value
-	if ip.engine == EngineWalk {
+	if ip.engine == EngineWalk || ctx.Mon != nil {
 		ret, err := ip.execStmt(fr, m.Def.Body)
 		if err != nil {
 			freeFrame(fr)
@@ -568,7 +575,7 @@ func (ip *Interp) RunLoopIteration(sub *Frame, st *ast.ForStmt, i int64) error {
 		return rtErrf("parallel loop at %s without a resolvable loop variable", st.Pos())
 	}
 	sub.vars[slot] = IntValue(i)
-	if ip.engine != EngineWalk {
+	if ip.engine != EngineWalk && sub.ctx.Mon == nil {
 		if body, ok := ip.res.loopBodies[st]; ok {
 			fl, err := body(sub)
 			if err != nil {

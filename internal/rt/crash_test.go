@@ -235,6 +235,52 @@ func TestCrashCorpusParallelRuntime(t *testing.T) {
 	}
 }
 
+// TestCrashCorpusSpeculative: the whole corpus under forced
+// speculation. A user-program fault inside a speculative region must
+// abort the region (nothing committed) and re-run serially, where the
+// same fault recurs as the authoritative error — never a process
+// crash, never a hang, never a serial fallback. The validate-boundary
+// injection additionally panics the first region after its tasks
+// finish but before commit, exercising the abort→serial-rerun path
+// even for corpus entries whose speculative tasks would succeed.
+func TestCrashCorpusSpeculative(t *testing.T) {
+	for _, tc := range crashCorpus {
+		for _, shape := range []struct {
+			kind   string
+			source string
+		}{
+			{"serial", serialShape(tc.serial)},
+			{"spawn", spawnShape(tc.spawn)},
+			{"loop", loopShape(tc.loop)},
+		} {
+			prog, plan := buildSpec(t, shape.source)
+			for _, faults := range []*rt.FaultPlan{nil, {PanicOnValidate: 1}} {
+				ip := interp.New(prog, nil)
+				r := rt.New(ip, plan, 4)
+				r.Speculate = rt.SpecForce
+				r.MaxSteps = corpusMaxSteps
+				r.Faults = faults
+				ctx, cancel := context.WithTimeout(context.Background(), corpusDeadline)
+				start := time.Now()
+				err := r.RunContext(ctx)
+				cancel()
+				if err == nil {
+					t.Errorf("%s/%s faults=%v: speculative run returned no error", tc.name, shape.kind, faults != nil)
+				}
+				if elapsed := time.Since(start); elapsed > corpusDeadline {
+					t.Errorf("%s/%s: speculative run overshot the deadline (%v)", tc.name, shape.kind, elapsed)
+				}
+				if r.Stats.SpeculationCommits != 0 {
+					t.Errorf("%s/%s: %d commits from a failing program", tc.name, shape.kind, r.Stats.SpeculationCommits)
+				}
+				if r.Stats.SerialFallbacks != 0 {
+					t.Errorf("%s/%s: SerialFallbacks = %d, want 0 (abort is not a fallback)", tc.name, shape.kind, r.Stats.SerialFallbacks)
+				}
+			}
+		}
+	}
+}
+
 // TestCrashCorpusWithFallback: serial fallback must not mask a user-
 // program error — the corpus still errors with fallback enabled, and
 // no fallback is recorded for semantic failures.

@@ -13,7 +13,7 @@ import (
 // error so tests can assert errors.As(err, &InjectedFault{}) through
 // the TaskError wrapper.
 type InjectedFault struct {
-	Point string // "spawn", "chunk", or "lock"
+	Point string // "spawn", "chunk", "lock", or "validate"
 	N     int64  // 1-based count of the event at which the fault fired
 }
 
@@ -41,14 +41,21 @@ type FaultPlan struct {
 	PanicOnLock  int64   // panic when the Nth object lock is acquired
 	PanicRate    float64 // additional per-task-start panic probability
 
+	// PanicOnValidate panics when the Nth speculative region reaches
+	// its validate/commit boundary — after every task has finished but
+	// before any buffered write reaches the heap, the worst moment for
+	// the rollback machinery.
+	PanicOnValidate int64
+
 	DelayOnSpawn time.Duration // sleep at task start (scheduling skew)
 	DelayRate    float64       // probability of the sleep (0: every task)
 
 	CancelOnSpawn int64 // cancel the run when the Nth task starts
 
-	spawns atomic.Int64
-	chunks atomic.Int64
-	locks  atomic.Int64
+	spawns    atomic.Int64
+	chunks    atomic.Int64
+	locks     atomic.Int64
+	validates atomic.Int64
 
 	mu  sync.Mutex
 	rng *rand.Rand
@@ -103,6 +110,16 @@ func (fp *FaultPlan) atLock() int64 {
 	return 0
 }
 
+// atValidate records a speculation validate/commit boundary; non-zero
+// means panic.
+func (fp *FaultPlan) atValidate() int64 {
+	n := fp.validates.Add(1)
+	if fp.PanicOnValidate > 0 && n == fp.PanicOnValidate {
+		return n
+	}
+	return 0
+}
+
 // injectSpawn fires the plan's task-start faults. Called inside the
 // pool worker's recover scope (and the lazy-inline path), so an
 // injected panic surfaces as a TaskError, exactly like a real one.
@@ -140,5 +157,18 @@ func (rt *Runtime) injectLock() {
 	}
 	if n := rt.Faults.atLock(); n > 0 {
 		panic(InjectedFault{Point: "lock", N: n})
+	}
+}
+
+// injectValidate fires the plan's speculation-boundary faults inside
+// the region's recover scope: the panic aborts the region before
+// commit, so the serial rerun must still produce the exact serial
+// state.
+func (rt *Runtime) injectValidate() {
+	if rt.Faults == nil {
+		return
+	}
+	if n := rt.Faults.atValidate(); n > 0 {
+		panic(InjectedFault{Point: "validate", N: n})
 	}
 }

@@ -163,6 +163,184 @@ func TestRandomCommutingPrograms(t *testing.T) {
 	}
 }
 
+// genRejectedProgram is genCommutingProgram with one non-commuting
+// overwrite (`last = k`) added to the update, so the analysis rejects
+// the update loop at the symbolic pair stage (fractional confidence,
+// speculation-eligible) while the additive state still commutes.
+// Whether a speculative run commits (updates landed in disjoint
+// per-worker journals) or aborts and re-runs serially depends on the
+// random target pattern and the chunking — both paths must reproduce
+// the serial state exactly.
+func genRejectedProgram(r *rand.Rand, counters, updates int) string {
+	src := genCommutingProgram(r, counters, updates)
+	src = strings.Replace(src, "int prods;", "int prods;\n  int last;", 1)
+	src = strings.Replace(src, "adds = adds + k;", "adds = adds + k;\n  last = k;", 1)
+	return src
+}
+
+// genViolatingProgram generates a program guaranteed to violate under
+// speculation at every worker count: the rejected method's call sites
+// are spawned tasks (each with its own journal), and every task
+// overwrites the same counter's field, so validation always finds a
+// cross-task write-write conflict. The serial rerun after the abort
+// must reproduce the serial state bit-exactly.
+func genViolatingProgram(r *rand.Rand, marks int) string {
+	var sb strings.Builder
+	sb.WriteString(`
+class counter {
+public:
+  int last;
+  int total;
+  void mark(int k);
+};
+
+void counter::mark(int k) {
+  last = k;
+  total = total + k;
+}
+
+class driver {
+public:
+  counter *c;
+  void setup();
+  void run();
+};
+
+driver D;
+
+void driver::setup() {
+  c = new counter;
+}
+
+void driver::run() {
+`)
+	for i := 0; i < marks; i++ {
+		fmt.Fprintf(&sb, "  c->mark(%d);\n", 1+r.Intn(99))
+	}
+	sb.WriteString(`}
+
+void main() {
+  D.setup();
+  D.run();
+}
+`)
+	return sb.String()
+}
+
+// TestRandomSpeculativePrograms promotes the differential property to
+// speculative execution: serial, parallel, and speculative runs across
+// both engines and several worker counts must agree bit-exactly on the
+// program state — whether the speculation commits, or aborts and
+// re-runs serially.
+func TestRandomSpeculativePrograms(t *testing.T) {
+	r := rand.New(rand.NewSource(5678))
+	engines := []struct {
+		name string
+		eng  interp.Engine
+	}{{"walk", interp.EngineWalk}, {"compiled", interp.EngineCompiled}}
+
+	// Rejected-but-often-disjoint update loops (GSS speculation).
+	for trial := 0; trial < 6; trial++ {
+		counters := 2 + r.Intn(6)
+		updates := 8 + r.Intn(40)
+		source := genRejectedProgram(r, counters, updates)
+		prog, plan := buildSpec(t, source)
+
+		runAll := prog.MethodByFullName("driver::runAll")
+		if mp := plan.Methods[runAll]; !mp.Speculative {
+			t.Fatalf("trial %d: rejected update loop not planned speculative", trial)
+		}
+
+		// Read the overwritten field too: `last` is the non-commuting
+		// state, so it is exactly where a botched commit would show.
+		fullState := func(ip *interp.Interp) []int64 {
+			st := counterState(t, prog, ip, counters)
+			d := ip.Globals["D"]
+			cs := d.Slots[ip.FieldSlot(prog.Classes["driver"], "driver", "cs")].Array()
+			for i := 0; i < counters; i++ {
+				c := cs.Elems[i].Object()
+				st = append(st, c.Slots[ip.FieldSlot(prog.Classes["counter"], "counter", "last")].Int())
+			}
+			return st
+		}
+
+		ipSerial := interp.NewEngine(prog, nil, interp.EngineWalk)
+		if err := ipSerial.Run(ipSerial.NewCtx()); err != nil {
+			t.Fatalf("trial %d serial: %v", trial, err)
+		}
+		want := fullState(ipSerial)
+
+		for _, e := range engines {
+			for _, workers := range []int{1, 4} {
+				ip := interp.NewEngine(prog, nil, e.eng)
+				rr := rt.New(ip, plan, workers)
+				rr.Speculate = rt.SpecForce
+				if err := rr.Run(); err != nil {
+					t.Fatalf("trial %d %s workers %d: %v", trial, e.name, workers, err)
+				}
+				if got := fullState(ip); !slices.Equal(got, want) {
+					t.Fatalf("trial %d %s workers %d: state %v, want serial %v", trial, e.name, workers, got, want)
+				}
+				if rr.Stats.SpeculativeRegions == 0 {
+					t.Fatalf("trial %d %s workers %d: nothing speculated", trial, e.name, workers)
+				}
+				if rr.Stats.SpeculationCommits+rr.Stats.SpeculationAborts != rr.Stats.SpeculativeRegions {
+					t.Fatalf("trial %d %s workers %d: stats %+v don't balance", trial, e.name, workers, rr.Stats)
+				}
+			}
+		}
+	}
+
+	// Guaranteed violators: every speculative run must abort and the
+	// serial rerun must win.
+	for trial := 0; trial < 6; trial++ {
+		marks := 2 + r.Intn(5)
+		source := genViolatingProgram(r, marks)
+		prog, plan := buildSpec(t, source)
+
+		ipSerial := interp.NewEngine(prog, nil, interp.EngineWalk)
+		if err := ipSerial.Run(ipSerial.NewCtx()); err != nil {
+			t.Fatalf("violator %d serial: %v", trial, err)
+		}
+		want := markState(t, prog, ipSerial)
+
+		for _, e := range engines {
+			for _, workers := range []int{1, 4} {
+				ip := interp.NewEngine(prog, nil, e.eng)
+				rr := rt.New(ip, plan, workers)
+				rr.Speculate = rt.SpecForce
+				if err := rr.Run(); err != nil {
+					t.Fatalf("violator %d %s workers %d: %v", trial, e.name, workers, err)
+				}
+				if got := markState(t, prog, ip); got != want {
+					t.Fatalf("violator %d %s workers %d: state %v, want serial %v", trial, e.name, workers, got, want)
+				}
+				if rr.Stats.SpeculationAborts == 0 {
+					t.Fatalf("violator %d %s workers %d: guaranteed conflict did not abort (%+v)",
+						trial, e.name, workers, rr.Stats)
+				}
+				if rr.Stats.SpeculationCommits != 0 {
+					t.Fatalf("violator %d %s workers %d: conflicting region committed (%+v)",
+						trial, e.name, workers, rr.Stats)
+				}
+			}
+		}
+	}
+}
+
+// markState reads (last, total) of the violating program's counter.
+func markState(t *testing.T, prog *types.Program, ip *interp.Interp) [2]int64 {
+	t.Helper()
+	d := ip.Globals["D"]
+	driverCl := prog.Classes["driver"]
+	counterCl := prog.Classes["counter"]
+	c := d.Slots[ip.FieldSlot(driverCl, "driver", "c")].Object()
+	return [2]int64{
+		c.Slots[ip.FieldSlot(counterCl, "counter", "last")].Int(),
+		c.Slots[ip.FieldSlot(counterCl, "counter", "total")].Int(),
+	}
+}
+
 // counterState reads (adds, prods) for every counter.
 func counterState(t *testing.T, prog *types.Program, ip *interp.Interp, counters int) []int64 {
 	t.Helper()

@@ -41,6 +41,10 @@ type Stats struct {
 
 	TaskPanics      int64 // panics captured and isolated as TaskError
 	SerialFallbacks int64 // regions re-executed serially after a fault
+
+	SpeculativeRegions int64 // regions entered speculatively
+	SpeculationCommits int64 // speculative regions validated and committed
+	SpeculationAborts  int64 // speculative regions rolled back and rerun serially
 }
 
 // Runtime executes a program in parallel according to a plan.
@@ -82,6 +86,16 @@ type Runtime struct {
 	// MaxDepth bounds method-activation depth on any single goroutine
 	// (0: interp.DefaultMaxDepth).
 	MaxDepth int
+
+	// Speculate selects the policy for extents the analysis rejected
+	// but marked speculation-eligible (the plan must have been built
+	// with codegen.Options.SpeculateRejected for any to exist):
+	// SpecOff never speculates, SpecAuto speculates when the extent's
+	// confidence score reaches SpecThreshold, SpecForce always does.
+	Speculate SpecMode
+	// SpecThreshold is the SpecAuto confidence cutoff
+	// (0: DefaultSpecThreshold).
+	SpecThreshold float64
 
 	// Faults, when non-nil, injects deterministic panics, delays, and
 	// cancellations at the runtime's concurrency boundaries (tests).
@@ -201,6 +215,14 @@ func (rt *Runtime) serialCtx() *interp.Ctx {
 	ctx.Invoke = func(site *types.CallSite, recv *interp.Object, args []interp.Value) (interp.Value, error) {
 		mp := rt.Plan.Methods[site.Callee]
 		if mp != nil && mp.Parallel && rt.Plan.GeneratesConcurrency(site.Callee) {
+			if mp.Speculative {
+				if rt.speculationAllowed(mp) {
+					return interp.Value{}, rt.runSpeculativeRegion(site, recv, args)
+				}
+				// Policy declined: the extent is unproven, so run the
+				// original serial version inline.
+				return rt.IP.Call(ctx, site.Callee, recv, args)
+			}
 			return interp.Value{}, rt.runRegion(site, recv, args)
 		}
 		return rt.IP.Call(ctx, site.Callee, recv, args)

@@ -1,0 +1,444 @@
+package rt
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"commute/internal/analysis/effects"
+	"commute/internal/codegen"
+	"commute/internal/frontend/ast"
+	"commute/internal/frontend/types"
+	"commute/internal/interp"
+)
+
+// SpecMode is the speculation policy for statically-rejected extents.
+type SpecMode int
+
+// Speculation policies.
+const (
+	// SpecOff never speculates: rejected extents run their original
+	// serial versions.
+	SpecOff SpecMode = iota
+	// SpecAuto speculates on extents whose confidence score (fraction
+	// of method pairs the analysis proved) reaches the threshold.
+	SpecAuto
+	// SpecForce speculates on every eligible rejected extent.
+	SpecForce
+)
+
+// DefaultSpecThreshold is the SpecAuto confidence cutoff when none is
+// configured: at least half the extent's pairs must have been proven.
+const DefaultSpecThreshold = 0.5
+
+// ParseSpecMode maps a command-line speculation mode name to a SpecMode.
+func ParseSpecMode(s string) (SpecMode, bool) {
+	switch s {
+	case "off", "":
+		return SpecOff, true
+	case "auto":
+		return SpecAuto, true
+	case "force":
+		return SpecForce, true
+	}
+	return SpecOff, false
+}
+
+func (m SpecMode) String() string {
+	switch m {
+	case SpecAuto:
+		return "auto"
+	case SpecForce:
+		return "force"
+	}
+	return "off"
+}
+
+// speculationAllowed applies the policy at region entry.
+func (rt *Runtime) speculationAllowed(mp *codegen.MethodPlan) bool {
+	if !mp.SpecEligible {
+		return false
+	}
+	switch rt.Speculate {
+	case SpecForce:
+		return true
+	case SpecAuto:
+		th := rt.SpecThreshold
+		if th <= 0 {
+			th = DefaultSpecThreshold
+		}
+		return mp.Confidence >= th
+	}
+	return false
+}
+
+// loc identifies one monitored storage location: a field slot of an
+// object (obj non-nil) or an element of an array (arr non-nil).
+type loc struct {
+	obj *interp.Object
+	arr *interp.Array
+	idx int
+}
+
+// specLog is one task's effect journal, implementing interp.Mon. Reads
+// of locations the task has already written return the buffered value
+// (read-your-own-writes); everything else reads the frozen pre-region
+// heap and is logged. Writes never touch the heap — commit applies
+// them after validation, and abort simply drops the log. A specLog is
+// goroutine-local while its task runs; the validator reads all logs
+// single-threaded after the join barrier.
+type specLog struct {
+	id     int
+	reads  map[loc]struct{}
+	writes map[loc]interp.Value
+}
+
+func (lg *specLog) LoadField(o *interp.Object, slot int) interp.Value {
+	l := loc{obj: o, idx: slot}
+	if v, ok := lg.writes[l]; ok {
+		return v
+	}
+	lg.reads[l] = struct{}{}
+	return o.Slots[slot]
+}
+
+func (lg *specLog) StoreField(o *interp.Object, slot int, v interp.Value) {
+	lg.writes[loc{obj: o, idx: slot}] = v
+}
+
+func (lg *specLog) LoadElem(a *interp.Array, idx int) interp.Value {
+	l := loc{arr: a, idx: idx}
+	if v, ok := lg.writes[l]; ok {
+		return v
+	}
+	lg.reads[l] = struct{}{}
+	return a.Elems[idx]
+}
+
+func (lg *specLog) StoreElem(a *interp.Array, idx int, v interp.Value) {
+	lg.writes[loc{arr: a, idx: idx}] = v
+}
+
+// specRegion is the state of one speculative region: the per-task
+// journals and the plan entry carrying the declared effects.
+type specRegion struct {
+	rt *Runtime
+	mp *codegen.MethodPlan
+
+	mu   sync.Mutex
+	logs []*specLog
+}
+
+// newLog allocates a journal for one speculative task.
+func (sr *specRegion) newLog() *specLog {
+	sr.mu.Lock()
+	defer sr.mu.Unlock()
+	lg := &specLog{
+		id:     len(sr.logs),
+		reads:  make(map[loc]struct{}),
+		writes: make(map[loc]interp.Value),
+	}
+	sr.logs = append(sr.logs, lg)
+	return lg
+}
+
+// runSpeculativeRegion executes a statically-rejected extent
+// optimistically: monitor every task's effects, validate at the join
+// barrier, commit the buffered writes on success, and on any failure —
+// conflict, undeclared access, user error, captured panic, injected
+// fault — discard the buffers and re-run the original serial version.
+// The rerun is exact because no buffered write has reached the heap.
+// Only the caller's own cancellation or deadline is not retried: the
+// caller gave up, so the region returns its error immediately.
+func (rt *Runtime) runSpeculativeRegion(site *types.CallSite, recv *interp.Object, args []interp.Value) error {
+	atomic.AddInt64(&rt.Stats.Regions, 1)
+	atomic.AddInt64(&rt.Stats.SpeculativeRegions, 1)
+	sr := &specRegion{rt: rt, mp: rt.Plan.Methods[site.Callee]}
+	pool := newPool(rt)
+	root := sr.newLog()
+	err := rt.protect("region", site.Callee.FullName(), func() error {
+		return rt.specCall(pool.external, sr, root, site.Callee, recv, args, versionParallel, 0)
+	})
+	pool.wait()
+	rt.setErr(err)
+	ferr := rt.firstErr()
+	if ferr == nil {
+		violation := ""
+		verr := rt.protect("validate", site.Callee.FullName(), func() error {
+			rt.injectValidate()
+			violation = sr.validate()
+			return nil
+		})
+		if verr == nil && violation == "" {
+			// Single-threaded commit after the barrier: validation
+			// proved the write sets disjoint, so application order
+			// across logs cannot matter.
+			sr.commit()
+			atomic.AddInt64(&rt.Stats.SpeculationCommits, 1)
+			return nil
+		}
+		rt.setErr(verr)
+		ferr = rt.firstErr()
+	}
+	if rt.parent != nil && rt.parent.Err() != nil {
+		// Never speculate past a caller timeout or cancellation.
+		if ferr == nil {
+			ferr = context.Cause(rt.parent)
+		}
+		return ferr
+	}
+	atomic.AddInt64(&rt.Stats.SpeculationAborts, 1)
+	rt.clearErr()
+	if rt.runCtx.Err() != nil {
+		// An injected cancellation below a still-live caller: re-arm
+		// the run context so the serial rerun is not stillborn.
+		rt.runCtx, rt.cancel = context.WithCancelCause(rt.parent)
+	}
+	serr := rt.callVersion(nil, site.Callee, recv, args, versionSerial, 0)
+	rt.setErr(serr)
+	return serr
+}
+
+// specCall is the speculative mirror of callVersion: the same site
+// dispatch (auxiliary inline, hoisted inline, extent spawned), but no
+// locks — isolation comes from the journals — and every execution
+// context carries the task's monitor. Spawned children journal into
+// fresh logs; inline continuations (auxiliary, hoisted, lazy spawns,
+// mutex-version recursion) share the current task's log.
+func (rt *Runtime) specCall(w *worker, sr *specRegion, lg *specLog, m *types.Method, recv *interp.Object, args []interp.Value, ver version, depth int) error {
+	if rt.failed.Load() {
+		return nil
+	}
+	mp := rt.Plan.Methods[m]
+	ctx := rt.guardedCtx(depth)
+	ctx.Mon = lg
+	if mp == nil || !mp.Parallel {
+		_, err := rt.IP.Call(ctx, m, recv, args)
+		rt.setErr(err)
+		return err
+	}
+	ctx.Invoke = func(site *types.CallSite, r2 *interp.Object, a2 []interp.Value) (interp.Value, error) {
+		switch mp.Site[site.ID] {
+		case codegen.ActionInline:
+			return rt.IP.Call(ctx, site.Callee, r2, a2)
+		case codegen.ActionHoisted:
+			_, err := rt.IP.Call(ctx, site.Callee, r2, a2)
+			return interp.Value{}, err
+		case codegen.ActionSpawn:
+			if ver == versionMutex {
+				return interp.Value{}, rt.specCall(w, sr, lg, site.Callee, r2, a2, versionMutex, ctx.Depth)
+			}
+			callee := site.Callee
+			if rt.LazySpawnThreshold > 0 && w.p.pendingCount() >= rt.LazySpawnThreshold {
+				atomic.AddInt64(&rt.Stats.LazyInlines, 1)
+				return interp.Value{}, rt.specCall(w, sr, lg, callee, r2, a2, versionParallel, ctx.Depth)
+			}
+			atomic.AddInt64(&rt.Stats.Tasks, 1)
+			clg := sr.newLog()
+			w.p.spawn(w, callee.FullName(), func(cw *worker) {
+				rt.setErr(rt.specCall(cw, sr, clg, callee, r2, a2, versionParallel, 0))
+			})
+			return interp.Value{}, nil
+		default:
+			return rt.IP.Call(ctx, site.Callee, r2, a2)
+		}
+	}
+	ctx.ForLoop = func(fs *ast.ForStmt, fr *interp.Frame, from, to, step int64) (bool, error) {
+		lp := rt.Plan.Loops[fs]
+		if lp == nil || !lp.Parallel || ver == versionMutex {
+			return false, nil
+		}
+		return true, rt.specLoop(sr, ctx, fs, fr, from, to, step)
+	}
+	_, err := rt.IP.Call(ctx, m, recv, args)
+	rt.setErr(err)
+	return err
+}
+
+// specLoop is the speculative mirror of parallelLoop: the same guided
+// self-scheduling, with one journal per GSS worker. A worker executes
+// its iterations in increasing order (chunk claims are monotonic), so
+// intra-worker sequencing matches the serial order and only cross-
+// worker interference needs detection.
+func (rt *Runtime) specLoop(sr *specRegion, parent *interp.Ctx, fs *ast.ForStmt, fr *interp.Frame, from, to, step int64) error {
+	atomic.AddInt64(&rt.Stats.ParallelLoops, 1)
+	if interp.LoopVar(fs) == "" {
+		return &interp.RuntimeError{Msg: "parallel loop without a loop variable"}
+	}
+	if step <= 0 {
+		return &interp.RuntimeError{Msg: fmt.Sprintf("parallel loop at %s with non-positive step %d", fs.Pos(), step)}
+	}
+	total := (to - from + step - 1) / step
+	if total <= 0 {
+		return nil
+	}
+	label := fmt.Sprintf("%s (loop at %s)", fr.Method().FullName(), fs.Pos())
+	var next atomic.Int64
+	next.Store(from)
+	var wg sync.WaitGroup
+	workers := rt.Workers
+	if int64(workers) > total {
+		workers = int(total)
+	}
+	depth := parent.Depth
+	for g := 0; g < workers; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			defer func() {
+				if r := recover(); r != nil {
+					atomic.AddInt64(&rt.Stats.TaskPanics, 1)
+					rt.setErr(newTaskError("loop", label, r))
+				}
+			}()
+			lg := sr.newLog()
+			ctx := rt.specIterCtx(sr, lg, depth)
+			sub := rt.IP.NewIterFrame(ctx, fr)
+			defer rt.IP.ReleaseFrame(sub)
+			for {
+				if rt.failed.Load() {
+					return
+				}
+				if err := rt.interrupt(); err != nil {
+					rt.setErr(err)
+					return
+				}
+				start := next.Load()
+				if start >= to {
+					return
+				}
+				remaining := (to - start + step - 1) / step
+				chunk := remaining / int64(rt.Workers)
+				if chunk < 1 {
+					chunk = 1
+				}
+				end := start + chunk*step
+				if !next.CompareAndSwap(start, end) {
+					continue
+				}
+				if end > to {
+					end = to
+				}
+				atomic.AddInt64(&rt.Stats.Chunks, 1)
+				rt.injectChunk()
+				for i := start; i < end; i += step {
+					atomic.AddInt64(&rt.Stats.Iterations, 1)
+					if err := rt.IP.RunLoopIteration(sub, fs, i); err != nil {
+						rt.setErr(err)
+						return
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	return rt.firstErr()
+}
+
+// specIterCtx is the speculative mirror of mutexIterCtx: direct
+// invocations in an iteration run serialized within the GSS worker's
+// task, journaling into the worker's log.
+func (rt *Runtime) specIterCtx(sr *specRegion, lg *specLog, depth int) *interp.Ctx {
+	ctx := rt.guardedCtx(depth)
+	ctx.Mon = lg
+	ctx.Invoke = func(site *types.CallSite, recv *interp.Object, args []interp.Value) (interp.Value, error) {
+		mp := rt.Plan.Methods[site.Caller]
+		if mp != nil && mp.Site[site.ID] == codegen.ActionInline {
+			return rt.IP.Call(ctx, site.Callee, recv, args)
+		}
+		cp := rt.Plan.Methods[site.Callee]
+		if cp != nil && cp.Parallel {
+			return interp.Value{}, rt.specCall(nil, sr, lg, site.Callee, recv, args, versionMutex, ctx.Depth)
+		}
+		return rt.IP.Call(ctx, site.Callee, recv, args)
+	}
+	return ctx
+}
+
+// validate checks the journals at the join barrier. It returns a
+// non-empty violation description when speculation must abort:
+//
+//   - a location written by one task and written or read by another
+//     (the racing tasks' operations did not commute at run time), or
+//   - an object-field access outside the extent's declared transitive
+//     effects (the monitor observed something the analysis never
+//     reasoned about).
+//
+// Array elements are covered by the conflict checks only: an element
+// access always reaches the array through a monitored field load, so
+// the enclosing object's descriptor conformance already vouches for it.
+func (sr *specRegion) validate() string {
+	writer := make(map[loc]int)
+	for _, lg := range sr.logs {
+		for l := range lg.writes {
+			if w, ok := writer[l]; ok && w != lg.id {
+				return fmt.Sprintf("write-write conflict on %s between tasks %d and %d",
+					sr.locName(l), w, lg.id)
+			}
+			writer[l] = lg.id
+		}
+	}
+	for _, lg := range sr.logs {
+		for l := range lg.reads {
+			if w, ok := writer[l]; ok && w != lg.id {
+				return fmt.Sprintf("read-write conflict on %s between tasks %d and %d",
+					sr.locName(l), lg.id, w)
+			}
+		}
+	}
+	for _, lg := range sr.logs {
+		for l := range lg.writes {
+			if d, ok := sr.fieldDesc(l); ok && !sr.mp.SpecWrites.OverlapsDesc(d) {
+				return fmt.Sprintf("undeclared write to %s by task %d", sr.locName(l), lg.id)
+			}
+		}
+		for l := range lg.reads {
+			if d, ok := sr.fieldDesc(l); ok &&
+				!sr.mp.SpecReads.OverlapsDesc(d) && !sr.mp.SpecWrites.OverlapsDesc(d) {
+				return fmt.Sprintf("undeclared read of %s by task %d", sr.locName(l), lg.id)
+			}
+		}
+	}
+	return ""
+}
+
+// fieldDesc maps an observed object-field location back to the effect
+// descriptor the analysis reasons about. Array elements report no
+// descriptor (see validate).
+func (sr *specRegion) fieldDesc(l loc) (effects.Desc, bool) {
+	if l.obj == nil {
+		return effects.Desc{}, false
+	}
+	decl, field, ok := sr.rt.IP.SlotField(l.obj.Class, l.idx)
+	if !ok {
+		return effects.Desc{}, false
+	}
+	return effects.FieldDesc(decl, nil, field), true
+}
+
+// locName renders a location for violation messages.
+func (sr *specRegion) locName(l loc) string {
+	if l.obj != nil {
+		if _, field, ok := sr.rt.IP.SlotField(l.obj.Class, l.idx); ok {
+			return fmt.Sprintf("%s#%d.%s", l.obj.Class.Name, l.obj.ID, field)
+		}
+		return fmt.Sprintf("%s#%d.slot%d", l.obj.Class.Name, l.obj.ID, l.idx)
+	}
+	return fmt.Sprintf("array[%d]", l.idx)
+}
+
+// commit applies every journal's buffered writes to the heap. Runs
+// single-threaded after pool.wait; validation proved the logs' write
+// sets disjoint, so application order is irrelevant.
+func (sr *specRegion) commit() {
+	for _, lg := range sr.logs {
+		for l, v := range lg.writes {
+			if l.obj != nil {
+				l.obj.Slots[l.idx] = v
+			} else {
+				l.arr.Elems[l.idx] = v
+			}
+		}
+	}
+}

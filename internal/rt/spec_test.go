@@ -1,0 +1,327 @@
+package rt_test
+
+import (
+	"bytes"
+	"context"
+	"testing"
+	"time"
+
+	"commute/internal/apps/src"
+	"commute/internal/codegen"
+	"commute/internal/core"
+	"commute/internal/frontend/parser"
+	"commute/internal/frontend/types"
+	"commute/internal/interp"
+	"commute/internal/rt"
+)
+
+// buildSpec compiles a program with the speculative plan extension.
+func buildSpec(t testing.TB, source string) (*types.Program, *codegen.Plan) {
+	t.Helper()
+	f, err := parser.Parse("app.mc", source)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	prog, err := types.Check(f)
+	if err != nil {
+		t.Fatalf("check: %v", err)
+	}
+	return prog, codegen.BuildWithOptions(core.New(prog), codegen.Options{SpeculateRejected: true})
+}
+
+// serialOutput runs the program on the plain serial interpreter and
+// returns its print output (the bit-identical reference).
+func serialOutput(t *testing.T, prog *types.Program, eng interp.Engine) string {
+	t.Helper()
+	var buf bytes.Buffer
+	ip := interp.NewEngine(prog, &buf, eng)
+	if err := ip.Run(ip.NewCtx()); err != nil {
+		t.Fatalf("serial run: %v", err)
+	}
+	return buf.String()
+}
+
+// specDisjointState reads every cell value plus the reported sum.
+func specDisjointState(t *testing.T, prog *types.Program, ip *interp.Interp) []int64 {
+	t.Helper()
+	tbl := ip.Globals["T"]
+	tableCl := prog.Classes["table"]
+	cellCl := prog.Classes["cell"]
+	cells := tbl.Slots[ip.FieldSlot(tableCl, "table", "cells")].Array()
+	var out []int64
+	for _, cv := range cells.Elems {
+		out = append(out, cv.Object().Slots[ip.FieldSlot(cellCl, "cell", "val")].Int())
+	}
+	out = append(out, tbl.Slots[ip.FieldSlot(tableCl, "table", "sum")].Int())
+	return out
+}
+
+// specConflictState reads the counter's last and total.
+func specConflictState(t *testing.T, prog *types.Program, ip *interp.Interp) [2]int64 {
+	t.Helper()
+	d := ip.Globals["D"]
+	driverCl := prog.Classes["driver"]
+	counterCl := prog.Classes["counter"]
+	c := d.Slots[ip.FieldSlot(driverCl, "driver", "c")].Object()
+	return [2]int64{
+		c.Slots[ip.FieldSlot(counterCl, "counter", "last")].Int(),
+		c.Slots[ip.FieldSlot(counterCl, "counter", "total")].Int(),
+	}
+}
+
+var specEngines = []interp.Engine{interp.EngineWalk, interp.EngineCompiled}
+
+// TestSpeculativeDisjointCommits: the statically-rejected fill extent
+// runs speculatively, observes no runtime conflicts, and commits — and
+// the committed state and output are bit-identical to the serial run,
+// on both engines and schedulers across worker counts.
+func TestSpeculativeDisjointCommits(t *testing.T) {
+	prog, plan := buildSpec(t, src.SpecDisjoint)
+	for _, eng := range specEngines {
+		want := serialOutput(t, prog, eng)
+		ipRef := interp.NewEngine(prog, nil, eng)
+		if err := ipRef.Run(ipRef.NewCtx()); err != nil {
+			t.Fatal(err)
+		}
+		wantState := specDisjointState(t, prog, ipRef)
+
+		for _, sched := range []rt.SchedMode{rt.SchedStealing, rt.SchedCentral} {
+			for _, workers := range []int{1, 2, 4} {
+				var buf bytes.Buffer
+				ip := interp.NewEngine(prog, &buf, eng)
+				r := rt.New(ip, plan, workers)
+				r.Sched = sched
+				r.Speculate = rt.SpecForce
+				if err := r.Run(); err != nil {
+					t.Fatalf("eng=%v sched=%v workers=%d: %v", eng, sched, workers, err)
+				}
+				if got := buf.String(); got != want {
+					t.Errorf("eng=%v sched=%v workers=%d: output %q, want %q", eng, sched, workers, got, want)
+				}
+				got := specDisjointState(t, prog, ip)
+				for i := range wantState {
+					if got[i] != wantState[i] {
+						t.Errorf("eng=%v sched=%v workers=%d: state[%d] = %d, want %d",
+							eng, sched, workers, i, got[i], wantState[i])
+					}
+				}
+				if r.Stats.SpeculationCommits == 0 {
+					t.Errorf("eng=%v sched=%v workers=%d: no speculation commits", eng, sched, workers)
+				}
+				if r.Stats.SpeculationAborts != 0 {
+					t.Errorf("eng=%v sched=%v workers=%d: %d aborts on a conflict-free program",
+						eng, sched, workers, r.Stats.SpeculationAborts)
+				}
+			}
+		}
+	}
+}
+
+// TestSpeculativeConflictAborts: the guaranteed-violating program
+// aborts, reruns serially, and ends bit-identical to serial.
+func TestSpeculativeConflictAborts(t *testing.T) {
+	prog, plan := buildSpec(t, src.SpecConflict)
+	for _, eng := range specEngines {
+		want := serialOutput(t, prog, eng)
+		for _, sched := range []rt.SchedMode{rt.SchedStealing, rt.SchedCentral} {
+			for _, workers := range []int{1, 2, 4} {
+				var buf bytes.Buffer
+				ip := interp.NewEngine(prog, &buf, eng)
+				r := rt.New(ip, plan, workers)
+				r.Sched = sched
+				r.Speculate = rt.SpecForce
+				if err := r.Run(); err != nil {
+					t.Fatalf("eng=%v sched=%v workers=%d: %v", eng, sched, workers, err)
+				}
+				if got := buf.String(); got != want {
+					t.Errorf("eng=%v sched=%v workers=%d: output %q, want %q", eng, sched, workers, got, want)
+				}
+				if got := specConflictState(t, prog, ip); got != [2]int64{2, 3} {
+					t.Errorf("eng=%v sched=%v workers=%d: state = %v, want [2 3]", eng, sched, workers, got)
+				}
+				if r.Stats.SpeculationAborts == 0 {
+					t.Errorf("eng=%v sched=%v workers=%d: violating program did not abort", eng, sched, workers)
+				}
+				if r.Stats.SpeculationCommits != 0 {
+					t.Errorf("eng=%v sched=%v workers=%d: violating region committed", eng, sched, workers)
+				}
+			}
+		}
+	}
+}
+
+// TestSpeculativeAutoThreshold: auto mode speculates only when the
+// extent's confidence clears the threshold.
+func TestSpeculativeAutoThreshold(t *testing.T) {
+	prog, plan := buildSpec(t, src.SpecDisjoint)
+	want := serialOutput(t, prog, interp.EngineCompiled)
+
+	run := func(th float64) *rt.Runtime {
+		var buf bytes.Buffer
+		ip := interp.New(prog, &buf)
+		r := rt.New(ip, plan, 4)
+		r.Speculate = rt.SpecAuto
+		r.SpecThreshold = th
+		if err := r.Run(); err != nil {
+			t.Fatalf("threshold %v: %v", th, err)
+		}
+		if got := buf.String(); got != want {
+			t.Errorf("threshold %v: output %q, want %q", th, got, want)
+		}
+		return r
+	}
+
+	// fill's confidence is 2/3: above a 0.5 threshold, below 0.9.
+	if r := run(0.5); r.Stats.SpeculativeRegions == 0 {
+		t.Error("threshold 0.5: expected speculation")
+	}
+	if r := run(0.9); r.Stats.SpeculativeRegions != 0 {
+		t.Error("threshold 0.9: expected the policy to decline and run serially")
+	}
+}
+
+// TestSpeculativeOffStaysSerial: with speculation off, a plan carrying
+// speculative versions still runs the rejected extent serially.
+func TestSpeculativeOffStaysSerial(t *testing.T) {
+	prog, plan := buildSpec(t, src.SpecConflict)
+	want := serialOutput(t, prog, interp.EngineCompiled)
+	var buf bytes.Buffer
+	ip := interp.New(prog, &buf)
+	r := rt.New(ip, plan, 4)
+	if err := r.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if got := buf.String(); got != want {
+		t.Errorf("output %q, want %q", got, want)
+	}
+	if r.Stats.SpeculativeRegions != 0 || r.Stats.Regions != 0 {
+		t.Errorf("regions = %d speculative = %d, want 0/0",
+			r.Stats.Regions, r.Stats.SpeculativeRegions)
+	}
+}
+
+// TestSpeculativeValidateFault: an injected panic at the validate
+// boundary — after the tasks finished, before commit — must abort the
+// region and rerun serially with bit-identical results.
+func TestSpeculativeValidateFault(t *testing.T) {
+	for _, source := range []string{src.SpecDisjoint, src.SpecConflict} {
+		prog, plan := buildSpec(t, source)
+		want := serialOutput(t, prog, interp.EngineCompiled)
+		var buf bytes.Buffer
+		ip := interp.New(prog, &buf)
+		r := rt.New(ip, plan, 4)
+		r.Speculate = rt.SpecForce
+		r.Faults = &rt.FaultPlan{PanicOnValidate: 1}
+		if err := r.Run(); err != nil {
+			t.Fatalf("run: %v", err)
+		}
+		if got := buf.String(); got != want {
+			t.Errorf("output %q, want %q", got, want)
+		}
+		if r.Stats.SpeculationAborts == 0 {
+			t.Error("validate fault did not abort")
+		}
+		if r.Stats.SpeculationCommits != 0 {
+			t.Error("validate fault still committed")
+		}
+		if r.Stats.TaskPanics == 0 {
+			t.Error("injected validate panic was not captured")
+		}
+	}
+}
+
+// TestSpeculativeSpawnFault: a fault injected into a speculative task
+// aborts the region; the serial rerun is exact because nothing was
+// committed.
+func TestSpeculativeSpawnFault(t *testing.T) {
+	prog, plan := buildSpec(t, src.SpecConflict)
+	want := serialOutput(t, prog, interp.EngineCompiled)
+	var buf bytes.Buffer
+	ip := interp.New(prog, &buf)
+	r := rt.New(ip, plan, 4)
+	r.Speculate = rt.SpecForce
+	r.Faults = &rt.FaultPlan{PanicOnSpawn: 1}
+	if err := r.Run(); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if got := buf.String(); got != want {
+		t.Errorf("output %q, want %q", got, want)
+	}
+	if got := specConflictState(t, prog, ip); got != [2]int64{2, 3} {
+		t.Errorf("state = %v, want [2 3]", got)
+	}
+	if r.Stats.SpeculationAborts == 0 {
+		t.Error("spawn fault did not abort the speculative region")
+	}
+}
+
+// TestSpeculationStatsStress hammers the Stats counters' error paths
+// under -race: repeated speculative runs with probabilistic task
+// panics increment TaskPanics / Tasks / SpeculationAborts concurrently
+// from pool workers, and proven-path runs with fallback do the same
+// for Steals / LocalPops / SerialFallbacks. The assertions are sanity
+// bounds; the real check is the race detector proving every increment
+// is atomic (the counter audit found them all atomic already — this
+// locks that in as a regression test).
+func TestSpeculationStatsStress(t *testing.T) {
+	prog, plan := buildSpec(t, src.SpecConflict)
+	want := serialOutput(t, prog, interp.EngineCompiled)
+	for seed := int64(0); seed < 20; seed++ {
+		var buf bytes.Buffer
+		ip := interp.New(prog, &buf)
+		r := rt.New(ip, plan, 4)
+		r.Speculate = rt.SpecForce
+		r.Faults = &rt.FaultPlan{Seed: seed, PanicRate: 0.4}
+		if err := r.Run(); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if got := buf.String(); got != want {
+			t.Errorf("seed %d: output %q, want %q", seed, got, want)
+		}
+		if got := specConflictState(t, prog, ip); got != [2]int64{2, 3} {
+			t.Errorf("seed %d: state = %v, want [2 3]", seed, got)
+		}
+		if r.Stats.SpeculationCommits+r.Stats.SpeculationAborts != r.Stats.SpeculativeRegions {
+			t.Errorf("seed %d: commits %d + aborts %d != speculative regions %d", seed,
+				r.Stats.SpeculationCommits, r.Stats.SpeculationAborts, r.Stats.SpeculativeRegions)
+		}
+	}
+
+	// Proven-path counters under the same probabilistic faulting.
+	gprog, gplan := build(t, src.Graph)
+	for seed := int64(0); seed < 5; seed++ {
+		ip := interp.New(gprog, nil)
+		r := rt.New(ip, gplan, 4)
+		r.SerialFallback = true
+		r.Faults = &rt.FaultPlan{Seed: seed, PanicRate: 0.1}
+		if err := r.Run(); err != nil {
+			t.Fatalf("graph seed %d: %v", seed, err)
+		}
+		if r.Stats.TaskPanics > 0 && r.Stats.SerialFallbacks == 0 {
+			t.Errorf("graph seed %d: %d panics but no fallback", seed, r.Stats.TaskPanics)
+		}
+	}
+}
+
+// TestSpeculativeCallerTimeout: the caller's own deadline is never
+// speculated past — the region returns the error without a serial
+// rerun, and no buffered write reaches the heap.
+func TestSpeculativeCallerTimeout(t *testing.T) {
+	prog, plan := buildSpec(t, src.SpecConflict)
+	ip := interp.New(prog, nil)
+	r := rt.New(ip, plan, 2)
+	r.Speculate = rt.SpecForce
+	r.Faults = &rt.FaultPlan{DelayOnSpawn: 300 * time.Millisecond}
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	if err := r.RunContext(ctx); err == nil {
+		t.Fatal("expected a deadline error")
+	}
+	if r.Stats.SpeculationAborts != 0 {
+		t.Errorf("aborts = %d: a caller timeout must not trigger a serial rerun",
+			r.Stats.SpeculationAborts)
+	}
+	if r.Stats.SpeculationCommits != 0 {
+		t.Error("timed-out region committed")
+	}
+}

@@ -21,7 +21,8 @@ type SourceRequest struct {
 	// Source is the mini-C++ program text.
 	Source string `json:"source,omitempty"`
 	// App selects a built-in application instead of Source:
-	// "barneshut", "water", "graph", or "quickstart".
+	// "barneshut", "water", "graph", "quickstart", "specdisjoint", or
+	// "specconflict".
 	App string `json:"app,omitempty"`
 	// Options are the dialect options (part of the cache key).
 	Options Options `json:"options,omitempty"`
@@ -44,6 +45,18 @@ type MethodReport struct {
 	AuxiliaryCallSites int    `json:"auxiliary_call_sites"`
 	IndependentPairs   int    `json:"independent_pairs"`
 	SymbolicPairs      int    `json:"symbolic_pairs"`
+
+	// Confidence is the fraction of the extent's operation pairs the
+	// analysis proved commuting: 1 for a proven extent, passed/total
+	// when only the symbolic pair stage failed, 0 for a structural
+	// rejection.
+	Confidence float64 `json:"confidence"`
+	// Condition is the residual symbolic equality the first failing
+	// pair would need for the extent to commute, when one exists.
+	Condition string `json:"condition,omitempty"`
+	// SpeculationEligible reports whether a rejected extent may be run
+	// speculatively (pair-stage failure only, no I/O in the extent).
+	SpeculationEligible bool `json:"speculation_eligible,omitempty"`
 }
 
 // AnalyzeResponse is the commutativity report for a program.
@@ -79,6 +92,14 @@ type RunRequest struct {
 	MaxSteps int64 `json:"max_steps,omitempty"`
 	// Fallback enables serial re-execution of failed parallel regions.
 	Fallback bool `json:"fallback,omitempty"`
+	// Speculate is "off" (default), "auto", or "force": speculative
+	// parallelization of extents rejected at the symbolic pair stage,
+	// with write-buffered execution, validation at the join barrier,
+	// and serial re-execution on a violation.
+	Speculate string `json:"speculate,omitempty"`
+	// SpeculateThreshold is the minimum analysis confidence to
+	// speculate an extent under "auto" (0: the runtime default, 0.5).
+	SpeculateThreshold float64 `json:"speculate_threshold,omitempty"`
 }
 
 // RunStats is the machine-readable execution summary shared by the
@@ -101,6 +122,10 @@ type RunStats struct {
 	LocalPops       int64 `json:"local_pops,omitempty"`
 	TaskPanics      int64 `json:"task_panics,omitempty"`
 	SerialFallbacks int64 `json:"serial_fallbacks,omitempty"`
+
+	SpeculativeRegions int64 `json:"speculative_regions,omitempty"`
+	SpeculationCommits int64 `json:"speculation_commits,omitempty"`
+	SpeculationAborts  int64 `json:"speculation_aborts,omitempty"`
 }
 
 // RunResponse is the outcome of one execution.
@@ -159,6 +184,9 @@ type StatusZ struct {
 	Rejected   int64 `json:"rejected"` // 429 load sheds
 	Panics     int64 `json:"panics"`   // isolated request panics
 	Fallbacks  int64 `json:"fallbacks"`
+
+	SpeculationCommits int64 `json:"speculation_commits"`
+	SpeculationAborts  int64 `json:"speculation_aborts"`
 
 	CacheHits      int64 `json:"cache_hits"`
 	CacheMisses    int64 `json:"cache_misses"`

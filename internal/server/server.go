@@ -75,6 +75,13 @@ type Config struct {
 	// a latency knob — analysis results are identical at every worker
 	// count — so it is not part of the cache key.
 	AnalysisWorkers int
+	// Speculate is the default speculation policy for /v1/run requests
+	// that don't set the field themselves: "off" (default), "auto", or
+	// "force" (see rt.SpecMode).
+	Speculate string
+	// SpeculateThreshold is the default minimum analysis confidence for
+	// "auto" speculation (0: rt.DefaultSpecThreshold).
+	SpeculateThreshold float64
 }
 
 func (c Config) withDefaults() Config {
@@ -120,11 +127,13 @@ type Server struct {
 	queued   atomic.Int64
 	inflight atomic.Int64
 
-	requests  atomic.Int64
-	rejected  atomic.Int64
-	panics    atomic.Int64
-	fallbacks atomic.Int64
-	draining  atomic.Bool
+	requests    atomic.Int64
+	rejected    atomic.Int64
+	panics      atomic.Int64
+	fallbacks   atomic.Int64
+	specCommits atomic.Int64
+	specAborts  atomic.Int64
+	draining    atomic.Bool
 
 	lat map[string]*latencyRecorder
 }
@@ -240,6 +249,10 @@ func appSource(app string) (name, source string, ok bool) {
 		return "water.mc", src.Water, true
 	case "graph", "quickstart":
 		return "graph.mc", src.Graph, true
+	case "specdisjoint":
+		return "specdisjoint.mc", src.SpecDisjoint, true
+	case "specconflict":
+		return "specconflict.mc", src.SpecConflict, true
 	}
 	return "", "", false
 }
@@ -261,7 +274,7 @@ func (s *Server) loadSystem(req api.SourceRequest) (h *cache.Handle, key string,
 	if req.App != "" {
 		var ok bool
 		if name, source, ok = appSource(req.App); !ok {
-			return nil, "", false, fmt.Errorf("unknown app %q (have barneshut, water, graph, quickstart)", req.App)
+			return nil, "", false, fmt.Errorf("unknown app %q (have barneshut, water, graph, quickstart, specdisjoint, specconflict)", req.App)
 		}
 	}
 	if source == "" {
@@ -323,19 +336,22 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleStatusz(w http.ResponseWriter, r *http.Request) {
 	cs := s.cache.Snapshot()
 	st := api.StatusZ{
-		UptimeSec:      time.Since(s.start).Seconds(),
-		Requests:       s.requests.Load(),
-		InFlight:       s.inflight.Load(),
-		QueueDepth:     s.queued.Load(),
-		Rejected:       s.rejected.Load(),
-		Panics:         s.panics.Load(),
-		Fallbacks:      s.fallbacks.Load(),
-		CacheHits:      cs.Hits,
-		CacheMisses:    cs.Misses,
-		CacheEvictions: cs.Evictions,
-		CacheEntries:   cs.Entries,
-		CacheBytes:     cs.Bytes,
-		Endpoints:      make(map[string]api.EndpointStats, len(s.lat)),
+		UptimeSec:  time.Since(s.start).Seconds(),
+		Requests:   s.requests.Load(),
+		InFlight:   s.inflight.Load(),
+		QueueDepth: s.queued.Load(),
+		Rejected:   s.rejected.Load(),
+		Panics:     s.panics.Load(),
+		Fallbacks:  s.fallbacks.Load(),
+
+		SpeculationCommits: s.specCommits.Load(),
+		SpeculationAborts:  s.specAborts.Load(),
+		CacheHits:          cs.Hits,
+		CacheMisses:        cs.Misses,
+		CacheEvictions:     cs.Evictions,
+		CacheEntries:       cs.Entries,
+		CacheBytes:         cs.Bytes,
+		Endpoints:          make(map[string]api.EndpointStats, len(s.lat)),
 	}
 	for name, rec := range s.lat {
 		st.Endpoints[name] = rec.snapshot()
@@ -372,6 +388,10 @@ func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) error {
 			AuxiliaryCallSites: mr.AuxiliaryCallSites,
 			IndependentPairs:   mr.IndependentPairs,
 			SymbolicPairs:      mr.SymbolicPairs,
+
+			Confidence:          mr.Confidence,
+			Condition:           mr.Condition,
+			SpeculationEligible: mr.SpeculationEligible,
 		})
 	}
 	if req.Emit && sys.File != nil {
@@ -415,6 +435,22 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) error {
 		// than silently ignore the bound.
 		return writeErr(w, http.StatusBadRequest, "max_steps requires mode=parallel")
 	}
+	// Speculation policy: the request field overrides the server default.
+	specWord := req.Speculate
+	if specWord == "" {
+		specWord = s.cfg.Speculate
+	}
+	spec, ok := rt.ParseSpecMode(specWord)
+	if !ok {
+		return writeErr(w, http.StatusBadRequest, fmt.Sprintf("unknown speculate %q (off | auto | force)", req.Speculate))
+	}
+	specThreshold := req.SpeculateThreshold
+	if specThreshold == 0 {
+		specThreshold = s.cfg.SpeculateThreshold
+	}
+	if mode == "serial" && spec != rt.SpecOff {
+		return writeErr(w, http.StatusBadRequest, "speculate requires mode=parallel")
+	}
 
 	h, key, hit, err := s.loadSystem(req.SourceRequest)
 	if err != nil {
@@ -448,11 +484,13 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) error {
 		}
 		var rs *rt.Stats
 		_, rs, runErr = sys.RunParallelOpts(ctx, commute.RunOptions{
-			Workers:        workers,
-			SerialFallback: req.Fallback,
-			MaxSteps:       req.MaxSteps,
-			Sched:          sched,
-			Engine:         eng,
+			Workers:            workers,
+			SerialFallback:     req.Fallback,
+			MaxSteps:           req.MaxSteps,
+			Sched:              sched,
+			Engine:             eng,
+			Speculate:          spec,
+			SpeculateThreshold: specThreshold,
 		}, out)
 		if rs != nil {
 			stats.Regions = rs.Regions
@@ -466,7 +504,12 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) error {
 			stats.LocalPops = rs.LocalPops
 			stats.TaskPanics = rs.TaskPanics
 			stats.SerialFallbacks = rs.SerialFallbacks
+			stats.SpeculativeRegions = rs.SpeculativeRegions
+			stats.SpeculationCommits = rs.SpeculationCommits
+			stats.SpeculationAborts = rs.SpeculationAborts
 			s.fallbacks.Add(rs.SerialFallbacks)
+			s.specCommits.Add(rs.SpeculationCommits)
+			s.specAborts.Add(rs.SpeculationAborts)
 		}
 	}
 	stats.WallMS = float64(time.Since(start)) / float64(time.Millisecond)

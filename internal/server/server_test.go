@@ -451,3 +451,98 @@ func TestGracefulDrain(t *testing.T) {
 		t.Fatalf("shutdown returned in %v — did not wait for the in-flight request", d)
 	}
 }
+
+// TestRunSpeculation is the in-process mirror of the smoke script's
+// speculation checks: a disjoint rejected extent commits, a conflicting
+// one aborts and re-runs serially with the exact serial output, the
+// abort never counts as an infrastructure fallback, and both counters
+// accumulate into /statusz.
+func TestRunSpeculation(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+
+	// The analysis scores the rejected extent with fractional confidence
+	// and marks it speculation-eligible.
+	resp, data := post(t, ts, "/v1/analyze", api.AnalyzeRequest{
+		SourceRequest: api.SourceRequest{App: "specdisjoint"},
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("analyze = %d: %s", resp.StatusCode, data)
+	}
+	var ar api.AnalyzeResponse
+	if err := json.Unmarshal(data, &ar); err != nil {
+		t.Fatal(err)
+	}
+	eligible := false
+	for _, m := range ar.Methods {
+		if m.Method == "table::fill" {
+			if m.Parallel {
+				t.Fatal("fill must be rejected")
+			}
+			if m.Confidence <= 0 || m.Confidence >= 1 {
+				t.Fatalf("fill confidence = %v, want in (0,1)", m.Confidence)
+			}
+			eligible = m.SpeculationEligible
+		}
+	}
+	if !eligible {
+		t.Fatal("fill must be speculation-eligible")
+	}
+
+	run := func(app string) api.RunResponse {
+		t.Helper()
+		resp, data := post(t, ts, "/v1/run", api.RunRequest{
+			SourceRequest: api.SourceRequest{App: app},
+			Mode:          "parallel",
+			Workers:       4,
+			Speculate:     "force",
+		})
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("run %s = %d: %s", app, resp.StatusCode, data)
+		}
+		var rr api.RunResponse
+		if err := json.Unmarshal(data, &rr); err != nil {
+			t.Fatal(err)
+		}
+		return rr
+	}
+
+	if rr := run("specdisjoint"); rr.Stats.SpeculationCommits == 0 || rr.Stats.SpeculationAborts != 0 {
+		t.Fatalf("specdisjoint stats = %+v, want commits without aborts", rr.Stats)
+	}
+	rr := run("specconflict")
+	if rr.Stats.SpeculationAborts == 0 || rr.Stats.SpeculationCommits != 0 {
+		t.Fatalf("specconflict stats = %+v, want aborts without commits", rr.Stats)
+	}
+	if rr.Output != "2 3\n" {
+		t.Fatalf("specconflict output = %q, want the serial rerun's %q", rr.Output, "2 3\n")
+	}
+	if rr.Stats.SerialFallbacks != 0 {
+		t.Fatalf("speculation abort counted as serial fallback: %+v", rr.Stats)
+	}
+
+	// Speculation is rejected for serial mode, and bad modes 400.
+	resp, _ = post(t, ts, "/v1/run", api.RunRequest{
+		SourceRequest: api.SourceRequest{App: "specconflict"},
+		Mode:          "serial",
+		Speculate:     "force",
+	})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("serial+speculate = %d, want 400", resp.StatusCode)
+	}
+	resp, _ = post(t, ts, "/v1/run", api.RunRequest{
+		SourceRequest: api.SourceRequest{App: "specconflict"},
+		Speculate:     "maybe",
+	})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad speculate word = %d, want 400", resp.StatusCode)
+	}
+
+	st := statusz(t, ts)
+	if st.SpeculationCommits == 0 || st.SpeculationAborts == 0 {
+		t.Fatalf("statusz speculation counters = %d commits / %d aborts, want both nonzero",
+			st.SpeculationCommits, st.SpeculationAborts)
+	}
+	if st.Fallbacks != 0 {
+		t.Fatalf("statusz fallbacks = %d, want 0 (aborts are not fallbacks)", st.Fallbacks)
+	}
+}

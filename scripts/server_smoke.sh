@@ -54,6 +54,34 @@ echo "$RUN" | grep -q '"cache":"hit"'
 echo "$RUN" | grep -q '"regions":'
 echo "run round-trip ok"
 
+# Speculation: the analysis rejects specdisjoint's fill extent but
+# scores it with a fractional confidence and marks it eligible.
+ANALYZE=$(curl -fs -X POST "http://$ADDR/v1/analyze" -d '{"app":"specdisjoint"}')
+echo "$ANALYZE" | grep -q '"speculation_eligible":true'
+echo "$ANALYZE" | grep -Eq '"confidence":0\.[0-9]+'
+echo "analyze confidence ok"
+
+# A runtime-disjoint rejected extent commits speculatively...
+RUN=$(curl -fs -X POST "http://$ADDR/v1/run" \
+  -d '{"app":"specdisjoint","mode":"parallel","workers":4,"speculate":"force"}')
+echo "$RUN" | grep -Eq '"speculation_commits":[1-9]'
+# ...and a genuinely conflicting one aborts, reruns serially, and still
+# produces the serial output (no serial_fallbacks: aborts are not
+# infrastructure fallbacks).
+RUN=$(curl -fs -X POST "http://$ADDR/v1/run" \
+  -d '{"app":"specconflict","mode":"parallel","workers":4,"speculate":"force"}')
+echo "$RUN" | grep -Eq '"speculation_aborts":[1-9]'
+echo "$RUN" | grep -q '"output":"2 3\\n"'
+if echo "$RUN" | grep -q '"serial_fallbacks"'; then
+  echo "speculation abort leaked into serial_fallbacks" >&2
+  exit 1
+fi
+# Both counters surface in /statusz.
+STATUS=$(curl -fs "http://$ADDR/statusz")
+echo "$STATUS" | grep -Eq '"speculation_commits":[1-9]'
+echo "$STATUS" | grep -Eq '"speculation_aborts":[1-9]'
+echo "speculation ok"
+
 # SIGTERM must drain and exit 0.
 kill -TERM "$PID"
 if wait "$PID"; then
