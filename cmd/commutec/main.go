@@ -8,6 +8,8 @@
 //
 //	commutec [-v] file.mc
 //	commutec [-v] -app barneshut|water|graph
+//	commutec -emit source file.mc          # Figure 2 style source-to-source output
+//	commutec -emit go -o DIR file.mc       # native Go package (build with go build)
 package main
 
 import (
@@ -18,13 +20,15 @@ import (
 
 	"commute"
 	"commute/internal/apps/src"
+	"commute/internal/nativegen"
 	"commute/internal/transform"
 )
 
 func main() {
 	app := flag.String("app", "", "analyze a built-in application (barneshut, water, graph) instead of a file")
 	verbose := flag.Bool("v", false, "print per-pair commutativity details")
-	emit := flag.Bool("emit", false, "emit the transformed parallel source (the Figure 2 style output) instead of the report")
+	emit := flag.String("emit", "", "emit instead of the report: source (the Figure 2 style transformed source) | go (native Go package, requires -o)")
+	outDir := flag.String("o", "", "output directory for -emit go")
 	doTransform := flag.Bool("transform", false, "apply the §7.2 loop replacement (while loops → tail-recursive methods) before analysis")
 	annotations := flag.String("annotations", "", "also write the annotation file (JSON) to this path (the paper's analysis→codegen interface)")
 	flag.Parse()
@@ -87,9 +91,25 @@ func main() {
 		}
 	}
 
-	if *emit {
+	switch *emit {
+	case "":
+	case "source":
 		fmt.Print(sys.Plan.EmitParallelSource(sys.File))
 		return
+	case "go":
+		if *outDir == "" {
+			fmt.Fprintln(os.Stderr, "-emit go requires -o DIR")
+			os.Exit(2)
+		}
+		if err := nativegen.Generate(sys, name, *outDir); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote native Go package for %s to %s (build with: cd %s && go build)\n", name, *outDir, *outDir)
+		return
+	default:
+		fmt.Fprintf(os.Stderr, "unknown -emit mode %q (have source, go)\n", *emit)
+		os.Exit(2)
 	}
 
 	fmt.Printf("== commutativity analysis: %s ==\n\n", name)

@@ -24,6 +24,7 @@ import (
 	"commute"
 	"commute/internal/apps/src"
 	"commute/internal/interp"
+	"commute/internal/nativegen"
 	"commute/internal/rt"
 	"commute/internal/server/api"
 )
@@ -41,6 +42,7 @@ func main() {
 	speculate := flag.String("speculate", "off", "speculative parallelization of rejected extents: off | auto | force")
 	specThreshold := flag.Float64("speculate-threshold", 0, "minimum analysis confidence for -speculate auto (0: the 0.5 default)")
 	statsJSON := flag.Bool("stats-json", false, "emit run stats as one JSON line (the daemon's /v1/run stats schema) instead of the human summary")
+	dump := flag.Bool("dump", false, "dump the final global state to stdout after the run, suppressing the human summary (the native backend's -dump format)")
 	analysisWorkers := flag.Int("analysis-workers", 0, "goroutines for load-time commutativity analysis (0: GOMAXPROCS, 1: serial)")
 	flag.Parse()
 
@@ -116,11 +118,16 @@ func main() {
 	switch *mode {
 	case "serial":
 		start := time.Now()
-		if _, err := sys.RunSerialEngineContext(ctx, eng, os.Stdout); err != nil {
+		ip, err := sys.RunSerialEngineContext(ctx, eng, os.Stdout)
+		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
 		wall := time.Since(start)
+		if *dump {
+			nativegen.DumpInterp(os.Stdout, sys.Prog, ip)
+			return
+		}
 		if *statsJSON {
 			emitStats(api.RunStats{
 				Mode:   "serial",
@@ -150,12 +157,16 @@ func main() {
 			fmt.Fprintf(os.Stderr, "unknown scheduler %q\n", *sched)
 			os.Exit(2)
 		}
-		_, stats, err := sys.RunParallelOpts(ctx, opts, os.Stdout)
+		ip, stats, err := sys.RunParallelOpts(ctx, opts, os.Stdout)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
 		wall := time.Since(start)
+		if *dump {
+			nativegen.DumpInterp(os.Stdout, sys.Prog, ip)
+			return
+		}
 		if *statsJSON {
 			emitStats(api.RunStats{
 				Mode:            "parallel",

@@ -216,6 +216,9 @@ func RunPerf(rev string) (*PerfReport, error) {
 	if err := analysisPerf(rep, bh, water); err != nil {
 		return nil, err
 	}
+	if err := nativePerf(rep); err != nil {
+		return nil, err
+	}
 	return rep, nil
 }
 

@@ -1,0 +1,542 @@
+package codegen
+
+// Native Go backend: lower a Plan into a compilable Go package whose
+// execution mirrors the interpreter runtime (internal/rt) decision for
+// decision. Every dialect method becomes up to six Go functions — the
+// "customized versions" of §5.3 of the paper plus the context
+// refinements the interpreter's executor threads at run time:
+//
+//	S_m   serial version: every callee serial, every loop serial.
+//	D_m   driver version: runs in a serial context but opens a
+//	      parallel region (R_ wrapper) at call sites whose callee is
+//	      parallel and generates concurrency, exactly like
+//	      rt.serialCtx.
+//	R_m   region wrapper: builds an rtkit pool, runs P_m on the
+//	      external worker, waits. Falls back to S_m when the program
+//	      runs with -mode serial.
+//	P_m   parallel version: acquires the receiver lock when the plan
+//	      says so, spawns ActionSpawn sites onto the pool, runs
+//	      ActionHoisted/ActionInline sites inline, and compiles
+//	      planned-parallel counted loops to guided self-scheduling
+//	      (nativert.GSS).
+//	X_m   mutex version: same lock discipline, but ActionSpawn sites
+//	      execute inline as X_ calls and every loop is serial — the
+//	      interpreter disables the parallel-loop hook under
+//	      versionMutex.
+//	IS_m  iteration-serial version: the body as parallel-loop
+//	      iterations run it (rt.mutexIterCtx): ActionInline sites stay
+//	      in the iteration context, other sites whose callee is
+//	      parallel dispatch to the mutex version.
+//	Q_m   parallel-inline version: the body as an ActionInline callee
+//	      runs under a parallel context — sites inline (the root's
+//	      site map does not cover them), planned-parallel loops still
+//	      become GSS, and the enclosing extent's lock-release closure
+//	      threads through.
+//
+// Versions are emitted on demand, starting from main, so the generated
+// package contains exactly the functions some execution mode can reach.
+// Emission order is deterministic (declaration order, fixed variant
+// order, sorted helpers) and the output is gofmt-formatted, so
+// generating twice yields byte-identical files.
+
+import (
+	"fmt"
+	"go/format"
+	"sort"
+	"strconv"
+	"strings"
+
+	"commute/internal/frontend/ast"
+	"commute/internal/frontend/types"
+	"commute/internal/interp"
+)
+
+// EmitGoOptions configure EmitGoPackage.
+type EmitGoOptions struct {
+	// Module is the module name of the generated package
+	// (default "nativeapp").
+	Module string
+	// CommutePath is the filesystem path of the commute repository,
+	// used for the go.mod replace directive so the generated module
+	// resolves commute/nativert and commute/rtkit. Empty omits go.mod.
+	CommutePath string
+	// AppName labels the generated header comment.
+	AppName string
+}
+
+// variant identifies one customized version of a method.
+type variant int
+
+const (
+	varR variant = iota // region wrapper
+	varS                // serial
+	varD                // driver (serial context)
+	varP                // parallel
+	varX                // mutex
+	varI                // iteration-serial
+	varQ                // parallel-inline
+)
+
+var variantPrefix = [...]string{varR: "R_", varS: "S_", varD: "D_", varP: "P_", varX: "X_", varI: "IS_", varQ: "Q_"}
+
+// vkey is the demand-set key: one method version.
+type vkey struct {
+	m *types.Method
+	v variant
+}
+
+// goEmitter holds the whole-package emission state.
+type goEmitter struct {
+	plan *Plan
+	prog *types.Program
+	opts EmitGoOptions
+
+	hasSub  map[*types.Class]bool
+	layouts map[*types.Class][]interp.FieldInfo
+	frames  map[*types.Method][]interp.VarInfo
+	muRoots map[*types.Class]bool
+
+	demanded map[vkey]bool
+	queue    []vkey
+	fnSrc    map[vkey]string
+
+	// helpers maps helper function name to its source; emitted sorted
+	// by name.
+	helpers map[string]string
+
+	// tri-state memos: 0 unknown, 1 computing/false, 2 false, 3 true.
+	driverMemo  map[*types.Method]int8
+	parLoopMemo map[*types.Method]int8
+	iterMemo    map[*types.Method]int8
+
+	useMath    bool
+	useRtkit   bool
+	useStrconv bool
+
+	errs []string
+}
+
+func (e *goEmitter) errorf(format string, args ...any) {
+	e.errs = append(e.errs, fmt.Sprintf(format, args...))
+}
+
+// EmitGoPackage lowers the plan to a native Go package: prog.go (the
+// translated program), main.go (the driver), and go.mod (when
+// opts.CommutePath is set). File contents are gofmt-formatted and
+// deterministic for a given plan.
+func (p *Plan) EmitGoPackage(opts EmitGoOptions) (map[string][]byte, error) {
+	if opts.Module == "" {
+		opts.Module = "nativeapp"
+	}
+	if p.Prog.Main == nil {
+		return nil, fmt.Errorf("emitgo: program has no main function")
+	}
+	for _, m := range p.Prog.Methods {
+		if mp := p.Methods[m]; mp != nil && mp.Speculative {
+			return nil, fmt.Errorf("emitgo: %s is planned for speculative execution; the native backend does not implement speculation", m.FullName())
+		}
+		if m.Def == nil {
+			return nil, fmt.Errorf("emitgo: %s has no body", m.FullName())
+		}
+	}
+	e := &goEmitter{
+		plan:        p,
+		prog:        p.Prog,
+		opts:        opts,
+		hasSub:      make(map[*types.Class]bool),
+		layouts:     make(map[*types.Class][]interp.FieldInfo),
+		frames:      make(map[*types.Method][]interp.VarInfo),
+		muRoots:     make(map[*types.Class]bool),
+		demanded:    make(map[vkey]bool),
+		fnSrc:       make(map[vkey]string),
+		helpers:     make(map[string]string),
+		driverMemo:  make(map[*types.Method]int8),
+		parLoopMemo: make(map[*types.Method]int8),
+		iterMemo:    make(map[*types.Method]int8),
+	}
+	for _, cl := range e.prog.ClassList {
+		if cl.Base != nil {
+			e.hasSub[cl.Base] = true
+		}
+		e.layouts[cl] = interp.ClassLayout(e.prog, cl)
+	}
+	for _, m := range e.prog.Methods {
+		e.frames[m] = interp.MethodFrame(e.prog, m)
+	}
+
+	// Demand-driven emission from the entry point.
+	entry := varS
+	if e.needDriver(e.prog.Main) {
+		entry = varD
+	}
+	e.demand(e.prog.Main, entry)
+	for i := 0; i < len(e.queue); i++ {
+		k := e.queue[i]
+		e.fnSrc[k] = e.emitFn(k.m, k.v)
+	}
+
+	progSrc := e.assembleProg(entry)
+	mainSrc := e.assembleMain()
+	if len(e.errs) > 0 {
+		sort.Strings(e.errs)
+		return nil, fmt.Errorf("emitgo: %s", strings.Join(e.errs, "; "))
+	}
+	files := map[string][]byte{}
+	for name, src := range map[string]string{"prog.go": progSrc, "main.go": mainSrc} {
+		out, err := format.Source([]byte(src))
+		if err != nil {
+			return nil, fmt.Errorf("emitgo: generated %s does not parse: %v\n%s", name, err, numbered(src))
+		}
+		files[name] = out
+	}
+	if opts.CommutePath != "" {
+		files["go.mod"] = []byte(fmt.Sprintf(
+			"module %s\n\ngo 1.22\n\nrequire commute v0.0.0\n\nreplace commute => %s\n",
+			opts.Module, opts.CommutePath))
+	}
+	return files, nil
+}
+
+// numbered renders source with line numbers for parse-error reports.
+func numbered(src string) string {
+	var b strings.Builder
+	for i, line := range strings.Split(src, "\n") {
+		fmt.Fprintf(&b, "%4d  %s\n", i+1, line)
+	}
+	return b.String()
+}
+
+// demand schedules (m, v) for emission if not already demanded.
+func (e *goEmitter) demand(m *types.Method, v variant) {
+	k := vkey{m, v}
+	if !e.demanded[k] {
+		e.demanded[k] = true
+		e.queue = append(e.queue, k)
+	}
+}
+
+// ---------------------------------------------------------------------
+// Transitive properties
+
+// needDriver reports whether m (running in a serial context) can reach
+// a call site that opens a parallel region, so its serial-context
+// version must be the D_ driver rather than plain S_.
+func (e *goEmitter) needDriver(m *types.Method) bool {
+	switch e.driverMemo[m] {
+	case 1, 2:
+		return false
+	case 3:
+		return true
+	}
+	e.driverMemo[m] = 1
+	r := false
+	for _, cs := range m.CallSites {
+		cp := e.plan.Methods[cs.Callee]
+		if cp != nil && cp.Parallel && e.plan.GeneratesConcurrency(cs.Callee) {
+			r = true
+			break
+		}
+		if e.needDriver(cs.Callee) {
+			r = true
+			break
+		}
+	}
+	if r {
+		e.driverMemo[m] = 3
+	} else {
+		e.driverMemo[m] = 2
+	}
+	return r
+}
+
+// subtreeHasParallelLoop reports whether m's body, or any body
+// transitively reachable through its call sites, contains a
+// planned-parallel loop. Inline callees with such loops need the Q_
+// version under a parallel context (the loop hook fires for any loop
+// executed under the context, not only the root's).
+func (e *goEmitter) subtreeHasParallelLoop(m *types.Method) bool {
+	switch e.parLoopMemo[m] {
+	case 1, 2:
+		return false
+	case 3:
+		return true
+	}
+	e.parLoopMemo[m] = 1
+	r := false
+	if m.Def != nil {
+		ast.Inspect(m.Def.Body, func(n ast.Node) bool {
+			if r {
+				return false
+			}
+			if fs, ok := n.(*ast.ForStmt); ok {
+				if lp := e.plan.Loops[fs]; lp != nil && lp.Parallel {
+					r = true
+					return false
+				}
+			}
+			return true
+		})
+	}
+	if !r {
+		for _, cs := range m.CallSites {
+			if e.subtreeHasParallelLoop(cs.Callee) {
+				r = true
+				break
+			}
+		}
+	}
+	if r {
+		e.parLoopMemo[m] = 3
+	} else {
+		e.parLoopMemo[m] = 2
+	}
+	return r
+}
+
+// needsIter reports whether m's iteration-serial version differs from
+// its plain serial version: somewhere in the iteration context a call
+// site dispatches to a mutex version (rt.mutexIterCtx does so at
+// non-ActionInline sites whose callee is parallel).
+func (e *goEmitter) needsIter(m *types.Method) bool {
+	switch e.iterMemo[m] {
+	case 1, 2:
+		return false
+	case 3:
+		return true
+	}
+	e.iterMemo[m] = 1
+	mp := e.plan.Methods[m]
+	r := false
+	for _, cs := range m.CallSites {
+		act := ActionSerial
+		if mp != nil {
+			act = mp.Site[cs.ID]
+		}
+		if act != ActionInline {
+			if cp := e.plan.Methods[cs.Callee]; cp != nil && cp.Parallel {
+				r = true
+				break
+			}
+		}
+		if e.needsIter(cs.Callee) {
+			r = true
+			break
+		}
+	}
+	if r {
+		e.iterMemo[m] = 3
+	} else {
+		e.iterMemo[m] = 2
+	}
+	return r
+}
+
+// chainRoot returns the topmost base class of c's inheritance chain.
+func chainRoot(c *types.Class) *types.Class {
+	for c.Base != nil {
+		c = c.Base
+	}
+	return c
+}
+
+// ---------------------------------------------------------------------
+// Types and names
+
+func basicGo(b types.Basic) string {
+	switch b {
+	case types.Int:
+		return "int64"
+	case types.Double:
+		return "float64"
+	case types.Bool:
+		return "bool"
+	case types.String:
+		return "string"
+	}
+	return "any"
+}
+
+// goType renders a dialect type as a Go type. Parameter positions use
+// slices for arrays (dialect arrays pass by reference).
+func (e *goEmitter) goType(t types.Type, param bool) string {
+	switch tt := t.(type) {
+	case types.Basic:
+		if tt == types.Void {
+			return ""
+		}
+		return basicGo(tt)
+	case types.Pointer:
+		if e.hasSub[tt.Class] {
+			return "I_" + tt.Class.Name
+		}
+		return "*T_" + tt.Class.Name
+	case types.PrimPointer:
+		return "[]" + basicGo(tt.Elem)
+	case types.Array:
+		if param || tt.Len < 0 {
+			return "[]" + e.goType(tt.Elem, false)
+		}
+		return "[" + strconv.Itoa(tt.Len) + "]" + e.goType(tt.Elem, false)
+	case types.Object:
+		return "T_" + tt.Class.Name
+	}
+	return "any"
+}
+
+// zeroVal renders the zero value of a dialect type (what the
+// interpreter's zeroValue produces for a freshly declared local).
+func (e *goEmitter) zeroVal(t types.Type) string {
+	switch tt := t.(type) {
+	case types.Basic:
+		switch tt {
+		case types.Int, types.Double:
+			return "0"
+		case types.Bool:
+			return "false"
+		}
+		return "nil"
+	case types.Pointer, types.PrimPointer:
+		return "nil"
+	case types.Array, types.Object:
+		return e.goType(t, false) + "{}"
+	}
+	return "nil"
+}
+
+// ptrClass returns the class of a pointer- or object-typed expression
+// type, or nil.
+func ptrClass(t types.Type) *types.Class {
+	switch tt := t.(type) {
+	case types.Pointer:
+		return tt.Class
+	case types.Object:
+		return tt.Class
+	}
+	return nil
+}
+
+// reprIface reports whether class-c pointers are represented as the
+// I_c interface (classes with subclasses) rather than *T_c.
+func (e *goEmitter) reprIface(c *types.Class) bool { return e.hasSub[c] }
+
+// exprIface reports whether the Go expression emitted for x has
+// interface type. This differs from reprIface of the static class only
+// for expressions whose emission produces a concrete pointer (new,
+// this, globals) or follows a cast.
+func (e *goEmitter) exprIface(x ast.Expr) bool {
+	switch v := x.(type) {
+	case *ast.NewExpr, *ast.ThisExpr:
+		return false
+	case *ast.Ident:
+		if v.Sym == ast.SymGlobal {
+			return false
+		}
+	case *ast.CastExpr:
+		tc := e.prog.Classes[v.ClassName]
+		sc := ptrClass(e.prog.TypeOf(v.X))
+		if tc == nil || sc == nil {
+			return false
+		}
+		if sc == tc {
+			return e.exprIface(v.X)
+		}
+		if sc.InheritsFrom(tc) { // upcast: emission preserves the operand
+			if e.exprIface(v.X) {
+				return true
+			}
+			return e.reprIface(tc)
+		}
+		return e.reprIface(tc) // downcast helper returns the target repr
+	}
+	c := ptrClass(e.prog.TypeOf(x))
+	return c != nil && e.reprIface(c)
+}
+
+// ---------------------------------------------------------------------
+// Conversion helpers (demanded on use)
+
+// helperToI returns the name of the nil-normalizing concrete-to-
+// interface conversion helper *T_src -> I_dst, generating it on first
+// use. A plain Go conversion would wrap a nil *T_src into a non-nil
+// interface value and break NULL comparisons downstream.
+func (e *goEmitter) helperToI(src, dst *types.Class) string {
+	name := "toI_" + src.Name + "_" + dst.Name
+	if _, ok := e.helpers[name]; !ok {
+		e.helpers[name] = fmt.Sprintf(
+			"func %s(p *T_%s) I_%s {\n\tif p == nil {\n\t\treturn nil\n\t}\n\treturn p\n}\n",
+			name, src.Name, dst.Name)
+	}
+	return name
+}
+
+// helperDC returns the dynamic-cast helper I_src -> target class,
+// generating it on first use. Failed and nil casts yield nil, like the
+// interpreter's castValue.
+func (e *goEmitter) helperDC(src, dst *types.Class) string {
+	name := "dc_" + src.Name + "_" + dst.Name
+	if _, ok := e.helpers[name]; !ok {
+		ret := "*T_" + dst.Name
+		if e.reprIface(dst) {
+			ret = "I_" + dst.Name
+		}
+		e.helpers[name] = fmt.Sprintf(
+			"func %s(v I_%s) %s {\n\tc, ok := v.(%s)\n\tif !ok {\n\t\treturn nil\n\t}\n\treturn c\n}\n",
+			name, src.Name, ret, ret)
+	}
+	return name
+}
+
+// helperEq returns the pointer-equality helper for a class chain whose
+// pointers are interfaces: compares object identity via the shared
+// root embedding, handling nil on either side.
+func (e *goEmitter) helperEq(root *types.Class) string {
+	name := "eqp_" + root.Name
+	if _, ok := e.helpers[name]; !ok {
+		e.helpers[name] = fmt.Sprintf(
+			"func %s(a, b I_%s) bool {\n\tif a == nil || b == nil {\n\t\treturn a == nil && b == nil\n\t}\n\treturn a.as_%s() == b.as_%s()\n}\n",
+			name, root.Name, root.Name, root.Name)
+	}
+	return name
+}
+
+// helperPN returns the print-name helper for a pointer argument to
+// print: "<class>" using the dynamic class, or NULL.
+func (e *goEmitter) helperPN(c *types.Class) string {
+	if e.reprIface(c) {
+		name := "pnI_" + c.Name
+		if _, ok := e.helpers[name]; !ok {
+			e.helpers[name] = fmt.Sprintf(
+				"func %s(v I_%s) any {\n\tif v == nil {\n\t\treturn nil\n\t}\n\treturn \"<\" + v.cls_() + \">\"\n}\n",
+				name, c.Name)
+		}
+		return name
+	}
+	name := "pnC_" + c.Name
+	if _, ok := e.helpers[name]; !ok {
+		e.helpers[name] = fmt.Sprintf(
+			"func %s(v *T_%s) any {\n\tif v == nil {\n\t\treturn nil\n\t}\n\treturn \"<%s>\"\n}\n",
+			name, c.Name, c.Name)
+	}
+	return name
+}
+
+// helperDmp returns the nil-checking dump helper for a pointer field
+// of static class c.
+func (e *goEmitter) helperDmp(c *types.Class) string {
+	if e.reprIface(c) {
+		name := "dmpI_" + c.Name
+		if _, ok := e.helpers[name]; !ok {
+			e.helpers[name] = fmt.Sprintf(
+				"func %s(d *nativert.Dumper, path string, v I_%s) {\n\tif v == nil {\n\t\td.Null(path)\n\t\treturn\n\t}\n\tv.dmp_(d, path)\n}\n",
+				name, c.Name)
+		}
+		return name
+	}
+	name := "dmpC_" + c.Name
+	if _, ok := e.helpers[name]; !ok {
+		e.helpers[name] = fmt.Sprintf(
+			"func %s(d *nativert.Dumper, path string, v *T_%s) {\n\tif v == nil {\n\t\td.Null(path)\n\t\treturn\n\t}\n\tv.dmp_(d, path)\n}\n",
+			name, c.Name)
+	}
+	return name
+}

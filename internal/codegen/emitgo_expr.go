@@ -1,0 +1,695 @@
+package codegen
+
+// Expression emission and call-site dispatch. Dispatch reproduces the
+// interpreter runtime's per-context Invoke hooks: which version a call
+// site runs, whether its value survives, and whether it spawns.
+
+import (
+	"strconv"
+	"strings"
+
+	"commute/internal/frontend/ast"
+	"commute/internal/frontend/token"
+	"commute/internal/frontend/types"
+)
+
+// callKind classifies a call site's lowering.
+type callKind int
+
+const (
+	ckValue   callKind = iota // plain call, value preserved
+	ckRegion                  // serial context opens a parallel region; value discarded
+	ckSpawn                   // parallel version spawned as a task; value discarded
+	ckHoisted                 // inline under the hoisted lock; value discarded
+	ckEffectX                 // mutex version runs inline; value discarded
+)
+
+// callPlan is the lowering decision for one call site in the current
+// mode.
+type callPlan struct {
+	kind   callKind
+	callee *types.Method
+	name   string // function name with version prefix
+	worker bool   // pass the worker as the first argument (Q_)
+	rel    string // rel_ argument for Q_ callees ("nil" or "rel_")
+	preRel bool   // release the extent lock before the call (mX spawn sites)
+}
+
+// pInline resolves the version an ActionInline/default site uses under
+// a parallel context: the plain serial body, or Q_ when the callee's
+// subtree contains a planned-parallel loop the context would still
+// parallelize.
+func (c *fnCtx) pInline(callee *types.Method) callPlan {
+	if c.e.subtreeHasParallelLoop(callee) {
+		c.e.demand(callee, varQ)
+		rel := "nil"
+		if c.mode == mQ {
+			rel = "rel_"
+		} else if c.releaseBeforeSpawn {
+			rel = "rel_"
+		}
+		return callPlan{kind: ckValue, callee: callee, name: "Q_" + callee.Name, worker: true, rel: rel}
+	}
+	c.e.demand(callee, varS)
+	return callPlan{kind: ckValue, callee: callee, name: "S_" + callee.Name}
+}
+
+// iterCall resolves the version an iteration-context call uses when it
+// stays in the iteration context.
+func (c *fnCtx) iterCall(callee *types.Method) callPlan {
+	if c.e.needsIter(callee) {
+		c.e.demand(callee, varI)
+		return callPlan{kind: ckValue, callee: callee, name: "IS_" + callee.Name}
+	}
+	c.e.demand(callee, varS)
+	return callPlan{kind: ckValue, callee: callee, name: "S_" + callee.Name}
+}
+
+// siteDispatch decides how a non-builtin call site lowers in the
+// current mode.
+func (c *fnCtx) siteDispatch(x *ast.CallExpr) callPlan {
+	site := c.e.prog.CallSites[x.Site]
+	callee := site.Callee
+	switch c.mode {
+	case mS:
+		c.e.demand(callee, varS)
+		return callPlan{kind: ckValue, callee: callee, name: "S_" + callee.Name}
+	case mD:
+		// rt.serialCtx: parallel callees that generate concurrency get
+		// a region; everything else stays in the serial context.
+		if cp := c.e.plan.Methods[callee]; cp != nil && cp.Parallel && c.e.plan.GeneratesConcurrency(callee) {
+			c.e.demand(callee, varR)
+			return callPlan{kind: ckRegion, callee: callee, name: "R_" + callee.Name}
+		}
+		if c.e.needDriver(callee) {
+			c.e.demand(callee, varD)
+			return callPlan{kind: ckValue, callee: callee, name: "D_" + callee.Name}
+		}
+		c.e.demand(callee, varS)
+		return callPlan{kind: ckValue, callee: callee, name: "S_" + callee.Name}
+	case mP:
+		// rt.callVersion versionParallel: the Invoke switch consults
+		// the root method's site map; sites missing from it (inside
+		// inline callees) default to inline under the same context.
+		var act SiteAction
+		if c.mp != nil {
+			act = c.mp.Site[x.Site]
+		}
+		switch act {
+		case ActionSpawn:
+			c.e.demand(callee, varP)
+			return callPlan{kind: ckSpawn, callee: callee, name: "P_" + callee.Name}
+		case ActionHoisted:
+			cp := c.pInline(callee)
+			cp.kind = ckHoisted
+			return cp
+		default:
+			return c.pInline(callee)
+		}
+	case mQ:
+		return c.pInline(callee)
+	case mX:
+		// versionMutex: spawn sites run the mutex version inline
+		// (releasing the lock first when not held through); everything
+		// else is serial inline — the loop hook is disabled, so plain
+		// S_ bodies are exact.
+		var act SiteAction
+		if c.mp != nil {
+			act = c.mp.Site[x.Site]
+		}
+		switch act {
+		case ActionSpawn:
+			c.e.demand(callee, varX)
+			return callPlan{kind: ckEffectX, callee: callee, name: "X_" + callee.Name, preRel: c.releaseBeforeSpawn}
+		case ActionHoisted:
+			c.e.demand(callee, varS)
+			return callPlan{kind: ckHoisted, callee: callee, name: "S_" + callee.Name}
+		default:
+			c.e.demand(callee, varS)
+			return callPlan{kind: ckValue, callee: callee, name: "S_" + callee.Name}
+		}
+	case mI:
+		// rt.mutexIterCtx: per-site map of the site's own caller;
+		// ActionInline stays in the iteration context, other sites
+		// with a parallel callee run the mutex version.
+		act := ActionSerial
+		if mp := c.e.plan.Methods[c.m]; mp != nil {
+			act = mp.Site[x.Site]
+		}
+		if act == ActionInline {
+			return c.iterCall(callee)
+		}
+		if cp := c.e.plan.Methods[callee]; cp != nil && cp.Parallel {
+			c.e.demand(callee, varX)
+			return callPlan{kind: ckEffectX, callee: callee, name: "X_" + callee.Name}
+		}
+		return c.iterCall(callee)
+	}
+	c.errf("unknown emit mode")
+	return callPlan{kind: ckValue, callee: callee, name: "S_" + callee.Name}
+}
+
+// recvChain renders the receiver expression of a call to callee,
+// inserting the as_ accessor that narrows to the callee's declaring
+// class (also resolving interface receivers to concrete pointers).
+func (c *fnCtx) recvChain(x *ast.CallExpr, callee *types.Method) string {
+	if callee.Class == nil {
+		return ""
+	}
+	if x.Recv == nil {
+		// Implicit this->m(...).
+		if c.m.Class == callee.Class {
+			return "o"
+		}
+		return "o.as_" + callee.Class.Name + "()"
+	}
+	code := c.expr(x.Recv)
+	cls := ptrClass(c.e.prog.TypeOf(x.Recv))
+	if cls == callee.Class && !c.e.exprIface(x.Recv) {
+		return code
+	}
+	return code + ".as_" + callee.Class.Name + "()"
+}
+
+// callArgs renders the converted argument list (without worker/rel).
+func (c *fnCtx) callArgs(x *ast.CallExpr, callee *types.Method) []string {
+	var out []string
+	for i, a := range x.Args {
+		if i >= len(callee.Params) {
+			break
+		}
+		out = append(out, c.conv(c.expr(a), a, c.e.prog.TypeOf(a), callee.Params[i].Type))
+	}
+	return out
+}
+
+// renderCall assembles a lowered call expression.
+func (c *fnCtx) renderCall(x *ast.CallExpr, cp callPlan) string {
+	var args []string
+	if cp.worker {
+		args = append(args, "w", cp.rel)
+	}
+	args = append(args, c.callArgs(x, cp.callee)...)
+	call := cp.name + "(" + strings.Join(args, ", ") + ")"
+	if recv := c.recvChain(x, cp.callee); recv != "" {
+		return recv + "." + call
+	}
+	return call
+}
+
+// exprStmt lowers an expression statement.
+func (c *fnCtx) exprStmt(x ast.Expr) {
+	switch v := x.(type) {
+	case *ast.Assign:
+		c.assign(v)
+		return
+	case *ast.CallExpr:
+		if v.Builtin {
+			if v.Method == "print" {
+				c.printStmt(v)
+			} else {
+				c.line("_ = %s", c.builtinCall(v))
+			}
+			return
+		}
+		cp := c.siteDispatch(v)
+		if cp.kind == ckValue || cp.kind == ckHoisted {
+			// Value discarded either way in statement position.
+			c.line("%s", c.renderCall(v, cp))
+			return
+		}
+		c.effectCall(v, cp)
+		return
+	}
+	c.line("_ = %s", c.expr(x))
+}
+
+// effectCall lowers the value-discarding call kinds.
+func (c *fnCtx) effectCall(x *ast.CallExpr, cp callPlan) {
+	switch cp.kind {
+	case ckRegion, ckHoisted:
+		c.line("%s", c.renderCall(x, cp))
+	case ckEffectX:
+		if cp.preRel {
+			c.releaseLock()
+		}
+		c.line("%s", c.renderCall(x, cp))
+	case ckSpawn:
+		c.spawn(x, cp)
+	default:
+		c.line("%s", c.renderCall(x, cp))
+	}
+}
+
+// spawn lowers an ActionSpawn site: evaluate receiver and arguments
+// now (the interpreter evaluates them in the caller before enqueuing
+// the task), release the extent lock when the plan says so, and push a
+// task running the callee's parallel version.
+func (c *fnCtx) spawn(x *ast.CallExpr, cp callPlan) {
+	callee := cp.callee
+	c.line("{")
+	c.indent++
+	var taskArgs []string
+	recv := ""
+	if callee.Class != nil {
+		rv := c.tmpName()
+		chain := c.recvChain(x, callee)
+		// Narrow interface receivers to the concrete declaring class.
+		c.line("var %s *T_%s = %s", rv, callee.Class.Name, chain)
+		recv = rv + "."
+	}
+	for i, a := range x.Args {
+		if i >= len(callee.Params) {
+			break
+		}
+		av := c.tmpName()
+		pt := callee.Params[i].Type
+		c.line("var %s %s = %s", av, c.e.goType(pt, true),
+			c.conv(c.expr(a), a, c.e.prog.TypeOf(a), pt))
+		taskArgs = append(taskArgs, av)
+	}
+	if c.releaseBeforeSpawn {
+		c.releaseLock()
+	}
+	c.e.useRtkit = true
+	args := append([]string{"cw_"}, taskArgs...)
+	c.line("w.Pool().Spawn(w, %q, func(cw_ *rtkit.Worker) {", callee.FullName())
+	c.line("\t%s%s(%s)", recv, cp.name, strings.Join(args, ", "))
+	c.line("})")
+	c.indent--
+	c.line("}")
+}
+
+func (c *fnCtx) tmpName() string {
+	c.tmp++
+	return "t" + strconv.Itoa(c.tmp) + "_"
+}
+
+// ---------------------------------------------------------------------
+// Assignment
+
+func (c *fnCtx) assign(a *ast.Assign) {
+	lhs := c.expr(a.LHS)
+	lt := c.e.prog.TypeOf(a.LHS)
+	if a.Op == token.ASSIGN {
+		if call, ok := a.RHS.(*ast.CallExpr); ok && !call.Builtin {
+			if cp := c.siteDispatch(call); cp.kind != ckValue {
+				// The discarded-value call kinds store a zero value
+				// (the interpreter stores the region/spawn result
+				// Value{}, which reads back as the type's zero).
+				c.effectCall(call, cp)
+				c.line("%s = %s", lhs, c.e.zeroVal(lt))
+				return
+			}
+		}
+		c.line("%s = %s", lhs, c.conv(c.expr(a.RHS), a.RHS, c.e.prog.TypeOf(a.RHS), lt))
+		return
+	}
+	// Compound assignment: int op int stays int; any double promotes
+	// the arithmetic to double, then the store coerces back to the
+	// target type (truncating for int targets).
+	op := map[token.Kind]string{
+		token.PLUSEQ: "+", token.MINUSEQ: "-", token.STAREQ: "*", token.SLASHEQ: "/",
+	}[a.Op]
+	if op == "" {
+		c.errf("unsupported compound assignment %v", a.Op)
+		return
+	}
+	rt := c.e.prog.TypeOf(a.RHS)
+	rhs := c.expr(a.RHS)
+	lInt := isIntType(lt)
+	rInt := isIntType(rt)
+	if lInt && rInt {
+		c.line("%s %s= %s", lhs, op, rhs)
+		return
+	}
+	l, r := lhs, rhs
+	if lInt {
+		l = "float64(" + l + ")"
+	}
+	if rInt {
+		r = "float64(" + r + ")"
+	}
+	res := "float64(" + l + " " + op + " " + r + ")"
+	if lInt {
+		res = "int64(" + res + ")"
+	}
+	c.line("%s = %s", lhs, res)
+}
+
+func isIntType(t types.Type) bool {
+	b, ok := t.(types.Basic)
+	return ok && b == types.Int
+}
+
+func isDoubleType(t types.Type) bool {
+	b, ok := t.(types.Basic)
+	return ok && b == types.Double
+}
+
+// ---------------------------------------------------------------------
+// Conversions
+
+// conv converts an emitted expression from its checked type to the
+// target type: the dialect's implicit numeric coercions, array decay
+// to slices at call boundaries, and nil-safe concrete-to-interface
+// pointer widening.
+func (c *fnCtx) conv(code string, src ast.Expr, from, to types.Type) string {
+	if from == nil || to == nil {
+		return code
+	}
+	switch tt := to.(type) {
+	case types.Basic:
+		switch tt {
+		case types.Int:
+			if isDoubleType(from) {
+				return "int64(" + code + ")"
+			}
+		case types.Double:
+			if isIntType(from) {
+				return "float64(" + code + ")"
+			}
+		}
+		return code
+	case types.Pointer:
+		if b, ok := from.(types.Basic); ok && b == types.Null {
+			return code // untyped nil assigns to both reprs
+		}
+		fc := ptrClass(from)
+		if fc == nil {
+			return code
+		}
+		if !c.e.reprIface(tt.Class) {
+			return code
+		}
+		if c.e.exprIface(src) {
+			return code // interface-to-interface widening is implicit
+		}
+		if _, ok := src.(*ast.NewExpr); ok {
+			return code // never nil; implicit conversion is safe
+		}
+		return c.e.helperToI(fc, tt.Class) + "(" + code + ")"
+	case types.PrimPointer:
+		if _, ok := from.(types.Array); ok {
+			return c.decay(code, src)
+		}
+		return code
+	case types.Array:
+		// Parameter position: dialect arrays pass by reference.
+		if fa, ok := from.(types.Array); ok && fa.Len >= 0 {
+			return c.decay(code, src)
+		}
+		return code
+	}
+	return code
+}
+
+// decay turns a Go fixed-array expression into a slice; parameters are
+// already slices.
+func (c *fnCtx) decay(code string, src ast.Expr) string {
+	if id, ok := src.(*ast.Ident); ok && id.Sym == ast.SymParam {
+		return code
+	}
+	return code + "[:]"
+}
+
+// ---------------------------------------------------------------------
+// Expressions
+
+func (c *fnCtx) expr(x ast.Expr) string {
+	switch v := x.(type) {
+	case *ast.IntLit:
+		return strconv.FormatInt(v.Value, 10)
+	case *ast.FloatLit:
+		return formatFloatLit(v.Value)
+	case *ast.BoolLit:
+		if v.Value {
+			return "true"
+		}
+		return "false"
+	case *ast.NullLit:
+		return "nil"
+	case *ast.StringLit:
+		return strconv.Quote(v.Value)
+	case *ast.ThisExpr:
+		return "o"
+	case *ast.Ident:
+		return c.ident(v)
+	case *ast.FieldAccess:
+		base := c.expr(v.X)
+		bcl := ptrClass(c.e.prog.TypeOf(v.X))
+		if bcl != nil && bcl.Name == v.DeclClass && !c.e.exprIface(v.X) {
+			return base + ".F_" + v.Name
+		}
+		return base + ".as_" + v.DeclClass + "().F_" + v.Name
+	case *ast.IndexExpr:
+		return c.expr(v.X) + "[" + c.expr(v.Index) + "]"
+	case *ast.NewExpr:
+		return "&T_" + v.ClassName + "{}"
+	case *ast.CastExpr:
+		return c.cast(v)
+	case *ast.Unary:
+		switch v.Op {
+		case token.MINUS:
+			return "(-" + c.expr(v.X) + ")"
+		case token.NOT:
+			return "(!" + c.expr(v.X) + ")"
+		}
+		c.errf("unsupported unary operator %v", v.Op)
+		return "0"
+	case *ast.Binary:
+		return c.binary(v)
+	case *ast.CallExpr:
+		if v.Builtin {
+			if v.Method == "print" {
+				c.errf("print used as a value")
+				return "0"
+			}
+			return c.builtinCall(v)
+		}
+		cp := c.siteDispatch(v)
+		if cp.kind != ckValue {
+			c.errf("call with discarded result used as a value (site %d)", v.Site)
+			return c.e.zeroVal(c.e.prog.TypeOf(v))
+		}
+		return c.renderCall(v, cp)
+	case *ast.Assign:
+		c.errf("assignment used as a value")
+		return "0"
+	}
+	c.errf("unsupported expression %T", x)
+	return "0"
+}
+
+func (c *fnCtx) ident(v *ast.Ident) string {
+	switch v.Sym {
+	case ast.SymLocal, ast.SymParam:
+		return "v_" + v.Name
+	case ast.SymConst:
+		return "C_" + v.Name
+	case ast.SymGlobal:
+		return "G_" + v.Name
+	case ast.SymField:
+		if c.m.Class != nil && c.m.Class.Name == v.FieldClass {
+			return "o.F_" + v.Name
+		}
+		return "o.as_" + v.FieldClass + "().F_" + v.Name
+	}
+	c.errf("unresolved identifier %s", v.Name)
+	return "0"
+}
+
+// formatFloatLit renders a float literal so Go reads back the same
+// float64 bit pattern, keeping a decimal point or exponent so the
+// literal stays floating-typed.
+func formatFloatLit(v float64) string {
+	s := strconv.FormatFloat(v, 'g', -1, 64)
+	if !strings.ContainsAny(s, ".eE") {
+		s += ".0"
+	}
+	return s
+}
+
+func (c *fnCtx) cast(v *ast.CastExpr) string {
+	tc := c.e.prog.Classes[v.ClassName]
+	sc := ptrClass(c.e.prog.TypeOf(v.X))
+	code := c.expr(v.X)
+	if tc == nil || sc == nil {
+		c.errf("cast with unresolved classes")
+		return code
+	}
+	if sc == tc {
+		return code
+	}
+	if sc.InheritsFrom(tc) {
+		// Upcast: same object, possibly widened to the base interface.
+		return c.conv(code, v.X, types.Pointer{Class: sc}, types.Pointer{Class: tc})
+	}
+	if tc.InheritsFrom(sc) {
+		// Downcast: runtime-checked, nil on failure (and on nil input),
+		// exactly like the interpreter's castValue.
+		return c.e.helperDC(sc, tc) + "(" + code + ")"
+	}
+	c.errf("cast between unrelated classes %s and %s", sc.Name, tc.Name)
+	return code
+}
+
+// binary lowers a binary operator. Every float operation is wrapped in
+// an explicit float64 conversion: the Go spec permits fusing `a*b + c`
+// into an FMA unless the result is "explicitly rounded by a
+// conversion", and the interpreter's arithmetic rounds after every
+// operation — the conversions make native floats bit-identical.
+func (c *fnCtx) binary(v *ast.Binary) string {
+	lt := c.e.prog.TypeOf(v.X)
+	rt := c.e.prog.TypeOf(v.Y)
+	switch v.Op {
+	case token.PLUS, token.MINUS, token.STAR, token.SLASH, token.PERCENT:
+		op := map[token.Kind]string{
+			token.PLUS: "+", token.MINUS: "-", token.STAR: "*",
+			token.SLASH: "/", token.PERCENT: "%",
+		}[v.Op]
+		if isIntType(lt) && isIntType(rt) {
+			return "(" + c.expr(v.X) + " " + op + " " + c.expr(v.Y) + ")"
+		}
+		return "float64(" + c.floatOperand(v.X, lt) + " " + op + " " + c.floatOperand(v.Y, rt) + ")"
+	case token.LT, token.GT, token.LEQ, token.GEQ:
+		op := map[token.Kind]string{
+			token.LT: "<", token.GT: ">", token.LEQ: "<=", token.GEQ: ">=",
+		}[v.Op]
+		if isIntType(lt) && isIntType(rt) {
+			return "(" + c.expr(v.X) + " " + op + " " + c.expr(v.Y) + ")"
+		}
+		return "(" + c.floatOperand(v.X, lt) + " " + op + " " + c.floatOperand(v.Y, rt) + ")"
+	case token.EQ, token.NEQ:
+		return c.equality(v)
+	case token.AND:
+		return "(" + c.expr(v.X) + " && " + c.expr(v.Y) + ")"
+	case token.OR:
+		return "(" + c.expr(v.X) + " || " + c.expr(v.Y) + ")"
+	}
+	c.errf("unsupported binary operator %v", v.Op)
+	return "0"
+}
+
+func (c *fnCtx) floatOperand(x ast.Expr, t types.Type) string {
+	code := c.expr(x)
+	if isIntType(t) {
+		return "float64(" + code + ")"
+	}
+	return code
+}
+
+func (c *fnCtx) equality(v *ast.Binary) string {
+	lt := c.e.prog.TypeOf(v.X)
+	rt := c.e.prog.TypeOf(v.Y)
+	neg := v.Op == token.NEQ
+	wrap := func(cond string) string {
+		if neg {
+			return "(!" + cond + ")"
+		}
+		return cond
+	}
+	lNull := types.Equal(lt, types.Basic(types.Null))
+	rNull := types.Equal(rt, types.Basic(types.Null))
+	switch {
+	case lNull && rNull:
+		if neg {
+			return "false"
+		}
+		return "true"
+	case rNull:
+		if neg {
+			return "(" + c.expr(v.X) + " != nil)"
+		}
+		return "(" + c.expr(v.X) + " == nil)"
+	case lNull:
+		if neg {
+			return "(" + c.expr(v.Y) + " != nil)"
+		}
+		return "(" + c.expr(v.Y) + " == nil)"
+	}
+	lc := ptrClass(lt)
+	rc := ptrClass(rt)
+	if lc != nil && rc != nil {
+		if !c.e.reprIface(lc) && !c.e.reprIface(rc) && !c.e.exprIface(v.X) && !c.e.exprIface(v.Y) {
+			op := "=="
+			if neg {
+				op = "!="
+			}
+			return "(" + c.expr(v.X) + " " + op + " " + c.expr(v.Y) + ")"
+		}
+		root := chainRoot(lc)
+		eq := c.e.helperEq(root)
+		a := c.conv(c.expr(v.X), v.X, lt, types.Pointer{Class: root})
+		b := c.conv(c.expr(v.Y), v.Y, rt, types.Pointer{Class: root})
+		return wrap(eq + "(" + a + ", " + b + ")")
+	}
+	// Numeric or boolean equality.
+	if isIntType(lt) && isIntType(rt) || !types.IsNumeric(lt) {
+		op := "=="
+		if neg {
+			op = "!="
+		}
+		return "(" + c.expr(v.X) + " " + op + " " + c.expr(v.Y) + ")"
+	}
+	op := "=="
+	if neg {
+		op = "!="
+	}
+	return "(" + c.floatOperand(v.X, lt) + " " + op + " " + c.floatOperand(v.Y, rt) + ")"
+}
+
+// ---------------------------------------------------------------------
+// Builtins
+
+// builtinCall lowers a math builtin to its math-package equivalent
+// (the interpreter's callBuiltin mapping); arguments coerce to float64
+// like the interpreter's asFloat.
+func (c *fnCtx) builtinCall(v *ast.CallExpr) string {
+	name := map[string]string{
+		"sqrt": "math.Sqrt", "fabs": "math.Abs", "exp": "math.Exp",
+		"log": "math.Log", "floor": "math.Floor", "sin": "math.Sin",
+		"cos": "math.Cos", "pow": "math.Pow",
+	}[v.Method]
+	if name == "" {
+		c.errf("unsupported builtin %s", v.Method)
+		return "0"
+	}
+	c.e.useMath = true
+	var args []string
+	for _, a := range v.Args {
+		args = append(args, c.floatOperand(a, c.e.prog.TypeOf(a)))
+	}
+	return name + "(" + strings.Join(args, ", ") + ")"
+}
+
+// printStmt lowers print(...): arguments are pre-converted to the
+// concrete Go types nativert.Print formats like the interpreter.
+func (c *fnCtx) printStmt(v *ast.CallExpr) {
+	var args []string
+	for _, a := range v.Args {
+		args = append(args, c.printArg(a))
+	}
+	c.line("nativert.Print(%s)", strings.Join(args, ", "))
+}
+
+func (c *fnCtx) printArg(a ast.Expr) string {
+	t := c.e.prog.TypeOf(a)
+	switch tt := t.(type) {
+	case types.Basic:
+		switch tt {
+		case types.Int:
+			return "int64(" + c.expr(a) + ")"
+		case types.Double:
+			return "float64(" + c.expr(a) + ")"
+		case types.Null:
+			return "nil"
+		}
+		return c.expr(a)
+	case types.Pointer:
+		return c.e.helperPN(tt.Class) + "(" + c.expr(a) + ")"
+	case types.Object:
+		return strconv.Quote("<" + tt.Class.Name + ">")
+	}
+	return c.expr(a)
+}

@@ -1,0 +1,539 @@
+package codegen
+
+// Per-method-version emission: signatures, lock discipline, statements,
+// serial loops, and guided-self-scheduling compilation of
+// planned-parallel counted loops.
+
+import (
+	"fmt"
+	"strings"
+
+	"commute/internal/frontend/ast"
+	"commute/internal/frontend/token"
+	"commute/internal/frontend/types"
+)
+
+// emitMode is the execution context a function body compiles under;
+// it decides call-site dispatch and loop lowering. There is one mode
+// per body-carrying variant (varR has a synthesized body).
+type emitMode int
+
+const (
+	mS emitMode = iota // serial engine
+	mD                 // serial context of the parallel engine
+	mP                 // parallel version root
+	mX                 // mutex version root
+	mI                 // parallel-loop iteration context
+	mQ                 // inline callee under a parallel context
+)
+
+func modeOf(v variant) emitMode {
+	switch v {
+	case varD:
+		return mD
+	case varP:
+		return mP
+	case varX:
+		return mX
+	case varI:
+		return mI
+	case varQ:
+		return mQ
+	}
+	return mS
+}
+
+// fnCtx is the single-function emission state.
+type fnCtx struct {
+	e    *goEmitter
+	m    *types.Method
+	mp   *MethodPlan
+	mode emitMode
+
+	// locked: the P_/X_ prologue acquired the receiver lock.
+	// releaseBeforeSpawn mirrors rt.callVersion: locked and not
+	// holding through, so spawn sites and parallel loops release it.
+	locked             bool
+	releaseBeforeSpawn bool
+
+	b      strings.Builder
+	indent int
+	tmp    int
+}
+
+func (c *fnCtx) line(format string, args ...any) {
+	c.b.WriteString(strings.Repeat("\t", c.indent))
+	fmt.Fprintf(&c.b, format, args...)
+	c.b.WriteByte('\n')
+}
+
+func (c *fnCtx) errf(format string, args ...any) {
+	c.e.errorf("%s: %s", c.m.FullName(), fmt.Sprintf(format, args...))
+}
+
+// emitFn renders one method version as Go source.
+func (e *goEmitter) emitFn(m *types.Method, v variant) string {
+	if v == varR {
+		return e.emitRegionWrapper(m)
+	}
+	c := &fnCtx{e: e, m: m, mp: e.plan.Methods[m], mode: modeOf(v)}
+	c.b.WriteString(e.fnSignature(m, v))
+	c.b.WriteString(" {\n")
+	c.indent = 1
+
+	// Hoisted frame locals (interpreter frames allocate every local up
+	// front; DeclStmt re-zeroes its slot on execution).
+	frame := e.frames[m]
+	locals := frame[len(m.Params):]
+	if len(locals) > 0 {
+		c.line("var (")
+		c.indent++
+		for _, l := range locals {
+			c.line("v_%s %s", l.Name, e.goType(l.Type, false))
+		}
+		c.indent--
+		c.line(")")
+		var names []string
+		for _, l := range locals {
+			names = append(names, "v_"+l.Name)
+		}
+		c.line("%s = %s", strings.Repeat("_, ", len(locals)-1)+"_", strings.Join(names, ", "))
+	}
+
+	// Lock prologue for parallel/mutex versions (rt.callVersion:
+	// locked = NeedsLock && recv != nil).
+	if (c.mode == mP || c.mode == mX) && c.mp != nil && c.mp.NeedsLock && m.Class != nil {
+		e.muRoots[chainRoot(m.Class)] = true
+		c.locked = true
+		c.releaseBeforeSpawn = !c.mp.HoldsLockThrough
+		c.line("o.mu_.Lock()")
+		c.line("lockHeld_ := true")
+		c.line("defer func() {")
+		c.line("\tif lockHeld_ {")
+		c.line("\t\to.mu_.Unlock()")
+		c.line("\t}")
+		c.line("}()")
+		if c.mode == mP {
+			// rel_ is passed to Q_ callees so planned-parallel loops
+			// inside inline callees release the extent lock exactly
+			// where the interpreter's loop hook would.
+			c.line("rel_ := func() {")
+			c.line("\tif lockHeld_ {")
+			c.line("\t\tlockHeld_ = false")
+			c.line("\t\to.mu_.Unlock()")
+			c.line("\t}")
+			c.line("}")
+			c.line("_ = rel_")
+		}
+	}
+
+	for _, s := range m.Def.Body.Stmts {
+		c.stmt(s)
+	}
+	if c.valueMode() && !isVoid(m.Ret) && !blockTerminates(m.Def.Body) {
+		// The interpreter returns a zero value when control falls off
+		// the end of a non-void body.
+		c.line("return %s", e.zeroVal(m.Ret))
+	}
+	c.b.WriteString("}\n")
+	return c.b.String()
+}
+
+// valueMode reports whether the current version returns the method's
+// value (P_ and X_ are void: their callers discard results).
+func (c *fnCtx) valueMode() bool { return c.mode != mP && c.mode != mX }
+
+func isVoid(t types.Type) bool {
+	b, ok := t.(types.Basic)
+	return t == nil || (ok && b == types.Void)
+}
+
+// fnSignature renders the func header for one version.
+func (e *goEmitter) fnSignature(m *types.Method, v variant) string {
+	var b strings.Builder
+	b.WriteString("func ")
+	if m.Class != nil {
+		fmt.Fprintf(&b, "(o *T_%s) ", m.Class.Name)
+	}
+	b.WriteString(variantPrefix[v])
+	b.WriteString(m.Name)
+	b.WriteByte('(')
+	var params []string
+	if v == varP || v == varQ {
+		params = append(params, "w *rtkit.Worker")
+		e.useRtkit = true
+	}
+	if v == varQ {
+		params = append(params, "rel_ func()")
+	}
+	for _, p := range m.Params {
+		params = append(params, "v_"+p.Name+" "+e.goType(p.Type, true))
+	}
+	b.WriteString(strings.Join(params, ", "))
+	b.WriteByte(')')
+	if v != varP && v != varX && v != varR && !isVoid(m.Ret) {
+		b.WriteByte(' ')
+		b.WriteString(e.goType(m.Ret, false))
+	}
+	return b.String()
+}
+
+// emitRegionWrapper renders R_m: the serial-to-parallel boundary
+// (rt.runRegion). The parallel version runs on the pool's external
+// worker; Wait drains every transitively spawned task. Any return
+// value is discarded, exactly as the interpreter's serial context
+// discards region results. Under -mode serial it degrades to S_m.
+func (e *goEmitter) emitRegionWrapper(m *types.Method) string {
+	e.demand(m, varS)
+	e.demand(m, varP)
+	e.useRtkit = true
+	var b strings.Builder
+	b.WriteString(e.fnSignature(m, varR))
+	b.WriteString(" {\n")
+	recv := ""
+	if m.Class != nil {
+		recv = "o."
+	}
+	var args, pargs []string
+	pargs = append(pargs, "pool_.External()")
+	for _, p := range m.Params {
+		args = append(args, "v_"+p.Name)
+		pargs = append(pargs, "v_"+p.Name)
+	}
+	fmt.Fprintf(&b, "\tif !cfgParallel {\n\t\t%sS_%s(%s)\n\t\treturn\n\t}\n",
+		recv, m.Name, strings.Join(args, ", "))
+	b.WriteString("\tpool_ := rtkit.NewPool(cfgWorkers, cfgSched, rtkit.Hooks{})\n")
+	fmt.Fprintf(&b, "\t%sP_%s(%s)\n", recv, m.Name, strings.Join(pargs, ", "))
+	b.WriteString("\tpool_.Wait()\n}\n")
+	return b.String()
+}
+
+// ---------------------------------------------------------------------
+// Statements
+
+func (c *fnCtx) stmt(s ast.Stmt) {
+	switch v := s.(type) {
+	case *ast.Block:
+		for _, s := range v.Stmts {
+			c.stmt(s)
+		}
+	case *ast.DeclStmt:
+		t := c.e.prog.DeclType[v]
+		if v.Init == nil {
+			c.line("v_%s = %s", v.Name, c.e.zeroVal(t))
+			return
+		}
+		// The interpreter zeroes the slot before evaluating the
+		// initializer; that is observable only when the initializer
+		// reads the variable being declared.
+		if refersToVar(v.Init, v.Name) {
+			c.line("v_%s = %s", v.Name, c.e.zeroVal(t))
+		}
+		c.line("v_%s = %s", v.Name, c.conv(c.expr(v.Init), v.Init, c.e.prog.TypeOf(v.Init), t))
+	case *ast.ExprStmt:
+		c.exprStmt(v.X)
+	case *ast.IfStmt:
+		c.line("if %s {", c.expr(v.Cond))
+		c.indent++
+		c.stmt(v.Then)
+		c.indent--
+		if v.Else != nil {
+			c.line("} else {")
+			c.indent++
+			c.stmt(v.Else)
+			c.indent--
+		}
+		c.line("}")
+	case *ast.WhileStmt:
+		c.line("for %s {", c.expr(v.Cond))
+		c.indent++
+		c.stmt(v.Body)
+		c.indent--
+		c.line("}")
+	case *ast.ForStmt:
+		c.forStmt(v)
+	case *ast.ReturnStmt:
+		c.returnStmt(v)
+	default:
+		c.errf("unsupported statement %T", s)
+	}
+}
+
+func (c *fnCtx) returnStmt(v *ast.ReturnStmt) {
+	if !c.valueMode() {
+		// Void versions still evaluate the expression for effects.
+		if v.X != nil {
+			c.exprStmt(v.X)
+		}
+		c.line("return")
+		return
+	}
+	if v.X == nil {
+		if isVoid(c.m.Ret) {
+			c.line("return")
+		} else {
+			c.line("return %s", c.e.zeroVal(c.m.Ret))
+		}
+		return
+	}
+	if call, ok := v.X.(*ast.CallExpr); ok && !call.Builtin {
+		if cp := c.siteDispatch(call); cp.kind != ckValue {
+			// The called version's result is discarded (region/spawn/
+			// hoisted); run it, return a zero value.
+			c.effectCall(call, cp)
+			if isVoid(c.m.Ret) {
+				c.line("return")
+			} else {
+				c.line("return %s", c.e.zeroVal(c.m.Ret))
+			}
+			return
+		}
+	}
+	c.line("return %s", c.conv(c.expr(v.X), v.X, c.e.prog.TypeOf(v.X), c.m.Ret))
+}
+
+// refersToVar reports whether the expression reads local/param name.
+func refersToVar(x ast.Expr, name string) bool {
+	found := false
+	ast.Inspect(x, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok &&
+			(id.Sym == ast.SymLocal || id.Sym == ast.SymParam) && id.Name == name {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// blockTerminates reports whether the statement always transfers
+// control (Go's terminating-statement analysis, restricted to the
+// dialect's statement forms), so emitFn knows when a trailing zero
+// return would be flagged as unreachable.
+func blockTerminates(s ast.Stmt) bool {
+	switch v := s.(type) {
+	case *ast.ReturnStmt:
+		return true
+	case *ast.Block:
+		if len(v.Stmts) == 0 {
+			return false
+		}
+		return blockTerminates(v.Stmts[len(v.Stmts)-1])
+	case *ast.IfStmt:
+		return v.Else != nil && blockTerminates(v.Then) && blockTerminates(v.Else)
+	}
+	return false
+}
+
+// ---------------------------------------------------------------------
+// Loops
+
+// forStmt lowers a for loop. Planned-parallel counted loops compile to
+// nativert.GSS in parallel-context modes; everything else is a serial
+// Go loop (init before, condition re-evaluated, post at the body end —
+// the interpreter's serial execution order).
+func (c *fnCtx) forStmt(fs *ast.ForStmt) {
+	if c.mode == mP || c.mode == mQ {
+		if lp := c.e.plan.Loops[fs]; lp != nil && lp.Parallel {
+			if info, ok := c.e.staticCounted(fs); ok {
+				c.gssLoop(fs, info)
+				return
+			}
+		}
+	}
+	if fs.Init != nil {
+		c.stmt(fs.Init)
+	}
+	cond := "true"
+	if fs.Cond != nil {
+		cond = c.expr(fs.Cond)
+	}
+	c.line("for %s {", cond)
+	c.indent++
+	c.stmt(fs.Body)
+	if fs.Post != nil {
+		c.stmt(fs.Post)
+	}
+	c.indent--
+	c.line("}")
+}
+
+// countedInfo is the static half of the interpreter's counted-loop
+// match (interp.matchCountedLoop) plus the type facts that make the
+// runtime half (loop variable holds an int, bound evaluates to an int)
+// unconditional: both are declared int.
+type countedInfo struct {
+	name  string // loop variable (frame-unique name)
+	bound ast.Expr
+	step  int64
+}
+
+// staticCounted decides at generation time exactly what the
+// interpreter decides at run time for `for (v = ...; v < bound; v +=
+// step)`. Declared-int variables always hold KInt and int-typed pure
+// bounds always evaluate to KInt, so the static match is equivalent —
+// the generated program takes the GSS path precisely when the
+// interpreter's parallel dispatcher would.
+func (e *goEmitter) staticCounted(fs *ast.ForStmt) (countedInfo, bool) {
+	var info countedInfo
+	intType := func(t types.Type) bool {
+		b, ok := t.(types.Basic)
+		return ok && b == types.Int
+	}
+	switch init := fs.Init.(type) {
+	case *ast.DeclStmt:
+		if !intType(e.prog.DeclType[init]) {
+			return info, false
+		}
+		info.name = init.Name
+	case *ast.ExprStmt:
+		asn, ok := init.X.(*ast.Assign)
+		if !ok || asn.Op != token.ASSIGN {
+			return info, false
+		}
+		id, ok := asn.LHS.(*ast.Ident)
+		if !ok || (id.Sym != ast.SymLocal && id.Sym != ast.SymParam) || !intType(e.prog.TypeOf(id)) {
+			return info, false
+		}
+		info.name = id.Name
+	default:
+		return info, false
+	}
+	cmp, ok := fs.Cond.(*ast.Binary)
+	if !ok || cmp.Op != token.LT {
+		return info, false
+	}
+	cid, ok := cmp.X.(*ast.Ident)
+	if !ok || (cid.Sym != ast.SymLocal && cid.Sym != ast.SymParam) || cid.Name != info.name {
+		return info, false
+	}
+	if !goPureExpr(cmp.Y) || !intType(e.prog.TypeOf(cmp.Y)) {
+		return info, false
+	}
+	info.bound = cmp.Y
+	post, ok := fs.Post.(*ast.ExprStmt)
+	if !ok {
+		return info, false
+	}
+	pasn, ok := post.X.(*ast.Assign)
+	if !ok || pasn.Op != token.PLUSEQ {
+		return info, false
+	}
+	pid, ok := pasn.LHS.(*ast.Ident)
+	if !ok || (pid.Sym != ast.SymLocal && pid.Sym != ast.SymParam) || pid.Name != info.name {
+		return info, false
+	}
+	lit, ok := pasn.RHS.(*ast.IntLit)
+	if !ok || lit.Value <= 0 {
+		return info, false
+	}
+	info.step = lit.Value
+	return info, true
+}
+
+// goPureExpr mirrors interp.pureExpr: no calls, assignments, or
+// allocations.
+func goPureExpr(x ast.Expr) bool {
+	pure := true
+	ast.Inspect(x, func(n ast.Node) bool {
+		switch n.(type) {
+		case *ast.CallExpr, *ast.Assign, *ast.NewExpr:
+			pure = false
+		}
+		return pure
+	})
+	return pure
+}
+
+// gssLoop compiles a planned-parallel counted loop to guided
+// self-scheduling. Mirrors rt.parallelLoop + rt's loop hook:
+//   - the extent lock is released first when the plan says so,
+//   - each loop goroutine gets one private copy of the frame variables
+//     the body touches (the interpreter's per-worker iteration frame),
+//   - the body runs in iteration-context mode (mI dispatch),
+//   - afterwards the loop variable holds the bound and the post
+//     statement never runs.
+func (c *fnCtx) gssLoop(fs *ast.ForStmt, info countedInfo) {
+	if fs.Init != nil {
+		c.stmt(fs.Init)
+	}
+	switch c.mode {
+	case mP:
+		if c.releaseBeforeSpawn {
+			c.releaseLock()
+		}
+	case mQ:
+		c.line("if rel_ != nil {")
+		c.line("\trel_()")
+		c.line("}")
+	}
+	// Frame variables referenced by the body, in frame-slot order.
+	used := c.bodyVars(fs.Body)
+	loopVarUsed := false
+	var copies []string
+	for _, name := range used {
+		if name == info.name {
+			loopVarUsed = true
+		}
+		copies = append(copies, "v_"+name)
+	}
+	c.line("{")
+	c.indent++
+	c.line("var gssTo_ int64 = %s", c.expr(info.bound))
+	c.line("nativert.GSS(cfgWorkers, v_%s, gssTo_, %d, func() func(int64) {", info.name, info.step)
+	c.indent++
+	if len(copies) > 0 {
+		list := strings.Join(copies, ", ")
+		c.line("%s := %s", list, list)
+	}
+	c.line("return func(gssI_ int64) {")
+	c.indent++
+	if loopVarUsed {
+		c.line("v_%s = gssI_", info.name)
+	}
+	sub := &fnCtx{e: c.e, m: c.m, mp: c.mp, mode: mI, indent: c.indent, tmp: c.tmp}
+	subEmit(sub, c, fs.Body)
+	c.indent--
+	c.line("}")
+	c.indent--
+	c.line("})")
+	c.line("v_%s = gssTo_", info.name)
+	c.indent--
+	c.line("}")
+}
+
+// subEmit runs the iteration-mode emitter over the loop body and folds
+// its output and temp counter back into the parent context.
+func subEmit(sub, parent *fnCtx, body ast.Stmt) {
+	sub.stmt(body)
+	parent.b.WriteString(sub.b.String())
+	parent.tmp = sub.tmp
+}
+
+// bodyVars returns the frame variable names referenced in the loop
+// body, in frame-slot order (deterministic emission order for the
+// per-goroutine copies).
+func (c *fnCtx) bodyVars(body ast.Stmt) []string {
+	used := map[string]bool{}
+	ast.Inspect(body, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok && (id.Sym == ast.SymLocal || id.Sym == ast.SymParam) {
+			used[id.Name] = true
+		}
+		return true
+	})
+	var out []string
+	for _, v := range c.e.frames[c.m] {
+		if used[v.Name] {
+			out = append(out, v.Name)
+		}
+	}
+	return out
+}
+
+// releaseLock emits the guarded extent-lock release (rt.callVersion's
+// releaseBeforeSpawn path).
+func (c *fnCtx) releaseLock() {
+	c.line("if lockHeld_ {")
+	c.line("\tlockHeld_ = false")
+	c.line("\to.mu_.Unlock()")
+	c.line("}")
+}

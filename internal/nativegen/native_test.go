@@ -1,0 +1,231 @@
+package nativegen_test
+
+import (
+	"math"
+	"os"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+
+	"commute"
+	"commute/internal/apps"
+	"commute/internal/interp"
+	"commute/internal/nativegen"
+)
+
+// buildOnce generates and builds each application a single time and
+// shares the binary across tests.
+type builtApp struct {
+	once sync.Once
+	sys  *commute.System
+	bin  string
+	err  error
+}
+
+var built = map[string]*builtApp{
+	"barneshut": {},
+	"water":     {},
+}
+
+func getApp(t *testing.T, name string) (*commute.System, string) {
+	t.Helper()
+	if !nativegen.HaveGo() {
+		t.Skip("go toolchain not available")
+	}
+	ba := built[name]
+	ba.once.Do(func() {
+		var sys *commute.System
+		var err error
+		switch name {
+		case "barneshut":
+			sys, err = apps.BarnesHut(64, 1)
+		case "water":
+			sys, err = apps.Water(27, 1)
+		}
+		if err != nil {
+			ba.err = err
+			return
+		}
+		dir, err := os.MkdirTemp("", "nativegen-"+name+"-*")
+		if err != nil {
+			ba.err = err
+			return
+		}
+		// Keep the dir for the whole test binary's lifetime; the OS
+		// cleans the tempdir. (t.TempDir would tear it down after the
+		// first test that built it.)
+		if err := nativegen.Generate(sys, name, dir); err != nil {
+			ba.err = err
+			return
+		}
+		ba.bin, ba.err = nativegen.Build(dir)
+		ba.sys = sys
+	})
+	if ba.err != nil {
+		t.Fatalf("build %s: %v", name, ba.err)
+	}
+	return ba.sys, ba.bin
+}
+
+// interpDump runs the app serially under the given interpreter engine
+// and returns program output followed by the state dump — the same
+// byte stream the native binary produces with -dump.
+func interpDump(t *testing.T, sys *commute.System, eng interp.Engine) string {
+	t.Helper()
+	var buf strings.Builder
+	ip, err := sys.RunSerialEngine(eng, &buf)
+	if err != nil {
+		t.Fatalf("interpreter run: %v", err)
+	}
+	nativegen.DumpInterp(&buf, sys.Prog, ip)
+	return buf.String()
+}
+
+func TestNativeBarnesHutMatchesInterpreter(t *testing.T) {
+	sys, bin := getApp(t, "barneshut")
+	want := interpDump(t, sys, interp.EngineWalk)
+	if got := interpDump(t, sys, interp.EngineCompiled); got != want {
+		t.Fatalf("interpreter engines disagree:\n%s", firstDiff(want, got))
+	}
+	// Serial native must be bit-identical; Barnes-Hut's parallel phases
+	// only commute floating point operations whose order the analysis
+	// proved irrelevant at the bit level for this workload, so the
+	// parallel runs are bit-identical too (and the goldens pin it).
+	for _, args := range [][]string{
+		{"-mode", "serial", "-dump"},
+		{"-mode", "parallel", "-workers", "4", "-sched", "stealing", "-dump"},
+		{"-mode", "parallel", "-workers", "4", "-sched", "central", "-dump"},
+		{"-mode", "parallel", "-workers", "1", "-sched", "stealing", "-dump"},
+	} {
+		got, err := nativegen.Run(bin, args...)
+		if err != nil {
+			t.Fatalf("%v: %v", args, err)
+		}
+		if got != want {
+			t.Errorf("%v: native state diverges from interpreter:\n%s", args, firstDiff(want, got))
+		}
+	}
+}
+
+func TestNativeWaterMatchesInterpreter(t *testing.T) {
+	sys, bin := getApp(t, "water")
+	want := interpDump(t, sys, interp.EngineWalk)
+	got, err := nativegen.Run(bin, "-mode", "serial", "-dump")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != want {
+		t.Errorf("serial native state diverges from interpreter:\n%s", firstDiff(want, got))
+	}
+	// Water's parallel phases accumulate into shared force banks and
+	// energy sums under locks; the arrival order varies, so floats are
+	// compared with a relative tolerance instead of bit equality.
+	for _, sched := range []string{"stealing", "central"} {
+		got, err := nativegen.Run(bin, "-mode", "parallel", "-workers", "4", "-sched", sched, "-dump")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if msg := compareTolerant(want, got, 1e-9); msg != "" {
+			t.Errorf("parallel/%s: %s", sched, msg)
+		}
+	}
+}
+
+// TestNativeRaceClean runs the race-instrumented parallel Barnes-Hut;
+// any unsynchronized access in the generated code or the schedulers
+// aborts the binary with a non-zero exit.
+func TestNativeRaceClean(t *testing.T) {
+	sys, _ := getApp(t, "barneshut")
+	dir := t.TempDir()
+	if err := nativegen.Generate(sys, "barneshut", dir); err != nil {
+		t.Fatal(err)
+	}
+	bin, err := nativegen.BuildRace(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, sched := range []string{"stealing", "central"} {
+		if _, err := nativegen.Run(bin, "-mode", "parallel", "-workers", "4", "-sched", sched); err != nil {
+			t.Errorf("race run (%s): %v", sched, err)
+		}
+	}
+}
+
+// firstDiff renders the first differing line of two dumps.
+func firstDiff(want, got string) string {
+	wl, gl := strings.Split(want, "\n"), strings.Split(got, "\n")
+	for i := 0; i < len(wl) || i < len(gl); i++ {
+		var w, g string
+		if i < len(wl) {
+			w = wl[i]
+		}
+		if i < len(gl) {
+			g = gl[i]
+		}
+		if w != g {
+			return "line " + strconv.Itoa(i+1) + ":\n  interp: " + w + "\n  native: " + g
+		}
+	}
+	return "(no line diff?)"
+}
+
+// compareTolerant compares two dumps token by token; numeric tokens
+// (including the dumper's 0x… float bit patterns) may differ by rel
+// relative error, everything else must match exactly. Returns "" when
+// equivalent.
+func compareTolerant(want, got string, rel float64) string {
+	wl, gl := strings.Split(want, "\n"), strings.Split(got, "\n")
+	if len(wl) != len(gl) {
+		return "line count differs: " + firstDiff(want, got)
+	}
+	for i := range wl {
+		wt, gt := strings.Fields(wl[i]), strings.Fields(gl[i])
+		if len(wt) != len(gt) {
+			return "line " + strconv.Itoa(i+1) + " differs:\n  interp: " + wl[i] + "\n  native: " + gl[i]
+		}
+		for j := range wt {
+			if wt[j] == gt[j] {
+				continue
+			}
+			wv, okw := parseNum(wt[j])
+			gv, okg := parseNum(gt[j])
+			if okw && okg {
+				if relErr(wv, gv) <= rel {
+					continue
+				}
+				return "line " + strconv.Itoa(i+1) + ": " + wt[j] + " vs " + gt[j] +
+					" (rel err " + strconv.FormatFloat(relErr(wv, gv), 'g', 3, 64) + ")"
+			}
+			return "line " + strconv.Itoa(i+1) + " differs:\n  interp: " + wl[i] + "\n  native: " + gl[i]
+		}
+	}
+	return ""
+}
+
+// parseNum parses a dump token as a number: a plain literal, the
+// dumper's 0x%016x float bit pattern, or its parenthesized decimal.
+func parseNum(tok string) (float64, bool) {
+	tok = strings.TrimPrefix(strings.TrimSuffix(tok, ")"), "(")
+	if strings.HasPrefix(tok, "0x") {
+		bits, err := strconv.ParseUint(tok[2:], 16, 64)
+		if err != nil {
+			return 0, false
+		}
+		return math.Float64frombits(bits), true
+	}
+	v, err := strconv.ParseFloat(tok, 64)
+	return v, err == nil
+}
+
+func relErr(a, b float64) float64 {
+	if a == b {
+		return 0
+	}
+	d := math.Abs(a - b)
+	m := math.Max(math.Abs(a), math.Abs(b))
+	if m == 0 {
+		return d
+	}
+	return d / m
+}

@@ -240,9 +240,9 @@ func (rt *Runtime) runRegion(site *types.CallSite, recv *interp.Object, args []i
 	atomic.AddInt64(&rt.Stats.Regions, 1)
 	pool := newPool(rt)
 	err := rt.protect("region", site.Callee.FullName(), func() error {
-		return rt.callVersion(pool.external, site.Callee, recv, args, versionParallel, 0)
+		return rt.callVersion(pool.External(), site.Callee, recv, args, versionParallel, 0)
 	})
-	pool.wait()
+	pool.Wait()
 	rt.setErr(err)
 	ferr := rt.firstErr()
 	if ferr == nil {
@@ -365,14 +365,14 @@ func (rt *Runtime) callVersion(w *worker, m *types.Method, recv *interp.Object, 
 				return interp.Value{}, rt.callVersion(w, site.Callee, r2, a2, versionMutex, ctx.Depth)
 			}
 			callee := site.Callee
-			if rt.LazySpawnThreshold > 0 && w.p.pendingCount() >= rt.LazySpawnThreshold {
+			if rt.LazySpawnThreshold > 0 && w.Pool().Pending() >= rt.LazySpawnThreshold {
 				// Lazy task creation: enough parallelism is already
 				// exposed; absorb the child into this task.
 				atomic.AddInt64(&rt.Stats.LazyInlines, 1)
 				return interp.Value{}, rt.callVersion(w, callee, r2, a2, versionParallel, ctx.Depth)
 			}
 			atomic.AddInt64(&rt.Stats.Tasks, 1)
-			w.p.spawn(w, callee.FullName(), func(cw *worker) {
+			w.Pool().Spawn(w, callee.FullName(), func(cw *worker) {
 				rt.setErr(rt.callVersion(cw, callee, r2, a2, versionParallel, 0))
 			})
 			return interp.Value{}, nil
@@ -430,7 +430,7 @@ func (rt *Runtime) parallelLoop(w *worker, parent *interp.Ctx, fs *ast.ForStmt, 
 	// changes).
 	var ext *worker
 	if w != nil {
-		ext = w.p.external
+		ext = w.Pool().External()
 	}
 	for g := 0; g < workers; g++ {
 		wg.Add(1)

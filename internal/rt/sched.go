@@ -1,9 +1,18 @@
 package rt
 
 import (
-	"sync"
 	"sync/atomic"
+
+	"commute/rtkit"
 )
+
+// The scheduler itself — bounded Chase-Lev deques, injector overflow,
+// parking — lives in the public rtkit package so the native Go backend
+// can reuse it from generated (non-internal) code. This file keeps the
+// runtime-specific policy: mapping SchedMode, counting scheduler
+// events into Stats, and wrapping every task body with the panic
+// isolation / fault injection / cancellation checks the interpreter
+// contract requires.
 
 // SchedMode selects the task scheduler backing a parallel region.
 type SchedMode int
@@ -21,280 +30,32 @@ const (
 	SchedCentral
 )
 
-// task is one spawned operation with a label for diagnostics. Task
-// structs are recycled through taskPool: a task is taken from a queue
-// exactly once, so after run returns no queue slot can hand out a live
-// reference and the struct may be reused.
-type task struct {
-	label string
-	run   func(*worker)
-}
+// worker aliases the scheduler participant; rt code passes it through
+// callVersion so spawns from a pool worker hit its private deque.
+type worker = rtkit.Worker
 
-var taskPool = sync.Pool{New: func() any { return new(task) }}
-
-// dequeCap bounds each worker's private deque (power of two). Overflow
-// spills to the shared injector queue, so the bound costs at most a
-// mutex hop under extreme fan-out — it never loses or delays tasks
-// indefinitely.
-const dequeCap = 256
-
-// deque is a bounded Chase-Lev work-stealing deque. The owning worker
-// pushes and pops at the bottom (LIFO); thieves steal from the top
-// (FIFO) racing each other and the owner through a CAS on top. All slot
-// accesses go through atomics, so the scheduler is clean under the race
-// detector. The bounded-capacity check in push (b-t >= cap fails)
-// guarantees a slot is never overwritten while any thief that could
-// still win the CAS for it holds a stale pointer: reusing slot s
-// requires top to have advanced past s, after which every stale CAS at
-// s's old top value must fail.
-type deque struct {
-	top    atomic.Int64
-	bottom atomic.Int64
-	buf    [dequeCap]atomic.Pointer[task]
-}
-
-// push appends t at the bottom. It reports false when the deque is full
-// (caller spills to the injector).
-func (d *deque) push(t *task) bool {
-	b := d.bottom.Load()
-	tp := d.top.Load()
-	if b-tp >= dequeCap {
-		return false
+// newPool starts a region-scoped scheduler wired to this runtime.
+func newPool(rt *Runtime) *rtkit.Pool {
+	mode := rtkit.Stealing
+	if rt.Sched == SchedCentral {
+		mode = rtkit.Central
 	}
-	d.buf[b&(dequeCap-1)].Store(t)
-	d.bottom.Store(b + 1)
-	return true
-}
-
-// pop removes the most recently pushed task (owner only).
-func (d *deque) pop() *task {
-	b := d.bottom.Load() - 1
-	d.bottom.Store(b)
-	tp := d.top.Load()
-	if tp > b {
-		// Empty: restore bottom.
-		d.bottom.Store(b + 1)
-		return nil
-	}
-	t := d.buf[b&(dequeCap-1)].Load()
-	if tp == b {
-		// Last element: race thieves via the CAS on top.
-		if !d.top.CompareAndSwap(tp, tp+1) {
-			t = nil // a thief won
-		}
-		d.bottom.Store(b + 1)
-		return t
-	}
-	return t
-}
-
-// steal removes the oldest task (any goroutine).
-func (d *deque) steal() *task {
-	tp := d.top.Load()
-	b := d.bottom.Load()
-	if tp >= b {
-		return nil
-	}
-	t := d.buf[tp&(dequeCap-1)].Load()
-	if !d.top.CompareAndSwap(tp, tp+1) {
-		return nil // lost the race; discard the stale read
-	}
-	return t
-}
-
-// worker is one scheduler participant. Pool workers own a deque;
-// external handles (the region root, GSS loop goroutines) have dq ==
-// nil and spawn through the injector, so single-owner deque discipline
-// is never violated from a foreign goroutine.
-type worker struct {
-	p   *pool
-	id  int // -1: external handle
-	dq  *deque
-	rnd uint64 // xorshift state for victim selection
-}
-
-// pool is a region-scoped scheduler. In stealing mode the mutex guards
-// only the injector queue and parking; the task fast path (local push,
-// pop, steal) is lock-free. In central mode every task flows through
-// the injector, reproducing the original single-queue behavior.
-type pool struct {
-	rt       *Runtime
-	mode     SchedMode
-	workers  []*worker
-	external *worker
-
-	pending  atomic.Int64 // queued + running tasks
-	sleepers atomic.Int64 // workers inside park()
-
-	mu       sync.Mutex
-	cond     *sync.Cond // workers park here; wait() parks here too
-	injector []*task
-	done     bool
-}
-
-func newPool(rt *Runtime) *pool {
-	p := &pool{rt: rt, mode: rt.Sched}
-	p.cond = sync.NewCond(&p.mu)
-	p.external = &worker{p: p, id: -1}
-	// The workers slice must be complete before any worker goroutine
-	// starts: stealAny iterates it without synchronization.
-	for i := 0; i < rt.Workers; i++ {
-		w := &worker{p: p, id: i, rnd: uint64(i)*0x9e3779b97f4a7c15 + 1}
-		if p.mode == SchedStealing {
-			w.dq = &deque{}
-		}
-		p.workers = append(p.workers, w)
-	}
-	for _, w := range p.workers {
-		go p.workerLoop(w)
-	}
-	return p
-}
-
-// pendingCount reports queued+running tasks (lazy task creation).
-func (p *pool) pendingCount() int { return int(p.pending.Load()) }
-
-// spawn enqueues a task from worker w (use p.external from outside the
-// pool). The pending increment happens before the task is visible to
-// any queue, and every spawn occurs inside a still-running task or
-// before wait() is called, so pending cannot falsely reach zero.
-func (p *pool) spawn(w *worker, label string, f func(*worker)) {
-	t := taskPool.Get().(*task)
-	t.label, t.run = label, f
-	p.pending.Add(1)
-	if w != nil && w.dq != nil && w.dq.push(t) {
-		// Lost-wakeup-free handoff: the push above and the sleepers
-		// read below are both sequentially consistent, and a parker
-		// increments sleepers before re-checking the queues — so either
-		// this load observes the sleeper (and we broadcast under the
-		// mutex) or the sleeper's recheck observes the push.
-		if p.sleepers.Load() > 0 {
-			p.mu.Lock()
-			p.cond.Broadcast()
-			p.mu.Unlock()
-		}
-		return
-	}
-	p.mu.Lock()
-	p.injector = append(p.injector, t)
-	p.mu.Unlock()
-	p.cond.Broadcast()
-}
-
-// popInjector takes the newest injector task (LIFO, matching the
-// original central queue's depth-first order).
-func (p *pool) popInjector() *task {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	return p.popInjectorLocked()
-}
-
-func (p *pool) popInjectorLocked() *task {
-	n := len(p.injector)
-	if n == 0 {
-		return nil
-	}
-	t := p.injector[n-1]
-	p.injector[n-1] = nil
-	p.injector = p.injector[:n-1]
-	return t
-}
-
-// stealAny tries each other worker's deque once, starting at a random
-// victim.
-func (p *pool) stealAny(w *worker) *task {
-	n := len(p.workers)
-	if n <= 1 {
-		return nil
-	}
-	w.rnd ^= w.rnd << 13
-	w.rnd ^= w.rnd >> 7
-	w.rnd ^= w.rnd << 17
-	start := int(w.rnd % uint64(n))
-	for i := 0; i < n; i++ {
-		v := p.workers[(start+i)%n]
-		if v == w || v.dq == nil {
-			continue
-		}
-		if t := v.dq.steal(); t != nil {
-			return t
-		}
-	}
-	return nil
-}
-
-// findTask is the worker's acquisition order: own deque (LIFO), then
-// the injector, then stealing.
-func (p *pool) findTask(w *worker) *task {
-	if w.dq != nil {
-		if t := w.dq.pop(); t != nil {
-			atomic.AddInt64(&p.rt.Stats.LocalPops, 1)
-			return t
-		}
-	}
-	if t := p.popInjector(); t != nil {
-		return t
-	}
-	if t := p.stealAny(w); t != nil {
-		atomic.AddInt64(&p.rt.Stats.Steals, 1)
-		return t
-	}
-	return nil
-}
-
-// park blocks until a task is available or the pool shuts down (nil).
-// sleepers is raised before the re-check: see spawn for why this
-// cannot miss a wakeup.
-func (p *pool) park(w *worker) *task {
-	p.sleepers.Add(1)
-	defer p.sleepers.Add(-1)
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	for {
-		if t := p.popInjectorLocked(); t != nil {
-			return t
-		}
-		if t := p.stealAny(w); t != nil {
-			atomic.AddInt64(&p.rt.Stats.Steals, 1)
-			return t
-		}
-		if p.done {
-			return nil
-		}
-		p.cond.Wait()
-	}
-}
-
-func (p *pool) workerLoop(w *worker) {
-	for {
-		t := p.findTask(w)
-		if t == nil {
-			t = p.park(w)
-			if t == nil {
-				return // pool shut down
-			}
-		}
-		p.runTask(w, t)
-		t.label, t.run = "", nil
-		taskPool.Put(t)
-		if p.pending.Add(-1) == 0 {
-			p.mu.Lock()
-			p.cond.Broadcast()
-			p.mu.Unlock()
-		}
-	}
+	return rtkit.NewPool(rt.Workers, mode, rtkit.Hooks{
+		Run:        rt.runTask,
+		OnLocalPop: func() { atomic.AddInt64(&rt.Stats.LocalPops, 1) },
+		OnSteal:    func() { atomic.AddInt64(&rt.Stats.Steals, 1) },
+	})
 }
 
 // runTask executes one spawned task under panic isolation. Once the
 // region has failed or the run is cancelled, remaining queued tasks
 // are drained without executing (first error wins; their effects would
-// be discarded anyway), which also lets pool.wait return promptly.
-func (p *pool) runTask(w *worker, t *task) {
-	rt := p.rt
+// be discarded anyway), which also lets Pool.Wait return promptly.
+func (rt *Runtime) runTask(w *worker, label string, body func(*worker)) {
 	defer func() {
 		if r := recover(); r != nil {
 			atomic.AddInt64(&rt.Stats.TaskPanics, 1)
-			rt.setErr(newTaskError("task", t.label, r))
+			rt.setErr(newTaskError("task", label, r))
 		}
 	}()
 	if rt.failed.Load() {
@@ -311,17 +72,5 @@ func (p *pool) runTask(w *worker, t *task) {
 		rt.setErr(err)
 		return
 	}
-	t.run(w)
-}
-
-// wait blocks until all spawned tasks (including transitively spawned
-// ones) complete, then shuts the pool down.
-func (p *pool) wait() {
-	p.mu.Lock()
-	for p.pending.Load() > 0 {
-		p.cond.Wait()
-	}
-	p.done = true
-	p.mu.Unlock()
-	p.cond.Broadcast()
+	body(w)
 }

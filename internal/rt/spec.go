@@ -158,9 +158,9 @@ func (rt *Runtime) runSpeculativeRegion(site *types.CallSite, recv *interp.Objec
 	pool := newPool(rt)
 	root := sr.newLog()
 	err := rt.protect("region", site.Callee.FullName(), func() error {
-		return rt.specCall(pool.external, sr, root, site.Callee, recv, args, versionParallel, 0)
+		return rt.specCall(pool.External(), sr, root, site.Callee, recv, args, versionParallel, 0)
 	})
-	pool.wait()
+	pool.Wait()
 	rt.setErr(err)
 	ferr := rt.firstErr()
 	if ferr == nil {
@@ -230,13 +230,13 @@ func (rt *Runtime) specCall(w *worker, sr *specRegion, lg *specLog, m *types.Met
 				return interp.Value{}, rt.specCall(w, sr, lg, site.Callee, r2, a2, versionMutex, ctx.Depth)
 			}
 			callee := site.Callee
-			if rt.LazySpawnThreshold > 0 && w.p.pendingCount() >= rt.LazySpawnThreshold {
+			if rt.LazySpawnThreshold > 0 && w.Pool().Pending() >= rt.LazySpawnThreshold {
 				atomic.AddInt64(&rt.Stats.LazyInlines, 1)
 				return interp.Value{}, rt.specCall(w, sr, lg, callee, r2, a2, versionParallel, ctx.Depth)
 			}
 			atomic.AddInt64(&rt.Stats.Tasks, 1)
 			clg := sr.newLog()
-			w.p.spawn(w, callee.FullName(), func(cw *worker) {
+			w.Pool().Spawn(w, callee.FullName(), func(cw *worker) {
 				rt.setErr(rt.specCall(cw, sr, clg, callee, r2, a2, versionParallel, 0))
 			})
 			return interp.Value{}, nil
@@ -429,7 +429,7 @@ func (sr *specRegion) locName(l loc) string {
 }
 
 // commit applies every journal's buffered writes to the heap. Runs
-// single-threaded after pool.wait; validation proved the logs' write
+// single-threaded after Pool.Wait; validation proved the logs' write
 // sets disjoint, so application order is irrelevant.
 func (sr *specRegion) commit() {
 	for _, lg := range sr.logs {

@@ -1,0 +1,200 @@
+// Package nativert is the runtime support library for programs the
+// native Go backend emits (internal/codegen's emitgo). Generated
+// packages are ordinary Go modules and cannot import commute's
+// internal packages, so the handful of runtime pieces they need beyond
+// the rtkit scheduler live here: the guided-self-scheduling loop
+// driver, interpreter-compatible print formatting, and the state
+// dumper the differential harness diffs against interpreter heaps.
+package nativert
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"strconv"
+	"sync"
+	"sync/atomic"
+)
+
+// GSS runs the counted loop for (i = from; i < to; i += step) across
+// fresh goroutines with guided self-scheduling: each claimant takes
+// remaining/workers iterations (minimum one chunk of one) via an
+// atomic compare-and-swap on the shared cursor, exactly the chunking
+// the interpreter runtime uses (internal/rt.parallelLoop), so native
+// and interpreted runs make the same chunk claims.
+//
+// mk is called once per loop goroutine and returns the iteration body;
+// the emitter uses that factory to give every goroutine its own copy
+// of the enclosing method's frame variables, mirroring the
+// interpreter's per-worker iteration frames (NewIterFrame). step must
+// be positive: the planner only parallelizes loops it proved counted
+// with a positive literal step.
+func GSS(workers int, from, to, step int64, mk func() func(int64)) {
+	if workers < 1 {
+		workers = 1
+	}
+	if step <= 0 {
+		panic(fmt.Sprintf("nativert.GSS: non-positive step %d", step))
+	}
+	total := (to - from + step - 1) / step
+	if total <= 0 {
+		return
+	}
+	var next atomic.Int64
+	next.Store(from)
+	n := workers
+	if int64(n) < total {
+		// keep n
+	} else {
+		n = int(total)
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < n; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			body := mk()
+			for {
+				start := next.Load()
+				if start >= to {
+					return
+				}
+				remaining := (to - start + step - 1) / step
+				chunk := remaining / int64(workers)
+				if chunk < 1 {
+					chunk = 1
+				}
+				end := start + chunk*step
+				if !next.CompareAndSwap(start, end) {
+					continue
+				}
+				if end > to {
+					end = to
+				}
+				for i := start; i < end; i += step {
+					body(i)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// Stdout buffering: generated programs print through here so output is
+// buffered like the interpreter's (commuterun wraps os.Stdout) and so
+// the driver can flush once at exit. The mutex makes stray prints from
+// parallel code safe; the analysis marks print I/O, so proven-parallel
+// extents never print and serial code pays an uncontended lock.
+var (
+	outMu sync.Mutex
+	out   = bufio.NewWriter(os.Stdout)
+)
+
+// Print renders one print(...) builtin call: arguments separated by
+// single spaces, newline-terminated, formatted exactly as the
+// interpreter's printValue — ints via FormatInt, doubles via
+// FormatFloat(v, 'g', -1, 64), TRUE/FALSE booleans, NULL for nil.
+// Class-typed arguments are pre-formatted by the emitter (it knows the
+// dynamic class) and arrive as strings.
+func Print(args ...any) {
+	outMu.Lock()
+	defer outMu.Unlock()
+	for i, a := range args {
+		if i > 0 {
+			out.WriteByte(' ')
+		}
+		out.WriteString(formatArg(a))
+	}
+	out.WriteByte('\n')
+}
+
+func formatArg(a any) string {
+	switch v := a.(type) {
+	case int64:
+		return strconv.FormatInt(v, 10)
+	case float64:
+		return strconv.FormatFloat(v, 'g', -1, 64)
+	case bool:
+		if v {
+			return "TRUE"
+		}
+		return "FALSE"
+	case string:
+		return v
+	case nil:
+		return "NULL"
+	}
+	return fmt.Sprint(a)
+}
+
+// FlushOut flushes buffered program output; drivers defer it in main.
+func FlushOut() {
+	outMu.Lock()
+	defer outMu.Unlock()
+	out.Flush()
+}
+
+// Dumper writes a deterministic textual dump of the program's object
+// graph. The emitter generates a dmp_ method per class that walks
+// fields in interpreter slot order, and the differential harness
+// produces the same dump from the interpreter heap — byte-equal output
+// means bit-identical state. Objects get stable IDs in first-visit
+// order; revisits print a ref line instead of recursing, so cyclic and
+// shared structures (the Barnes-Hut tree, body arrays) terminate and
+// preserve aliasing in the dump.
+type Dumper struct {
+	w    *bufio.Writer
+	seen map[any]int
+	next int
+}
+
+// NewDumper returns a dumper writing to w.
+func NewDumper(w io.Writer) *Dumper {
+	return &Dumper{w: bufio.NewWriter(w), seen: make(map[any]int)}
+}
+
+// Begin starts an object: it prints either "path = class#id" (first
+// visit, returns true — caller recurses into fields) or
+// "path = ref#id" (already dumped, returns false). key must be the
+// object's identity (a pointer).
+func (d *Dumper) Begin(path string, key any, class string) bool {
+	if id, ok := d.seen[key]; ok {
+		fmt.Fprintf(d.w, "%s = ref#%d\n", path, id)
+		return false
+	}
+	d.next++
+	d.seen[key] = d.next
+	fmt.Fprintf(d.w, "%s = %s#%d\n", path, class, d.next)
+	return true
+}
+
+// Int dumps an integer slot.
+func (d *Dumper) Int(path string, v int64) {
+	fmt.Fprintf(d.w, "%s = int %d\n", path, v)
+}
+
+// Float dumps a double slot as its exact bit pattern plus a readable
+// rendering; the bit pattern is what differential tests compare.
+func (d *Dumper) Float(path string, v float64) {
+	fmt.Fprintf(d.w, "%s = double 0x%016x (%s)\n",
+		path, math.Float64bits(v), strconv.FormatFloat(v, 'g', -1, 64))
+}
+
+// Bool dumps a boolean slot.
+func (d *Dumper) Bool(path string, v bool) {
+	if v {
+		fmt.Fprintf(d.w, "%s = bool TRUE\n", path)
+	} else {
+		fmt.Fprintf(d.w, "%s = bool FALSE\n", path)
+	}
+}
+
+// Null dumps a nil pointer slot.
+func (d *Dumper) Null(path string) {
+	fmt.Fprintf(d.w, "%s = NULL\n", path)
+}
+
+// Flush flushes the dump to the underlying writer.
+func (d *Dumper) Flush() error { return d.w.Flush() }

@@ -1,0 +1,110 @@
+package nativert
+
+import (
+	"bytes"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// TestGSSCoversEveryIteration checks each loop index runs exactly once
+// for a grid of shapes and worker counts.
+func TestGSSCoversEveryIteration(t *testing.T) {
+	cases := []struct{ from, to, step int64 }{
+		{0, 100, 1}, {0, 1, 1}, {0, 0, 1}, {5, 50, 3}, {0, 7, 2}, {0, 1000, 1},
+	}
+	for _, workers := range []int{1, 2, 4, 9} {
+		for _, c := range cases {
+			var mu sync.Mutex
+			counts := make(map[int64]int)
+			GSS(workers, c.from, c.to, c.step, func() func(int64) {
+				return func(i int64) {
+					mu.Lock()
+					counts[i]++
+					mu.Unlock()
+				}
+			})
+			want := 0
+			for i := c.from; i < c.to; i += c.step {
+				want++
+				if counts[i] != 1 {
+					t.Fatalf("workers=%d %+v: index %d ran %d times", workers, c, i, counts[i])
+				}
+			}
+			if len(counts) != want {
+				t.Fatalf("workers=%d %+v: ran %d distinct indices, want %d", workers, c, len(counts), want)
+			}
+		}
+	}
+}
+
+// TestGSSFactoryPerGoroutine checks mk is invoked once per loop
+// goroutine (the emitter relies on it for frame copies).
+func TestGSSFactoryPerGoroutine(t *testing.T) {
+	var mu sync.Mutex
+	made := 0
+	GSS(4, 0, 1000, 1, func() func(int64) {
+		mu.Lock()
+		made++
+		mu.Unlock()
+		return func(int64) {}
+	})
+	if made < 1 || made > 4 {
+		t.Fatalf("factory called %d times, want 1..4", made)
+	}
+}
+
+func TestFormatArgMatchesInterpreter(t *testing.T) {
+	for _, tc := range []struct {
+		in   any
+		want string
+	}{
+		{int64(42), "42"},
+		{int64(-7), "-7"},
+		{3.5, "3.5"},
+		{1e21, "1e+21"},
+		{0.1, "0.1"},
+		{true, "TRUE"},
+		{false, "FALSE"},
+		{"<vector>", "<vector>"},
+		{nil, "NULL"},
+	} {
+		if got := formatArg(tc.in); got != tc.want {
+			t.Errorf("formatArg(%v) = %q, want %q", tc.in, got, tc.want)
+		}
+	}
+}
+
+func TestDumperRefsAndFormats(t *testing.T) {
+	var buf bytes.Buffer
+	d := NewDumper(&buf)
+	type obj struct{ x int }
+	a, b := &obj{}, &obj{}
+	if !d.Begin("g.a", a, "node") {
+		t.Fatal("first Begin(a) should return true")
+	}
+	d.Int("g.a.n", 3)
+	d.Float("g.a.f", 0.5)
+	d.Bool("g.a.b", true)
+	d.Null("g.a.p")
+	if !d.Begin("g.b", b, "node") {
+		t.Fatal("first Begin(b) should return true")
+	}
+	if d.Begin("g.b.back", a, "node") {
+		t.Fatal("revisit Begin(a) should return false")
+	}
+	d.Flush()
+	want := strings.Join([]string{
+		"g.a = node#1",
+		"g.a.n = int 3",
+		"g.a.f = double 0x3fe0000000000000 (0.5)",
+		"g.a.b = bool TRUE",
+		"g.a.p = NULL",
+		"g.b = node#2",
+		"g.b.back = ref#1",
+		"",
+	}, "\n")
+	if buf.String() != want {
+		t.Errorf("dump mismatch:\ngot:\n%s\nwant:\n%s", buf.String(), want)
+	}
+}

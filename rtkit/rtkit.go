@@ -1,0 +1,342 @@
+// Package rtkit is the region-scoped work-stealing task scheduler
+// shared by the interpreter runtime (internal/rt) and the native code
+// the Go backend emits (internal/codegen's emitgo). It is the same
+// bounded Chase-Lev deque + injector design that previously lived in
+// internal/rt/sched.go, extracted behind a small public surface so
+// generated programs — which cannot import internal packages — run
+// their parallel extents on the exact scheduler the interpreter uses.
+//
+// Policy stays with the caller: rtkit moves tasks, and the optional
+// Hooks let the embedder wrap task execution (panic isolation, fault
+// injection, cancellation) and count scheduler events. With zero
+// hooks a task simply runs, which is what native binaries want.
+package rtkit
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// Mode selects the task scheduler backing a pool.
+type Mode int
+
+const (
+	// Stealing (the default) gives every worker a bounded private
+	// deque: spawns push LIFO onto the spawning worker's deque, the
+	// owner pops LIFO (depth-first, cache-warm), and idle workers steal
+	// FIFO from victims' tails (breadth-first, large subtrees). Spawns
+	// from outside the pool — the region root and GSS loop goroutines —
+	// and deque overflow land in a shared injector queue.
+	Stealing Mode = iota
+	// Central is the original single mutex+cond task queue, kept for
+	// A/B benchmarking and as a differential-testing oracle.
+	Central
+)
+
+// Hooks customizes pool behavior. All fields may be nil.
+type Hooks struct {
+	// Run executes one dequeued task. Embedders use it for panic
+	// isolation, cancellation checks, and fault injection around the
+	// task body. When nil the task body runs directly (a panic then
+	// crashes the process, the normal Go contract for native code).
+	Run func(w *Worker, label string, body func(*Worker))
+	// OnLocalPop is called when a worker pops its own deque.
+	OnLocalPop func()
+	// OnSteal is called when a worker steals from a victim's deque.
+	OnSteal func()
+}
+
+// task is one spawned operation with a label for diagnostics. Task
+// structs are recycled through taskPool: a task is taken from a queue
+// exactly once, so after run returns no queue slot can hand out a live
+// reference and the struct may be reused.
+type task struct {
+	label string
+	run   func(*Worker)
+}
+
+var taskPool = sync.Pool{New: func() any { return new(task) }}
+
+// dequeCap bounds each worker's private deque (power of two). Overflow
+// spills to the shared injector queue, so the bound costs at most a
+// mutex hop under extreme fan-out — it never loses or delays tasks
+// indefinitely.
+const dequeCap = 256
+
+// deque is a bounded Chase-Lev work-stealing deque. The owning worker
+// pushes and pops at the bottom (LIFO); thieves steal from the top
+// (FIFO) racing each other and the owner through a CAS on top. All slot
+// accesses go through atomics, so the scheduler is clean under the race
+// detector. The bounded-capacity check in push (b-t >= cap fails)
+// guarantees a slot is never overwritten while any thief that could
+// still win the CAS for it holds a stale pointer: reusing slot s
+// requires top to have advanced past s, after which every stale CAS at
+// s's old top value must fail.
+type deque struct {
+	top    atomic.Int64
+	bottom atomic.Int64
+	buf    [dequeCap]atomic.Pointer[task]
+}
+
+// push appends t at the bottom. It reports false when the deque is full
+// (caller spills to the injector).
+func (d *deque) push(t *task) bool {
+	b := d.bottom.Load()
+	tp := d.top.Load()
+	if b-tp >= dequeCap {
+		return false
+	}
+	d.buf[b&(dequeCap-1)].Store(t)
+	d.bottom.Store(b + 1)
+	return true
+}
+
+// pop removes the most recently pushed task (owner only).
+func (d *deque) pop() *task {
+	b := d.bottom.Load() - 1
+	d.bottom.Store(b)
+	tp := d.top.Load()
+	if tp > b {
+		// Empty: restore bottom.
+		d.bottom.Store(b + 1)
+		return nil
+	}
+	t := d.buf[b&(dequeCap-1)].Load()
+	if tp == b {
+		// Last element: race thieves via the CAS on top.
+		if !d.top.CompareAndSwap(tp, tp+1) {
+			t = nil // a thief won
+		}
+		d.bottom.Store(b + 1)
+		return t
+	}
+	return t
+}
+
+// steal removes the oldest task (any goroutine).
+func (d *deque) steal() *task {
+	tp := d.top.Load()
+	b := d.bottom.Load()
+	if tp >= b {
+		return nil
+	}
+	t := d.buf[tp&(dequeCap-1)].Load()
+	if !d.top.CompareAndSwap(tp, tp+1) {
+		return nil // lost the race; discard the stale read
+	}
+	return t
+}
+
+// Worker is one scheduler participant. Pool workers own a deque;
+// external handles (the region root, GSS loop goroutines) have dq ==
+// nil and spawn through the injector, so single-owner deque discipline
+// is never violated from a foreign goroutine.
+type Worker struct {
+	p   *Pool
+	id  int // -1: external handle
+	dq  *deque
+	rnd uint64 // xorshift state for victim selection
+}
+
+// Pool returns the pool this worker belongs to.
+func (w *Worker) Pool() *Pool { return w.p }
+
+// Pool is a region-scoped scheduler. In stealing mode the mutex guards
+// only the injector queue and parking; the task fast path (local push,
+// pop, steal) is lock-free. In central mode every task flows through
+// the injector, reproducing the original single-queue behavior.
+type Pool struct {
+	mode     Mode
+	hooks    Hooks
+	workers  []*Worker
+	external *Worker
+
+	pending  atomic.Int64 // queued + running tasks
+	sleepers atomic.Int64 // workers inside park()
+
+	mu       sync.Mutex
+	cond     *sync.Cond // workers park here; Wait() parks here too
+	injector []*task
+	done     bool
+}
+
+// NewPool starts workers goroutines and returns the running pool. Call
+// Wait exactly once to drain it and shut the workers down.
+func NewPool(workers int, mode Mode, h Hooks) *Pool {
+	p := &Pool{mode: mode, hooks: h}
+	p.cond = sync.NewCond(&p.mu)
+	p.external = &Worker{p: p, id: -1}
+	// The workers slice must be complete before any worker goroutine
+	// starts: stealAny iterates it without synchronization.
+	for i := 0; i < workers; i++ {
+		w := &Worker{p: p, id: i, rnd: uint64(i)*0x9e3779b97f4a7c15 + 1}
+		if p.mode == Stealing {
+			w.dq = &deque{}
+		}
+		p.workers = append(p.workers, w)
+	}
+	for _, w := range p.workers {
+		go p.workerLoop(w)
+	}
+	return p
+}
+
+// External returns the handle for spawning from outside the pool (the
+// region root and GSS loop goroutines).
+func (p *Pool) External() *Worker { return p.external }
+
+// Pending reports queued+running tasks (lazy task creation).
+func (p *Pool) Pending() int { return int(p.pending.Load()) }
+
+// Spawn enqueues a task from worker w (use External() from outside the
+// pool). The pending increment happens before the task is visible to
+// any queue, and every spawn occurs inside a still-running task or
+// before Wait() is called, so pending cannot falsely reach zero.
+func (p *Pool) Spawn(w *Worker, label string, f func(*Worker)) {
+	t := taskPool.Get().(*task)
+	t.label, t.run = label, f
+	p.pending.Add(1)
+	if w != nil && w.dq != nil && w.dq.push(t) {
+		// Lost-wakeup-free handoff: the push above and the sleepers
+		// read below are both sequentially consistent, and a parker
+		// increments sleepers before re-checking the queues — so either
+		// this load observes the sleeper (and we broadcast under the
+		// mutex) or the sleeper's recheck observes the push.
+		if p.sleepers.Load() > 0 {
+			p.mu.Lock()
+			p.cond.Broadcast()
+			p.mu.Unlock()
+		}
+		return
+	}
+	p.mu.Lock()
+	p.injector = append(p.injector, t)
+	p.mu.Unlock()
+	p.cond.Broadcast()
+}
+
+// popInjector takes the newest injector task (LIFO, matching the
+// original central queue's depth-first order).
+func (p *Pool) popInjector() *task {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.popInjectorLocked()
+}
+
+func (p *Pool) popInjectorLocked() *task {
+	n := len(p.injector)
+	if n == 0 {
+		return nil
+	}
+	t := p.injector[n-1]
+	p.injector[n-1] = nil
+	p.injector = p.injector[:n-1]
+	return t
+}
+
+// stealAny tries each other worker's deque once, starting at a random
+// victim.
+func (p *Pool) stealAny(w *Worker) *task {
+	n := len(p.workers)
+	if n <= 1 {
+		return nil
+	}
+	w.rnd ^= w.rnd << 13
+	w.rnd ^= w.rnd >> 7
+	w.rnd ^= w.rnd << 17
+	start := int(w.rnd % uint64(n))
+	for i := 0; i < n; i++ {
+		v := p.workers[(start+i)%n]
+		if v == w || v.dq == nil {
+			continue
+		}
+		if t := v.dq.steal(); t != nil {
+			return t
+		}
+	}
+	return nil
+}
+
+// findTask is the worker's acquisition order: own deque (LIFO), then
+// the injector, then stealing.
+func (p *Pool) findTask(w *Worker) *task {
+	if w.dq != nil {
+		if t := w.dq.pop(); t != nil {
+			if p.hooks.OnLocalPop != nil {
+				p.hooks.OnLocalPop()
+			}
+			return t
+		}
+	}
+	if t := p.popInjector(); t != nil {
+		return t
+	}
+	if t := p.stealAny(w); t != nil {
+		if p.hooks.OnSteal != nil {
+			p.hooks.OnSteal()
+		}
+		return t
+	}
+	return nil
+}
+
+// park blocks until a task is available or the pool shuts down (nil).
+// sleepers is raised before the re-check: see Spawn for why this
+// cannot miss a wakeup.
+func (p *Pool) park(w *Worker) *task {
+	p.sleepers.Add(1)
+	defer p.sleepers.Add(-1)
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for {
+		if t := p.popInjectorLocked(); t != nil {
+			return t
+		}
+		if t := p.stealAny(w); t != nil {
+			if p.hooks.OnSteal != nil {
+				p.hooks.OnSteal()
+			}
+			return t
+		}
+		if p.done {
+			return nil
+		}
+		p.cond.Wait()
+	}
+}
+
+func (p *Pool) workerLoop(w *Worker) {
+	for {
+		t := p.findTask(w)
+		if t == nil {
+			t = p.park(w)
+			if t == nil {
+				return // pool shut down
+			}
+		}
+		if p.hooks.Run != nil {
+			p.hooks.Run(w, t.label, t.run)
+		} else {
+			t.run(w)
+		}
+		t.label, t.run = "", nil
+		taskPool.Put(t)
+		if p.pending.Add(-1) == 0 {
+			p.mu.Lock()
+			p.cond.Broadcast()
+			p.mu.Unlock()
+		}
+	}
+}
+
+// Wait blocks until all spawned tasks (including transitively spawned
+// ones) complete, then shuts the pool down.
+func (p *Pool) Wait() {
+	p.mu.Lock()
+	for p.pending.Load() > 0 {
+		p.cond.Wait()
+	}
+	p.done = true
+	p.mu.Unlock()
+	p.cond.Broadcast()
+}

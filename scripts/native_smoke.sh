@@ -1,0 +1,40 @@
+#!/usr/bin/env bash
+# Native-backend smoke: generate the Go package for Barnes-Hut and
+# Water, vet and build each, run them natively (serial and parallel),
+# and diff the final state dumps against the serial interpreter byte
+# for byte (Water's parallel accumulation order varies, so its
+# parallel run only has to finish cleanly).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+OUT=$(mktemp -d)
+trap 'rm -rf "$OUT"' EXIT
+
+for APP in barneshut graph; do
+  DIR="$OUT/$APP"
+  go run ./cmd/commutec -emit go -o "$DIR" -app "$APP"
+  (cd "$DIR" && go vet . && go build -o app .)
+  go run ./cmd/commuterun -mode serial -app "$APP" -dump > "$OUT/$APP.interp"
+  for ARGS in "-mode serial" "-mode parallel -workers 4 -sched stealing" "-mode parallel -workers 4 -sched central"; do
+    # shellcheck disable=SC2086
+    "$DIR/app" $ARGS -dump > "$OUT/$APP.native"
+    if ! diff -q "$OUT/$APP.interp" "$OUT/$APP.native" >/dev/null; then
+      echo "FAIL: $APP ($ARGS) native state diverges from the interpreter:" >&2
+      diff "$OUT/$APP.interp" "$OUT/$APP.native" | head >&2
+      exit 1
+    fi
+  done
+  echo "$APP: native == interpreter (serial + both parallel schedulers)"
+done
+
+# Water: serial must be bit-identical; parallel must run cleanly.
+DIR="$OUT/water"
+go run ./cmd/commutec -emit go -o "$DIR" -app water
+(cd "$DIR" && go vet . && go build -o app .)
+go run ./cmd/commuterun -mode serial -app water -dump > "$OUT/water.interp"
+"$DIR/app" -mode serial -dump > "$OUT/water.native"
+diff "$OUT/water.interp" "$OUT/water.native"
+"$DIR/app" -mode parallel -workers 4 -sched stealing > /dev/null
+echo "water: serial native == interpreter; parallel ran clean"
+
+echo "native smoke OK"
