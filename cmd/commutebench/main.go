@@ -48,9 +48,13 @@ func main() {
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memProfile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	serveLoad := flag.Bool("serve-load", false, "load-test an in-process commuted server and report throughput, p99, and cache hit rate")
-	loadRequests := flag.Int("load-requests", 200, "total requests for -serve-load")
-	loadConcurrency := flag.Int("load-concurrency", 16, "concurrent clients for -serve-load")
+	loadRequests := flag.Int("load-requests", 200, "total requests for -serve-load / -fleet-load")
+	loadConcurrency := flag.Int("load-concurrency", 16, "concurrent clients for -serve-load / -fleet-load")
 	loadWorkers := flag.Int("load-workers", 0, "server worker-pool size for -serve-load (0: GOMAXPROCS)")
+	fleetLoad := flag.Bool("fleet-load", false, "load-test an in-process fingerprint-routed fleet against a single-replica baseline")
+	fleetReplicas := flag.Int("fleet-replicas", 3, "replica count for -fleet-load")
+	fleetPrograms := flag.Int("fleet-programs", 60, "distinct-fingerprint corpus size for -fleet-load")
+	fleetCacheBytes := flag.Int64("fleet-cache-bytes", 6<<20, "per-replica cache budget for -fleet-load")
 	flag.Parse()
 
 	if *cpuProfile != "" {
@@ -83,8 +87,23 @@ func main() {
 		}()
 	}
 
+	// The load modes honor -json/-rev/-outdir by folding their serve-*
+	// entries into the same BENCH_<rev>.json the engine suites write,
+	// so benchdiff gates serving-path regressions alongside the rest.
+	mergeServe := func(results []bench.PerfResult) {
+		if !*jsonOut {
+			return
+		}
+		path, err := bench.MergeResults(*outDir, *rev, results)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("merged %d serve entries into %s\n", len(results), path)
+	}
+
 	if *serveLoad {
-		out, err := bench.RunServeLoad(bench.ServeLoadConfig{
+		out, results, err := bench.RunServeLoad(bench.ServeLoadConfig{
 			Requests:    *loadRequests,
 			Concurrency: *loadConcurrency,
 			Workers:     *loadWorkers,
@@ -94,6 +113,27 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Print(out)
+		mergeServe(results)
+		return
+	}
+
+	if *fleetLoad {
+		cfg := bench.FleetLoadConfig{
+			Concurrency: *loadConcurrency,
+			Replicas:    *fleetReplicas,
+			Programs:    *fleetPrograms,
+			CacheBytes:  *fleetCacheBytes,
+		}
+		if *loadRequests != 200 { // flag default belongs to -serve-load
+			cfg.Requests = *loadRequests
+		}
+		out, results, err := bench.RunFleetLoad(cfg)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Print(out)
+		mergeServe(results)
 		return
 	}
 

@@ -27,10 +27,12 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
 	"commute/internal/server"
+	"commute/internal/server/cache"
 )
 
 func main() {
@@ -45,11 +47,37 @@ func main() {
 	analysisWorkers := flag.Int("analysis-workers", 0, "goroutines for cold-load commutativity analysis (0: GOMAXPROCS, 1: serial)")
 	speculate := flag.String("speculate", "off", "default speculation policy for /v1/run: off | auto | force")
 	specThreshold := flag.Float64("speculate-threshold", 0, "default minimum analysis confidence for auto speculation (0: the 0.5 default)")
+	blobDir := flag.String("blob-dir", "", "shared artifact directory (fleet tier); empty disables")
+	peers := flag.String("peers", "", "comma-separated peer base URLs to pull artifacts from")
+	batchLinger := flag.Duration("batch-linger", 2*time.Millisecond, "window for coalescing identical /v1/analyze requests (0 or negative: off)")
 	flag.Parse()
 
 	q := *queue
 	if q == 0 {
 		q = -1 // Config treats 0 as "default"; the flag's 0 means none.
+	}
+
+	// Assemble the artifact tier: shared directory first (cheapest),
+	// then peer fetch. Either alone also works.
+	var tiers cache.Tiered
+	if *blobDir != "" {
+		ds, err := cache.NewDirStore(*blobDir)
+		if err != nil {
+			log.Fatalf("blob dir: %v", err)
+		}
+		tiers = append(tiers, ds)
+	}
+	if *peers != "" {
+		tiers = append(tiers, cache.NewHTTPPeerStore(strings.Split(*peers, ","), nil))
+	}
+	var blobs cache.BlobStore
+	if len(tiers) > 0 {
+		blobs = tiers
+	}
+
+	linger := *batchLinger
+	if linger == 0 {
+		linger = -1 // Config treats 0 as "default"; the flag's explicit 0 means off.
 	}
 	srv := server.New(server.Config{
 		Workers:         *workers,
@@ -62,6 +90,9 @@ func main() {
 
 		Speculate:          *speculate,
 		SpeculateThreshold: *specThreshold,
+
+		Blobs:       blobs,
+		BatchLinger: linger,
 	})
 
 	hs := &http.Server{

@@ -1,0 +1,330 @@
+package bench
+
+// The fleet load generator: drives a mixed corpus of fingerprinted
+// programs through an in-process 3-replica fleet (router + commuted
+// replicas wired over an in-memory transport, no sockets) and through
+// a single replica with the same cache budget, reporting throughput,
+// latency percentiles, shed rate, and per-shard hit rates.
+//
+// The experiment is sized so the corpus overflows one replica's cache
+// but fits the fleet's aggregate: fingerprint routing partitions the
+// corpus across shards, so the fleet serves warm hits where the single
+// replica churns through evict/re-analyze cycles. That capacity win —
+// not CPU parallelism — is what the scaling number measures, which is
+// why it holds even on a single-core host.
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"commute/internal/apps/src"
+	"commute/internal/fleet"
+	"commute/internal/server"
+	"commute/internal/server/api"
+	"commute/internal/server/cache"
+)
+
+// FleetLoadConfig shapes one fleet load run.
+type FleetLoadConfig struct {
+	// Requests is the fleet-phase request total (default 20000).
+	Requests int
+	// BaselineRequests is the single-replica phase total (default
+	// Requests/20, min 200 — the churn phase is orders of magnitude
+	// slower per request, so it needs fewer samples).
+	BaselineRequests int
+	// Concurrency is the number of concurrent clients (default 16).
+	Concurrency int
+	// Replicas is the fleet size (default 3).
+	Replicas int
+	// CacheBytes is the PER-REPLICA cache budget (default 6 MiB — about
+	// a third of the default corpus).
+	CacheBytes int64
+	// Programs is the distinct-fingerprint corpus size (default 60).
+	Programs int
+}
+
+func (c FleetLoadConfig) withDefaults() FleetLoadConfig {
+	if c.Requests <= 0 {
+		c.Requests = 20000
+	}
+	if c.BaselineRequests <= 0 {
+		c.BaselineRequests = c.Requests / 20
+		if c.BaselineRequests < 200 {
+			c.BaselineRequests = 200
+		}
+	}
+	if c.Concurrency <= 0 {
+		c.Concurrency = 16
+	}
+	if c.Replicas <= 0 {
+		c.Replicas = 3
+	}
+	if c.CacheBytes <= 0 {
+		c.CacheBytes = 6 << 20
+	}
+	if c.Programs <= 0 {
+		c.Programs = 60
+	}
+	return c
+}
+
+// inprocTransport routes shard URLs to in-process handlers, so the
+// fleet phase can push millions of requests without socket overhead.
+type inprocTransport struct {
+	handlers map[string]http.Handler
+}
+
+func (t *inprocTransport) RoundTrip(req *http.Request) (*http.Response, error) {
+	h, ok := t.handlers[req.URL.Scheme+"://"+req.URL.Host]
+	if !ok {
+		return nil, fmt.Errorf("no in-process shard %s", req.URL.Host)
+	}
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	return rec.Result(), nil
+}
+
+// fleetCorpus builds n distinct-fingerprint analyze requests over the
+// §2 graph traversal (varying node count and seed varies the source
+// text, hence the fingerprint). Every 10th request also asks for the
+// emitted parallel source, exercising the second batch key.
+func fleetCorpus(n int) []loadCall {
+	calls := make([]loadCall, 0, n)
+	for i := 0; i < n; i++ {
+		nodes := 32 + (i%8)*4
+		source := src.GraphBase + src.GraphMain(nodes, 1000+i)
+		req := api.AnalyzeRequest{
+			SourceRequest: api.SourceRequest{Name: fmt.Sprintf("graph-v%d.mc", i), Source: source},
+			Emit:          i%10 == 0,
+		}
+		body, err := json.Marshal(req)
+		if err != nil {
+			panic(err)
+		}
+		calls = append(calls, loadCall{
+			label: fmt.Sprintf("analyze/v%d", i),
+			path:  "/v1/analyze",
+			body:  body,
+		})
+	}
+	return calls
+}
+
+// drive replays the corpus round-robin from cfg.Concurrency clients
+// against handler, returning wall time, sorted latencies, and shed and
+// error counts.
+func drive(handler http.Handler, corpus []loadCall, requests, concurrency int) (time.Duration, []time.Duration, int64, int64) {
+	var (
+		next atomic.Int64
+		shed atomic.Int64
+		errs atomic.Int64
+		mu   sync.Mutex
+	)
+	latencies := make([]time.Duration, 0, requests)
+	start := time.Now()
+	var wg sync.WaitGroup
+	for c := 0; c < concurrency; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			local := make([]time.Duration, 0, requests/concurrency+1)
+			for {
+				i := next.Add(1) - 1
+				if i >= int64(requests) {
+					break
+				}
+				call := corpus[i%int64(len(corpus))]
+				req := httptest.NewRequest("POST", call.path, strings.NewReader(string(call.body)))
+				req.Header.Set("Content-Type", "application/json")
+				rec := httptest.NewRecorder()
+				t0 := time.Now()
+				handler.ServeHTTP(rec, req)
+				local = append(local, time.Since(t0))
+				switch {
+				case rec.Code == http.StatusTooManyRequests:
+					shed.Add(1)
+				case rec.Code != http.StatusOK:
+					errs.Add(1)
+				}
+			}
+			mu.Lock()
+			latencies = append(latencies, local...)
+			mu.Unlock()
+		}()
+	}
+	wg.Wait()
+	wall := time.Since(start)
+	sort.Slice(latencies, func(i, j int) bool { return latencies[i] < latencies[j] })
+	return wall, latencies, shed.Load(), errs.Load()
+}
+
+func quantileDur(sorted []time.Duration, q float64) time.Duration {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(q*float64(len(sorted))+0.5) - 1
+	if i < 0 {
+		i = 0
+	}
+	if i >= len(sorted) {
+		i = len(sorted) - 1
+	}
+	return sorted[i]
+}
+
+func statuszOf(h http.Handler) api.StatusZ {
+	req := httptest.NewRequest("GET", "/statusz", nil)
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	var st api.StatusZ
+	json.Unmarshal(rec.Body.Bytes(), &st)
+	return st
+}
+
+// RunFleetLoad runs the fleet experiment and the single-replica
+// baseline, returning the human report and the serve-* BENCH entries.
+func RunFleetLoad(cfg FleetLoadConfig) (string, []PerfResult, error) {
+	cfg = cfg.withDefaults()
+	corpus := fleetCorpus(cfg.Programs)
+
+	// --- Fleet phase: Replicas × commuted behind a fingerprint router,
+	// sharing one blob tier.
+	blobs := cache.NewMemStore()
+	shardURLs := make([]string, cfg.Replicas)
+	transport := &inprocTransport{handlers: make(map[string]http.Handler, cfg.Replicas)}
+	replicas := make([]*server.Server, cfg.Replicas)
+	for i := range replicas {
+		replicas[i] = server.New(server.Config{
+			CacheBytes: cfg.CacheBytes,
+			Blobs:      blobs,
+		})
+		shardURLs[i] = fmt.Sprintf("http://shard-%d", i)
+		transport.handlers[shardURLs[i]] = replicas[i].Handler()
+	}
+	rt, err := fleet.NewRouter(fleet.Config{Shards: shardURLs, Transport: transport})
+	if err != nil {
+		return "", nil, err
+	}
+
+	// Deterministic routing check: every corpus fingerprint must map to
+	// one stable shard, and the owners must span more than one shard.
+	owners := map[string]int{}
+	for _, call := range corpus {
+		var req api.AnalyzeRequest
+		json.Unmarshal(call.body, &req)
+		key, err := server.FingerprintRequest(req.SourceRequest)
+		if err != nil {
+			return "", nil, fmt.Errorf("corpus fingerprint: %w", err)
+		}
+		owner := rt.RouteKey(key)
+		if again := rt.RouteKey(key); again != owner {
+			return "", nil, fmt.Errorf("routing nondeterministic for %s: %s vs %s", call.label, owner, again)
+		}
+		owners[owner]++
+	}
+	if len(owners) < 2 && cfg.Replicas > 1 {
+		return "", nil, fmt.Errorf("all %d programs routed to one shard; ring broken", cfg.Programs)
+	}
+
+	// Warm pass: one request per program populates each owner's cache.
+	_, _, _, warmErrs := drive(rt.Handler(), corpus, len(corpus), cfg.Concurrency)
+	if warmErrs > 0 {
+		return "", nil, fmt.Errorf("%d errors during fleet warmup", warmErrs)
+	}
+
+	fleetWall, fleetLat, fleetShed, fleetErrs := drive(rt.Handler(), corpus, cfg.Requests, cfg.Concurrency)
+	fleetThroughput := float64(cfg.Requests) / fleetWall.Seconds()
+
+	// Per-shard accounting from the replicas' and router's own counters.
+	routerSt := statuszOf(rt.Handler())
+	type shardLine struct {
+		requests, hits, misses, coalesced, adoptions int64
+	}
+	shardLines := make([]shardLine, cfg.Replicas)
+	var fleetHits, fleetMisses, fleetCoalesced int64
+	for i, rep := range replicas {
+		st := statuszOf(rep.Handler())
+		shardLines[i] = shardLine{
+			requests:  st.Requests,
+			hits:      st.CacheHits,
+			misses:    st.CacheMisses,
+			coalesced: st.BatchCoalesced,
+			adoptions: st.CacheAdoptions,
+		}
+		fleetHits += st.CacheHits
+		fleetMisses += st.CacheMisses
+		fleetCoalesced += st.BatchCoalesced
+	}
+	fleetHitRate := 0.0
+	if tot := fleetHits + fleetMisses; tot > 0 {
+		fleetHitRate = float64(fleetHits) / float64(tot)
+	}
+
+	// --- Baseline phase: one replica, same per-replica budget, same
+	// corpus. The corpus overflows its cache, so it churns.
+	single := server.New(server.Config{CacheBytes: cfg.CacheBytes})
+	drive(single.Handler(), corpus, len(corpus), cfg.Concurrency) // warm what fits
+	singleWall, singleLat, singleShed, singleErrs := drive(single.Handler(), corpus, cfg.BaselineRequests, cfg.Concurrency)
+	singleThroughput := float64(cfg.BaselineRequests) / singleWall.Seconds()
+	singleSt := statuszOf(single.Handler())
+	singleHitRate := 0.0
+	if tot := singleSt.CacheHits + singleSt.CacheMisses; tot > 0 {
+		singleHitRate = float64(singleSt.CacheHits) / float64(tot)
+	}
+
+	scaling := fleetThroughput / singleThroughput
+
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "fleet-load: %d requests, %d clients, %d-program corpus, %d replicas @ %d MiB cache\n",
+		cfg.Requests, cfg.Concurrency, cfg.Programs, cfg.Replicas, cfg.CacheBytes>>20)
+	fmt.Fprintf(&sb, "  fleet   throughput %10.1f req/s   p50 %v  p99 %v  shed %d  errors %d  hit rate %.1f%%  coalesced %d\n",
+		fleetThroughput, quantileDur(fleetLat, 0.50).Round(time.Microsecond),
+		quantileDur(fleetLat, 0.99).Round(time.Microsecond), fleetShed, fleetErrs, fleetHitRate*100, fleetCoalesced)
+	for i, sl := range shardLines {
+		rs := routerSt.Shards[shardURLs[i]]
+		fmt.Fprintf(&sb, "    shard-%d  routed %7d  served %7d  hits %7d  misses %4d  coalesced %5d  adoptions %d\n",
+			i, rs.Requests, sl.requests, sl.hits, sl.misses, sl.coalesced, sl.adoptions)
+	}
+	fmt.Fprintf(&sb, "  single  throughput %10.1f req/s   p50 %v  p99 %v  shed %d  errors %d  hit rate %.1f%% (cache churn: %d evictions)\n",
+		singleThroughput, quantileDur(singleLat, 0.50).Round(time.Microsecond),
+		quantileDur(singleLat, 0.99).Round(time.Microsecond), singleShed, singleErrs, singleHitRate*100, singleSt.CacheEvictions)
+	fmt.Fprintf(&sb, "  scaling %.1fx cache-hit throughput over one replica (aggregate cache capacity, not CPU parallelism)\n", scaling)
+
+	results := []PerfResult{
+		{
+			Name:       "serve-fleet-analyze-warm",
+			NsPerOp:    fleetWall.Nanoseconds() / int64(cfg.Requests),
+			Iterations: cfg.Requests,
+			Stats: map[string]int64{
+				"throughput_rps": int64(fleetThroughput),
+				"p50_us":         quantileDur(fleetLat, 0.50).Microseconds(),
+				"p99_us":         quantileDur(fleetLat, 0.99).Microseconds(),
+				"shed":           fleetShed,
+				"errors":         fleetErrs,
+				"hit_rate_pct":   int64(fleetHitRate * 100),
+				"coalesced":      fleetCoalesced,
+				"replicas":       int64(cfg.Replicas),
+			},
+		},
+		{
+			Name:       "serve-single-analyze-churn",
+			NsPerOp:    singleWall.Nanoseconds() / int64(cfg.BaselineRequests),
+			Iterations: cfg.BaselineRequests,
+			Stats: map[string]int64{
+				"throughput_rps": int64(singleThroughput),
+				"p99_us":         quantileDur(singleLat, 0.99).Microseconds(),
+				"hit_rate_pct":   int64(singleHitRate * 100),
+				"evictions":      singleSt.CacheEvictions,
+				"scaling_x1000":  int64(scaling * 1000),
+			},
+		},
+	}
+	return sb.String(), results, nil
+}

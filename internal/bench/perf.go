@@ -222,6 +222,52 @@ func RunPerf(rev string) (*PerfReport, error) {
 	return rep, nil
 }
 
+// MergeResults folds results into BENCH_<rev>.json in dir — reading
+// the existing report when one is there, replacing same-named entries,
+// appending the rest — and returns the path. The serving-path load
+// runs (-serve-load, -fleet-load) use it so their serve-* entries land
+// in the same trajectory file as the engine suites and gate through
+// benchdiff identically.
+func MergeResults(dir, rev string, results []PerfResult) (string, error) {
+	rep := &PerfReport{
+		Rev:     rev,
+		Go:      runtime.Version(),
+		OS:      runtime.GOOS,
+		Arch:    runtime.GOARCH,
+		CPUs:    runtime.NumCPU(),
+		Workers: perfWorkers,
+	}
+	path := fmt.Sprintf("%s/BENCH_%s.json", dir, rev)
+	if dir == "" || dir == "." {
+		path = fmt.Sprintf("BENCH_%s.json", rev)
+	}
+	if data, err := os.ReadFile(path); err == nil {
+		if err := json.Unmarshal(data, rep); err != nil {
+			return "", fmt.Errorf("existing %s: %w", path, err)
+		}
+	}
+	replaced := make(map[string]PerfResult, len(results))
+	for _, r := range results {
+		replaced[r.Name] = r
+	}
+	merged := rep.Results[:0]
+	for _, r := range rep.Results {
+		if nr, ok := replaced[r.Name]; ok {
+			merged = append(merged, nr)
+			delete(replaced, r.Name)
+		} else {
+			merged = append(merged, r)
+		}
+	}
+	for _, r := range results {
+		if _, pending := replaced[r.Name]; pending {
+			merged = append(merged, r)
+		}
+	}
+	rep.Results = merged
+	return rep.WriteJSON(dir)
+}
+
 // WriteJSON writes the report to BENCH_<rev>.json in dir and returns
 // the path.
 func (r *PerfReport) WriteJSON(dir string) (string, error) {

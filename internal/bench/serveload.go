@@ -85,8 +85,9 @@ func serveLoadCorpus() []loadCall {
 
 // RunServeLoad spins up commuted in-process, replays the corpus from
 // Concurrency clients, and reports throughput, latency percentiles,
-// shed rate, and the cache hit rate.
-func RunServeLoad(cfg ServeLoadConfig) (string, error) {
+// shed rate, and the cache hit rate, plus the serve-* BENCH entry for
+// the trajectory file.
+func RunServeLoad(cfg ServeLoadConfig) (string, []PerfResult, error) {
 	if cfg.Requests <= 0 {
 		cfg.Requests = 200
 	}
@@ -188,5 +189,19 @@ func RunServeLoad(cfg ServeLoadConfig) (string, error) {
 	fmt.Fprintf(&sb, "  errors        %d\n", errs.Load())
 	fmt.Fprintf(&sb, "  cache         %d hits / %d misses / %d evictions (%.1f%% hit rate)\n",
 		st.CacheHits, st.CacheMisses, st.CacheEvictions, hitRate*100)
-	return sb.String(), nil
+	results := []PerfResult{{
+		Name:       "serve-load-mixed",
+		NsPerOp:    wall.Nanoseconds() / int64(cfg.Requests),
+		Iterations: cfg.Requests,
+		Stats: map[string]int64{
+			"throughput_rps": int64(float64(cfg.Requests) / wall.Seconds()),
+			"p50_us":         pick(0.50).Microseconds(),
+			"p99_us":         pick(0.99).Microseconds(),
+			"shed":           shed.Load(),
+			"errors":         errs.Load(),
+			"hit_rate_pct":   int64(hitRate * 100),
+			"coalesced":      st.BatchCoalesced,
+		},
+	}}
+	return sb.String(), results, nil
 }

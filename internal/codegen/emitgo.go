@@ -11,9 +11,12 @@ package codegen
 //	      parallel region (R_ wrapper) at call sites whose callee is
 //	      parallel and generates concurrency, exactly like
 //	      rt.serialCtx.
-//	R_m   region wrapper: builds an rtkit pool, runs P_m on the
-//	      external worker, waits. Falls back to S_m when the program
-//	      runs with -mode serial.
+//	R_m   region wrapper: runs P_m on the shared rtkit pool's external
+//	      worker and drains the pool at the region barrier. The pool is
+//	      built lazily once per process (sharedPool_ helper) and reused
+//	      across regions, so worker goroutines start once per run, not
+//	      once per region. Falls back to S_m when the program runs with
+//	      -mode serial.
 //	P_m   parallel version: acquires the receiver lock when the plan
 //	      says so, spawns ActionSpawn sites onto the pool, runs
 //	      ActionHoisted/ActionInline sites inline, and compiles
@@ -109,9 +112,10 @@ type goEmitter struct {
 	parLoopMemo map[*types.Method]int8
 	iterMemo    map[*types.Method]int8
 
-	useMath    bool
-	useRtkit   bool
-	useStrconv bool
+	useMath       bool
+	useRtkit      bool
+	useStrconv    bool
+	useSharedPool bool
 
 	errs []string
 }

@@ -179,14 +179,32 @@ func (e *goEmitter) fnSignature(m *types.Method, v variant) string {
 }
 
 // emitRegionWrapper renders R_m: the serial-to-parallel boundary
-// (rt.runRegion). The parallel version runs on the pool's external
-// worker; Wait drains every transitively spawned task. Any return
-// value is discarded, exactly as the interpreter's serial context
-// discards region results. Under -mode serial it degrades to S_m.
+// (rt.runRegion). The parallel version runs on the shared pool's
+// external worker; Drain blocks until every transitively spawned task
+// completes, then leaves the workers parked for the next region — one
+// pool per run instead of one per region, so region-heavy programs
+// stop paying goroutine startup on every boundary. Any return value is
+// discarded, exactly as the interpreter's serial context discards
+// region results. Under -mode serial it degrades to S_m.
 func (e *goEmitter) emitRegionWrapper(m *types.Method) string {
 	e.demand(m, varS)
 	e.demand(m, varP)
 	e.useRtkit = true
+	e.useSharedPool = true
+	e.helpers["sharedPool_"] = "var (\n" +
+		"\tpoolMu_     sync.Mutex\n" +
+		"\tpoolShared_ *rtkit.Pool\n" +
+		")\n\n" +
+		"// sharedPool_ lazily builds the run-wide scheduler pool. Region\n" +
+		"// wrappers drain it at their barrier instead of shutting it down, so\n" +
+		"// the worker goroutines start once per process, not once per region.\n" +
+		"func sharedPool_() *rtkit.Pool {\n" +
+		"\tpoolMu_.Lock()\n" +
+		"\tdefer poolMu_.Unlock()\n" +
+		"\tif poolShared_ == nil {\n" +
+		"\t\tpoolShared_ = rtkit.NewPool(cfgWorkers, cfgSched, rtkit.Hooks{})\n" +
+		"\t}\n" +
+		"\treturn poolShared_\n}\n"
 	var b strings.Builder
 	b.WriteString(e.fnSignature(m, varR))
 	b.WriteString(" {\n")
@@ -202,9 +220,9 @@ func (e *goEmitter) emitRegionWrapper(m *types.Method) string {
 	}
 	fmt.Fprintf(&b, "\tif !cfgParallel {\n\t\t%sS_%s(%s)\n\t\treturn\n\t}\n",
 		recv, m.Name, strings.Join(args, ", "))
-	b.WriteString("\tpool_ := rtkit.NewPool(cfgWorkers, cfgSched, rtkit.Hooks{})\n")
+	b.WriteString("\tpool_ := sharedPool_()\n")
 	fmt.Fprintf(&b, "\t%sP_%s(%s)\n", recv, m.Name, strings.Join(pargs, ", "))
-	b.WriteString("\tpool_.Wait()\n}\n")
+	b.WriteString("\tpool_.Drain()\n}\n")
 	return b.String()
 }
 

@@ -1,0 +1,231 @@
+package fleet
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"commute/internal/server/api"
+)
+
+func TestRingDeterministicAndBalanced(t *testing.T) {
+	shards := []string{"http://a", "http://b", "http://c"}
+	r1 := NewRing(shards, 64)
+	r2 := NewRing(shards, 64)
+
+	counts := map[string]int{}
+	const keys = 10000
+	for i := 0; i < keys; i++ {
+		key := fmt.Sprintf("fingerprint-%d", i)
+		s1, s2 := r1.Lookup(key), r2.Lookup(key)
+		if s1 != s2 {
+			t.Fatalf("two identical rings disagree on %q: %s vs %s", key, s1, s2)
+		}
+		counts[s1]++
+	}
+	for _, s := range shards {
+		share := float64(counts[s]) / keys
+		if share < 0.15 || share > 0.60 {
+			t.Fatalf("shard %s owns %.0f%% of keys; 64 vnodes should land in [15%%, 60%%] (got %v)", s, share*100, counts)
+		}
+		ringShare := r1.Share(s)
+		if diff := share - ringShare; diff < -0.05 || diff > 0.05 {
+			t.Fatalf("shard %s: empirical share %.3f vs ring share %.3f", s, share, ringShare)
+		}
+	}
+}
+
+func TestRendezvousStableUnderShardLoss(t *testing.T) {
+	all := []string{"http://a", "http://b", "http://c"}
+	survivors := []string{"http://a", "http://c"}
+	moved := 0
+	const keys = 2000
+	for i := 0; i < keys; i++ {
+		key := fmt.Sprintf("k%d", i)
+		before := Rendezvous(key, all)
+		after := Rendezvous(key, survivors)
+		if before != "http://b" && before != after {
+			t.Fatalf("key %q moved from live shard %s to %s when b died", key, before, after)
+		}
+		if before == "http://b" {
+			moved++
+		}
+	}
+	if moved == 0 || moved == keys {
+		t.Fatalf("b owned %d/%d keys; rendezvous distribution broken", moved, keys)
+	}
+}
+
+// testShard is a stub replica that reports which shard answered.
+func testShard(t *testing.T, id string, hook func(n int64, w http.ResponseWriter) bool) *httptest.Server {
+	t.Helper()
+	var n atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if hook != nil && hook(n.Add(1), w) {
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]string{"shard": id, "path": r.URL.Path})
+	}))
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+func analyzeBody(app string) string {
+	return fmt.Sprintf(`{"app":%q}`, app)
+}
+
+func postRouter(t *testing.T, rt *Router, body string) (int, map[string]string) {
+	t.Helper()
+	req := httptest.NewRequest("POST", "/v1/analyze", strings.NewReader(body))
+	req.Header.Set("Content-Type", "application/json")
+	rec := httptest.NewRecorder()
+	rt.Handler().ServeHTTP(rec, req)
+	out := map[string]string{}
+	json.Unmarshal(rec.Body.Bytes(), &out)
+	return rec.Code, out
+}
+
+func TestRouterDeterministicFingerprintRouting(t *testing.T) {
+	a := testShard(t, "a", nil)
+	b := testShard(t, "b", nil)
+	c := testShard(t, "c", nil)
+	rt, err := NewRouter(Config{Shards: []string{a.URL, b.URL, c.URL}})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Same program → same shard, every time.
+	apps := []string{"graph", "barneshut", "water", "specdisjoint", "specconflict"}
+	owner := map[string]string{}
+	for round := 0; round < 5; round++ {
+		for _, app := range apps {
+			code, out := postRouter(t, rt, analyzeBody(app))
+			if code != http.StatusOK {
+				t.Fatalf("analyze %s = %d", app, code)
+			}
+			if prev, ok := owner[app]; ok && prev != out["shard"] {
+				t.Fatalf("app %s moved from shard %s to %s with all shards live", app, prev, out["shard"])
+			}
+			owner[app] = out["shard"]
+		}
+	}
+	// Inline source with the same fingerprint as an app must co-route
+	// with it (the router keys on fingerprint, not on request shape).
+	code, out := postRouter(t, rt, `{"name":"graph.mc","source":"void main() {}"}`)
+	if code != http.StatusOK {
+		t.Fatalf("inline analyze = %d", code)
+	}
+	for round := 0; round < 3; round++ {
+		_, again := postRouter(t, rt, `{"name":"graph.mc","source":"void main() {}"}`)
+		if again["shard"] != out["shard"] {
+			t.Fatal("identical inline program moved shards")
+		}
+	}
+}
+
+func TestRouterReroutesAroundDeadShard(t *testing.T) {
+	a := testShard(t, "a", nil)
+	b := testShard(t, "b", nil)
+	dead := httptest.NewServer(http.NotFoundHandler())
+	deadURL := dead.URL
+	dead.Close() // connection refused from the start
+
+	rt, err := NewRouter(Config{Shards: []string{a.URL, b.URL, deadURL}, Retries: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Drive enough distinct programs that some route to the dead shard.
+	sawReroute := false
+	for i := 0; i < 40; i++ {
+		body := fmt.Sprintf(`{"name":"p%d.mc","source":"void main() { print(%d); }"}`, i, i)
+		code, out := postRouter(t, rt, body)
+		if code != http.StatusOK {
+			t.Fatalf("request %d = %d", i, code)
+		}
+		if out["shard"] != "a" && out["shard"] != "b" {
+			t.Fatalf("request %d answered by %q", i, out["shard"])
+		}
+	}
+	req := httptest.NewRequest("GET", "/statusz", nil)
+	rec := httptest.NewRecorder()
+	rt.Handler().ServeHTTP(rec, req)
+	var st api.StatusZ
+	if err := json.Unmarshal(rec.Body.Bytes(), &st); err != nil {
+		t.Fatal(err)
+	}
+	ds := st.Shards[deadURL]
+	if !ds.Down {
+		t.Fatal("dead shard not marked down in statusz")
+	}
+	if ds.Rerouted > 0 {
+		sawReroute = true
+	}
+	if !sawReroute {
+		t.Fatalf("40 distinct programs never routed to the dead shard (counters: %+v)", st.Shards)
+	}
+	if ds.Errors == 0 {
+		t.Fatal("dead shard has no error count")
+	}
+}
+
+func TestRouterHonorsRetryAfterOn429(t *testing.T) {
+	flaky := testShard(t, "flaky", func(n int64, w http.ResponseWriter) bool {
+		if n == 1 {
+			w.Header().Set("Retry-After", "0")
+			writeJSON(w, http.StatusTooManyRequests, api.Error{Error: "busy"})
+			return true
+		}
+		return false
+	})
+	rt, err := NewRouter(Config{Shards: []string{flaky.URL}, Retries: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	code, out := postRouter(t, rt, analyzeBody("graph"))
+	if code != http.StatusOK || out["shard"] != "flaky" {
+		t.Fatalf("after 429 retry: code %d, shard %q, want 200 from flaky", code, out["shard"])
+	}
+	req := httptest.NewRequest("GET", "/statusz", nil)
+	rec := httptest.NewRecorder()
+	rt.Handler().ServeHTTP(rec, req)
+	var st api.StatusZ
+	if err := json.Unmarshal(rec.Body.Bytes(), &st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Shards[flaky.URL].Retries != 1 {
+		t.Fatalf("retries = %d, want 1", st.Shards[flaky.URL].Retries)
+	}
+}
+
+func TestRouterRetriesExhaustTo502(t *testing.T) {
+	dead := httptest.NewServer(http.NotFoundHandler())
+	deadURL := dead.URL
+	dead.Close()
+	// Retries: -1 disables retrying, so the one transport failure maps
+	// to a 502 rather than falling through to the no-live-shard 503.
+	rt, err := NewRouter(Config{Shards: []string{deadURL}, Retries: -1, DownTTL: time.Minute})
+	if err != nil {
+		t.Fatal(err)
+	}
+	code, _ := postRouter(t, rt, analyzeBody("graph"))
+	if code != http.StatusBadGateway {
+		t.Fatalf("all shards dead = %d, want 502", code)
+	}
+	// With the only shard marked down, the router sheds instead of
+	// hammering it until the TTL expires.
+	code, _ = postRouter(t, rt, analyzeBody("graph"))
+	if code != http.StatusServiceUnavailable {
+		t.Fatalf("marked-down shard = %d, want 503", code)
+	}
+	hr := httptest.NewRequest("GET", "/healthz", nil)
+	rec := httptest.NewRecorder()
+	rt.Handler().ServeHTTP(rec, hr)
+	if rec.Code != http.StatusServiceUnavailable {
+		t.Fatalf("healthz with no live shards = %d, want 503", rec.Code)
+	}
+}

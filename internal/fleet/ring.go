@@ -1,0 +1,133 @@
+// Package fleet is the multi-node serving layer: a fingerprint-routed
+// router (commutefleet) in front of N commuted replicas. Programs are
+// content-addressed — commute.Fingerprint — and the router hashes that
+// key onto a consistent-hash ring, so every request for one program
+// lands on the same replica and the fleet's aggregate cache capacity
+// is the sum of its replicas' caches, not N copies of the same hot
+// set. When a shard dies the router falls back to rendezvous hashing
+// over the survivors, which moves only the dead shard's keys.
+package fleet
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"fmt"
+	"sort"
+)
+
+// Ring is an immutable consistent-hash ring over shard URLs. Each
+// shard owns VNodes points on the ring; a key routes to the shard
+// owning the first point clockwise of the key's hash. Determinism is
+// load-bearing: every router instance with the same shard list builds
+// the identical ring, so routing is stable across router restarts and
+// across redundant routers.
+type Ring struct {
+	shards []string
+	vnodes int
+	points []ringPoint // sorted by hash
+}
+
+type ringPoint struct {
+	hash  uint64
+	shard int // index into shards
+}
+
+// hash64 maps a label to a ring position. SHA-256 (truncated) rather
+// than a fast hash: vnode placement quality decides load balance, and
+// the ring is built once.
+func hash64(label string) uint64 {
+	sum := sha256.Sum256([]byte(label))
+	return binary.BigEndian.Uint64(sum[:8])
+}
+
+// NewRing builds a ring with vnodes points per shard (<=0: 64).
+func NewRing(shards []string, vnodes int) *Ring {
+	if vnodes <= 0 {
+		vnodes = 64
+	}
+	r := &Ring{
+		shards: append([]string(nil), shards...),
+		vnodes: vnodes,
+		points: make([]ringPoint, 0, len(shards)*vnodes),
+	}
+	for si, shard := range r.shards {
+		for v := 0; v < vnodes; v++ {
+			r.points = append(r.points, ringPoint{
+				hash:  hash64(fmt.Sprintf("%s#%d", shard, v)),
+				shard: si,
+			})
+		}
+	}
+	sort.Slice(r.points, func(i, j int) bool {
+		if r.points[i].hash != r.points[j].hash {
+			return r.points[i].hash < r.points[j].hash
+		}
+		// Hash ties (vanishingly rare) break by shard index so the ring
+		// stays deterministic regardless of sort stability.
+		return r.points[i].shard < r.points[j].shard
+	})
+	return r
+}
+
+// Shards returns the ring's shard list (not a copy; treat as read-only).
+func (r *Ring) Shards() []string { return r.shards }
+
+// VNodes returns the per-shard virtual node count.
+func (r *Ring) VNodes() int { return r.vnodes }
+
+// Lookup returns the shard owning key.
+func (r *Ring) Lookup(key string) string {
+	if len(r.points) == 0 {
+		return ""
+	}
+	h := hash64(key)
+	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	if i == len(r.points) {
+		i = 0 // wrap
+	}
+	return r.shards[r.points[i].shard]
+}
+
+// Share returns the fraction of the 64-bit keyspace shard owns — the
+// expected request share under uniform keys with every shard live.
+func (r *Ring) Share(shard string) float64 {
+	si := -1
+	for i, s := range r.shards {
+		if s == shard {
+			si = i
+			break
+		}
+	}
+	if si < 0 || len(r.points) == 0 {
+		return 0
+	}
+	var owned uint64
+	for i, p := range r.points {
+		var span uint64
+		if i == 0 {
+			// The first point owns the wrap-around arc from the last point.
+			span = r.points[0].hash + (^uint64(0) - r.points[len(r.points)-1].hash) + 1
+		} else {
+			span = p.hash - r.points[i-1].hash
+		}
+		if p.shard == si {
+			owned += span
+		}
+	}
+	return float64(owned) / float64(^uint64(0))
+}
+
+// Rendezvous returns the highest-random-weight winner for key among
+// candidates — the fallback path when the ring owner is down. Unlike
+// "next live point clockwise", HRW spreads a dead shard's keys across
+// every survivor instead of dumping them all on one neighbor.
+func Rendezvous(key string, candidates []string) string {
+	best, bestScore := "", uint64(0)
+	for _, c := range candidates {
+		score := hash64(c + "\x00" + key)
+		if best == "" || score > bestScore || (score == bestScore && c < best) {
+			best, bestScore = c, score
+		}
+	}
+	return best
+}

@@ -62,7 +62,8 @@ type MethodReport struct {
 // AnalyzeResponse is the commutativity report for a program.
 type AnalyzeResponse struct {
 	// Key is the program's content address (hex SHA-256 of source and
-	// options); Cache is "hit" or "miss" for this request.
+	// options); Cache is "hit", "miss", or "adopt" (served from a
+	// peer's artifact bundle via the shared blob tier) for this request.
 	Key   string `json:"key"`
 	Cache string `json:"cache"`
 
@@ -172,6 +173,22 @@ type EndpointStats struct {
 	Errors   int64   `json:"errors"`
 	P50MS    float64 `json:"p50_ms"`
 	P99MS    float64 `json:"p99_ms"`
+	// Coalesced counts requests served from another request's batched
+	// response (same fingerprint, within the batch linger window)
+	// without re-entering the endpoint's handler.
+	Coalesced int64 `json:"coalesced,omitempty"`
+}
+
+// ShardStats is one replica's counters in a fleet router's /statusz.
+type ShardStats struct {
+	URL       string  `json:"url"`
+	Requests  int64   `json:"requests"`
+	Errors    int64   `json:"errors"`
+	Rerouted  int64   `json:"rerouted"` // requests moved off this shard while it was down
+	Retries   int64   `json:"retries"`  // bounded 429 Retry-After retries against this shard
+	Down      bool    `json:"down"`
+	VNodes    int     `json:"vnodes"`
+	RingShare float64 `json:"ring_share"` // fraction of keyspace owned while all shards live
 }
 
 // StatusZ is the daemon's counter snapshot.
@@ -194,7 +211,21 @@ type StatusZ struct {
 	CacheEntries   int64 `json:"cache_entries"`
 	CacheBytes     int64 `json:"cache_bytes"`
 
+	// CacheAdoptions counts analyze requests served from a peer's
+	// serialized artifact bundle (the shared blob tier) instead of a
+	// local load; ArtifactsPublished counts bundles this replica wrote
+	// to the tier after its own cold loads.
+	CacheAdoptions     int64 `json:"cache_adoptions,omitempty"`
+	ArtifactsPublished int64 `json:"artifacts_published,omitempty"`
+	// BatchCoalesced is the total across endpoints (per-endpoint counts
+	// are in Endpoints[...].Coalesced).
+	BatchCoalesced int64 `json:"batch_coalesced,omitempty"`
+
 	Endpoints map[string]EndpointStats `json:"endpoints"`
+
+	// Shards is populated only by the fleet router's /statusz: one
+	// entry per replica, keyed by shard name.
+	Shards map[string]ShardStats `json:"shards,omitempty"`
 }
 
 // Error is the JSON error envelope for non-2xx responses.

@@ -1,0 +1,82 @@
+package server
+
+// Cross-request batching for /v1/analyze. The artifact cache's
+// singleflight already dedups concurrent *loads* of one fingerprint;
+// batching goes one level up and dedups the *responses*: concurrent
+// same-fingerprint requests elect a leader, the followers wait, and
+// every follower is answered with the leader's serialized response
+// bytes without re-entering the handler (no cache lease, no report
+// walk, no JSON encoding). A completed batch then lingers for a small
+// window so a stampede arriving just after completion still coalesces.
+//
+// The batch key includes every request field that shapes the response
+// (fingerprint + emit flag), so coalesced responses are byte-exact for
+// their joiners; per-request fields like ElapsedMS are the leader's.
+
+import (
+	"sync"
+	"time"
+)
+
+// batcher coalesces same-key requests onto one in-flight (or
+// just-completed) response.
+type batcher struct {
+	// linger holds a completed batch open for this window; negative
+	// disables coalescing entirely.
+	linger time.Duration
+
+	mu    sync.Mutex
+	calls map[string]*batchCall
+}
+
+// batchCall is one coalesced response. code and body are immutable
+// once done is closed.
+type batchCall struct {
+	done chan struct{}
+	code int
+	body []byte
+}
+
+func newBatcher(linger time.Duration) *batcher {
+	return &batcher{linger: linger, calls: make(map[string]*batchCall)}
+}
+
+// join returns the call for key and whether the caller is its leader.
+// A leader must eventually call finish exactly once, even on its error
+// and panic paths — followers block until it does.
+func (b *batcher) join(key string) (*batchCall, bool) {
+	if b.linger < 0 {
+		return &batchCall{done: make(chan struct{})}, true
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if c, ok := b.calls[key]; ok {
+		return c, false
+	}
+	c := &batchCall{done: make(chan struct{})}
+	b.calls[key] = c
+	return c, true
+}
+
+// finish publishes the leader's response to every follower and keeps
+// the batch joinable for the linger window.
+func (b *batcher) finish(key string, c *batchCall, code int, body []byte) {
+	c.code, c.body = code, body
+	close(c.done)
+	if b.linger < 0 {
+		return
+	}
+	if b.linger == 0 {
+		b.remove(key, c)
+		return
+	}
+	time.AfterFunc(b.linger, func() { b.remove(key, c) })
+}
+
+func (b *batcher) remove(key string, c *batchCall) {
+	b.mu.Lock()
+	if b.calls[key] == c {
+		delete(b.calls, key)
+	}
+	b.mu.Unlock()
+}

@@ -98,6 +98,24 @@ func (h *Handle) Close() {
 	}
 }
 
+// Peek returns a lease on key's entry when it is already loaded,
+// without triggering a load or blocking on one in flight. It lets the
+// serving layer prefer the warm in-memory system over the blob tier
+// while falling through to artifact adoption (rather than a full
+// pipeline run) when the system is absent.
+func (c *Cache) Peek(key string) (*Handle, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e, ok := c.entries[key]
+	if !ok || !e.built || e.err != nil {
+		return nil, false
+	}
+	e.refs++
+	c.ll.MoveToFront(e.elem)
+	c.hits.Add(1)
+	return &Handle{c: c, e: e}, true
+}
+
 // GetOrLoad returns a lease on the system for key, loading it with load
 // on a miss. load returns the system and its retained-size estimate in
 // bytes. hit reports whether this request was served without running

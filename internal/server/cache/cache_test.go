@@ -185,3 +185,147 @@ func TestLeasedEvictionDefersRelease(t *testing.T) {
 		t.Fatalf("release hook ran %d times after last Close, want 1", released.Load())
 	}
 }
+
+func TestPeek(t *testing.T) {
+	sys := tinySystem(t)
+	c := New(0, nil)
+	if _, ok := c.Peek("k"); ok {
+		t.Fatal("Peek hit an empty cache")
+	}
+	h, _, err := c.GetOrLoad("k", func() (*commute.System, int64, error) {
+		return sys, 1, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h.Close()
+	p, ok := c.Peek("k")
+	if !ok || p.System() != sys {
+		t.Fatal("Peek missed a resident entry")
+	}
+	p.Close()
+	// Peek must never block on (or join) an in-flight load.
+	loading := make(chan struct{})
+	release := make(chan struct{})
+	go c.GetOrLoad("slow", func() (*commute.System, int64, error) {
+		close(loading)
+		<-release
+		return sys, 1, nil
+	})
+	<-loading
+	if _, ok := c.Peek("slow"); ok {
+		t.Fatal("Peek returned an entry still loading")
+	}
+	close(release)
+}
+
+func TestSingleflightErrorSharedByWaiters(t *testing.T) {
+	// Every waiter coalesced onto a failing loader must observe the
+	// loader's error, and the failure must not poison the key.
+	sys := tinySystem(t)
+	c := New(0, nil)
+	boom := errors.New("boom")
+	var loads atomic.Int64
+
+	const goroutines = 16
+	var wg sync.WaitGroup
+	start := make(chan struct{})
+	errs := make([]error, goroutines)
+	for i := 0; i < goroutines; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			<-start
+			h, _, err := c.GetOrLoad("k", func() (*commute.System, int64, error) {
+				loads.Add(1)
+				time.Sleep(10 * time.Millisecond) // let waiters pile up
+				return nil, 0, boom
+			})
+			if h != nil {
+				t.Error("failed load produced a handle")
+			}
+			errs[i] = err
+		}(i)
+	}
+	close(start)
+	wg.Wait()
+	for i, err := range errs {
+		if !errors.Is(err, boom) {
+			t.Fatalf("waiter %d err = %v, want boom", i, err)
+		}
+	}
+	// Failed loads run once per stampede wave (never cached); 1 here.
+	if n := loads.Load(); n != 1 {
+		t.Fatalf("loader ran %d times, want 1", n)
+	}
+	if st := c.Snapshot(); st.Entries != 0 {
+		t.Fatalf("failed load left %d entries cached", st.Entries)
+	}
+	h, hit, err := c.GetOrLoad("k", func() (*commute.System, int64, error) {
+		return sys, 1, nil
+	})
+	if err != nil || hit {
+		t.Fatalf("post-failure get: hit=%v err=%v, want fresh load", hit, err)
+	}
+	h.Close()
+}
+
+func TestEvictionUnderConcurrentLeaseChurn(t *testing.T) {
+	// Hammer a tiny cache from many goroutines so loads, hits, leased
+	// evictions, and deferred releases all interleave, then check the
+	// core safety property: the release hook runs exactly once per
+	// evicted entry and only after its last lease closed. (Run under
+	// -race this also shakes out lock-ordering bugs.)
+	sys := tinySystem(t)
+	var released, evictedLeases atomic.Int64
+	c := New(350, func(*commute.System) { released.Add(1) })
+
+	const goroutines = 8
+	const iters = 300
+	const keys = 12 // ~12 entries of 100 bytes churning a 3-entry budget
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				key := fmt.Sprintf("k%d", (g*7+i)%keys)
+				h, _, err := c.GetOrLoad(key, func() (*commute.System, int64, error) {
+					return sys, 100, nil
+				})
+				if err != nil {
+					t.Errorf("get %s: %v", key, err)
+					return
+				}
+				if h.System() != sys {
+					t.Error("leased system invalid mid-churn")
+					evictedLeases.Add(1)
+				}
+				if i%3 == 0 {
+					// Hold a second lease briefly so refcounts exceed 1.
+					if p, ok := c.Peek(key); ok {
+						if p.System() != sys {
+							t.Error("peeked system invalid mid-churn")
+						}
+						p.Close()
+					}
+				}
+				h.Close()
+			}
+		}(g)
+	}
+	wg.Wait()
+
+	st := c.Snapshot()
+	if st.Bytes > 350 {
+		t.Fatalf("cache over budget after churn: %d bytes", st.Bytes)
+	}
+	if st.Evictions == 0 {
+		t.Fatal("churn produced no evictions; the test exercised nothing")
+	}
+	// Every handle is closed, so every evicted entry must have released
+	// exactly once: resident entries + released == total loads.
+	if got, want := released.Load(), st.Evictions; got != want {
+		t.Fatalf("release hook ran %d times for %d evictions", got, want)
+	}
+}

@@ -27,6 +27,7 @@
 package server
 
 import (
+	"container/list"
 	"context"
 	"encoding/json"
 	"errors"
@@ -82,6 +83,18 @@ type Config struct {
 	// SpeculateThreshold is the default minimum analysis confidence for
 	// "auto" speculation (0: rt.DefaultSpecThreshold).
 	SpeculateThreshold float64
+	// Blobs is the shared artifact tier (fleet deployments: a directory
+	// shared by replicas, a peer-fetch store, or both tiered). After a
+	// cold load the replica publishes the program's serialized analysis
+	// to it; on a miss it adopts a peer's bundle instead of re-running
+	// the analysis. Nil disables the tier.
+	Blobs cache.BlobStore
+	// BatchLinger coalesces same-fingerprint /v1/analyze requests: a
+	// request arriving while an identical one is in flight — or within
+	// this window after it completed — is answered with the same
+	// serialized response bytes without re-entering the handler.
+	// 0 means the 2ms default; negative disables batching.
+	BatchLinger time.Duration
 }
 
 func (c Config) withDefaults() Config {
@@ -112,6 +125,9 @@ func (c Config) withDefaults() Config {
 	if c.RetryAfter == 0 {
 		c.RetryAfter = time.Second
 	}
+	if c.BatchLinger == 0 {
+		c.BatchLinger = 2 * time.Millisecond
+	}
 	return c
 }
 
@@ -135,6 +151,19 @@ type Server struct {
 	specAborts  atomic.Int64
 	draining    atomic.Bool
 
+	// Shared artifact tier (see artifact.go).
+	blobs     cache.BlobStore
+	adoptions atomic.Int64
+	published atomic.Int64
+	artMu     sync.Mutex
+	artMap    map[string]*list.Element
+	artLL     *list.List
+	nameMu    sync.Mutex
+	names     map[string]string
+	// Cross-request response batching (see batch.go).
+	batch     *batcher
+	coalesced atomic.Int64
+
 	lat map[string]*latencyRecorder
 }
 
@@ -153,14 +182,20 @@ func New(cfg Config) *Server {
 			"simulate": {},
 			// Program-load latency, split by cache outcome: load-cold is
 			// the full pipeline (parse → analysis → codegen → warm),
-			// load-warm a cache hit. The gap is what the parallel
-			// analysis driver buys.
-			"load-cold": {},
-			"load-warm": {},
+			// load-warm a cache hit, load-adopt a peer artifact decoded
+			// from the blob tier instead of re-analyzed. The cold↔warm
+			// gap is what the parallel analysis driver buys; the
+			// cold↔adopt gap is what the fleet artifact tier buys.
+			"load-cold":  {},
+			"load-warm":  {},
+			"load-adopt": {},
 		},
 	}
+	s.initArtifacts(cfg.Blobs)
+	s.batch = newBatcher(cfg.BatchLinger)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /statusz", s.handleStatusz)
+	s.mux.HandleFunc("GET /v1/artifact/{key}", s.handleArtifact)
 	s.mux.HandleFunc("POST /v1/analyze", s.guard("analyze", s.handleAnalyze))
 	s.mux.HandleFunc("POST /v1/run", s.guard("run", s.handleRun))
 	s.mux.HandleFunc("POST /v1/simulate", s.guard("simulate", s.handleSimulate))
@@ -266,30 +301,53 @@ func systemSize(source string) int64 {
 	return int64(len(source))*48 + 64<<10
 }
 
-// loadSystem resolves the request's program through the cache. The
-// returned handle must be Closed when the request is done with the
-// system.
-func (s *Server) loadSystem(req api.SourceRequest) (h *cache.Handle, key string, hit bool, err error) {
-	name, source := req.Name, req.Source
+// FingerprintRequest computes the routing/cache key for a request the
+// same way every replica does. The fleet router calls it so a program
+// always lands on the shard that owns its fingerprint; AnalysisWorkers
+// never enters the key, so router and replicas agree regardless of
+// their worker configuration.
+func FingerprintRequest(req api.SourceRequest) (string, error) {
+	name, source, opts, err := resolveSourceRequest(req, 0)
+	if err != nil {
+		return "", err
+	}
+	return commute.Fingerprint(name, source, opts), nil
+}
+
+// resolveSource maps a request to its (name, source, load options)
+// triple without loading anything. Fingerprinting the triple is what
+// the batcher and the fleet router key on, so it must be cheap and
+// deterministic.
+func (s *Server) resolveSource(req api.SourceRequest) (string, string, commute.LoadOptions, error) {
+	return resolveSourceRequest(req, s.cfg.AnalysisWorkers)
+}
+
+func resolveSourceRequest(req api.SourceRequest, analysisWorkers int) (name, source string, opts commute.LoadOptions, err error) {
+	name, source = req.Name, req.Source
 	if req.App != "" {
 		var ok bool
 		if name, source, ok = appSource(req.App); !ok {
-			return nil, "", false, fmt.Errorf("unknown app %q (have barneshut, water, graph, quickstart, specdisjoint, specconflict)", req.App)
+			return "", "", opts, fmt.Errorf("unknown app %q (have barneshut, water, graph, quickstart, specdisjoint, specconflict)", req.App)
 		}
 	}
 	if source == "" {
-		return nil, "", false, errors.New("request needs source or app")
+		return "", "", opts, errors.New("request needs source or app")
 	}
 	if name == "" {
 		name = "request.mc"
 	}
-	opts := commute.LoadOptions{
+	opts = commute.LoadOptions{
 		Transform:       req.Options.Transform,
-		AnalysisWorkers: s.cfg.AnalysisWorkers,
+		AnalysisWorkers: analysisWorkers,
 	}
-	// Fingerprint ignores AnalysisWorkers: it changes only load
-	// latency, never the loaded System.
-	key = commute.Fingerprint(name, source, opts)
+	return name, source, opts, nil
+}
+
+// loadSystemKeyed resolves a fingerprinted program through the cache.
+// The returned handle must be Closed when the request is done with the
+// system. A cold load publishes its artifact to the blob tier so fleet
+// peers can adopt the analysis instead of repeating it.
+func (s *Server) loadSystemKeyed(name, source string, opts commute.LoadOptions, key string) (h *cache.Handle, hit bool, err error) {
 	start := time.Now()
 	h, hit, err = s.cache.GetOrLoad(key, func() (*commute.System, int64, error) {
 		sys, lerr := commute.LoadOpts(name, source, opts)
@@ -305,6 +363,24 @@ func (s *Server) loadSystem(req api.SourceRequest) (h *cache.Handle, key string,
 	if rec := s.lat[loadWord(hit)]; rec != nil {
 		rec.record(time.Since(start), err != nil)
 	}
+	if err == nil && !hit {
+		s.rememberName(key, name)
+		s.publishArtifact(key, name, h.System())
+	}
+	return h, hit, err
+}
+
+// loadSystem is the resolve→fingerprint→load composition used by the
+// endpoints that need the live system (/v1/run, /v1/simulate).
+func (s *Server) loadSystem(req api.SourceRequest) (h *cache.Handle, key string, hit bool, err error) {
+	name, source, opts, rerr := s.resolveSource(req)
+	if rerr != nil {
+		return nil, "", false, rerr
+	}
+	// Fingerprint ignores AnalysisWorkers: it changes only load
+	// latency, never the loaded System.
+	key = commute.Fingerprint(name, source, opts)
+	h, hit, err = s.loadSystemKeyed(name, source, opts, key)
 	return h, key, hit, err
 }
 
@@ -351,6 +427,9 @@ func (s *Server) handleStatusz(w http.ResponseWriter, r *http.Request) {
 		CacheEvictions:     cs.Evictions,
 		CacheEntries:       cs.Entries,
 		CacheBytes:         cs.Bytes,
+		CacheAdoptions:     s.adoptions.Load(),
+		ArtifactsPublished: s.published.Load(),
+		BatchCoalesced:     s.coalesced.Load(),
 		Endpoints:          make(map[string]api.EndpointStats, len(s.lat)),
 	}
 	for name, rec := range s.lat {
@@ -365,16 +444,97 @@ func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) error {
 	if err := s.readJSON(w, r, &req); err != nil {
 		return err
 	}
-	h, key, hit, err := s.loadSystem(req.SourceRequest)
+	name, source, opts, err := s.resolveSource(req.SourceRequest)
 	if err != nil {
 		return writeErr(w, http.StatusUnprocessableEntity, err.Error())
 	}
-	defer h.Close()
-	sys := h.System()
+	key := commute.Fingerprint(name, source, opts)
 
+	// Batch: concurrent (or just-completed, within the linger window)
+	// requests for one (fingerprint, emit) pair share one serialized
+	// response. The batch key includes every field that shapes the body.
+	batchKey := key + "|emit=" + strconv.FormatBool(req.Emit)
+	call, leader := s.batch.join(batchKey)
+	if !leader {
+		return s.awaitBatch(w, r, call)
+	}
+
+	// Leader: compute the response bytes, publish them to the batch —
+	// unconditionally, or followers hang until their clients give up —
+	// then write them as our own response.
+	finished := false
+	defer func() {
+		if !finished {
+			body, _ := json.Marshal(api.Error{Error: "internal error"})
+			s.batch.finish(batchKey, call, http.StatusInternalServerError, body)
+		}
+	}()
+	code, body, err := s.analyzeResult(req, name, source, opts, key, start)
+	finished = true
+	s.batch.finish(batchKey, call, code, body)
+
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	w.Write(body)
+	return err
+}
+
+// awaitBatch serves a coalesced follower: block until the leader
+// finishes (or the client goes away), then replay its bytes.
+func (s *Server) awaitBatch(w http.ResponseWriter, r *http.Request, c *batchCall) error {
+	select {
+	case <-c.done:
+	case <-r.Context().Done():
+		return r.Context().Err()
+	}
+	s.coalesced.Add(1)
+	if rec := s.lat["analyze"]; rec != nil {
+		rec.coalesce()
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(c.code)
+	w.Write(c.body)
+	if c.code >= 400 {
+		return fmt.Errorf("coalesced onto failed leader (status %d)", c.code)
+	}
+	return nil
+}
+
+// analyzeResult computes the /v1/analyze response as (status, body),
+// trying the three serving tiers in cost order: the warm in-memory
+// system, an adopted fleet artifact, then the full analysis pipeline.
+func (s *Server) analyzeResult(req api.AnalyzeRequest, name, source string, opts commute.LoadOptions, key string, start time.Time) (int, []byte, error) {
+	if h, ok := s.cache.Peek(key); ok {
+		loadStart := time.Now()
+		resp := analyzeFromSystem(h.System(), key, "hit", req.Emit, start)
+		h.Close()
+		if rec := s.lat["load-warm"]; rec != nil {
+			rec.record(time.Since(loadStart), false)
+		}
+		return jsonBody(http.StatusOK, resp)
+	}
+	if s.blobs != nil {
+		loadStart := time.Now()
+		if b, ok := s.adoptArtifact(key); ok {
+			if rec := s.lat["load-adopt"]; rec != nil {
+				rec.record(time.Since(loadStart), false)
+			}
+			return jsonBody(http.StatusOK, analyzeFromBundle(b, key, "adopt", req.Emit, start))
+		}
+	}
+	h, hit, err := s.loadSystemKeyed(name, source, opts, key)
+	if err != nil {
+		return errBody(http.StatusUnprocessableEntity, err.Error())
+	}
+	defer h.Close()
+	return jsonBody(http.StatusOK, analyzeFromSystem(h.System(), key, cacheWord(hit), req.Emit, start))
+}
+
+// analyzeFromSystem renders the analyze response from a live system.
+func analyzeFromSystem(sys *commute.System, key, cacheWord string, emit bool, start time.Time) api.AnalyzeResponse {
 	resp := api.AnalyzeResponse{
 		Key:             key,
-		Cache:           cacheWord(hit),
+		Cache:           cacheWord,
 		ParallelMethods: sys.ParallelMethods(),
 		LoopsFound:      sys.Plan.LoopsFound,
 		LoopsSuppressed: sys.Plan.LoopsSuppressed,
@@ -394,11 +554,28 @@ func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) error {
 			SpeculationEligible: mr.SpeculationEligible,
 		})
 	}
-	if req.Emit && sys.File != nil {
+	if emit && sys.File != nil {
 		resp.ParallelSource = sys.Plan.EmitParallelSource(sys.File)
 	}
 	resp.ElapsedMS = float64(time.Since(start)) / float64(time.Millisecond)
-	return writeJSON(w, http.StatusOK, resp)
+	return resp
+}
+
+// jsonBody serializes a response value to (status, body) for batching.
+func jsonBody(code int, v any) (int, []byte, error) {
+	b, err := json.Marshal(v)
+	if err != nil {
+		eb, _ := json.Marshal(api.Error{Error: "encode response: " + err.Error()})
+		return http.StatusInternalServerError, eb, err
+	}
+	return code, b, nil
+}
+
+// errBody is jsonBody for the error envelope; the returned error makes
+// the guard count the request as failed.
+func errBody(code int, msg string) (int, []byte, error) {
+	b, _ := json.Marshal(api.Error{Error: msg})
+	return code, b, errors.New(msg)
 }
 
 func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) error {

@@ -90,7 +90,10 @@ func TestHealthz(t *testing.T) {
 }
 
 func TestAnalyzeCacheHit(t *testing.T) {
-	_, ts := newTestServer(t, Config{})
+	// BatchLinger off: this test asserts per-request cache words, which
+	// the coalescing window intentionally blurs for back-to-back
+	// identical requests.
+	_, ts := newTestServer(t, Config{BatchLinger: -1})
 	req := api.AnalyzeRequest{SourceRequest: api.SourceRequest{App: "graph"}}
 
 	resp, data := post(t, ts, "/v1/analyze", req)
@@ -145,7 +148,7 @@ func TestAnalyzeCacheSpeedupBarnesHut(t *testing.T) {
 	if testing.Short() {
 		t.Skip("timing test")
 	}
-	_, ts := newTestServer(t, Config{})
+	_, ts := newTestServer(t, Config{BatchLinger: -1})
 	req := api.AnalyzeRequest{SourceRequest: api.SourceRequest{App: "barneshut"}}
 
 	t0 := time.Now()

@@ -340,3 +340,17 @@ func (p *Pool) Wait() {
 	p.mu.Unlock()
 	p.cond.Broadcast()
 }
+
+// Drain blocks until all spawned tasks (including transitively spawned
+// ones) complete, but keeps the workers parked for more work. A caller
+// running many parallel regions drains between regions and pays the
+// worker-goroutine startup cost once per pool instead of once per
+// region; call Wait once at the end (or let process exit reap the
+// workers — they hold no resources beyond their stacks while parked).
+func (p *Pool) Drain() {
+	p.mu.Lock()
+	for p.pending.Load() > 0 {
+		p.cond.Wait()
+	}
+	p.mu.Unlock()
+}

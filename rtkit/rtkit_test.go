@@ -68,3 +68,30 @@ func TestPending(t *testing.T) {
 		t.Fatalf("pending after Wait = %d, want 0", p.Pending())
 	}
 }
+
+// TestDrainReusesWorkers runs many task "regions" through one pool,
+// draining between them — the native backend's region-wrapper pattern.
+// Every region's tasks must complete before Drain returns, and the
+// workers must still be alive for the next region and the final Wait.
+func TestDrainReusesWorkers(t *testing.T) {
+	p := NewPool(4, Stealing, Hooks{})
+	var ran atomic.Int64
+	const regions, perRegion = 50, 100
+	for r := 0; r < regions; r++ {
+		before := ran.Load()
+		for i := 0; i < perRegion; i++ {
+			p.Spawn(p.External(), "task", func(w *Worker) {
+				// Nested spawn exercises transitive completion per drain.
+				w.Pool().Spawn(w, "leaf", func(*Worker) { ran.Add(1) })
+			})
+		}
+		p.Drain()
+		if got := ran.Load() - before; got != perRegion {
+			t.Fatalf("region %d: drained with %d tasks complete, want %d", r, got, perRegion)
+		}
+	}
+	p.Wait()
+	if got := ran.Load(); got != regions*perRegion {
+		t.Fatalf("ran %d tasks, want %d", got, regions*perRegion)
+	}
+}
