@@ -20,14 +20,17 @@ import (
 
 	"commute"
 	"commute/internal/apps/src"
+	"commute/internal/codegen"
+	"commute/internal/cond"
 	"commute/internal/nativegen"
 	"commute/internal/transform"
 )
 
 func main() {
-	app := flag.String("app", "", "analyze a built-in application (barneshut, water, graph) instead of a file")
+	app := flag.String("app", "", "analyze a built-in application (barneshut, water, graph, condhash) instead of a file")
 	verbose := flag.Bool("v", false, "print per-pair commutativity details")
 	emit := flag.String("emit", "", "emit instead of the report: source (the Figure 2 style transformed source) | go (native Go package, requires -o)")
+	conditional := flag.Bool("conditional", false, "plan conditionally-eligible extents as guarded parallel regions (-emit go compiles the synthesized guard into the region wrapper)")
 	outDir := flag.String("o", "", "output directory for -emit go")
 	doTransform := flag.Bool("transform", false, "apply the §7.2 loop replacement (while loops → tail-recursive methods) before analysis")
 	annotations := flag.String("annotations", "", "also write the annotation file (JSON) to this path (the paper's analysis→codegen interface)")
@@ -44,8 +47,10 @@ func main() {
 			source = src.Water
 		case "graph":
 			source = src.Graph
+		case "condhash":
+			source = src.CondHashBase + src.CondHashMain(0, 6)
 		default:
-			fmt.Fprintf(os.Stderr, "unknown app %q (have barneshut, water, graph)\n", *app)
+			fmt.Fprintf(os.Stderr, "unknown app %q (have barneshut, water, graph, condhash)\n", *app)
 			os.Exit(2)
 		}
 	case flag.NArg() == 1:
@@ -101,8 +106,18 @@ func main() {
 			fmt.Fprintln(os.Stderr, "-emit go requires -o DIR")
 			os.Exit(2)
 		}
-		if err := nativegen.Generate(sys, name, *outDir); err != nil {
-			fmt.Fprintln(os.Stderr, err)
+		genErr := error(nil)
+		if *conditional {
+			// A dedicated plan with guards lowered into the region
+			// wrappers; the generated binary's -conditional flag picks
+			// between guarded-parallel and forced-serial at runtime.
+			plan := codegen.BuildWithOptions(sys.Analysis, codegen.Options{ConditionalGuards: true})
+			genErr = nativegen.GeneratePlan(plan, name, *outDir)
+		} else {
+			genErr = nativegen.Generate(sys, name, *outDir)
+		}
+		if genErr != nil {
+			fmt.Fprintln(os.Stderr, genErr)
 			os.Exit(1)
 		}
 		fmt.Printf("wrote native Go package for %s to %s (build with: cd %s && go build)\n", name, *outDir, *outDir)
@@ -127,6 +142,12 @@ func main() {
 					fmt.Printf("         commute(%s, %s): %s\n",
 						pr.M1.FullName(), pr.M2.FullName(), kind)
 				}
+			}
+		} else if r.ConditionalEligible {
+			fmt.Printf("COND     %-30s guard: %s\n", r.Method.FullName(), cond.Render(r.Guard))
+			if *verbose {
+				fmt.Printf("         reason: %s\n", r.Reason)
+				fmt.Printf("         condition: %s\n", r.Condition)
 			}
 		} else {
 			fmt.Printf("serial   %-30s %s\n", r.Method.FullName(), r.Reason)

@@ -6,7 +6,10 @@
 // Routing is a consistent-hash ring (virtual nodes) with rendezvous
 // fallback: a dead shard's keys spread across the survivors while
 // every other key stays put. Transport failures mark a shard down for
-// -down-ttl; 429s are retried honoring Retry-After (capped).
+// -down-ttl; an active prober GETs /healthz on down shards every
+// -probe-interval and revives them as soon as they answer, so recovery
+// never waits on live traffic; 429s are retried honoring Retry-After
+// (capped).
 //
 // Usage:
 //
@@ -39,6 +42,7 @@ func main() {
 	vnodes := flag.Int("vnodes", 64, "virtual nodes per shard on the hash ring")
 	retries := flag.Int("retries", 2, "forwarding attempts beyond the first (-1: none)")
 	downTTL := flag.Duration("down-ttl", 3*time.Second, "how long a failed shard stays marked down")
+	probeInterval := flag.Duration("probe-interval", time.Second, "active /healthz probing of down-marked shards (0: passive down-ttl expiry only)")
 	maxRetryWait := flag.Duration("max-retry-wait", 2*time.Second, "cap on honored Retry-After hints")
 	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "how long to wait for in-flight requests on shutdown")
 	flag.Parse()
@@ -51,15 +55,17 @@ func main() {
 		r = -1 // Config treats 0 as "default"; the flag's explicit 0 means none.
 	}
 	rt, err := fleet.NewRouter(fleet.Config{
-		Shards:       strings.Split(*shards, ","),
-		VNodes:       *vnodes,
-		Retries:      r,
-		DownTTL:      *downTTL,
-		MaxRetryWait: *maxRetryWait,
+		Shards:        strings.Split(*shards, ","),
+		VNodes:        *vnodes,
+		Retries:       r,
+		DownTTL:       *downTTL,
+		ProbeInterval: *probeInterval,
+		MaxRetryWait:  *maxRetryWait,
 	})
 	if err != nil {
 		log.Fatalf("router: %v", err)
 	}
+	defer rt.Close()
 
 	hs := &http.Server{
 		Addr:              *addr,

@@ -8,6 +8,7 @@
 //	commuterun -mode serial   file.mc
 //	commuterun -mode parallel -workers 8 file.mc
 //	commuterun -mode parallel -timeout 10s -fallback file.mc
+//	commuterun -mode parallel -conditional on -app condhash
 //	commuterun -mode simulate -procs 1,2,4,8,16,32 -app water
 package main
 
@@ -33,7 +34,7 @@ func main() {
 	mode := flag.String("mode", "serial", "serial | parallel | simulate")
 	workers := flag.Int("workers", 4, "worker count for -mode parallel")
 	procs := flag.String("procs", "1,2,4,8,16,32", "processor counts for -mode simulate")
-	app := flag.String("app", "", "run a built-in application (barneshut, water, graph, specdisjoint, specconflict)")
+	app := flag.String("app", "", "run a built-in application (barneshut, water, graph, specdisjoint, specconflict, condhash)")
 	timeout := flag.Duration("timeout", 0, "abort execution after this wall-clock deadline (0: none)")
 	fallback := flag.Bool("fallback", false, "re-run a failed parallel region with the serial version")
 	maxSteps := flag.Int64("maxsteps", 0, "abort after this many interpreter statements (0: unlimited)")
@@ -41,6 +42,8 @@ func main() {
 	engine := flag.String("engine", "compiled", "execution engine: compiled | walk")
 	speculate := flag.String("speculate", "off", "speculative parallelization of rejected extents: off | auto | force")
 	specThreshold := flag.Float64("speculate-threshold", 0, "minimum analysis confidence for -speculate auto (0: the 0.5 default)")
+	conditional := flag.String("conditional", "off", "guarded execution of conditionally-eligible extents: on | off (the synthesized guard decides parallel vs serial at region entry)")
+	condhashMode := flag.Int("condhash-mode", 0, "table mode for -app condhash (0: accumulate, guard true; else overwrite, guard false)")
 	statsJSON := flag.Bool("stats-json", false, "emit run stats as one JSON line (the daemon's /v1/run stats schema) instead of the human summary")
 	dump := flag.Bool("dump", false, "dump the final global state to stdout after the run, suppressing the human summary (the native backend's -dump format)")
 	analysisWorkers := flag.Int("analysis-workers", 0, "goroutines for load-time commutativity analysis (0: GOMAXPROCS, 1: serial)")
@@ -54,6 +57,15 @@ func main() {
 	spec, ok := rt.ParseSpecMode(*speculate)
 	if !ok {
 		fmt.Fprintf(os.Stderr, "unknown speculate mode %q\n", *speculate)
+		os.Exit(2)
+	}
+	var condOn bool
+	switch *conditional {
+	case "on":
+		condOn = true
+	case "off":
+	default:
+		fmt.Fprintf(os.Stderr, "unknown conditional mode %q (on | off)\n", *conditional)
 		os.Exit(2)
 	}
 
@@ -72,6 +84,8 @@ func main() {
 			source = src.SpecDisjoint
 		case "specconflict":
 			source = src.SpecConflict
+		case "condhash":
+			source = src.CondHashBase + src.CondHashMain(*condhashMode, 6)
 		default:
 			fmt.Fprintf(os.Stderr, "unknown app %q\n", *app)
 			os.Exit(2)
@@ -147,6 +161,7 @@ func main() {
 			Engine:             eng,
 			Speculate:          spec,
 			SpeculateThreshold: *specThreshold,
+			Conditional:        condOn,
 		}
 		switch *sched {
 		case "stealing":
@@ -189,6 +204,9 @@ func main() {
 				SpeculativeRegions: stats.SpeculativeRegions,
 				SpeculationCommits: stats.SpeculationCommits,
 				SpeculationAborts:  stats.SpeculationAborts,
+
+				GuardParallel: stats.GuardParallel,
+				GuardSerial:   stats.GuardSerial,
 			})
 			return
 		}
@@ -204,6 +222,10 @@ func main() {
 		if stats.SpeculativeRegions > 0 {
 			fmt.Printf("speculative regions=%d commits=%d aborts=%d\n",
 				stats.SpeculativeRegions, stats.SpeculationCommits, stats.SpeculationAborts)
+		}
+		if stats.GuardParallel > 0 || stats.GuardSerial > 0 {
+			fmt.Printf("guarded regions parallel=%d serial=%d\n",
+				stats.GuardParallel, stats.GuardSerial)
 		}
 
 	case "simulate":

@@ -57,6 +57,15 @@ type System struct {
 	// execution (codegen.Options.SpeculateRejected). RunParallelOpts
 	// executes against it when RunOptions.Speculate enables speculation.
 	SpecPlan *codegen.Plan
+
+	// CondPlan is the conditional code generation plan: like SpecPlan,
+	// but extents whose pair failures all synthesized guardable residual
+	// predicates are planned parallel behind a runtime guard
+	// (codegen.Options.ConditionalGuards) — the guard evaluates the
+	// predicate at region entry and dispatches to the parallel body or
+	// the serial path. RunParallelOpts executes against it when
+	// RunOptions.Conditional is set.
+	CondPlan *codegen.Plan
 }
 
 // Load parses, type checks, analyzes, and plans a program written in
@@ -80,7 +89,8 @@ func load(name, source string, workers int) (*System, error) {
 	analysis.Workers = workers
 	plan := codegen.Build(analysis)
 	spec := codegen.BuildWithOptions(analysis, codegen.Options{SpeculateRejected: true})
-	return &System{File: file, Prog: prog, Analysis: analysis, Plan: plan, SpecPlan: spec}, nil
+	cnd := codegen.BuildWithOptions(analysis, codegen.Options{ConditionalGuards: true, SpeculateRejected: true})
+	return &System{File: file, Prog: prog, Analysis: analysis, Plan: plan, SpecPlan: spec, CondPlan: cnd}, nil
 }
 
 // LoadTransformed applies the §7.2 loop-replacement transformation —
@@ -185,7 +195,8 @@ func LoadFiles(sources map[string]string) (*System, error) {
 	analysis := core.New(prog)
 	plan := codegen.Build(analysis)
 	spec := codegen.BuildWithOptions(analysis, codegen.Options{SpeculateRejected: true})
-	return &System{Prog: prog, Analysis: analysis, Plan: plan, SpecPlan: spec}, nil
+	cnd := codegen.BuildWithOptions(analysis, codegen.Options{ConditionalGuards: true, SpeculateRejected: true})
+	return &System{Prog: prog, Analysis: analysis, Plan: plan, SpecPlan: spec, CondPlan: cnd}, nil
 }
 
 // Report returns the commutativity analysis report for a method named
@@ -299,6 +310,14 @@ type RunOptions struct {
 	// needs to be speculated under rt.SpecAuto
 	// (0: rt.DefaultSpecThreshold).
 	SpeculateThreshold float64
+	// Conditional enables guarded parallelization of extents whose pair
+	// failures all synthesized guardable residual predicates: the run
+	// executes against System.CondPlan, evaluating each such extent's
+	// guard at region entry — true runs the parallel region, false takes
+	// the serial path (rt.Stats.GuardParallel / GuardSerial count the
+	// outcomes). The guard takes precedence over speculation; a
+	// guard-false extent may still speculate under rt.SpecForce.
+	Conditional bool
 }
 
 // RunParallelOpts executes the program on the hardened parallel
@@ -319,6 +338,12 @@ func (s *System) RunParallelOpts(ctx context.Context, opts RunOptions, out io.Wr
 	plan := s.Plan
 	if opts.Speculate != rt.SpecOff && s.SpecPlan != nil {
 		plan = s.SpecPlan
+	}
+	if opts.Conditional && s.CondPlan != nil {
+		// CondPlan is built with SpeculateRejected as well, so enabling
+		// the guard never loses speculative coverage of extents whose
+		// residuals were not guardable.
+		plan = s.CondPlan
 	}
 	r := rt.New(ip, plan, opts.Workers)
 	r.Speculate = opts.Speculate

@@ -30,6 +30,13 @@ func Graph(nodes int) (*commute.System, error) {
 	return commute.Load("graph.mc", src.GraphBase+src.GraphMain(nodes, 12345))
 }
 
+// CondHash loads the conditional-commutativity hash-bucket app: mode 0
+// makes the synthesized guard hold (parallel regions), any other mode
+// forces the serial fallback.
+func CondHash(mode, rounds int) (*commute.System, error) {
+	return commute.Load("condhash.mc", src.CondHashBase+src.CondHashMain(mode, rounds))
+}
+
 // ---------------------------------------------------------------------
 // Explicitly parallel baselines (trace models)
 //

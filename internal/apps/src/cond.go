@@ -1,0 +1,90 @@
+package src
+
+import "fmt"
+
+// CondHashBase is the conditional-commutativity demonstrator: a
+// hash-bucket table whose update operation is an accumulate or an
+// overwrite depending on a mode field frozen before the parallel
+// phase. The (update, update) pair fails the binary Figure-11 test —
+// the overwrite branch does not commute — but both final values embed
+// the same condition on H.mode, an extent constant, so the analysis
+// synthesizes the residual predicate (mode == 0 ∨ the colliding
+// values agree) and the runtime guards the region on its evaluable
+// weakening: mode == 0 runs the region in parallel, anything else
+// takes the serial path.
+const CondHashBase = `
+const int NBUCKET = 8;
+
+class bucket {
+public:
+  int count;
+  int touched;
+  void update(int v);
+};
+
+class table {
+public:
+  int mode;
+  bucket *slots[NBUCKET];
+  int checksum;
+  void setup(int m);
+  void ingest(int r);
+  void report();
+};
+
+// Global Variables
+table H;
+
+void bucket::update(int v) {
+  if (H.mode == 0) {
+    count = count + v;
+  } else {
+    count = v;
+  }
+  touched = touched + 1;
+}
+
+void table::setup(int m) {
+  int i;
+  mode = m;
+  for (i = 0; i < NBUCKET; i += 1) {
+    slots[i] = new bucket;
+  }
+}
+
+void table::ingest(int r) {
+  int i;
+  for (i = 0; i < NBUCKET; i += 1) {
+    slots[i]->update(r * 7 + i * 3 + 1);
+  }
+  slots[0]->update(r + 1);
+  slots[0]->update(r * 2 + 1);
+}
+
+void table::report() {
+  int i;
+  checksum = 0;
+  for (i = 0; i < NBUCKET; i += 1) {
+    checksum = checksum * 31 + slots[i]->count * 2 + slots[i]->touched;
+    print(slots[i]->count, slots[i]->touched);
+  }
+  print(checksum);
+}
+`
+
+// CondHashMain renders the driver: mode selects the guard outcome
+// (0 → accumulate, guard true, parallel regions; anything else →
+// overwrite, guard false, serial fallback), rounds is the number of
+// ingest regions.
+func CondHashMain(mode, rounds int) string {
+	return fmt.Sprintf(`
+void main() {
+  int r;
+  H.setup(%d);
+  for (r = 0; r < %d; r += 1) {
+    H.ingest(r);
+  }
+  H.report();
+}
+`, mode, rounds)
+}

@@ -104,15 +104,17 @@ void main() { A.step(60000); }
 // statsMap extracts the scheduler counters worth tracking across PRs.
 func statsMap(st *rt.Stats) map[string]int64 {
 	return map[string]int64{
-		"regions":    st.Regions,
-		"loops":      st.ParallelLoops,
-		"chunks":     st.Chunks,
-		"iterations": st.Iterations,
-		"tasks":      st.Tasks,
-		"lazy":       st.LazyInlines,
-		"locks":      st.LockAcquires,
-		"steals":     st.Steals,
-		"local_pops": st.LocalPops,
+		"regions":        st.Regions,
+		"loops":          st.ParallelLoops,
+		"chunks":         st.Chunks,
+		"iterations":     st.Iterations,
+		"tasks":          st.Tasks,
+		"lazy":           st.LazyInlines,
+		"locks":          st.LockAcquires,
+		"steals":         st.Steals,
+		"local_pops":     st.LocalPops,
+		"guard_parallel": st.GuardParallel,
+		"guard_serial":   st.GuardSerial,
 	}
 }
 
@@ -130,6 +132,18 @@ func RunPerf(rev string) (*PerfReport, error) {
 	if err != nil {
 		return nil, fmt.Errorf("water: %w", err)
 	}
+	// Conditional commutativity: the same condhash program with the
+	// synthesized guard holding (mode 0, parallel regions) and failing
+	// (mode 3, serial fallback), tracking what the runtime guard costs
+	// on each path.
+	condTrue, err := apps.CondHash(0, 256)
+	if err != nil {
+		return nil, fmt.Errorf("condhash: %w", err)
+	}
+	condFalse, err := apps.CondHash(3, 256)
+	if err != nil {
+		return nil, fmt.Errorf("condhash-serial: %w", err)
+	}
 
 	micros := []struct {
 		name string
@@ -145,6 +159,7 @@ func RunPerf(rev string) (*PerfReport, error) {
 		sched rt.SchedMode
 		ser   bool
 		eng   interp.Engine
+		cond  bool
 	}
 	var cases []cse
 	for _, m := range micros {
@@ -153,8 +168,8 @@ func RunPerf(rev string) (*PerfReport, error) {
 			return nil, fmt.Errorf("%s: %w", m.name, err)
 		}
 		cases = append(cases,
-			cse{m.name + "-compiled", sys, 0, true, interp.EngineCompiled},
-			cse{m.name + "-walk", sys, 0, true, interp.EngineWalk},
+			cse{m.name + "-compiled", sys, 0, true, interp.EngineCompiled, false},
+			cse{m.name + "-walk", sys, 0, true, interp.EngineWalk, false},
 		)
 	}
 
@@ -168,12 +183,15 @@ func RunPerf(rev string) (*PerfReport, error) {
 	}
 
 	cases = append(cases,
-		cse{"barneshut-serial", bh, 0, true, interp.EngineCompiled},
-		cse{"barneshut-parallel-stealing", bh, rt.SchedStealing, false, interp.EngineCompiled},
-		cse{"barneshut-parallel-central", bh, rt.SchedCentral, false, interp.EngineCompiled},
-		cse{"water-serial", water, 0, true, interp.EngineCompiled},
-		cse{"water-parallel-stealing", water, rt.SchedStealing, false, interp.EngineCompiled},
-		cse{"water-parallel-central", water, rt.SchedCentral, false, interp.EngineCompiled},
+		cse{"barneshut-serial", bh, 0, true, interp.EngineCompiled, false},
+		cse{"barneshut-parallel-stealing", bh, rt.SchedStealing, false, interp.EngineCompiled, false},
+		cse{"barneshut-parallel-central", bh, rt.SchedCentral, false, interp.EngineCompiled, false},
+		cse{"water-serial", water, 0, true, interp.EngineCompiled, false},
+		cse{"water-parallel-stealing", water, rt.SchedStealing, false, interp.EngineCompiled, false},
+		cse{"water-parallel-central", water, rt.SchedCentral, false, interp.EngineCompiled, false},
+		cse{"condhash-serial", condTrue, 0, true, interp.EngineCompiled, false},
+		cse{"condhash-guard-parallel", condTrue, rt.SchedStealing, false, interp.EngineCompiled, true},
+		cse{"condhash-guard-serial", condFalse, rt.SchedStealing, false, interp.EngineCompiled, true},
 	)
 	for _, c := range cases {
 		c := c
@@ -189,7 +207,7 @@ func RunPerf(rev string) (*PerfReport, error) {
 					}
 					continue
 				}
-				opts := commute.RunOptions{Workers: perfWorkers, Sched: c.sched, Engine: c.eng}
+				opts := commute.RunOptions{Workers: perfWorkers, Sched: c.sched, Engine: c.eng, Conditional: c.cond}
 				_, st, err := c.sys.RunParallelOpts(nil, opts, io.Discard)
 				if err != nil {
 					runErr = err

@@ -49,6 +49,7 @@ import (
 	"strconv"
 	"strings"
 
+	"commute/internal/cond"
 	"commute/internal/frontend/ast"
 	"commute/internal/frontend/types"
 	"commute/internal/interp"
@@ -116,6 +117,7 @@ type goEmitter struct {
 	useRtkit      bool
 	useStrconv    bool
 	useSharedPool bool
+	useAtomic     bool
 
 	errs []string
 }
@@ -199,6 +201,35 @@ func (p *Plan) EmitGoPackage(opts EmitGoOptions) (map[string][]byte, error) {
 			opts.Module, opts.CommutePath))
 	}
 	return files, nil
+}
+
+// guardExpr lowers a conditional extent's plan guard to a Go boolean
+// expression over the generated global roots: every cond.FieldRef leaf
+// becomes a G_<global>(.as_<class>()).F_<field> access. The planner
+// resolved every reference before marking the extent Conditional, so
+// an error here means the plan and program are mismatched.
+func (e *goEmitter) guardExpr(mp *MethodPlan) (string, error) {
+	return cond.EmitGo(mp.Guard, func(ref cond.FieldRef) (cond.GoLeaf, error) {
+		g, field, ok := ResolveGuardRef(e.prog, ref)
+		if !ok {
+			return cond.GoLeaf{}, fmt.Errorf("guard reference %s.%s@global:%s does not resolve", ref.Class, ref.Field, ref.Global)
+		}
+		expr := "G_" + ref.Global
+		if g.Class.Name != ref.Class {
+			expr += ".as_" + ref.Class + "()"
+		}
+		expr += ".F_" + field.Name
+		var kind cond.Kind
+		switch field.Type {
+		case types.Basic(types.Int):
+			kind = cond.KInt
+		case types.Basic(types.Double):
+			kind = cond.KFloat
+		default:
+			kind = cond.KBool
+		}
+		return cond.GoLeaf{Expr: expr, Kind: kind}, nil
+	})
 }
 
 // numbered renders source with line numbers for parse-error reports.

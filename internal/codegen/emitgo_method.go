@@ -186,6 +186,12 @@ func (e *goEmitter) fnSignature(m *types.Method, v variant) string {
 // stop paying goroutine startup on every boundary. Any return value is
 // discarded, exactly as the interpreter's serial context discards
 // region results. Under -mode serial it degrades to S_m.
+//
+// A conditional extent (plan guard synthesized from the pair-test
+// residuals) additionally evaluates its guard here, exactly where the
+// interpreter runtime does: guard true opens the parallel region,
+// guard false (or -conditional=false) takes the serial version, with
+// the outcome counted in guardParallel_/guardSerial_.
 func (e *goEmitter) emitRegionWrapper(m *types.Method) string {
 	e.demand(m, varS)
 	e.demand(m, varP)
@@ -220,6 +226,18 @@ func (e *goEmitter) emitRegionWrapper(m *types.Method) string {
 	}
 	fmt.Fprintf(&b, "\tif !cfgParallel {\n\t\t%sS_%s(%s)\n\t\treturn\n\t}\n",
 		recv, m.Name, strings.Join(args, ", "))
+	if mp := e.plan.Methods[m]; mp != nil && mp.Conditional && mp.Guard != nil {
+		guard, err := e.guardExpr(mp)
+		if err != nil {
+			e.errorf("%s: %v", m.FullName(), err)
+			guard = "false"
+		}
+		e.useAtomic = true
+		fmt.Fprintf(&b, "\tif !cfgConditional || !(%s) {\n", guard)
+		b.WriteString("\t\tatomic.AddInt64(&guardSerial_, 1)\n")
+		fmt.Fprintf(&b, "\t\t%sS_%s(%s)\n\t\treturn\n\t}\n", recv, m.Name, strings.Join(args, ", "))
+		b.WriteString("\tatomic.AddInt64(&guardParallel_, 1)\n")
+	}
 	b.WriteString("\tpool_ := sharedPool_()\n")
 	fmt.Fprintf(&b, "\t%sP_%s(%s)\n", recv, m.Name, strings.Join(pargs, ", "))
 	b.WriteString("\tpool_.Drain()\n}\n")
@@ -497,7 +515,8 @@ func (c *fnCtx) gssLoop(fs *ast.ForStmt, info countedInfo) {
 	c.line("{")
 	c.indent++
 	c.line("var gssTo_ int64 = %s", c.expr(info.bound))
-	c.line("nativert.GSS(cfgWorkers, v_%s, gssTo_, %d, func() func(int64) {", info.name, info.step)
+	c.line("nativert.GSS(%q, %q, cfgWorkers, v_%s, gssTo_, %d, func() func(int64) {",
+		c.m.FullName(), fs.Pos().String(), info.name, info.step)
 	c.indent++
 	if len(copies) > 0 {
 		list := strings.Join(copies, ", ")

@@ -11,6 +11,7 @@ import (
 	"sort"
 
 	"commute/internal/analysis/effects"
+	"commute/internal/cond"
 	"commute/internal/core"
 	"commute/internal/frontend/ast"
 	"commute/internal/frontend/types"
@@ -60,6 +61,18 @@ type MethodPlan struct {
 	// version runs under effect monitoring with per-task write
 	// buffering and rollback instead of locks (Options.SpeculateRejected).
 	Speculative bool
+	// Conditional marks a method of a conditionally commutative extent
+	// (Options.ConditionalGuards): the static test failed, but every
+	// failing pair synthesized a residual predicate whose guardable
+	// weakening is Guard. The region entry evaluates Guard — true runs
+	// the proven-style parallel lowering planned here (locks, spawns,
+	// hoisting), false takes the serial path. Guard takes precedence
+	// over speculation; a guard-false region may still speculate when
+	// the policy forces it and SpecEligible holds.
+	Conditional bool
+	// Guard is the runtime-checkable predicate gating the parallel
+	// lowering; non-nil exactly when Conditional is set.
+	Guard cond.Pred
 	// SpecEligible, Confidence, and Condition copy the method's own
 	// analysis report so the runtime's speculation policy (auto mode
 	// with a confidence threshold) can decide at region entry without
@@ -126,6 +139,15 @@ type Options struct {
 	// are marked MethodPlan.Speculative and carry the confidence score
 	// and declared effects the runtime's monitor validates against.
 	SpeculateRejected bool
+	// ConditionalGuards extends the plan with guarded parallel versions
+	// for extents whose rejection carries a satisfiable guardable
+	// residual (core.MethodReport.ConditionalEligible): the methods are
+	// planned exactly like a proven extent (locks, spawns, hoisting,
+	// parallel loops) but marked Conditional with the guard predicate;
+	// the runtime evaluates the guard at region entry and falls back to
+	// the serial path when it does not hold. Precedence when a method
+	// belongs to several extents: proven > conditional > speculative.
+	ConditionalGuards bool
 }
 
 // Build computes the plan from the analysis results with the default
@@ -167,10 +189,39 @@ func BuildWithOptions(a *core.Analysis, opt Options) *Plan {
 		}
 	}
 
+	// Conditional extension: extents rejected only at the pair stage
+	// whose failing pairs all synthesized residual predicates get
+	// guarded parallel versions, planned exactly like proven extents.
+	// The guard must survive validation against the program: every
+	// field reference it reads has to resolve to a basic-typed field
+	// of an existing global object, or the runtime could not evaluate
+	// it at region entry.
+	inCondExtent := make(map[*types.Method]*core.MethodReport)
+	condAuxSites := make(map[int]bool)
+	if opt.ConditionalGuards {
+		for _, r := range reports {
+			if r.Parallel || !r.ConditionalEligible || !guardResolves(a.Prog, r.Guard) {
+				continue
+			}
+			for _, m := range r.Ext.Methods {
+				if _, ok := inParallelExtent[m]; ok {
+					continue
+				}
+				if _, ok := inCondExtent[m]; !ok {
+					inCondExtent[m] = r
+				}
+			}
+			for _, c := range r.Ext.Aux {
+				condAuxSites[c.ID] = true
+			}
+		}
+	}
+
 	// Speculative extension: extents rejected only at the pair stage
 	// get optimistic parallel versions. A method already covered by a
 	// proven extent keeps its proven plan (its own pairs are a subset
-	// of the proven extent's, so the two sets never disagree).
+	// of the proven extent's, so the two sets never disagree); a
+	// method covered by a conditional extent keeps its guarded plan.
 	inSpecExtent := make(map[*types.Method]*core.MethodReport)
 	specAuxSites := make(map[int]bool)
 	if opt.SpeculateRejected {
@@ -180,6 +231,9 @@ func BuildWithOptions(a *core.Analysis, opt Options) *Plan {
 			}
 			for _, m := range r.Ext.Methods {
 				if _, ok := inParallelExtent[m]; ok {
+					continue
+				}
+				if _, ok := inCondExtent[m]; ok {
 					continue
 				}
 				if _, ok := inSpecExtent[m]; !ok {
@@ -199,15 +253,36 @@ func BuildWithOptions(a *core.Analysis, opt Options) *Plan {
 		mp := &MethodPlan{Method: m, Site: make(map[int]SiteAction)}
 		p.Methods[m] = mp
 		r, inPar := inParallelExtent[m]
+		aux := auxSites
 		if !inPar {
-			if root, inSpec := inSpecExtent[m]; inSpec {
-				p.planSpeculative(a, mp, root, byMethod[m], specAuxSites)
+			root, inCond := inCondExtent[m]
+			if !inCond {
+				if sroot, inSpec := inSpecExtent[m]; inSpec {
+					p.planSpeculative(a, mp, sroot, byMethod[m], specAuxSites)
+					continue
+				}
+				for _, cs := range m.CallSites {
+					mp.Site[cs.ID] = ActionSerial
+				}
 				continue
 			}
-			for _, cs := range m.CallSites {
-				mp.Site[cs.ID] = ActionSerial
+			// Conditionally commutative: plan the proven-style lowering
+			// below (the guard-true path needs the full lock discipline)
+			// and carry the guard plus the speculation metadata so a
+			// guard-false region can still speculate under a forcing
+			// policy.
+			r, aux = root, condAuxSites
+			mp.Conditional = true
+			mp.Guard = root.Guard
+			if own := byMethod[m]; own != nil {
+				mp.SpecEligible = own.SpeculationEligible
+				mp.Confidence = own.Confidence
+				mp.Condition = own.Condition
 			}
-			continue
+			te := a.Eff.TransitiveEffects(m)
+			mp.SpecReads, mp.SpecWrites = effects.NewSet(), effects.NewSet()
+			mp.SpecReads.AddAll(te.Reads)
+			mp.SpecWrites.AddAll(te.Writes)
 		}
 		mp.Parallel = true
 
@@ -230,7 +305,7 @@ func BuildWithOptions(a *core.Analysis, opt Options) *Plan {
 		for i := range mi.Calls {
 			cc := &mi.Calls[i]
 			id := cc.Site.ID
-			if auxSites[id] || r.Ext.IsAux(cc.Site) {
+			if aux[id] || r.Ext.IsAux(cc.Site) {
 				mp.Site[id] = ActionInline
 				continue
 			}
@@ -480,6 +555,45 @@ func (p *Plan) generatesConcurrency(m *types.Method, seen map[*types.Method]bool
 		}
 	}
 	return false
+}
+
+// ResolveGuardRef resolves a guard field reference against the
+// program: the named global must exist and its class chain must
+// declare a field with the referenced name whose declaring class
+// matches and whose type is a basic scalar the guard evaluator
+// handles (int, double, bool).
+func ResolveGuardRef(prog *types.Program, ref cond.FieldRef) (*types.Global, *types.Field, bool) {
+	g := prog.Globals[ref.Global]
+	if g == nil {
+		return nil, nil, false
+	}
+	for c := g.Class; c != nil; c = c.Base {
+		for _, f := range c.Fields {
+			if f.Name != ref.Field || f.Class.Name != ref.Class {
+				continue
+			}
+			if b, ok := f.Type.(types.Basic); ok &&
+				(b == types.Int || b == types.Double || b == types.Bool) {
+				return g, f, true
+			}
+			return nil, nil, false
+		}
+	}
+	return nil, nil, false
+}
+
+// guardResolves reports whether every field reference in g resolves
+// (see ResolveGuardRef).
+func guardResolves(prog *types.Program, g cond.Pred) bool {
+	if g == nil {
+		return false
+	}
+	for _, ref := range cond.Refs(g) {
+		if _, _, ok := ResolveGuardRef(prog, ref); !ok {
+			return false
+		}
+	}
+	return true
 }
 
 // loopCallees returns the methods invoked directly in a loop body.

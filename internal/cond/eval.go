@@ -1,0 +1,479 @@
+package cond
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"commute/internal/analysis/symbolic"
+)
+
+// Guard evaluation. A guard predicate is compiled once per (method,
+// runtime) into a closure over leaf accessors supplied by the caller:
+// the interpreter runtime binds FieldRefs to object slots, tests bind
+// them to maps. The compiled closure is total — the guardable fragment
+// excludes every faulting operator — so region entry never traps.
+
+// Kind is the static type of a guard expression.
+type Kind int
+
+const (
+	KInt Kind = iota
+	KFloat
+	KBool
+)
+
+func (k Kind) String() string {
+	switch k {
+	case KInt:
+		return "int"
+	case KFloat:
+		return "float"
+	case KBool:
+		return "bool"
+	}
+	return "?"
+}
+
+// Value is a guard-time runtime value.
+type Value struct {
+	K Kind
+	I int64
+	F float64
+	B bool
+}
+
+// IntVal wraps an int64.
+func IntVal(i int64) Value { return Value{K: KInt, I: i} }
+
+// FloatVal wraps a float64.
+func FloatVal(f float64) Value { return Value{K: KFloat, F: f} }
+
+// BoolVal wraps a bool.
+func BoolVal(b bool) Value { return Value{K: KBool, B: b} }
+
+func (v Value) asFloat() float64 {
+	if v.K == KInt {
+		return float64(v.I)
+	}
+	return v.F
+}
+
+// Leaf binds one FieldRef at compile time: a getter producing the
+// current value and its static kind.
+type Leaf struct {
+	Get  func() Value
+	Kind Kind
+}
+
+// Compile compiles p into a boolean closure. leaf resolves every
+// FieldRef in p to an accessor; compilation fails if a leaf cannot be
+// bound, an atom is not boolean-valued, or an operator is applied at
+// the wrong type — all conditions the planning layer screens for, so
+// errors here indicate a plan/runtime mismatch.
+func Compile(p Pred, leaf func(FieldRef) (Leaf, error)) (func() bool, error) {
+	switch x := p.(type) {
+	case nil, False:
+		return func() bool { return false }, nil
+	case True:
+		return func() bool { return true }, nil
+	case Atom:
+		get, kind, err := compileExpr(x.E, leaf)
+		if err != nil {
+			return nil, err
+		}
+		if kind != KBool {
+			return nil, fmt.Errorf("cond: atom %s is %s-valued, want bool", x.E.Key(), kind)
+		}
+		return func() bool { return get().B }, nil
+	case *And:
+		fns, err := compilePreds(x.Ps, leaf)
+		if err != nil {
+			return nil, err
+		}
+		return func() bool {
+			for _, f := range fns {
+				if !f() {
+					return false
+				}
+			}
+			return true
+		}, nil
+	case *Or:
+		fns, err := compilePreds(x.Ps, leaf)
+		if err != nil {
+			return nil, err
+		}
+		return func() bool {
+			for _, f := range fns {
+				if f() {
+					return true
+				}
+			}
+			return false
+		}, nil
+	}
+	return nil, fmt.Errorf("cond: unknown predicate %T", p)
+}
+
+func compilePreds(ps []Pred, leaf func(FieldRef) (Leaf, error)) ([]func() bool, error) {
+	fns := make([]func() bool, len(ps))
+	for i, q := range ps {
+		f, err := Compile(q, leaf)
+		if err != nil {
+			return nil, err
+		}
+		fns[i] = f
+	}
+	return fns, nil
+}
+
+func compileExpr(e symbolic.Expr, leaf func(FieldRef) (Leaf, error)) (func() Value, Kind, error) {
+	switch x := e.(type) {
+	case symbolic.Num:
+		v := x.V
+		if x.IsInt {
+			iv := IntVal(int64(v))
+			return func() Value { return iv }, KInt, nil
+		}
+		fv := FloatVal(v)
+		return func() Value { return fv }, KFloat, nil
+	case symbolic.Bool:
+		bv := BoolVal(x.V)
+		return func() Value { return bv }, KBool, nil
+	case symbolic.Extent:
+		ref, ok := ParseFieldRef(x.ID)
+		if !ok {
+			return nil, 0, fmt.Errorf("cond: extent constant %s is not a guardable field reference", x.ID)
+		}
+		l, err := leaf(ref)
+		if err != nil {
+			return nil, 0, err
+		}
+		return l.Get, l.Kind, nil
+	case *symbolic.Neg:
+		get, kind, err := compileExpr(x.X, leaf)
+		if err != nil {
+			return nil, 0, err
+		}
+		switch kind {
+		case KInt:
+			return func() Value { return IntVal(-get().I) }, KInt, nil
+		case KFloat:
+			return func() Value { return FloatVal(-get().F) }, KFloat, nil
+		}
+		return nil, 0, fmt.Errorf("cond: negation of %s operand", kind)
+	case *symbolic.Not:
+		get, kind, err := compileExpr(x.X, leaf)
+		if err != nil {
+			return nil, 0, err
+		}
+		if kind != KBool {
+			return nil, 0, fmt.Errorf("cond: ! of %s operand", kind)
+		}
+		return func() Value { return BoolVal(!get().B) }, KBool, nil
+	case *symbolic.Bin:
+		return compileBin(x.Op, x.L, x.R, leaf)
+	case *symbolic.Nary:
+		if len(x.Args) == 0 {
+			return nil, 0, fmt.Errorf("cond: empty %s application", x.Op)
+		}
+		get, kind, err := compileExpr(x.Args[0], leaf)
+		if err != nil {
+			return nil, 0, err
+		}
+		for _, a := range x.Args[1:] {
+			get, kind, err = combine(x.Op, get, kind, a, leaf)
+			if err != nil {
+				return nil, 0, err
+			}
+		}
+		return get, kind, nil
+	}
+	return nil, 0, fmt.Errorf("cond: expression %s is outside the guardable fragment", e.Key())
+}
+
+// combine folds one more operand into an n-ary application.
+func combine(op symbolic.Op, lget func() Value, lk Kind, r symbolic.Expr, leaf func(FieldRef) (Leaf, error)) (func() Value, Kind, error) {
+	rget, rk, err := compileExpr(r, leaf)
+	if err != nil {
+		return nil, 0, err
+	}
+	switch op {
+	case symbolic.OpAnd:
+		if lk != KBool || rk != KBool {
+			return nil, 0, fmt.Errorf("cond: && over %s/%s operands", lk, rk)
+		}
+		return func() Value { return BoolVal(lget().B && rget().B) }, KBool, nil
+	case symbolic.OpOr:
+		if lk != KBool || rk != KBool {
+			return nil, 0, fmt.Errorf("cond: || over %s/%s operands", lk, rk)
+		}
+		return func() Value { return BoolVal(lget().B || rget().B) }, KBool, nil
+	case symbolic.OpAdd:
+		return arith(op, lget, lk, rget, rk, func(a, b int64) int64 { return a + b }, func(a, b float64) float64 { return a + b })
+	case symbolic.OpMul:
+		return arith(op, lget, lk, rget, rk, func(a, b int64) int64 { return a * b }, func(a, b float64) float64 { return a * b })
+	}
+	return nil, 0, fmt.Errorf("cond: operator %s is outside the guardable fragment", op)
+}
+
+func arith(op symbolic.Op, lget func() Value, lk Kind, rget func() Value, rk Kind, fi func(a, b int64) int64, ff func(a, b float64) float64) (func() Value, Kind, error) {
+	if lk == KBool || rk == KBool {
+		return nil, 0, fmt.Errorf("cond: %s over %s/%s operands", op, lk, rk)
+	}
+	if lk == KInt && rk == KInt {
+		return func() Value { return IntVal(fi(lget().I, rget().I)) }, KInt, nil
+	}
+	return func() Value { return FloatVal(ff(lget().asFloat(), rget().asFloat())) }, KFloat, nil
+}
+
+func compileBin(op symbolic.Op, l, r symbolic.Expr, leaf func(FieldRef) (Leaf, error)) (func() Value, Kind, error) {
+	lget, lk, err := compileExpr(l, leaf)
+	if err != nil {
+		return nil, 0, err
+	}
+	rget, rk, err := compileExpr(r, leaf)
+	if err != nil {
+		return nil, 0, err
+	}
+	boolPair := lk == KBool && rk == KBool
+	numPair := lk != KBool && rk != KBool
+	switch op {
+	case symbolic.OpEq:
+		if boolPair {
+			return func() Value { return BoolVal(lget().B == rget().B) }, KBool, nil
+		}
+		if numPair {
+			if lk == KInt && rk == KInt {
+				return func() Value { return BoolVal(lget().I == rget().I) }, KBool, nil
+			}
+			return func() Value { return BoolVal(lget().asFloat() == rget().asFloat()) }, KBool, nil
+		}
+	case symbolic.OpNe:
+		if boolPair {
+			return func() Value { return BoolVal(lget().B != rget().B) }, KBool, nil
+		}
+		if numPair {
+			if lk == KInt && rk == KInt {
+				return func() Value { return BoolVal(lget().I != rget().I) }, KBool, nil
+			}
+			return func() Value { return BoolVal(lget().asFloat() != rget().asFloat()) }, KBool, nil
+		}
+	case symbolic.OpLt, symbolic.OpLe, symbolic.OpGt, symbolic.OpGe:
+		if !numPair {
+			break
+		}
+		if lk == KInt && rk == KInt {
+			switch op {
+			case symbolic.OpLt:
+				return func() Value { return BoolVal(lget().I < rget().I) }, KBool, nil
+			case symbolic.OpLe:
+				return func() Value { return BoolVal(lget().I <= rget().I) }, KBool, nil
+			case symbolic.OpGt:
+				return func() Value { return BoolVal(lget().I > rget().I) }, KBool, nil
+			default:
+				return func() Value { return BoolVal(lget().I >= rget().I) }, KBool, nil
+			}
+		}
+		switch op {
+		case symbolic.OpLt:
+			return func() Value { return BoolVal(lget().asFloat() < rget().asFloat()) }, KBool, nil
+		case symbolic.OpLe:
+			return func() Value { return BoolVal(lget().asFloat() <= rget().asFloat()) }, KBool, nil
+		case symbolic.OpGt:
+			return func() Value { return BoolVal(lget().asFloat() > rget().asFloat()) }, KBool, nil
+		default:
+			return func() Value { return BoolVal(lget().asFloat() >= rget().asFloat()) }, KBool, nil
+		}
+	default:
+		return nil, 0, fmt.Errorf("cond: operator %s is outside the guardable fragment", op)
+	}
+	return nil, 0, fmt.Errorf("cond: %s over %s/%s operands", op, lk, rk)
+}
+
+// ---------------------------------------------------------------------
+// Native emission
+
+// GoLeaf is the native rendering of a FieldRef: a Go expression
+// reading the field and its static kind.
+type GoLeaf struct {
+	Expr string
+	Kind Kind
+}
+
+// EmitGo renders p as a parenthesized Go boolean expression whose
+// evaluation matches the compiled closure bit for bit: mixed int/float
+// operands promote through float64 conversions, and every float
+// arithmetic step is wrapped in float64(...) to fence FMA contraction,
+// mirroring the native backend's expression emission.
+func EmitGo(p Pred, leaf func(FieldRef) (GoLeaf, error)) (string, error) {
+	switch x := p.(type) {
+	case nil, False:
+		return "false", nil
+	case True:
+		return "true", nil
+	case Atom:
+		code, kind, err := emitExpr(x.E, leaf)
+		if err != nil {
+			return "", err
+		}
+		if kind != KBool {
+			return "", fmt.Errorf("cond: atom %s is %s-valued, want bool", x.E.Key(), kind)
+		}
+		return code, nil
+	case *And:
+		return emitJoin(x.Ps, " && ", leaf)
+	case *Or:
+		return emitJoin(x.Ps, " || ", leaf)
+	}
+	return "", fmt.Errorf("cond: unknown predicate %T", p)
+}
+
+func emitJoin(ps []Pred, sep string, leaf func(FieldRef) (GoLeaf, error)) (string, error) {
+	parts := make([]string, len(ps))
+	for i, q := range ps {
+		s, err := EmitGo(q, leaf)
+		if err != nil {
+			return "", err
+		}
+		parts[i] = s
+	}
+	return "(" + strings.Join(parts, sep) + ")", nil
+}
+
+// emitNum renders a numeric literal; float renderings always carry a
+// decimal point or exponent so the Go constant stays typed float64.
+func emitNum(x symbolic.Num) (string, Kind) {
+	if x.IsInt {
+		return strconv.FormatInt(int64(x.V), 10), KInt
+	}
+	s := strconv.FormatFloat(x.V, 'g', -1, 64)
+	if !strings.ContainsAny(s, ".eE") {
+		s += ".0"
+	}
+	return s, KFloat
+}
+
+func emitExpr(e symbolic.Expr, leaf func(FieldRef) (GoLeaf, error)) (string, Kind, error) {
+	switch x := e.(type) {
+	case symbolic.Num:
+		s, k := emitNum(x)
+		return s, k, nil
+	case symbolic.Bool:
+		if x.V {
+			return "true", KBool, nil
+		}
+		return "false", KBool, nil
+	case symbolic.Extent:
+		ref, ok := ParseFieldRef(x.ID)
+		if !ok {
+			return "", 0, fmt.Errorf("cond: extent constant %s is not a guardable field reference", x.ID)
+		}
+		l, err := leaf(ref)
+		if err != nil {
+			return "", 0, err
+		}
+		return l.Expr, l.Kind, nil
+	case *symbolic.Neg:
+		code, kind, err := emitExpr(x.X, leaf)
+		if err != nil {
+			return "", 0, err
+		}
+		if kind == KBool {
+			return "", 0, fmt.Errorf("cond: negation of bool operand")
+		}
+		return "(-" + code + ")", kind, nil
+	case *symbolic.Not:
+		code, kind, err := emitExpr(x.X, leaf)
+		if err != nil {
+			return "", 0, err
+		}
+		if kind != KBool {
+			return "", 0, fmt.Errorf("cond: ! of %s operand", kind)
+		}
+		return "(!" + code + ")", KBool, nil
+	case *symbolic.Bin:
+		lc, lk, err := emitExpr(x.L, leaf)
+		if err != nil {
+			return "", 0, err
+		}
+		rc, rk, err := emitExpr(x.R, leaf)
+		if err != nil {
+			return "", 0, err
+		}
+		return emitCompare(x.Op, lc, lk, rc, rk)
+	case *symbolic.Nary:
+		if len(x.Args) == 0 {
+			return "", 0, fmt.Errorf("cond: empty %s application", x.Op)
+		}
+		code, kind, err := emitExpr(x.Args[0], leaf)
+		if err != nil {
+			return "", 0, err
+		}
+		for _, a := range x.Args[1:] {
+			rc, rk, err2 := emitExpr(a, leaf)
+			if err2 != nil {
+				return "", 0, err2
+			}
+			code, kind, err = emitCombine(x.Op, code, kind, rc, rk)
+			if err != nil {
+				return "", 0, err
+			}
+		}
+		return code, kind, nil
+	}
+	return "", 0, fmt.Errorf("cond: expression %s is outside the guardable fragment", e.Key())
+}
+
+// promote renders the operand pair at a common numeric kind.
+func promote(lc string, lk Kind, rc string, rk Kind) (string, string, Kind) {
+	if lk == rk {
+		return lc, rc, lk
+	}
+	if lk == KInt {
+		lc = "float64(" + lc + ")"
+	}
+	if rk == KInt {
+		rc = "float64(" + rc + ")"
+	}
+	return lc, rc, KFloat
+}
+
+func emitCombine(op symbolic.Op, lc string, lk Kind, rc string, rk Kind) (string, Kind, error) {
+	switch op {
+	case symbolic.OpAnd, symbolic.OpOr:
+		if lk != KBool || rk != KBool {
+			return "", 0, fmt.Errorf("cond: %s over %s/%s operands", op, lk, rk)
+		}
+		return "(" + lc + " " + op.String() + " " + rc + ")", KBool, nil
+	case symbolic.OpAdd, symbolic.OpMul:
+		if lk == KBool || rk == KBool {
+			return "", 0, fmt.Errorf("cond: %s over %s/%s operands", op, lk, rk)
+		}
+		lc, rc, k := promote(lc, lk, rc, rk)
+		code := "(" + lc + " " + op.String() + " " + rc + ")"
+		if k == KFloat {
+			code = "float64" + code
+		}
+		return code, k, nil
+	}
+	return "", 0, fmt.Errorf("cond: operator %s is outside the guardable fragment", op)
+}
+
+func emitCompare(op symbolic.Op, lc string, lk Kind, rc string, rk Kind) (string, Kind, error) {
+	switch op {
+	case symbolic.OpEq, symbolic.OpNe:
+		if lk == KBool && rk == KBool {
+			return "(" + lc + " " + op.String() + " " + rc + ")", KBool, nil
+		}
+		fallthrough
+	case symbolic.OpLt, symbolic.OpLe, symbolic.OpGt, symbolic.OpGe:
+		if lk == KBool || rk == KBool {
+			return "", 0, fmt.Errorf("cond: %s over %s/%s operands", op, lk, rk)
+		}
+		lc, rc, _ = promote(lc, lk, rc, rk)
+		return "(" + lc + " " + op.String() + " " + rc + ")", KBool, nil
+	}
+	return "", 0, fmt.Errorf("cond: operator %s is outside the guardable fragment", op)
+}

@@ -5,6 +5,7 @@ import (
 	"sort"
 
 	"commute/internal/analysis/symbolic"
+	"commute/internal/cond"
 	"commute/internal/frontend/types"
 )
 
@@ -59,7 +60,10 @@ func (a *Analysis) commuteSymbolic(m1, m2 *types.Method, env *symbolic.Env) Pair
 	// Compare the new values of every instance variable either order
 	// touched (untouched variables keep their initial symbolic value
 	// and compare equal trivially). Keys are visited in sorted order so
-	// the first-difference Reason is deterministic.
+	// the first-difference Reason is deterministic. Mismatches do not
+	// short-circuit: every differing variable contributes a residual
+	// commutativity condition, and the pair's condition is their
+	// conjunction (the two orders agree exactly when all of them do).
 	seen := make(map[string]bool)
 	var keys []string
 	for k := range c12.IVars {
@@ -75,22 +79,33 @@ func (a *Analysis) commuteSymbolic(m1, m2 *types.Method, env *symbolic.Env) Pair
 		}
 	}
 	sort.Strings(keys)
+	var residuals []cond.Pred
 	for _, k := range keys {
 		v12, ok12 := c12.IVars[k]
 		v21, ok21 := c21.IVars[k]
 		if !ok12 || !ok21 {
 			// Present in only one order: differing footprints mean a
-			// statically visible asymmetry; treat as non-commuting.
+			// statically visible asymmetry; treat as non-commuting with
+			// no residual term.
 			pr.Reason = fmt.Sprintf("instance variable %s touched in only one order", k)
 			return pr
 		}
 		if !symbolic.Equal(v12, v21) {
-			pr.Reason = fmt.Sprintf("instance variable %s: %s vs %s", k, v12.Key(), v21.Key())
-			// The residual commutativity condition: the pair commutes
-			// exactly when the two orders' final values agree.
-			pr.Condition = fmt.Sprintf("%s == %s", v12.Key(), v21.Key())
-			return pr
+			if pr.Reason == "" {
+				pr.Reason = fmt.Sprintf("instance variable %s: %s vs %s", k, v12.Key(), v21.Key())
+			}
+			residuals = append(residuals, cond.Residual(v12, v21))
 		}
+	}
+	if len(residuals) > 0 {
+		// A conditional lowering still replays the invocation multisets
+		// in a different order, so they must match unconditionally for
+		// the residual to be usable.
+		if symbolic.EqualMultisets(c12.Invoked, c21.Invoked) {
+			pr.Pred = cond.MkAnd(residuals...)
+			pr.Condition = cond.Render(pr.Pred)
+		}
+		return pr
 	}
 	if !symbolic.EqualMultisets(c12.Invoked, c21.Invoked) {
 		pr.Reason = fmt.Sprintf("invoked multisets differ: %s vs %s", c12.Invoked, c21.Invoked)

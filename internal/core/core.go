@@ -14,9 +14,16 @@ import (
 	"commute/internal/analysis/effects"
 	"commute/internal/analysis/extent"
 	"commute/internal/analysis/symbolic"
+	"commute/internal/cond"
 	"commute/internal/frontend/ast"
 	"commute/internal/frontend/types"
 )
+
+// isFalsePred reports whether p is the unsatisfiable predicate.
+func isFalsePred(p cond.Pred) bool {
+	_, ok := p.(cond.False)
+	return ok
+}
 
 // Analysis runs commutativity analysis over one checked program.
 //
@@ -94,13 +101,16 @@ type PairResult struct {
 	Independent bool
 	Commutes    bool
 	Reason      string
-	// Condition, for a pair that failed the symbolic test on an
-	// instance-variable mismatch, is the residual equality that would
-	// have to hold for the pair to commute (the two orders' unequal
-	// final terms, in the spirit of generated commutativity
-	// conditions). Empty for pairs that commute and for failures with
-	// no residual term (unanalyzable bodies, differing footprints or
-	// invocation multisets).
+	// Pred, for a pair that failed the symbolic test on instance-
+	// variable mismatches, is the synthesized residual commutativity
+	// condition: the conjunction, over every differing instance
+	// variable, of the predicate under which the two orders' final
+	// values agree (see cond.Residual). Nil for pairs that commute and
+	// for failures with no residual term (unanalyzable bodies,
+	// differing footprints or invocation multisets).
+	Pred cond.Pred
+	// Condition is Pred's rendered form, kept for reports and
+	// diagnostics. Empty exactly when Pred is nil.
 	Condition string
 }
 
@@ -129,10 +139,25 @@ type MethodReport struct {
 	// before pair testing. A speculation policy uses it to decide
 	// which rejected extents are worth running optimistically.
 	Confidence float64
-	// Condition is the first failing pair's residual condition (see
-	// PairResult.Condition); empty when the extent is parallel or the
-	// failure carries no residual term.
+	// Pred is the extent's residual commutativity condition: the
+	// conjunction of every failing pair's synthesized predicate. Nil
+	// when the extent is parallel, was rejected before pair testing,
+	// or some failing pair carried no residual term.
+	Pred cond.Pred
+	// Guard is Pred weakened to the runtime-evaluable fragment
+	// (literals and extent-constant fields of global objects — see
+	// cond.Guard). Guard implies Pred, so checking it at region entry
+	// soundly gates the parallel lowering. Nil when no evaluable
+	// fragment remains.
+	Guard cond.Pred
+	// Condition is Pred's rendered form; empty when Pred is nil.
 	Condition string
+	// ConditionalEligible is true when the extent failed only the
+	// pairwise commutativity test, every failing pair synthesized a
+	// residual predicate, and the weakened Guard is satisfiable — so a
+	// guarded lowering can run the extent in parallel whenever the
+	// guard holds and fall back to the serial version otherwise.
+	ConditionalEligible bool
 	// SpeculationEligible is true when the extent failed *only* the
 	// pairwise commutativity test — its structure is sound, every
 	// effect is a rollback-safe object write, and no auxiliary callee
@@ -269,6 +294,8 @@ func (a *Analysis) analyze(m *types.Method) *MethodReport {
 
 	ok := true
 	passed := 0
+	condOK := true
+	var residuals []cond.Pred
 	for _, pr := range pairs {
 		if pr.Independent {
 			r.IndependentPairs++
@@ -277,15 +304,32 @@ func (a *Analysis) analyze(m *types.Method) *MethodReport {
 		}
 		if pr.Commutes {
 			passed++
-		} else if ok {
+			continue
+		}
+		if ok {
 			ok = false
 			r.Reason = fmt.Sprintf("operations %s and %s may not commute: %s",
 				pr.M1.FullName(), pr.M2.FullName(), pr.Reason)
-			r.Condition = pr.Condition
+		}
+		// Every failing pair contributes its residual; one pair without
+		// a residual term means the extent cannot be conditionally
+		// parallelized.
+		if pr.Pred == nil {
+			condOK = false
+		} else {
+			residuals = append(residuals, pr.Pred)
 		}
 	}
 	r.Pairs = pairs
 	r.Parallel = ok
+	if !ok && condOK && len(residuals) > 0 {
+		r.Pred = cond.MkAnd(residuals...)
+		r.Condition = cond.Render(r.Pred)
+		if g := cond.Guard(r.Pred); !isFalsePred(g) {
+			r.Guard = g
+			r.ConditionalEligible = true
+		}
+	}
 	if ok {
 		r.Reason = ""
 		r.Confidence = 1

@@ -173,6 +173,88 @@ func TestRouterReroutesAroundDeadShard(t *testing.T) {
 	}
 }
 
+// gateTransport fails every request to a gated URL with a transport
+// error while the gate is closed, and delegates otherwise.
+type gateTransport struct {
+	gated string
+	open  atomic.Bool
+}
+
+func (gt *gateTransport) RoundTrip(req *http.Request) (*http.Response, error) {
+	if !gt.open.Load() && strings.HasPrefix(req.URL.String(), gt.gated) {
+		return nil, fmt.Errorf("gate closed for %s", gt.gated)
+	}
+	return http.DefaultTransport.RoundTrip(req)
+}
+
+func TestRouterProberRevivesRecoveredShard(t *testing.T) {
+	a := testShard(t, "a", nil)
+	b := testShard(t, "b", nil)
+	gate := &gateTransport{gated: b.URL}
+	// DownTTL is an hour: passive expiry cannot revive b within the
+	// test, so a recovery must come from the active prober.
+	rt, err := NewRouter(Config{
+		Shards:        []string{a.URL, b.URL},
+		Retries:       2,
+		DownTTL:       time.Hour,
+		ProbeInterval: 10 * time.Millisecond,
+		Transport:     gate,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rt.Close()
+
+	// Drive distinct programs until b's gate failure marks it down.
+	for i := 0; i < 40; i++ {
+		body := fmt.Sprintf(`{"name":"p%d.mc","source":"void main() { print(%d); }"}`, i, i)
+		if code, _ := postRouter(t, rt, body); code != http.StatusOK {
+			t.Fatalf("request %d = %d", i, code)
+		}
+	}
+	if !statuszShard(t, rt, b.URL).Down {
+		t.Fatal("gated shard never marked down")
+	}
+
+	// Recover b and wait for a probe to notice.
+	gate.open.Store(true)
+	deadline := time.Now().Add(2 * time.Second)
+	for statuszShard(t, rt, b.URL).Down {
+		if time.Now().After(deadline) {
+			t.Fatalf("prober never revived recovered shard (stats: %+v)", statuszShard(t, rt, b.URL))
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	bs := statuszShard(t, rt, b.URL)
+	if bs.Probes == 0 || bs.Revivals == 0 {
+		t.Fatalf("probe counters not bumped: %+v", bs)
+	}
+
+	// Revived shard takes traffic again: its fingerprints route home.
+	sawB := false
+	for i := 0; i < 40 && !sawB; i++ {
+		body := fmt.Sprintf(`{"name":"p%d.mc","source":"void main() { print(%d); }"}`, i, i)
+		_, out := postRouter(t, rt, body)
+		sawB = out["shard"] == "b"
+	}
+	if !sawB {
+		t.Fatal("no program routed to the revived shard")
+	}
+}
+
+// statuszShard fetches one shard's /statusz entry.
+func statuszShard(t *testing.T, rt *Router, url string) api.ShardStats {
+	t.Helper()
+	req := httptest.NewRequest("GET", "/statusz", nil)
+	rec := httptest.NewRecorder()
+	rt.Handler().ServeHTTP(rec, req)
+	var st api.StatusZ
+	if err := json.Unmarshal(rec.Body.Bytes(), &st); err != nil {
+		t.Fatal(err)
+	}
+	return st.Shards[url]
+}
+
 func TestRouterHonorsRetryAfterOn429(t *testing.T) {
 	flaky := testShard(t, "flaky", func(n int64, w http.ResponseWriter) bool {
 		if n == 1 {

@@ -8,6 +8,7 @@ import (
 	"io"
 	"net/http"
 	"strconv"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -41,6 +42,13 @@ type Config struct {
 	// ForwardTimeout bounds one forwarding attempt (default 90s — run
 	// requests can legitimately take their full server-side deadline).
 	ForwardTimeout time.Duration
+	// ProbeInterval enables the active health prober: a background
+	// goroutine GETs /healthz on down-marked shards at this interval and
+	// revives them on a 200, so recovery is detected without spending
+	// live traffic on it. While the prober owns a shard's health, a
+	// failed probe re-arms the down mark for another DownTTL. 0 disables
+	// the prober (passive TTL expiry only). Stop it with Router.Close.
+	ProbeInterval time.Duration
 }
 
 func (c Config) withDefaults() Config {
@@ -79,6 +87,8 @@ type shardState struct {
 	errors    atomic.Int64
 	rerouted  atomic.Int64
 	retries   atomic.Int64
+	probes    atomic.Int64
+	revivals  atomic.Int64
 	downUntil atomic.Int64
 }
 
@@ -98,6 +108,11 @@ type Router struct {
 
 	requests atomic.Int64
 	rejected atomic.Int64 // no live shard reachable
+
+	// Active health prober lifecycle (nil channels when disabled).
+	probeStop chan struct{}
+	probeDone chan struct{}
+	closeOnce sync.Once
 }
 
 // NewRouter builds a router over cfg.Shards.
@@ -125,11 +140,85 @@ func NewRouter(cfg Config) (*Router, error) {
 	rt.mux.HandleFunc("POST /v1/analyze", rt.handleProxy)
 	rt.mux.HandleFunc("POST /v1/run", rt.handleProxy)
 	rt.mux.HandleFunc("POST /v1/simulate", rt.handleProxy)
+	if cfg.ProbeInterval > 0 {
+		rt.probeStop = make(chan struct{})
+		rt.probeDone = make(chan struct{})
+		go rt.probeLoop()
+	}
 	return rt, nil
 }
 
 // Handler returns the router's HTTP handler tree.
 func (rt *Router) Handler() http.Handler { return rt.mux }
+
+// Close stops the active health prober and waits for it to exit.
+// Safe to call multiple times; a no-op when the prober is disabled.
+func (rt *Router) Close() {
+	rt.closeOnce.Do(func() {
+		if rt.probeStop != nil {
+			close(rt.probeStop)
+			<-rt.probeDone
+		}
+	})
+}
+
+// probeLoop drives the active health prober: every ProbeInterval it
+// probes each down-marked shard's /healthz out of band.
+func (rt *Router) probeLoop() {
+	defer close(rt.probeDone)
+	tick := time.NewTicker(rt.cfg.ProbeInterval)
+	defer tick.Stop()
+	for {
+		select {
+		case <-rt.probeStop:
+			return
+		case <-tick.C:
+			rt.probeDownShards()
+		}
+	}
+}
+
+// probeDownShards probes every currently-down shard once. A 200 from
+// /healthz clears the down mark immediately (no waiting out the TTL);
+// anything else re-arms it for another DownTTL, so live traffic never
+// has to rediscover a still-dead shard between probes.
+func (rt *Router) probeDownShards() {
+	now := time.Now()
+	for _, ss := range rt.states {
+		if ss.live(now) {
+			continue
+		}
+		ss.probes.Add(1)
+		if rt.probeShard(ss.url) {
+			ss.downUntil.Store(0)
+			ss.revivals.Add(1)
+		} else {
+			ss.downUntil.Store(time.Now().Add(rt.cfg.DownTTL).UnixNano())
+		}
+	}
+}
+
+// probeShard issues one /healthz probe; true means the shard answered
+// 200 (a draining replica's 503 keeps it down).
+func (rt *Router) probeShard(shardURL string) bool {
+	timeout := rt.cfg.ProbeInterval
+	if timeout > 2*time.Second {
+		timeout = 2 * time.Second
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), timeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, shardURL+"/healthz", nil)
+	if err != nil {
+		return false
+	}
+	resp, err := rt.cfg.Transport.RoundTrip(req)
+	if err != nil {
+		return false
+	}
+	defer resp.Body.Close()
+	io.Copy(io.Discard, resp.Body)
+	return resp.StatusCode == http.StatusOK
+}
 
 // RouteKey computes the shard a request body would be routed to —
 // exported for the smoke harness and the load generator, which assert
@@ -163,6 +252,8 @@ func (rt *Router) handleStatusz(w http.ResponseWriter, r *http.Request) {
 			Errors:    ss.errors.Load(),
 			Rerouted:  ss.rerouted.Load(),
 			Retries:   ss.retries.Load(),
+			Probes:    ss.probes.Load(),
+			Revivals:  ss.revivals.Load(),
 			Down:      !ss.live(now),
 			VNodes:    rt.ring.VNodes(),
 			RingShare: rt.ring.Share(url),

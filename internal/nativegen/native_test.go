@@ -10,6 +10,7 @@ import (
 
 	"commute"
 	"commute/internal/apps"
+	"commute/internal/codegen"
 	"commute/internal/interp"
 	"commute/internal/nativegen"
 )
@@ -228,4 +229,54 @@ func relErr(a, b float64) float64 {
 		return d
 	}
 	return d / m
+}
+
+// TestNativeCondHashMatchesInterpreter exercises the conditional-
+// commutativity path in the native backend: the condhash plan is built
+// with synthesized guards, so the generated R_ wrapper evaluates
+// H.mode at region entry. Mode 0 (guard true) must run the parallel
+// region bit-identically to the interpreter; mode 3 (guard false) must
+// take the serial path and still match; -conditional=false must force
+// the serial path even when the guard would hold.
+func TestNativeCondHashMatchesInterpreter(t *testing.T) {
+	if !nativegen.HaveGo() {
+		t.Skip("go toolchain not available")
+	}
+	for _, mode := range []int{0, 3} {
+		sys, err := apps.CondHash(mode, 5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		plan := codegen.BuildWithOptions(sys.Analysis, codegen.Options{ConditionalGuards: true})
+		mp := plan.Methods[sys.Prog.MethodByFullName("table::ingest")]
+		if mp == nil || !mp.Conditional {
+			t.Fatal("table::ingest is not planned conditional")
+		}
+		dir := t.TempDir()
+		if err := nativegen.GeneratePlan(plan, "condhash", dir); err != nil {
+			t.Fatal(err)
+		}
+		bin, err := nativegen.Build(dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := interpDump(t, sys, interp.EngineWalk)
+		if got := interpDump(t, sys, interp.EngineCompiled); got != want {
+			t.Fatalf("mode=%d: interpreter engines disagree:\n%s", mode, firstDiff(want, got))
+		}
+		for _, args := range [][]string{
+			{"-mode", "serial", "-dump"},
+			{"-mode", "parallel", "-workers", "4", "-sched", "stealing", "-dump"},
+			{"-mode", "parallel", "-workers", "4", "-sched", "central", "-dump"},
+			{"-mode", "parallel", "-workers", "4", "-conditional=false", "-dump"},
+		} {
+			got, err := nativegen.Run(bin, args...)
+			if err != nil {
+				t.Fatalf("mode=%d %v: %v", mode, args, err)
+			}
+			if got != want {
+				t.Errorf("mode=%d %v: native state diverges from interpreter:\n%s", mode, args, firstDiff(want, got))
+			}
+		}
+	}
 }

@@ -15,6 +15,7 @@ import (
 	"strings"
 
 	"commute"
+	"commute/internal/codegen"
 )
 
 // HaveGo reports whether the Go toolchain is available. Callers skip
@@ -39,7 +40,14 @@ func CommuteRoot() string {
 
 // Generate emits sys.Plan as a buildable Go module in dir.
 func Generate(sys *commute.System, app, dir string) error {
-	files, err := sys.Plan.EmitGoPackage(codegenOpts(app))
+	return GeneratePlan(sys.Plan, app, dir)
+}
+
+// GeneratePlan emits an explicit plan — e.g. one built with
+// codegen.Options.ConditionalGuards, whose region wrappers carry the
+// synthesized runtime guards — as a buildable Go module in dir.
+func GeneratePlan(plan *codegen.Plan, app, dir string) error {
+	files, err := plan.EmitGoPackage(codegenOpts(app))
 	if err != nil {
 		return err
 	}

@@ -1,0 +1,263 @@
+package rt_test
+
+// Differential tests for conditional commutativity: guarded regions
+// must be observationally identical to the serial program whichever
+// way the guard sends them — parallel under a true guard, the serial
+// path under a false one, or speculation when a false guard meets
+// SpecForce.
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"slices"
+	"strings"
+	"testing"
+
+	"commute/internal/apps/src"
+	"commute/internal/codegen"
+	"commute/internal/core"
+	"commute/internal/frontend/parser"
+	"commute/internal/frontend/types"
+	"commute/internal/interp"
+	"commute/internal/rt"
+)
+
+// buildCond compiles a program with the conditional-guard plan
+// extension (plus speculation, matching commute.System.CondPlan).
+func buildCond(t testing.TB, source string) (*types.Program, *codegen.Plan) {
+	t.Helper()
+	f, err := parser.Parse("app.mc", source)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	prog, err := types.Check(f)
+	if err != nil {
+		t.Fatalf("check: %v", err)
+	}
+	return prog, codegen.BuildWithOptions(core.New(prog), codegen.Options{
+		ConditionalGuards: true,
+		SpeculateRejected: true,
+	})
+}
+
+// condHashState reads every bucket's (count, touched) plus the table
+// checksum — the complete integer state of the condhash program.
+func condHashState(t *testing.T, prog *types.Program, ip *interp.Interp) []int64 {
+	t.Helper()
+	h := ip.Globals["H"]
+	tableCl := prog.Classes["table"]
+	bucketCl := prog.Classes["bucket"]
+	slots := h.Slots[ip.FieldSlot(tableCl, "table", "slots")].Array()
+	var out []int64
+	for _, sv := range slots.Elems {
+		b := sv.Object()
+		out = append(out,
+			b.Slots[ip.FieldSlot(bucketCl, "bucket", "count")].Int(),
+			b.Slots[ip.FieldSlot(bucketCl, "bucket", "touched")].Int())
+	}
+	out = append(out, h.Slots[ip.FieldSlot(tableCl, "table", "checksum")].Int())
+	return out
+}
+
+var condEngines = []interp.Engine{interp.EngineWalk, interp.EngineCompiled}
+
+// TestConditionalGuardTrueBitIdentical: in accumulate mode the
+// synthesized guard holds, every guarded region runs in parallel, and
+// output and state are bit-identical to the serial run across engines,
+// schedulers, and worker counts.
+func TestConditionalGuardTrueBitIdentical(t *testing.T) {
+	prog, plan := buildCond(t, src.CondHashBase+src.CondHashMain(0, 6))
+	ingest := prog.MethodByFullName("table::ingest")
+	mp := plan.Methods[ingest]
+	if mp == nil || !mp.Conditional || mp.Guard == nil {
+		t.Fatalf("table::ingest not planned conditional: %+v", mp)
+	}
+
+	for _, eng := range condEngines {
+		want := serialOutput(t, prog, eng)
+		ipRef := interp.NewEngine(prog, nil, eng)
+		if err := ipRef.Run(ipRef.NewCtx()); err != nil {
+			t.Fatal(err)
+		}
+		wantState := condHashState(t, prog, ipRef)
+
+		for _, sched := range []rt.SchedMode{rt.SchedStealing, rt.SchedCentral} {
+			for _, workers := range []int{1, 2, 4} {
+				var buf bytes.Buffer
+				ip := interp.NewEngine(prog, &buf, eng)
+				rr := rt.New(ip, plan, workers)
+				rr.Sched = sched
+				if err := rr.Run(); err != nil {
+					t.Fatalf("eng=%v sched=%v workers=%d: %v", eng, sched, workers, err)
+				}
+				if got := buf.String(); got != want {
+					t.Errorf("eng=%v sched=%v workers=%d: output %q, want %q", eng, sched, workers, got, want)
+				}
+				if got := condHashState(t, prog, ip); !slices.Equal(got, wantState) {
+					t.Errorf("eng=%v sched=%v workers=%d: state %v, want %v", eng, sched, workers, got, wantState)
+				}
+				if rr.Stats.GuardParallel == 0 {
+					t.Errorf("eng=%v sched=%v workers=%d: true guard never took the parallel path", eng, sched, workers)
+				}
+				if rr.Stats.GuardSerial != 0 {
+					t.Errorf("eng=%v sched=%v workers=%d: true guard took %d serial paths", eng, sched, workers, rr.Stats.GuardSerial)
+				}
+				if rr.Stats.Regions == 0 {
+					t.Errorf("eng=%v sched=%v workers=%d: no parallel regions under a true guard", eng, sched, workers)
+				}
+			}
+		}
+	}
+}
+
+// TestConditionalGuardFalseSerialPath: in overwrite mode the guard
+// fails at every region entry — each entry increments GuardSerial,
+// creates no region (and no speculation), and the result is
+// bit-identical to the serial run.
+func TestConditionalGuardFalseSerialPath(t *testing.T) {
+	const rounds = 6
+	prog, plan := buildCond(t, src.CondHashBase+src.CondHashMain(3, rounds))
+
+	for _, eng := range condEngines {
+		want := serialOutput(t, prog, eng)
+		ipRef := interp.NewEngine(prog, nil, eng)
+		if err := ipRef.Run(ipRef.NewCtx()); err != nil {
+			t.Fatal(err)
+		}
+		wantState := condHashState(t, prog, ipRef)
+
+		for _, sched := range []rt.SchedMode{rt.SchedStealing, rt.SchedCentral} {
+			for _, workers := range []int{1, 2, 4} {
+				var buf bytes.Buffer
+				ip := interp.NewEngine(prog, &buf, eng)
+				rr := rt.New(ip, plan, workers)
+				rr.Sched = sched
+				if err := rr.Run(); err != nil {
+					t.Fatalf("eng=%v sched=%v workers=%d: %v", eng, sched, workers, err)
+				}
+				if got := buf.String(); got != want {
+					t.Errorf("eng=%v sched=%v workers=%d: output %q, want %q", eng, sched, workers, got, want)
+				}
+				if got := condHashState(t, prog, ip); !slices.Equal(got, wantState) {
+					t.Errorf("eng=%v sched=%v workers=%d: state %v, want %v", eng, sched, workers, got, wantState)
+				}
+				if rr.Stats.GuardSerial != rounds {
+					t.Errorf("eng=%v sched=%v workers=%d: GuardSerial = %d, want %d (one per region entry)",
+						eng, sched, workers, rr.Stats.GuardSerial, rounds)
+				}
+				if rr.Stats.GuardParallel != 0 {
+					t.Errorf("eng=%v sched=%v workers=%d: false guard ran %d parallel regions", eng, sched, workers, rr.Stats.GuardParallel)
+				}
+				if rr.Stats.Regions != 0 || rr.Stats.SpeculativeRegions != 0 {
+					t.Errorf("eng=%v sched=%v workers=%d: serial path created regions (%+v)", eng, sched, workers, rr.Stats)
+				}
+			}
+		}
+	}
+}
+
+// TestConditionalGuardFalseSpeculatesUnderForce: a false guard hands a
+// spec-eligible extent to the speculation machinery under SpecForce
+// instead of the plain serial path — and whether the regions commit or
+// abort, the state stays bit-identical to serial.
+func TestConditionalGuardFalseSpeculatesUnderForce(t *testing.T) {
+	prog, plan := buildCond(t, src.CondHashBase+src.CondHashMain(3, 6))
+
+	for _, eng := range condEngines {
+		ipRef := interp.NewEngine(prog, nil, eng)
+		if err := ipRef.Run(ipRef.NewCtx()); err != nil {
+			t.Fatal(err)
+		}
+		wantState := condHashState(t, prog, ipRef)
+		want := serialOutput(t, prog, eng)
+
+		for _, workers := range []int{1, 4} {
+			var buf bytes.Buffer
+			ip := interp.NewEngine(prog, &buf, eng)
+			rr := rt.New(ip, plan, workers)
+			rr.Speculate = rt.SpecForce
+			if err := rr.Run(); err != nil {
+				t.Fatalf("eng=%v workers=%d: %v", eng, workers, err)
+			}
+			if got := buf.String(); got != want {
+				t.Errorf("eng=%v workers=%d: output %q, want %q", eng, workers, got, want)
+			}
+			if got := condHashState(t, prog, ip); !slices.Equal(got, wantState) {
+				t.Errorf("eng=%v workers=%d: state %v, want %v", eng, workers, got, wantState)
+			}
+			if rr.Stats.GuardSerial == 0 {
+				t.Errorf("eng=%v workers=%d: guard never evaluated false", eng, workers)
+			}
+			if rr.Stats.SpeculativeRegions == 0 {
+				t.Errorf("eng=%v workers=%d: false guard under SpecForce never speculated", eng, workers)
+			}
+			if rr.Stats.SpeculationCommits+rr.Stats.SpeculationAborts != rr.Stats.SpeculativeRegions {
+				t.Errorf("eng=%v workers=%d: speculation stats don't balance (%+v)", eng, workers, rr.Stats)
+			}
+		}
+	}
+}
+
+// genConditionalProgram is genCommutingProgram with the additive update
+// made conditional on a mode field frozen in setup — the same shape as
+// the condhash app, but over random target/amount patterns. mode 0
+// keeps the update commuting (guard true); any other mode makes it an
+// order-dependent overwrite (guard false, serial path).
+func genConditionalProgram(r *rand.Rand, counters, updates, mode int) string {
+	s := genCommutingProgram(r, counters, updates)
+	s = strings.Replace(s, "class driver {\npublic:\n", "class driver {\npublic:\n  int mode;\n", 1)
+	s = strings.Replace(s, "void driver::setup() {\n  int i;\n",
+		fmt.Sprintf("void driver::setup() {\n  int i;\n  mode = %d;\n", mode), 1)
+	s = strings.Replace(s, "adds = adds + k;",
+		"if (D.mode == 0) {\n    adds = adds + k;\n  } else {\n    adds = k;\n  }", 1)
+	return s
+}
+
+// TestRandomConditionalPrograms: random conditional programs agree
+// bit-exactly with their serial runs on both engines and several
+// worker counts, with the guard outcome matching the generated mode.
+func TestRandomConditionalPrograms(t *testing.T) {
+	r := rand.New(rand.NewSource(91011))
+	for trial := 0; trial < 6; trial++ {
+		counters := 2 + r.Intn(6)
+		updates := 8 + r.Intn(40)
+		mode := trial % 2
+		source := genConditionalProgram(r, counters, updates, mode)
+		prog, plan := buildCond(t, source)
+
+		runAll := prog.MethodByFullName("driver::runAll")
+		if mp := plan.Methods[runAll]; mp == nil || !mp.Conditional {
+			t.Fatalf("trial %d: conditional update loop not planned conditional (%+v)", trial, mp)
+		}
+
+		ipSerial := interp.NewEngine(prog, nil, interp.EngineWalk)
+		if err := ipSerial.Run(ipSerial.NewCtx()); err != nil {
+			t.Fatalf("trial %d serial: %v", trial, err)
+		}
+		want := counterState(t, prog, ipSerial, counters)
+
+		for _, eng := range condEngines {
+			for _, workers := range []int{1, 2, 4} {
+				ip := interp.NewEngine(prog, nil, eng)
+				rr := rt.New(ip, plan, workers)
+				if err := rr.Run(); err != nil {
+					t.Fatalf("trial %d eng=%v workers=%d: %v", trial, eng, workers, err)
+				}
+				if got := counterState(t, prog, ip, counters); !slices.Equal(got, want) {
+					t.Fatalf("trial %d eng=%v workers=%d mode=%d: state %v, want serial %v",
+						trial, eng, workers, mode, got, want)
+				}
+				if mode == 0 {
+					if rr.Stats.GuardParallel == 0 || rr.Stats.GuardSerial != 0 {
+						t.Fatalf("trial %d eng=%v workers=%d: mode 0 guard outcome wrong (%+v)", trial, eng, workers, rr.Stats)
+					}
+				} else {
+					if rr.Stats.GuardSerial == 0 || rr.Stats.GuardParallel != 0 || rr.Stats.Regions != 0 {
+						t.Fatalf("trial %d eng=%v workers=%d: mode %d guard outcome wrong (%+v)", trial, eng, workers, mode, rr.Stats)
+					}
+				}
+			}
+		}
+	}
+}

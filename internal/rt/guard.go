@@ -1,0 +1,100 @@
+package rt
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"commute/internal/codegen"
+	"commute/internal/cond"
+	"commute/internal/frontend/types"
+	"commute/internal/interp"
+)
+
+// This file implements the runtime side of conditional commutativity:
+// a region whose plan entry carries a synthesized guard predicate
+// (codegen.MethodPlan.Conditional) evaluates the guard against the
+// live heap at region entry — true runs the parallel region exactly
+// like a proven extent, false takes the original serial path. The
+// guard reads only extent-constant fields of global objects (the
+// cond.Guardable fragment), so evaluating it before the region opens
+// observes the same values every operation in the region would.
+
+// compileGuard lowers a plan guard to a closure over the interpreter's
+// global object slots. Compilation is infallible in practice: the
+// planner only marks an extent Conditional after resolving every field
+// reference against the program (codegen.ResolveGuardRef), and the
+// interpreter allocates a global object per program global — but a
+// mismatch still returns an error rather than panicking, and the
+// caller degrades to the serial path.
+func (rt *Runtime) compileGuard(mp *codegen.MethodPlan) (func() bool, error) {
+	return cond.Compile(mp.Guard, func(ref cond.FieldRef) (cond.Leaf, error) {
+		obj := rt.IP.Globals[ref.Global]
+		if obj == nil {
+			return cond.Leaf{}, fmt.Errorf("guard references unknown global %q", ref.Global)
+		}
+		_, field, ok := codegen.ResolveGuardRef(rt.IP.Prog, ref)
+		if !ok {
+			return cond.Leaf{}, fmt.Errorf("guard reference %s.%s does not resolve", ref.Class, ref.Field)
+		}
+		slot := rt.IP.FieldSlot(obj.Class, ref.Class, ref.Field)
+		var kind cond.Kind
+		switch field.Type {
+		case types.Basic(types.Int):
+			kind = cond.KInt
+		case types.Basic(types.Double):
+			kind = cond.KFloat
+		case types.Basic(types.Bool):
+			kind = cond.KBool
+		default:
+			return cond.Leaf{}, fmt.Errorf("guard field %s.%s has non-scalar type %s", ref.Class, ref.Field, field.Type)
+		}
+		return cond.Leaf{
+			Kind: kind,
+			Get: func() cond.Value {
+				v := obj.Slots[slot]
+				switch kind {
+				case cond.KInt:
+					return cond.IntVal(v.Int())
+				case cond.KFloat:
+					return cond.FloatVal(v.Float())
+				default:
+					return cond.BoolVal(v.Bool())
+				}
+			},
+		}, nil
+	})
+}
+
+// guardHolds evaluates mp's guard, compiling it on first use (the
+// compiled closure is cached per plan entry for the runtime's
+// lifetime). A guard that fails to compile — impossible for plans the
+// planner built, but conceivable for a hand-assembled plan — reports
+// false: the serial path is always correct.
+func (rt *Runtime) guardHolds(mp *codegen.MethodPlan) bool {
+	if g, ok := rt.guards.Load(mp); ok {
+		return g.(func() bool)()
+	}
+	g, err := rt.compileGuard(mp)
+	if err != nil {
+		g = func() bool { return false }
+	}
+	actual, _ := rt.guards.LoadOrStore(mp, g)
+	return actual.(func() bool)()
+}
+
+// dispatchConditional applies the guard at region entry. Guard-true
+// regions run the proven-style parallel lowering; guard-false regions
+// take the serial path, except that a speculation-eligible extent may
+// still run speculatively when the policy forces it (SpecForce) — the
+// journals then provide the safety the guard could not prove.
+func (rt *Runtime) dispatchConditional(ctx *interp.Ctx, mp *codegen.MethodPlan, site *types.CallSite, recv *interp.Object, args []interp.Value) (interp.Value, error) {
+	if rt.guardHolds(mp) {
+		atomic.AddInt64(&rt.Stats.GuardParallel, 1)
+		return interp.Value{}, rt.runRegion(site, recv, args)
+	}
+	atomic.AddInt64(&rt.Stats.GuardSerial, 1)
+	if rt.Speculate == SpecForce && mp.SpecEligible {
+		return interp.Value{}, rt.runSpeculativeRegion(site, recv, args)
+	}
+	return rt.IP.Call(ctx, site.Callee, recv, args)
+}

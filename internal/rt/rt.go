@@ -45,6 +45,9 @@ type Stats struct {
 	SpeculativeRegions int64 // regions entered speculatively
 	SpeculationCommits int64 // speculative regions validated and committed
 	SpeculationAborts  int64 // speculative regions rolled back and rerun serially
+
+	GuardParallel int64 // conditional regions whose guard held (ran parallel)
+	GuardSerial   int64 // conditional regions whose guard failed (ran serial)
 }
 
 // Runtime executes a program in parallel according to a plan.
@@ -107,6 +110,7 @@ type Runtime struct {
 	runCtx context.Context
 	cancel context.CancelCauseFunc
 	steps  atomic.Int64
+	guards sync.Map // *codegen.MethodPlan → func() bool (compiled region guards)
 
 	errMu  sync.Mutex
 	err    error
@@ -215,6 +219,11 @@ func (rt *Runtime) serialCtx() *interp.Ctx {
 	ctx.Invoke = func(site *types.CallSite, recv *interp.Object, args []interp.Value) (interp.Value, error) {
 		mp := rt.Plan.Methods[site.Callee]
 		if mp != nil && mp.Parallel && rt.Plan.GeneratesConcurrency(site.Callee) {
+			if mp.Conditional {
+				// Guarded extent: the guard decides parallel vs serial
+				// at region entry, taking precedence over speculation.
+				return rt.dispatchConditional(ctx, mp, site, recv, args)
+			}
 			if mp.Speculative {
 				if rt.speculationAllowed(mp) {
 					return interp.Value{}, rt.runSpeculativeRegion(site, recv, args)

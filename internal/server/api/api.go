@@ -5,6 +5,8 @@
 // pipeline that parses daemon responses parses CLI output unchanged.
 package api
 
+import "commute/internal/cond"
+
 // Options selects load-time dialect options; they are part of the
 // cache key (commute.Fingerprint).
 type Options struct {
@@ -21,8 +23,10 @@ type SourceRequest struct {
 	// Source is the mini-C++ program text.
 	Source string `json:"source,omitempty"`
 	// App selects a built-in application instead of Source:
-	// "barneshut", "water", "graph", "quickstart", "specdisjoint", or
-	// "specconflict".
+	// "barneshut", "water", "graph", "quickstart", "specdisjoint",
+	// "specconflict", "condhash" (conditional-commutativity
+	// demonstrator, guard-true mode), or "condhash-serial" (the same
+	// table in its non-commuting mode, guard false at runtime).
 	App string `json:"app,omitempty"`
 	// Options are the dialect options (part of the cache key).
 	Options Options `json:"options,omitempty"`
@@ -51,12 +55,65 @@ type MethodReport struct {
 	// when only the symbolic pair stage failed, 0 for a structural
 	// rejection.
 	Confidence float64 `json:"confidence"`
-	// Condition is the residual symbolic equality the first failing
-	// pair would need for the extent to commute, when one exists.
-	Condition string `json:"condition,omitempty"`
+	// Condition is the rendered residual predicate under which the
+	// extent's failing pairs would commute, when one exists;
+	// ConditionTree is its structured form.
+	Condition     string     `json:"condition,omitempty"`
+	ConditionTree *Condition `json:"condition_tree,omitempty"`
+	// Guard is Condition weakened to the fragment the runtime can
+	// evaluate at region entry (rendered + structured). Guard implies
+	// Condition, so running the region in parallel when the guard holds
+	// is sound.
+	Guard     string     `json:"guard,omitempty"`
+	GuardTree *Condition `json:"guard_tree,omitempty"`
+	// ConditionalEligible reports whether a rejected extent can run
+	// under its synthesized guard (pair-stage failure only, residual
+	// predicate synthesized, satisfiable guard).
+	ConditionalEligible bool `json:"conditional_eligible,omitempty"`
 	// SpeculationEligible reports whether a rejected extent may be run
 	// speculatively (pair-stage failure only, no I/O in the extent).
 	SpeculationEligible bool `json:"speculation_eligible,omitempty"`
+}
+
+// Condition is the structured JSON form of a synthesized
+// commutativity predicate (internal/cond.Pred): a positive tree of
+// "and"/"or" nodes over "atom" leaves, with "true"/"false" constants.
+// Atoms carry the canonical rendering of their symbolic expression;
+// references of the form ⟨ec:Class.field@global:G⟩ are
+// extent-constant global fields the runtime reads at region entry.
+type Condition struct {
+	// Kind is "true", "false", "atom", "and", or "or".
+	Kind string `json:"kind"`
+	// Expr is the atom's canonical symbolic expression (atoms only).
+	Expr string `json:"expr,omitempty"`
+	// Ps holds the operands of an "and" or "or" node.
+	Ps []*Condition `json:"ps,omitempty"`
+}
+
+// CondTree converts a synthesized predicate to its structured JSON
+// form; nil predicates map to nil (field omitted).
+func CondTree(p cond.Pred) *Condition {
+	switch x := p.(type) {
+	case cond.True:
+		return &Condition{Kind: "true"}
+	case cond.False:
+		return &Condition{Kind: "false"}
+	case cond.Atom:
+		return &Condition{Kind: "atom", Expr: x.E.Key()}
+	case *cond.And:
+		c := &Condition{Kind: "and", Ps: make([]*Condition, len(x.Ps))}
+		for i, q := range x.Ps {
+			c.Ps[i] = CondTree(q)
+		}
+		return c
+	case *cond.Or:
+		c := &Condition{Kind: "or", Ps: make([]*Condition, len(x.Ps))}
+		for i, q := range x.Ps {
+			c.Ps[i] = CondTree(q)
+		}
+		return c
+	}
+	return nil
 }
 
 // AnalyzeResponse is the commutativity report for a program.
@@ -101,6 +158,11 @@ type RunRequest struct {
 	// SpeculateThreshold is the minimum analysis confidence to
 	// speculate an extent under "auto" (0: the runtime default, 0.5).
 	SpeculateThreshold float64 `json:"speculate_threshold,omitempty"`
+	// Conditional enables guarded execution of conditionally-eligible
+	// extents: the synthesized guard is evaluated at region entry —
+	// parallel when it holds, the serial path otherwise. Requires
+	// mode=parallel.
+	Conditional bool `json:"conditional,omitempty"`
 }
 
 // RunStats is the machine-readable execution summary shared by the
@@ -127,6 +189,12 @@ type RunStats struct {
 	SpeculativeRegions int64 `json:"speculative_regions,omitempty"`
 	SpeculationCommits int64 `json:"speculation_commits,omitempty"`
 	SpeculationAborts  int64 `json:"speculation_aborts,omitempty"`
+
+	// GuardParallel/GuardSerial count guarded region entries whose
+	// synthesized commutativity guard held (region ran parallel) or
+	// failed (serial path taken).
+	GuardParallel int64 `json:"guard_parallel,omitempty"`
+	GuardSerial   int64 `json:"guard_serial,omitempty"`
 }
 
 // RunResponse is the outcome of one execution.
@@ -184,8 +252,10 @@ type ShardStats struct {
 	URL       string  `json:"url"`
 	Requests  int64   `json:"requests"`
 	Errors    int64   `json:"errors"`
-	Rerouted  int64   `json:"rerouted"` // requests moved off this shard while it was down
-	Retries   int64   `json:"retries"`  // bounded 429 Retry-After retries against this shard
+	Rerouted  int64   `json:"rerouted"`           // requests moved off this shard while it was down
+	Retries   int64   `json:"retries"`            // bounded 429 Retry-After retries against this shard
+	Probes    int64   `json:"probes,omitempty"`   // active /healthz probes sent while marked down
+	Revivals  int64   `json:"revivals,omitempty"` // probe-driven down→live transitions
 	Down      bool    `json:"down"`
 	VNodes    int     `json:"vnodes"`
 	RingShare float64 `json:"ring_share"` // fraction of keyspace owned while all shards live
@@ -204,6 +274,9 @@ type StatusZ struct {
 
 	SpeculationCommits int64 `json:"speculation_commits"`
 	SpeculationAborts  int64 `json:"speculation_aborts"`
+
+	GuardParallel int64 `json:"guard_parallel,omitempty"`
+	GuardSerial   int64 `json:"guard_serial,omitempty"`
 
 	CacheHits      int64 `json:"cache_hits"`
 	CacheMisses    int64 `json:"cache_misses"`

@@ -35,19 +35,7 @@ func bundleFromSystem(key, name string, sys *commute.System) *api.ArtifactBundle
 		LoopsSuppressed: sys.Plan.LoopsSuppressed,
 	}
 	for _, mr := range sys.Reports() {
-		b.Methods = append(b.Methods, api.MethodReport{
-			Method:             mr.Method.FullName(),
-			Parallel:           mr.Parallel,
-			Reason:             mr.Reason,
-			ExtentSize:         mr.ExtentSize,
-			AuxiliaryCallSites: mr.AuxiliaryCallSites,
-			IndependentPairs:   mr.IndependentPairs,
-			SymbolicPairs:      mr.SymbolicPairs,
-
-			Confidence:          mr.Confidence,
-			Condition:           mr.Condition,
-			SpeculationEligible: mr.SpeculationEligible,
-		})
+		b.Methods = append(b.Methods, apiMethodReport(mr))
 	}
 	if sys.File != nil {
 		b.ParallelSource = sys.Plan.EmitParallelSource(sys.File)

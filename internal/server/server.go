@@ -42,6 +42,8 @@ import (
 
 	"commute"
 	"commute/internal/apps/src"
+	"commute/internal/cond"
+	"commute/internal/core"
 	"commute/internal/interp"
 	"commute/internal/rt"
 	"commute/internal/server/api"
@@ -149,6 +151,8 @@ type Server struct {
 	fallbacks   atomic.Int64
 	specCommits atomic.Int64
 	specAborts  atomic.Int64
+	guardPar    atomic.Int64
+	guardSer    atomic.Int64
 	draining    atomic.Bool
 
 	// Shared artifact tier (see artifact.go).
@@ -288,6 +292,14 @@ func appSource(app string) (name, source string, ok bool) {
 		return "specdisjoint.mc", src.SpecDisjoint, true
 	case "specconflict":
 		return "specconflict.mc", src.SpecConflict, true
+	case "condhash":
+		// Guard-true mode: the table accumulates, the synthesized guard
+		// (mode == 0) holds, and guarded regions run in parallel.
+		return "condhash.mc", src.CondHashBase + src.CondHashMain(0, 6), true
+	case "condhash-serial":
+		// Guard-false mode: the table overwrites, the guard fails at
+		// region entry, and every guarded region takes the serial path.
+		return "condhash-serial.mc", src.CondHashBase + src.CondHashMain(3, 6), true
 	}
 	return "", "", false
 }
@@ -327,7 +339,7 @@ func resolveSourceRequest(req api.SourceRequest, analysisWorkers int) (name, sou
 	if req.App != "" {
 		var ok bool
 		if name, source, ok = appSource(req.App); !ok {
-			return "", "", opts, fmt.Errorf("unknown app %q (have barneshut, water, graph, quickstart, specdisjoint, specconflict)", req.App)
+			return "", "", opts, fmt.Errorf("unknown app %q (have barneshut, water, graph, quickstart, specdisjoint, specconflict, condhash, condhash-serial)", req.App)
 		}
 	}
 	if source == "" {
@@ -422,6 +434,8 @@ func (s *Server) handleStatusz(w http.ResponseWriter, r *http.Request) {
 
 		SpeculationCommits: s.specCommits.Load(),
 		SpeculationAborts:  s.specAborts.Load(),
+		GuardParallel:      s.guardPar.Load(),
+		GuardSerial:        s.guardSer.Load(),
 		CacheHits:          cs.Hits,
 		CacheMisses:        cs.Misses,
 		CacheEvictions:     cs.Evictions,
@@ -540,25 +554,36 @@ func analyzeFromSystem(sys *commute.System, key, cacheWord string, emit bool, st
 		LoopsSuppressed: sys.Plan.LoopsSuppressed,
 	}
 	for _, mr := range sys.Reports() {
-		resp.Methods = append(resp.Methods, api.MethodReport{
-			Method:             mr.Method.FullName(),
-			Parallel:           mr.Parallel,
-			Reason:             mr.Reason,
-			ExtentSize:         mr.ExtentSize,
-			AuxiliaryCallSites: mr.AuxiliaryCallSites,
-			IndependentPairs:   mr.IndependentPairs,
-			SymbolicPairs:      mr.SymbolicPairs,
-
-			Confidence:          mr.Confidence,
-			Condition:           mr.Condition,
-			SpeculationEligible: mr.SpeculationEligible,
-		})
+		resp.Methods = append(resp.Methods, apiMethodReport(mr))
 	}
 	if emit && sys.File != nil {
 		resp.ParallelSource = sys.Plan.EmitParallelSource(sys.File)
 	}
 	resp.ElapsedMS = float64(time.Since(start)) / float64(time.Millisecond)
 	return resp
+}
+
+// apiMethodReport renders one analysis report in the wire schema,
+// including the synthesized conditional-commutativity predicate in
+// both rendered and structured form.
+func apiMethodReport(mr *core.MethodReport) api.MethodReport {
+	return api.MethodReport{
+		Method:             mr.Method.FullName(),
+		Parallel:           mr.Parallel,
+		Reason:             mr.Reason,
+		ExtentSize:         mr.ExtentSize,
+		AuxiliaryCallSites: mr.AuxiliaryCallSites,
+		IndependentPairs:   mr.IndependentPairs,
+		SymbolicPairs:      mr.SymbolicPairs,
+
+		Confidence:          mr.Confidence,
+		Condition:           mr.Condition,
+		ConditionTree:       api.CondTree(mr.Pred),
+		Guard:               cond.Render(mr.Guard),
+		GuardTree:           api.CondTree(mr.Guard),
+		ConditionalEligible: mr.ConditionalEligible,
+		SpeculationEligible: mr.SpeculationEligible,
+	}
 }
 
 // jsonBody serializes a response value to (status, body) for batching.
@@ -628,6 +653,9 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) error {
 	if mode == "serial" && spec != rt.SpecOff {
 		return writeErr(w, http.StatusBadRequest, "speculate requires mode=parallel")
 	}
+	if mode == "serial" && req.Conditional {
+		return writeErr(w, http.StatusBadRequest, "conditional requires mode=parallel")
+	}
 
 	h, key, hit, err := s.loadSystem(req.SourceRequest)
 	if err != nil {
@@ -668,6 +696,7 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) error {
 			Engine:             eng,
 			Speculate:          spec,
 			SpeculateThreshold: specThreshold,
+			Conditional:        req.Conditional,
 		}, out)
 		if rs != nil {
 			stats.Regions = rs.Regions
@@ -684,9 +713,13 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) error {
 			stats.SpeculativeRegions = rs.SpeculativeRegions
 			stats.SpeculationCommits = rs.SpeculationCommits
 			stats.SpeculationAborts = rs.SpeculationAborts
+			stats.GuardParallel = rs.GuardParallel
+			stats.GuardSerial = rs.GuardSerial
 			s.fallbacks.Add(rs.SerialFallbacks)
 			s.specCommits.Add(rs.SpeculationCommits)
 			s.specAborts.Add(rs.SpeculationAborts)
+			s.guardPar.Add(rs.GuardParallel)
+			s.guardSer.Add(rs.GuardSerial)
 		}
 	}
 	stats.WallMS = float64(time.Since(start)) / float64(time.Millisecond)

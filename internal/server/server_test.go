@@ -549,3 +549,110 @@ func TestRunSpeculation(t *testing.T) {
 		t.Fatalf("statusz fallbacks = %d, want 0 (aborts are not fallbacks)", st.Fallbacks)
 	}
 }
+
+func TestRunConditional(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+
+	// The analysis surfaces the synthesized condition structurally:
+	// rendered predicate, predicate tree, and the runtime guard.
+	resp, data := post(t, ts, "/v1/analyze", api.AnalyzeRequest{
+		SourceRequest: api.SourceRequest{App: "condhash"},
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("analyze = %d: %s", resp.StatusCode, data)
+	}
+	var ar api.AnalyzeResponse
+	if err := json.Unmarshal(data, &ar); err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, m := range ar.Methods {
+		if m.Method != "table::ingest" {
+			continue
+		}
+		found = true
+		if m.Parallel {
+			t.Fatal("ingest must be rejected by the binary analysis")
+		}
+		if !m.ConditionalEligible {
+			t.Fatalf("ingest not conditional-eligible: %+v", m)
+		}
+		if m.Condition == "" || m.ConditionTree == nil {
+			t.Fatalf("ingest condition missing: %+v", m)
+		}
+		if m.Guard == "" || m.GuardTree == nil {
+			t.Fatalf("ingest guard missing: %+v", m)
+		}
+		if !strings.Contains(m.Guard, "ec:table.mode@global:H") {
+			t.Fatalf("guard %q does not read the mode extent constant", m.Guard)
+		}
+		if m.GuardTree.Kind != "atom" || m.GuardTree.Expr != m.Guard {
+			t.Fatalf("guard tree %+v does not mirror rendered guard %q", m.GuardTree, m.Guard)
+		}
+	}
+	if !found {
+		t.Fatal("no report for table::ingest")
+	}
+
+	run := func(app, mode string, conditional bool) (api.RunResponse, int) {
+		t.Helper()
+		resp, data := post(t, ts, "/v1/run", api.RunRequest{
+			SourceRequest: api.SourceRequest{App: app},
+			Mode:          mode,
+			Workers:       4,
+			Conditional:   conditional,
+		})
+		var rr api.RunResponse
+		if resp.StatusCode == http.StatusOK {
+			if err := json.Unmarshal(data, &rr); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return rr, resp.StatusCode
+	}
+
+	// Serial references for both guard outcomes.
+	serialTrue, code := run("condhash", "serial", false)
+	if code != http.StatusOK {
+		t.Fatalf("serial condhash = %d", code)
+	}
+	serialFalse, code := run("condhash-serial", "serial", false)
+	if code != http.StatusOK {
+		t.Fatalf("serial condhash-serial = %d", code)
+	}
+
+	// Guard true: parallel regions, bit-identical output.
+	rr, code := run("condhash", "parallel", true)
+	if code != http.StatusOK {
+		t.Fatalf("conditional condhash = %d", code)
+	}
+	if rr.Output != serialTrue.Output {
+		t.Fatalf("guard-true output %q, want serial %q", rr.Output, serialTrue.Output)
+	}
+	if rr.Stats.GuardParallel == 0 || rr.Stats.GuardSerial != 0 || rr.Stats.Regions == 0 {
+		t.Fatalf("guard-true stats = %+v, want parallel guard entries", rr.Stats)
+	}
+
+	// Guard false: serial path, counter bumped, identical output.
+	rr, code = run("condhash-serial", "parallel", true)
+	if code != http.StatusOK {
+		t.Fatalf("conditional condhash-serial = %d", code)
+	}
+	if rr.Output != serialFalse.Output {
+		t.Fatalf("guard-false output %q, want serial %q", rr.Output, serialFalse.Output)
+	}
+	if rr.Stats.GuardSerial == 0 || rr.Stats.GuardParallel != 0 || rr.Stats.Regions != 0 {
+		t.Fatalf("guard-false stats = %+v, want serial guard entries", rr.Stats)
+	}
+
+	// conditional requires mode=parallel.
+	if _, code := run("condhash", "serial", true); code != http.StatusBadRequest {
+		t.Fatalf("serial+conditional = %d, want 400", code)
+	}
+
+	st := statusz(t, ts)
+	if st.GuardParallel == 0 || st.GuardSerial == 0 {
+		t.Fatalf("statusz guard counters = %d parallel / %d serial, want both nonzero",
+			st.GuardParallel, st.GuardSerial)
+	}
+}

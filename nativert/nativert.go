@@ -18,6 +18,37 @@ import (
 	"sync/atomic"
 )
 
+// Error is a structured runtime failure raised by generated code or by
+// this support library: the failing operation plus the generated-method
+// and source-site context a bare panic string cannot carry. Generated
+// drivers recover it at the top of main and report it on stderr, so a
+// runtime fault in a native binary identifies where in the dialect
+// program it happened.
+type Error struct {
+	Op     string // runtime operation that failed (e.g. "gss")
+	Method string // dialect method (full name) executing when it failed
+	Site   string // source position of the failing construct, when known
+	Msg    string // what went wrong
+}
+
+func (e *Error) Error() string {
+	s := "nativert: " + e.Op
+	if e.Method != "" {
+		s += " in " + e.Method
+	}
+	if e.Site != "" {
+		s += " at " + e.Site
+	}
+	return s + ": " + e.Msg
+}
+
+// Errf panics with a structured *Error. Generated code calls it where
+// the interpreter would raise a RuntimeError; the generated driver's
+// recover turns the panic into a stderr report and a non-zero exit.
+func Errf(op, method, site, format string, args ...any) {
+	panic(&Error{Op: op, Method: method, Site: site, Msg: fmt.Sprintf(format, args...)})
+}
+
 // GSS runs the counted loop for (i = from; i < to; i += step) across
 // fresh goroutines with guided self-scheduling: each claimant takes
 // remaining/workers iterations (minimum one chunk of one) via an
@@ -25,18 +56,20 @@ import (
 // the interpreter runtime uses (internal/rt.parallelLoop), so native
 // and interpreted runs make the same chunk claims.
 //
+// method and site identify the loop for failure reports (the emitter
+// passes the enclosing dialect method and the loop's source position).
 // mk is called once per loop goroutine and returns the iteration body;
 // the emitter uses that factory to give every goroutine its own copy
 // of the enclosing method's frame variables, mirroring the
 // interpreter's per-worker iteration frames (NewIterFrame). step must
 // be positive: the planner only parallelizes loops it proved counted
 // with a positive literal step.
-func GSS(workers int, from, to, step int64, mk func() func(int64)) {
+func GSS(method, site string, workers int, from, to, step int64, mk func() func(int64)) {
 	if workers < 1 {
 		workers = 1
 	}
 	if step <= 0 {
-		panic(fmt.Sprintf("nativert.GSS: non-positive step %d", step))
+		Errf("gss", method, site, "non-positive step %d", step)
 	}
 	total := (to - from + step - 1) / step
 	if total <= 0 {

@@ -17,7 +17,7 @@ func TestGSSCoversEveryIteration(t *testing.T) {
 		for _, c := range cases {
 			var mu sync.Mutex
 			counts := make(map[int64]int)
-			GSS(workers, c.from, c.to, c.step, func() func(int64) {
+			GSS("m", "site", workers, c.from, c.to, c.step, func() func(int64) {
 				return func(i int64) {
 					mu.Lock()
 					counts[i]++
@@ -43,7 +43,7 @@ func TestGSSCoversEveryIteration(t *testing.T) {
 func TestGSSFactoryPerGoroutine(t *testing.T) {
 	var mu sync.Mutex
 	made := 0
-	GSS(4, 0, 1000, 1, func() func(int64) {
+	GSS("m", "site", 4, 0, 1000, 1, func() func(int64) {
 		mu.Lock()
 		made++
 		mu.Unlock()
