@@ -1,10 +1,11 @@
 // Benchdiff compares two BENCH_<rev>.json reports produced by
 // `commutebench -json` and fails when the gated suites regress beyond
-// a threshold. By default three name prefixes gate: "micro-"
+// a threshold. By default four name prefixes gate: "micro-"
 // (single-threaded interpreter tight loops), "analysis-" (cold-path
-// analysis: AnalyzeAll, deep simplification, pair testing), and
-// "serve-" (the daemon's cache-hit serving path under load) — all with
-// low run-to-run variance. The application and parallel-runtime
+// analysis: AnalyzeAll, deep simplification, pair testing), "serve-"
+// (the daemon's cache-hit serving path under load), and "spec-" (the
+// speculation workloads on the monitored engines and the journaled
+// native backend, commit-heavy and abort-heavy). The application and parallel-runtime
 // results are printed for context but carry too much scheduler and
 // machine noise to fail CI on. -gate narrows or widens the gated set
 // with a regexp over benchmark names, so a CI step can hold one suite
@@ -42,7 +43,7 @@ func load(path string) (*bench.PerfReport, error) {
 
 func main() {
 	threshold := flag.Float64("threshold", 1.25, "fail when a gated benchmark's ns/op grows by more than this factor")
-	gate := flag.String("gate", "^(micro-|analysis-|serve-)", "regexp over benchmark names selecting which results gate the exit status")
+	gate := flag.String("gate", "^(micro-|analysis-|serve-|spec-)", "regexp over benchmark names selecting which results gate the exit status")
 	flag.Parse()
 	if flag.NArg() != 2 {
 		fmt.Fprintln(os.Stderr, "usage: benchdiff [-threshold 1.25] [-gate regexp] old.json new.json")

@@ -27,10 +27,11 @@ import (
 )
 
 func main() {
-	app := flag.String("app", "", "analyze a built-in application (barneshut, water, graph, condhash) instead of a file")
+	app := flag.String("app", "", "analyze a built-in application (barneshut, water, graph, condhash, specdisjoint, specconflict) instead of a file")
 	verbose := flag.Bool("v", false, "print per-pair commutativity details")
 	emit := flag.String("emit", "", "emit instead of the report: source (the Figure 2 style transformed source) | go (native Go package, requires -o)")
 	conditional := flag.Bool("conditional", false, "plan conditionally-eligible extents as guarded parallel regions (-emit go compiles the synthesized guard into the region wrapper)")
+	speculate := flag.Bool("speculate", false, "plan statically-rejected extents as speculative regions (-emit go lowers them to journaled method versions behind the generated driver's -speculate flag)")
 	outDir := flag.String("o", "", "output directory for -emit go")
 	doTransform := flag.Bool("transform", false, "apply the §7.2 loop replacement (while loops → tail-recursive methods) before analysis")
 	annotations := flag.String("annotations", "", "also write the annotation file (JSON) to this path (the paper's analysis→codegen interface)")
@@ -49,8 +50,12 @@ func main() {
 			source = src.Graph
 		case "condhash":
 			source = src.CondHashBase + src.CondHashMain(0, 6)
+		case "specdisjoint":
+			source = src.SpecDisjoint
+		case "specconflict":
+			source = src.SpecConflict
 		default:
-			fmt.Fprintf(os.Stderr, "unknown app %q (have barneshut, water, graph, condhash)\n", *app)
+			fmt.Fprintf(os.Stderr, "unknown app %q (have barneshut, water, graph, condhash, specdisjoint, specconflict)\n", *app)
 			os.Exit(2)
 		}
 	case flag.NArg() == 1:
@@ -107,13 +112,21 @@ func main() {
 			os.Exit(2)
 		}
 		genErr := error(nil)
-		if *conditional {
+		switch {
+		case *conditional:
 			// A dedicated plan with guards lowered into the region
 			// wrappers; the generated binary's -conditional flag picks
 			// between guarded-parallel and forced-serial at runtime.
-			plan := codegen.BuildWithOptions(sys.Analysis, codegen.Options{ConditionalGuards: true})
+			// ConditionalGuards plans already speculate on rejected
+			// extents, so -speculate adds nothing here.
+			plan := codegen.BuildWithOptions(sys.Analysis, codegen.Options{ConditionalGuards: true, SpeculateRejected: *speculate})
 			genErr = nativegen.GeneratePlan(plan, name, *outDir)
-		} else {
+		case *speculate:
+			// The speculative plan: rejected extents become journaled
+			// regions the generated binary enables with -speculate
+			// auto|force (off by default — the serial versions run).
+			genErr = nativegen.GeneratePlan(sys.SpecPlan, name, *outDir)
+		default:
 			genErr = nativegen.Generate(sys, name, *outDir)
 		}
 		if genErr != nil {

@@ -68,6 +68,14 @@ func main() {
 		fmt.Fprintf(os.Stderr, "unknown conditional mode %q (on | off)\n", *conditional)
 		os.Exit(2)
 	}
+	if spec != rt.SpecOff && *mode != "parallel" {
+		// Both interpreter engines monitor at full speed now, but the
+		// serial runner and the trace-driven simulator have no effect
+		// monitor at all — fail loudly rather than silently ignore the
+		// requested speculation.
+		fmt.Fprintf(os.Stderr, "-speculate %s requires -mode parallel (the %s mode cannot monitor effects)\n", *speculate, *mode)
+		os.Exit(2)
+	}
 
 	var name, source string
 	switch {

@@ -9,6 +9,7 @@ import (
 
 	"commute"
 	"commute/internal/apps"
+	"commute/internal/apps/src"
 	"commute/internal/nativegen"
 )
 
@@ -64,6 +65,55 @@ func nativePerf(rep *PerfReport) error {
 			}
 			rep.Results = append(rep.Results, PerfResult{
 				Name:       "native-" + a.name + "-" + c.suffix,
+				NsPerOp:    ns,
+				Iterations: nativeBenchReps,
+			})
+		}
+	}
+	return nativeSpecPerf(rep, tmp)
+}
+
+// nativeSpecPerf appends the spec-native-* results: the speculation
+// workloads compiled through the journaled SJ_ lowering, timed with
+// speculation off (rejected extents serial) and forced, on the
+// commit-heavy disjoint program and the abort-heavy conflict one.
+func nativeSpecPerf(rep *PerfReport, tmp string) error {
+	for _, a := range []struct {
+		name     string
+		src      string
+		policies []string
+	}{
+		// The conflict program's off run is a trivial serial loop with no
+		// speculation machinery in it — nanoseconds of noise, useless to
+		// gate — so only the abort-and-rerun path is timed there.
+		{"spec-disjoint", specDisjointBenchSrc, []string{"off", "force"}},
+		{"spec-conflict", src.SpecConflict, []string{"force"}},
+	} {
+		sys, err := commute.Load(a.name+".mc", a.src)
+		if err != nil {
+			return fmt.Errorf("native %s: %w", a.name, err)
+		}
+		dir := filepath.Join(tmp, a.name)
+		if err := nativegen.GeneratePlan(sys.SpecPlan, a.name, dir); err != nil {
+			return fmt.Errorf("native %s: %w", a.name, err)
+		}
+		bin, err := nativegen.Build(dir)
+		if err != nil {
+			return fmt.Errorf("native %s: %w", a.name, err)
+		}
+		for _, policy := range a.policies {
+			out, err := nativegen.Run(bin, "-mode", "parallel",
+				"-workers", strconv.Itoa(perfWorkers), "-speculate", policy,
+				"-bench", strconv.Itoa(nativeBenchReps))
+			if err != nil {
+				return fmt.Errorf("native %s %s: %w", a.name, policy, err)
+			}
+			ns, err := parseNsPerOp(out)
+			if err != nil {
+				return fmt.Errorf("native %s %s: %w", a.name, policy, err)
+			}
+			rep.Results = append(rep.Results, PerfResult{
+				Name:       "spec-native-" + a.name[len("spec-"):] + "-" + policy,
 				NsPerOp:    ns,
 				Iterations: nativeBenchReps,
 			})

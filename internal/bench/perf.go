@@ -10,6 +10,7 @@ import (
 
 	"commute"
 	"commute/internal/apps"
+	"commute/internal/apps/src"
 	"commute/internal/interp"
 	"commute/internal/rt"
 )
@@ -99,6 +100,70 @@ double acc::step(int n) {
 acc A;
 void main() { A.step(60000); }
 `
+
+	// specDisjointBenchSrc is the speculation workload: churn reads and
+	// overwrites val, so the (churn, churn) pair fails the symbolic test
+	// and fill's extent is rejected — but every task targets a distinct
+	// cell, so the speculative region always commits. Sized so the
+	// journaled loads and stores inside the region dominate the region
+	// setup, making the entry a fair monitor-speed comparison between
+	// the tree walker and the compiled engine.
+	specDisjointBenchSrc = `
+const int N = 64;
+
+class cell {
+public:
+  int val;
+  void churn(int v);
+};
+
+class table {
+public:
+  cell *cells[N];
+  int sum;
+  void init();
+  void fill();
+  void report();
+};
+
+table T;
+
+void cell::churn(int v) {
+  int i;
+  for (i = 0; i < 200; i += 1) {
+    val = val * 3 + v + i;
+  }
+}
+
+void table::init() {
+  int i;
+  for (i = 0; i < N; i += 1) {
+    cells[i] = new cell;
+  }
+}
+
+void table::fill() {
+  int i;
+  for (i = 0; i < N; i += 1) {
+    cells[i]->churn(i);
+  }
+}
+
+void table::report() {
+  int i;
+  sum = 0;
+  for (i = 0; i < N; i += 1) {
+    sum = sum + cells[i]->val;
+  }
+  print(sum);
+}
+
+void main() {
+  T.init();
+  T.fill();
+  T.report();
+}
+`
 )
 
 // statsMap extracts the scheduler counters worth tracking across PRs.
@@ -115,6 +180,9 @@ func statsMap(st *rt.Stats) map[string]int64 {
 		"local_pops":     st.LocalPops,
 		"guard_parallel": st.GuardParallel,
 		"guard_serial":   st.GuardSerial,
+		"spec_regions":   st.SpeculativeRegions,
+		"spec_commits":   st.SpeculationCommits,
+		"spec_aborts":    st.SpeculationAborts,
 	}
 }
 
@@ -144,6 +212,18 @@ func RunPerf(rev string) (*PerfReport, error) {
 	if err != nil {
 		return nil, fmt.Errorf("condhash-serial: %w", err)
 	}
+	// Speculation: the commit-heavy disjoint workload under both
+	// monitored engines and with speculation off (the rejected extent
+	// runs serially inside the parallel schedule), plus the abort-heavy
+	// conflict demonstrator exercising rollback and serial rerun.
+	specDisjoint, err := commute.Load("spec-disjoint.mc", specDisjointBenchSrc)
+	if err != nil {
+		return nil, fmt.Errorf("spec-disjoint: %w", err)
+	}
+	specConflict, err := commute.Load("spec-conflict.mc", src.SpecConflict)
+	if err != nil {
+		return nil, fmt.Errorf("spec-conflict: %w", err)
+	}
 
 	micros := []struct {
 		name string
@@ -160,6 +240,7 @@ func RunPerf(rev string) (*PerfReport, error) {
 		ser   bool
 		eng   interp.Engine
 		cond  bool
+		spec  rt.SpecMode
 	}
 	var cases []cse
 	for _, m := range micros {
@@ -168,8 +249,8 @@ func RunPerf(rev string) (*PerfReport, error) {
 			return nil, fmt.Errorf("%s: %w", m.name, err)
 		}
 		cases = append(cases,
-			cse{m.name + "-compiled", sys, 0, true, interp.EngineCompiled, false},
-			cse{m.name + "-walk", sys, 0, true, interp.EngineWalk, false},
+			cse{m.name + "-compiled", sys, 0, true, interp.EngineCompiled, false, rt.SpecOff},
+			cse{m.name + "-walk", sys, 0, true, interp.EngineWalk, false, rt.SpecOff},
 		)
 	}
 
@@ -183,15 +264,19 @@ func RunPerf(rev string) (*PerfReport, error) {
 	}
 
 	cases = append(cases,
-		cse{"barneshut-serial", bh, 0, true, interp.EngineCompiled, false},
-		cse{"barneshut-parallel-stealing", bh, rt.SchedStealing, false, interp.EngineCompiled, false},
-		cse{"barneshut-parallel-central", bh, rt.SchedCentral, false, interp.EngineCompiled, false},
-		cse{"water-serial", water, 0, true, interp.EngineCompiled, false},
-		cse{"water-parallel-stealing", water, rt.SchedStealing, false, interp.EngineCompiled, false},
-		cse{"water-parallel-central", water, rt.SchedCentral, false, interp.EngineCompiled, false},
-		cse{"condhash-serial", condTrue, 0, true, interp.EngineCompiled, false},
-		cse{"condhash-guard-parallel", condTrue, rt.SchedStealing, false, interp.EngineCompiled, true},
-		cse{"condhash-guard-serial", condFalse, rt.SchedStealing, false, interp.EngineCompiled, true},
+		cse{"barneshut-serial", bh, 0, true, interp.EngineCompiled, false, rt.SpecOff},
+		cse{"barneshut-parallel-stealing", bh, rt.SchedStealing, false, interp.EngineCompiled, false, rt.SpecOff},
+		cse{"barneshut-parallel-central", bh, rt.SchedCentral, false, interp.EngineCompiled, false, rt.SpecOff},
+		cse{"water-serial", water, 0, true, interp.EngineCompiled, false, rt.SpecOff},
+		cse{"water-parallel-stealing", water, rt.SchedStealing, false, interp.EngineCompiled, false, rt.SpecOff},
+		cse{"water-parallel-central", water, rt.SchedCentral, false, interp.EngineCompiled, false, rt.SpecOff},
+		cse{"condhash-serial", condTrue, 0, true, interp.EngineCompiled, false, rt.SpecOff},
+		cse{"condhash-guard-parallel", condTrue, rt.SchedStealing, false, interp.EngineCompiled, true, rt.SpecOff},
+		cse{"condhash-guard-serial", condFalse, rt.SchedStealing, false, interp.EngineCompiled, true, rt.SpecOff},
+		cse{"spec-disjoint-off-compiled", specDisjoint, rt.SchedStealing, false, interp.EngineCompiled, false, rt.SpecOff},
+		cse{"spec-disjoint-force-compiled", specDisjoint, rt.SchedStealing, false, interp.EngineCompiled, false, rt.SpecForce},
+		cse{"spec-disjoint-force-walk", specDisjoint, rt.SchedStealing, false, interp.EngineWalk, false, rt.SpecForce},
+		cse{"spec-conflict-force-compiled", specConflict, rt.SchedStealing, false, interp.EngineCompiled, false, rt.SpecForce},
 	)
 	for _, c := range cases {
 		c := c
@@ -207,7 +292,7 @@ func RunPerf(rev string) (*PerfReport, error) {
 					}
 					continue
 				}
-				opts := commute.RunOptions{Workers: perfWorkers, Sched: c.sched, Engine: c.eng, Conditional: c.cond}
+				opts := commute.RunOptions{Workers: perfWorkers, Sched: c.sched, Engine: c.eng, Conditional: c.cond, Speculate: c.spec}
 				_, st, err := c.sys.RunParallelOpts(nil, opts, io.Discard)
 				if err != nil {
 					runErr = err

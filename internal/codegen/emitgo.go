@@ -36,6 +36,15 @@ package codegen
 //	      become GSS, and the enclosing extent's lock-release closure
 //	      threads through.
 //
+// Speculative extents (statically rejected, optimistically run under
+// effect journals — rt.runSpeculativeRegion) add journaled twins of
+// the context versions: SJ_ (parallel root, spawns tasks with fresh
+// journals), SJS_ (serial body, every access journaled), SJX_ (mutex
+// analogue), SJI_ (iteration context), SJQ_ (parallel-inline with
+// speculative GSS loops). They take no locks — isolation comes from
+// the journals — and their R_ wrapper validates at the join barrier,
+// commits single-threaded, or discards and reruns S_ serially.
+//
 // Versions are emitted on demand, starting from main, so the generated
 // package contains exactly the functions some execution mode can reach.
 // Emission order is deterministic (declaration order, fixed variant
@@ -72,16 +81,28 @@ type EmitGoOptions struct {
 type variant int
 
 const (
-	varR variant = iota // region wrapper
-	varS                // serial
-	varD                // driver (serial context)
-	varP                // parallel
-	varX                // mutex
-	varI                // iteration-serial
-	varQ                // parallel-inline
+	varR  variant = iota // region wrapper
+	varS                 // serial
+	varD                 // driver (serial context)
+	varP                 // parallel
+	varX                 // mutex
+	varI                 // iteration-serial
+	varQ                 // parallel-inline
+	varJP                // speculative parallel (journaled P_)
+	varJS                // speculative serial (journaled S_)
+	varJX                // speculative mutex (journaled X_)
+	varJI                // speculative iteration-serial (journaled IS_)
+	varJQ                // speculative parallel-inline (journaled Q_)
 )
 
-var variantPrefix = [...]string{varR: "R_", varS: "S_", varD: "D_", varP: "P_", varX: "X_", varI: "IS_", varQ: "Q_"}
+var variantPrefix = [...]string{
+	varR: "R_", varS: "S_", varD: "D_", varP: "P_", varX: "X_", varI: "IS_", varQ: "Q_",
+	varJP: "SJ_", varJS: "SJS_", varJX: "SJX_", varJI: "SJI_", varJQ: "SJQ_",
+}
+
+// specVariant reports whether v is one of the journaled speculative
+// versions (every field/element access routed through a SpecJournal).
+func specVariant(v variant) bool { return v >= varJP }
 
 // vkey is the demand-set key: one method version.
 type vkey struct {
@@ -138,9 +159,6 @@ func (p *Plan) EmitGoPackage(opts EmitGoOptions) (map[string][]byte, error) {
 		return nil, fmt.Errorf("emitgo: program has no main function")
 	}
 	for _, m := range p.Prog.Methods {
-		if mp := p.Methods[m]; mp != nil && mp.Speculative {
-			return nil, fmt.Errorf("emitgo: %s is planned for speculative execution; the native backend does not implement speculation", m.FullName())
-		}
 		if m.Def == nil {
 			return nil, fmt.Errorf("emitgo: %s has no body", m.FullName())
 		}

@@ -29,10 +29,11 @@ const (
 type callPlan struct {
 	kind   callKind
 	callee *types.Method
-	name   string // function name with version prefix
-	worker bool   // pass the worker as the first argument (Q_)
-	rel    string // rel_ argument for Q_ callees ("nil" or "rel_")
-	preRel bool   // release the extent lock before the call (mX spawn sites)
+	name   string   // function name with version prefix
+	worker bool     // pass the worker as the first argument (Q_, SJ_)
+	rel    string   // rel_ argument for Q_ callees ("nil" or "rel_")
+	preRel bool     // release the extent lock before the call (mX spawn sites)
+	pre    []string // region/journal arguments threaded to spec versions
 }
 
 // pInline resolves the version an ActionInline/default site uses under
@@ -65,6 +66,30 @@ func (c *fnCtx) iterCall(callee *types.Method) callPlan {
 	return callPlan{kind: ckValue, callee: callee, name: "S_" + callee.Name}
 }
 
+// specPInline is pInline's journaled twin: inline callees under a
+// speculative parallel context share the task's journal, and their
+// planned-parallel loops still fan out (the interpreter's loop hook
+// stays armed through inline calls), so subtrees with such loops need
+// the SJQ_ version.
+func (c *fnCtx) specPInline(callee *types.Method) callPlan {
+	if c.e.subtreeHasParallelLoop(callee) {
+		c.e.demand(callee, varJQ)
+		return callPlan{kind: ckValue, callee: callee, name: "SJQ_" + callee.Name, pre: []string{"sr_", "sj_"}}
+	}
+	c.e.demand(callee, varJS)
+	return callPlan{kind: ckValue, callee: callee, name: "SJS_" + callee.Name, pre: []string{"sj_"}}
+}
+
+// specIterCall is iterCall's journaled twin.
+func (c *fnCtx) specIterCall(callee *types.Method) callPlan {
+	if c.e.needsIter(callee) {
+		c.e.demand(callee, varJI)
+		return callPlan{kind: ckValue, callee: callee, name: "SJI_" + callee.Name, pre: []string{"sr_", "sj_"}}
+	}
+	c.e.demand(callee, varJS)
+	return callPlan{kind: ckValue, callee: callee, name: "SJS_" + callee.Name, pre: []string{"sj_"}}
+}
+
 // siteDispatch decides how a non-builtin call site lowers in the
 // current mode.
 func (c *fnCtx) siteDispatch(x *ast.CallExpr) callPlan {
@@ -72,6 +97,12 @@ func (c *fnCtx) siteDispatch(x *ast.CallExpr) callPlan {
 	callee := site.Callee
 	switch c.mode {
 	case mS:
+		if c.spec {
+			// rt.specCall's plain-Call path: a serial journaled subtree
+			// stays serial and journaled all the way down.
+			c.e.demand(callee, varJS)
+			return callPlan{kind: ckValue, callee: callee, name: "SJS_" + callee.Name, pre: []string{"sj_"}}
+		}
 		c.e.demand(callee, varS)
 		return callPlan{kind: ckValue, callee: callee, name: "S_" + callee.Name}
 	case mD:
@@ -95,6 +126,27 @@ func (c *fnCtx) siteDispatch(x *ast.CallExpr) callPlan {
 		if c.mp != nil {
 			act = c.mp.Site[x.Site]
 		}
+		if c.spec {
+			// rt.specCall versionParallel: spawn sites get a fresh
+			// journal; a spawned callee without its own parallel plan
+			// runs the plain journaled body (specCall's plain-Call
+			// path), not a fan-out version.
+			switch act {
+			case ActionSpawn:
+				if cp := c.e.plan.Methods[callee]; cp != nil && cp.Parallel {
+					c.e.demand(callee, varJP)
+					return callPlan{kind: ckSpawn, callee: callee, name: "SJ_" + callee.Name, worker: true}
+				}
+				c.e.demand(callee, varJS)
+				return callPlan{kind: ckSpawn, callee: callee, name: "SJS_" + callee.Name}
+			case ActionHoisted:
+				cp := c.specPInline(callee)
+				cp.kind = ckHoisted
+				return cp
+			default:
+				return c.specPInline(callee)
+			}
+		}
 		switch act {
 		case ActionSpawn:
 			c.e.demand(callee, varP)
@@ -107,6 +159,9 @@ func (c *fnCtx) siteDispatch(x *ast.CallExpr) callPlan {
 			return c.pInline(callee)
 		}
 	case mQ:
+		if c.spec {
+			return c.specPInline(callee)
+		}
 		return c.pInline(callee)
 	case mX:
 		// versionMutex: spawn sites run the mutex version inline
@@ -116,6 +171,27 @@ func (c *fnCtx) siteDispatch(x *ast.CallExpr) callPlan {
 		var act SiteAction
 		if c.mp != nil {
 			act = c.mp.Site[x.Site]
+		}
+		if c.spec {
+			// rt.specCall versionMutex: spawn sites with a parallel
+			// callee recurse inline sharing the journal; everything
+			// else runs the serial journaled body. No lock release —
+			// spec variants take no locks.
+			switch act {
+			case ActionSpawn:
+				if cp := c.e.plan.Methods[callee]; cp != nil && cp.Parallel {
+					c.e.demand(callee, varJX)
+					return callPlan{kind: ckEffectX, callee: callee, name: "SJX_" + callee.Name, pre: []string{"sr_", "sj_"}}
+				}
+				c.e.demand(callee, varJS)
+				return callPlan{kind: ckEffectX, callee: callee, name: "SJS_" + callee.Name, pre: []string{"sj_"}}
+			case ActionHoisted:
+				c.e.demand(callee, varJS)
+				return callPlan{kind: ckHoisted, callee: callee, name: "SJS_" + callee.Name, pre: []string{"sj_"}}
+			default:
+				c.e.demand(callee, varJS)
+				return callPlan{kind: ckValue, callee: callee, name: "SJS_" + callee.Name, pre: []string{"sj_"}}
+			}
 		}
 		switch act {
 		case ActionSpawn:
@@ -135,6 +211,19 @@ func (c *fnCtx) siteDispatch(x *ast.CallExpr) callPlan {
 		act := ActionSerial
 		if mp := c.e.plan.Methods[c.m]; mp != nil {
 			act = mp.Site[x.Site]
+		}
+		if c.spec {
+			// rt.specIterCtx: inline sites stay in the journaled
+			// iteration context; parallel non-inline callees run the
+			// journal-sharing mutex version.
+			if act == ActionInline {
+				return c.specIterCall(callee)
+			}
+			if cp := c.e.plan.Methods[callee]; cp != nil && cp.Parallel {
+				c.e.demand(callee, varJX)
+				return callPlan{kind: ckEffectX, callee: callee, name: "SJX_" + callee.Name, pre: []string{"sr_", "sj_"}}
+			}
+			return c.specIterCall(callee)
 		}
 		if act == ActionInline {
 			return c.iterCall(callee)
@@ -189,6 +278,7 @@ func (c *fnCtx) renderCall(x *ast.CallExpr, cp callPlan) string {
 	if cp.worker {
 		args = append(args, "w", cp.rel)
 	}
+	args = append(args, cp.pre...)
 	args = append(args, c.callArgs(x, cp.callee)...)
 	call := cp.name + "(" + strings.Join(args, ", ") + ")"
 	if recv := c.recvChain(x, cp.callee); recv != "" {
@@ -268,6 +358,28 @@ func (c *fnCtx) spawn(x *ast.CallExpr, cp callPlan) {
 			c.conv(c.expr(a), a, c.e.prog.TypeOf(a), pt))
 		taskArgs = append(taskArgs, av)
 	}
+	if c.spec {
+		// rt.specCall ActionSpawn: count the task, give it a fresh
+		// journal, and capture panics so a faulting task aborts the
+		// region instead of killing the pool goroutine. Spec variants
+		// hold no locks, so there is nothing to release.
+		c.e.useRtkit = true
+		jv := c.tmpName()
+		c.line("%s := sr_.NewJournal()", jv)
+		c.line("w.Pool().Spawn(w, %q, func(cw_ *rtkit.Worker) {", callee.FullName())
+		c.line("\tdefer sr_.CapturePanic()")
+		if cp.worker {
+			args := append([]string{"cw_", "sr_", jv}, taskArgs...)
+			c.line("\t%s%s(%s)", recv, cp.name, strings.Join(args, ", "))
+		} else {
+			args := append([]string{jv}, taskArgs...)
+			c.line("\t%s%s(%s)", recv, cp.name, strings.Join(args, ", "))
+		}
+		c.line("})")
+		c.indent--
+		c.line("}")
+		return
+	}
 	if c.releaseBeforeSpawn {
 		c.releaseLock()
 	}
@@ -289,11 +401,28 @@ func (c *fnCtx) tmpName() string {
 // Assignment
 
 func (c *fnCtx) assign(a *ast.Assign) {
-	lhs := c.expr(a.LHS)
 	lt := c.e.prog.TypeOf(a.LHS)
+	if c.spec {
+		if addr, desc, shared := c.specLHS(a.LHS); shared {
+			c.specAssign(a, addr, desc, lt)
+			return
+		}
+	}
+	lhs := c.expr(a.LHS)
 	if a.Op == token.ASSIGN {
 		if call, ok := a.RHS.(*ast.CallExpr); ok && !call.Builtin {
-			if cp := c.siteDispatch(call); cp.kind != ckValue {
+			cp := c.siteDispatch(call)
+			if mp := c.e.plan.Methods[cp.callee]; cp.kind == ckRegion && mp != nil && mp.Speculative {
+				// Whether this region call's value survives is decided
+				// at run time: the interpreter keeps the serial call's
+				// real result when the policy declines to speculate and
+				// stores the discarded-region zero when it speculates
+				// (committed or aborted — the rerun's value is dropped
+				// too).
+				c.specRegionAssign(call, cp, lhs, lt)
+				return
+			}
+			if cp.kind != ckValue {
 				// The discarded-value call kinds store a zero value
 				// (the interpreter stores the region/spawn result
 				// Value{}, which reads back as the type's zero).
@@ -335,6 +464,110 @@ func (c *fnCtx) assign(a *ast.Assign) {
 		res = "int64(" + res + ")"
 	}
 	c.line("%s = %s", lhs, res)
+}
+
+// specLHS resolves an assignment target to its journal location — the
+// address expression and the declared-effect key — when the target is
+// shared state. Locals and parameters are frame-private and keep the
+// plain lowering (shared reads inside their RHS still journal through
+// expr).
+func (c *fnCtx) specLHS(x ast.Expr) (addr, desc string, shared bool) {
+	switch v := x.(type) {
+	case *ast.Ident:
+		if v.Sym != ast.SymField {
+			return "", "", false
+		}
+		sel := "o.as_" + v.FieldClass + "().F_" + v.Name
+		if c.m.Class != nil && c.m.Class.Name == v.FieldClass {
+			sel = "o.F_" + v.Name
+		}
+		return "&(" + sel + ")", v.FieldClass + "." + v.Name, true
+	case *ast.FieldAccess:
+		base := c.expr(v.X) // journals the chain's own loads
+		bcl := ptrClass(c.e.prog.TypeOf(v.X))
+		sel := base + ".as_" + v.DeclClass + "().F_" + v.Name
+		if bcl != nil && bcl.Name == v.DeclClass && !c.e.exprIface(v.X) {
+			sel = base + ".F_" + v.Name
+		}
+		return "&(" + sel + ")", v.DeclClass + "." + v.Name, true
+	case *ast.IndexExpr:
+		return "&(" + c.expr(v.X) + "[" + c.expr(v.Index) + "])", "", true
+	}
+	return "", "", false
+}
+
+// specAssign lowers an assignment to shared state inside a speculative
+// task: the write is buffered in the journal and never reaches the
+// live heap before commit. The right-hand side is evaluated into a
+// temporary first, matching the interpreter's evaluation order.
+func (c *fnCtx) specAssign(a *ast.Assign, addr, desc string, lt types.Type) {
+	if a.Op == token.ASSIGN {
+		if call, ok := a.RHS.(*ast.CallExpr); ok && !call.Builtin {
+			if cp := c.siteDispatch(call); cp.kind != ckValue {
+				c.effectCall(call, cp)
+				c.line("nativert.SpecStore(sj_, %s, %s, %q)", addr, c.e.zeroVal(lt), desc)
+				return
+			}
+		}
+		rv := c.tmpName()
+		c.line("var %s %s = %s", rv, c.e.goType(lt, false),
+			c.conv(c.expr(a.RHS), a.RHS, c.e.prog.TypeOf(a.RHS), lt))
+		c.line("nativert.SpecStore(sj_, %s, %s, %q)", addr, rv, desc)
+		return
+	}
+	op := map[token.Kind]string{
+		token.PLUSEQ: "+", token.MINUSEQ: "-", token.STAREQ: "*", token.SLASHEQ: "/",
+	}[a.Op]
+	if op == "" {
+		c.errf("unsupported compound assignment %v", a.Op)
+		return
+	}
+	rt := c.e.prog.TypeOf(a.RHS)
+	rv := c.tmpName()
+	c.line("var %s %s = %s", rv, c.e.goType(rt, false), c.expr(a.RHS))
+	pv := c.tmpName()
+	c.line("%s := %s", pv, addr)
+	ov := c.tmpName()
+	c.line("%s := nativert.SpecLoad(sj_, %s, %q)", ov, pv, desc)
+	lInt := isIntType(lt)
+	rInt := isIntType(rt)
+	l, r := ov, rv
+	if lInt && !rInt {
+		l = "float64(" + l + ")"
+	}
+	if rInt && !lInt {
+		r = "float64(" + r + ")"
+	}
+	res := l + " " + op + " " + r
+	if !lInt || !rInt {
+		res = "float64(" + res + ")"
+		if lInt {
+			res = "int64(" + res + ")"
+		}
+	}
+	c.line("nativert.SpecStore(sj_, %s, %s, %q)", pv, res, desc)
+}
+
+// specRegionAssign lowers `target = call()` where the callee opens a
+// speculative region from a serial context: the same run-time policy
+// split the R_ wrapper applies, but the declined branch keeps the
+// serial call's value.
+func (c *fnCtx) specRegionAssign(call *ast.CallExpr, cp callPlan, target string, lt types.Type) {
+	mp := c.e.plan.Methods[cp.callee]
+	c.e.demand(cp.callee, varS)
+	scp := callPlan{kind: ckValue, callee: cp.callee, name: "S_" + cp.callee.Name}
+	serial := c.conv(c.renderCall(call, scp), call, c.e.prog.TypeOf(call), lt)
+	if !mp.SpecEligible {
+		// speculationAllowed is constant false: a plain serial call.
+		c.line("%s = %s", target, serial)
+		return
+	}
+	c.line("if cfgParallel && specAllowed_(%s) {", formatFloatLit(mp.Confidence))
+	c.line("\t%s", c.renderCall(call, cp))
+	c.line("\t%s = %s", target, c.e.zeroVal(lt))
+	c.line("} else {")
+	c.line("\t%s = %s", target, serial)
+	c.line("}")
 }
 
 func isIntType(t types.Type) bool {
@@ -438,12 +671,23 @@ func (c *fnCtx) expr(x ast.Expr) string {
 	case *ast.FieldAccess:
 		base := c.expr(v.X)
 		bcl := ptrClass(c.e.prog.TypeOf(v.X))
+		sel := base + ".as_" + v.DeclClass + "().F_" + v.Name
 		if bcl != nil && bcl.Name == v.DeclClass && !c.e.exprIface(v.X) {
-			return base + ".F_" + v.Name
+			sel = base + ".F_" + v.Name
 		}
-		return base + ".as_" + v.DeclClass + "().F_" + v.Name
+		if c.spec {
+			return c.specLoad("&("+sel+")", v.DeclClass+"."+v.Name, c.e.prog.TypeOf(x))
+		}
+		return sel
 	case *ast.IndexExpr:
-		return c.expr(v.X) + "[" + c.expr(v.Index) + "]"
+		el := c.expr(v.X) + "[" + c.expr(v.Index) + "]"
+		if c.spec {
+			// Element locations carry no descriptor: the access reached
+			// the array through a monitored field load, whose key
+			// vouches for the whole aggregate.
+			return c.specLoad("&("+el+")", "", c.e.prog.TypeOf(x))
+		}
+		return el
 	case *ast.NewExpr:
 		return "&T_" + v.ClassName + "{}"
 	case *ast.CastExpr:
@@ -490,13 +734,31 @@ func (c *fnCtx) ident(v *ast.Ident) string {
 	case ast.SymGlobal:
 		return "G_" + v.Name
 	case ast.SymField:
+		sel := "o.as_" + v.FieldClass + "().F_" + v.Name
 		if c.m.Class != nil && c.m.Class.Name == v.FieldClass {
-			return "o.F_" + v.Name
+			sel = "o.F_" + v.Name
 		}
-		return "o.as_" + v.FieldClass + "().F_" + v.Name
+		if c.spec {
+			return c.specLoad("&("+sel+")", v.FieldClass+"."+v.Name, c.e.prog.TypeOf(v))
+		}
+		return sel
 	}
 	c.errf("unresolved identifier %s", v.Name)
 	return "0"
+}
+
+// specLoad routes a shared-state load through the task's journal.
+// Aggregate-typed locations (embedded arrays) must stay addressable so
+// the caller can index through them — SpecTouch logs the read and
+// returns the pointer, and the element accesses journal their own
+// locations. Everything else returns the journal's view of the value:
+// a buffered write if the task made one, the frozen heap value
+// otherwise.
+func (c *fnCtx) specLoad(addr, desc string, t types.Type) string {
+	if _, ok := t.(types.Array); ok {
+		return "(*nativert.SpecTouch(sj_, " + addr + ", " + strconv.Quote(desc) + "))"
+	}
+	return "nativert.SpecLoad(sj_, " + addr + ", " + strconv.Quote(desc) + ")"
 }
 
 // formatFloatLit renders a float literal so Go reads back the same

@@ -8,6 +8,7 @@ import (
 	"fmt"
 	"strings"
 
+	"commute/internal/analysis/effects"
 	"commute/internal/frontend/ast"
 	"commute/internal/frontend/token"
 	"commute/internal/frontend/types"
@@ -31,13 +32,13 @@ func modeOf(v variant) emitMode {
 	switch v {
 	case varD:
 		return mD
-	case varP:
+	case varP, varJP:
 		return mP
-	case varX:
+	case varX, varJX:
 		return mX
-	case varI:
+	case varI, varJI:
 		return mI
-	case varQ:
+	case varQ, varJQ:
 		return mQ
 	}
 	return mS
@@ -49,6 +50,12 @@ type fnCtx struct {
 	m    *types.Method
 	mp   *MethodPlan
 	mode emitMode
+
+	// spec: the body is a journaled speculative version — every field
+	// and element access routes through sj_ (*nativert.SpecJournal),
+	// no locks are taken (journals provide isolation), and parallel
+	// loops lower to nativert.SpecGSS.
+	spec bool
 
 	// locked: the P_/X_ prologue acquired the receiver lock.
 	// releaseBeforeSpawn mirrors rt.callVersion: locked and not
@@ -76,10 +83,18 @@ func (e *goEmitter) emitFn(m *types.Method, v variant) string {
 	if v == varR {
 		return e.emitRegionWrapper(m)
 	}
-	c := &fnCtx{e: e, m: m, mp: e.plan.Methods[m], mode: modeOf(v)}
+	c := &fnCtx{e: e, m: m, mp: e.plan.Methods[m], mode: modeOf(v), spec: specVariant(v)}
 	c.b.WriteString(e.fnSignature(m, v))
 	c.b.WriteString(" {\n")
 	c.indent = 1
+
+	if v == varJP {
+		// rt.specCall's entry fast path: once some task failed, the
+		// region aborts regardless, so stop journaling work.
+		c.line("if sr_.Failed() {")
+		c.line("\treturn")
+		c.line("}")
+	}
 
 	// Hoisted frame locals (interpreter frames allocate every local up
 	// front; DeclStmt re-zeroes its slot on execution).
@@ -101,8 +116,9 @@ func (e *goEmitter) emitFn(m *types.Method, v variant) string {
 	}
 
 	// Lock prologue for parallel/mutex versions (rt.callVersion:
-	// locked = NeedsLock && recv != nil).
-	if (c.mode == mP || c.mode == mX) && c.mp != nil && c.mp.NeedsLock && m.Class != nil {
+	// locked = NeedsLock && recv != nil). Speculative versions never
+	// lock — rt.specCall relies on the journals for isolation.
+	if (c.mode == mP || c.mode == mX) && !c.spec && c.mp != nil && c.mp.NeedsLock && m.Class != nil {
 		e.muRoots[chainRoot(m.Class)] = true
 		c.locked = true
 		c.releaseBeforeSpawn = !c.mp.HoldsLockThrough
@@ -166,12 +182,24 @@ func (e *goEmitter) fnSignature(m *types.Method, v variant) string {
 	if v == varQ {
 		params = append(params, "rel_ func()")
 	}
+	// Speculative versions thread the region (for spawning journals and
+	// the failed fast path) and the current task's journal. SJS_ is the
+	// fully serial journaled body: it needs only the journal.
+	switch v {
+	case varJP:
+		params = append(params, "w *rtkit.Worker", "sr_ *nativert.SpecRegion", "sj_ *nativert.SpecJournal")
+		e.useRtkit = true
+	case varJQ, varJX, varJI:
+		params = append(params, "sr_ *nativert.SpecRegion", "sj_ *nativert.SpecJournal")
+	case varJS:
+		params = append(params, "sj_ *nativert.SpecJournal")
+	}
 	for _, p := range m.Params {
 		params = append(params, "v_"+p.Name+" "+e.goType(p.Type, true))
 	}
 	b.WriteString(strings.Join(params, ", "))
 	b.WriteByte(')')
-	if v != varP && v != varX && v != varR && !isVoid(m.Ret) {
+	if v != varP && v != varX && v != varJP && v != varJX && v != varR && !isVoid(m.Ret) {
 		b.WriteByte(' ')
 		b.WriteString(e.goType(m.Ret, false))
 	}
@@ -193,8 +221,55 @@ func (e *goEmitter) fnSignature(m *types.Method, v variant) string {
 // guard false (or -conditional=false) takes the serial version, with
 // the outcome counted in guardParallel_/guardSerial_.
 func (e *goEmitter) emitRegionWrapper(m *types.Method) string {
+	if mp := e.plan.Methods[m]; mp != nil && mp.Speculative {
+		return e.emitSpecRegionWrapper(m, mp)
+	}
 	e.demand(m, varS)
 	e.demand(m, varP)
+	e.ensureSharedPool()
+	var b strings.Builder
+	b.WriteString(e.fnSignature(m, varR))
+	b.WriteString(" {\n")
+	recv := ""
+	if m.Class != nil {
+		recv = "o."
+	}
+	var args, pargs []string
+	pargs = append(pargs, "pool_.External()")
+	for _, p := range m.Params {
+		args = append(args, "v_"+p.Name)
+		pargs = append(pargs, "v_"+p.Name)
+	}
+	serial := fmt.Sprintf("%sS_%s(%s)", recv, m.Name, strings.Join(args, ", "))
+	fmt.Fprintf(&b, "\tif !cfgParallel {\n\t\t%s\n\t\treturn\n\t}\n", serial)
+	if mp := e.plan.Methods[m]; mp != nil && mp.Conditional && mp.Guard != nil {
+		guard, err := e.guardExpr(mp)
+		if err != nil {
+			e.errorf("%s: %v", m.FullName(), err)
+			guard = "false"
+		}
+		e.useAtomic = true
+		fmt.Fprintf(&b, "\tif !cfgConditional || !(%s) {\n", guard)
+		b.WriteString("\t\tatomic.AddInt64(&guardSerial_, 1)\n")
+		if mp.SpecEligible {
+			// rt.dispatchConditional: a guard-false region may still
+			// speculate when the policy forces it — the journals then
+			// provide the safety the guard could not prove.
+			b.WriteString("\t\tif cfgSpec == 2 {\n")
+			e.emitSpecRegionBody(&b, "\t\t\t", m, recv, serial)
+			b.WriteString("\t\t}\n")
+		}
+		fmt.Fprintf(&b, "\t\t%s\n\t\treturn\n\t}\n", serial)
+		b.WriteString("\tatomic.AddInt64(&guardParallel_, 1)\n")
+	}
+	b.WriteString("\tpool_ := sharedPool_()\n")
+	fmt.Fprintf(&b, "\t%sP_%s(%s)\n", recv, m.Name, strings.Join(pargs, ", "))
+	b.WriteString("\tpool_.Drain()\n}\n")
+	return b.String()
+}
+
+// ensureSharedPool registers the lazily-built run-wide pool helper.
+func (e *goEmitter) ensureSharedPool() {
 	e.useRtkit = true
 	e.useSharedPool = true
 	e.helpers["sharedPool_"] = "var (\n" +
@@ -211,6 +286,16 @@ func (e *goEmitter) emitRegionWrapper(m *types.Method) string {
 		"\t\tpoolShared_ = rtkit.NewPool(cfgWorkers, cfgSched, rtkit.Hooks{})\n" +
 		"\t}\n" +
 		"\treturn poolShared_\n}\n"
+}
+
+// emitSpecRegionWrapper renders R_m for a speculative extent: the
+// serial-to-speculative boundary (rt.serialCtx's mp.Speculative branch
+// plus rt.runSpeculativeRegion). The policy gate mirrors
+// rt.speculationAllowed with the eligibility and confidence baked in
+// as literals; a declined policy runs the original serial body inline,
+// exactly like the interpreter's serial fallback.
+func (e *goEmitter) emitSpecRegionWrapper(m *types.Method, mp *MethodPlan) string {
+	e.demand(m, varS)
 	var b strings.Builder
 	b.WriteString(e.fnSignature(m, varR))
 	b.WriteString(" {\n")
@@ -218,29 +303,109 @@ func (e *goEmitter) emitRegionWrapper(m *types.Method) string {
 	if m.Class != nil {
 		recv = "o."
 	}
-	var args, pargs []string
-	pargs = append(pargs, "pool_.External()")
+	var args []string
 	for _, p := range m.Params {
 		args = append(args, "v_"+p.Name)
+	}
+	serial := fmt.Sprintf("%sS_%s(%s)", recv, m.Name, strings.Join(args, ", "))
+	if !mp.SpecEligible {
+		// rt.speculationAllowed never admits an ineligible extent:
+		// every policy runs the serial body.
+		fmt.Fprintf(&b, "\t%s\n}\n", serial)
+		return b.String()
+	}
+	fmt.Fprintf(&b, "\tif !cfgParallel || !specAllowed_(%s) {\n\t\t%s\n\t\treturn\n\t}\n",
+		formatFloatLit(mp.Confidence), serial)
+	e.emitSpecRegionBody(&b, "\t", m, recv, serial)
+	b.WriteString("}\n")
+	return b.String()
+}
+
+// emitSpecRegionBody renders the speculative region core
+// (rt.runSpeculativeRegion): run the journaled parallel root under
+// panic capture, drain the pool at the join barrier, validate and
+// commit single-threaded — or discard every buffer and re-run the
+// original serial version, whose heap the speculation never touched.
+func (e *goEmitter) emitSpecRegionBody(b *strings.Builder, ind string, m *types.Method, recv, serial string) {
+	e.demand(m, varS)
+	e.demand(m, varJP)
+	e.useAtomic = true
+	e.ensureSharedPool()
+	rd, wr := e.specSets(m)
+	w := func(format string, a ...any) {
+		b.WriteString(ind)
+		fmt.Fprintf(b, format, a...)
+		b.WriteByte('\n')
+	}
+	w("atomic.AddInt64(&specRegions_, 1)")
+	w("pool_ := sharedPool_()")
+	w("sr_ := nativert.NewSpecRegion(%s, %s)", rd, wr)
+	w("sj_ := sr_.NewJournal()")
+	w("func() {")
+	w("\tdefer sr_.CapturePanic()")
+	pargs := []string{"pool_.External()", "sr_", "sj_"}
+	for _, p := range m.Params {
 		pargs = append(pargs, "v_"+p.Name)
 	}
-	fmt.Fprintf(&b, "\tif !cfgParallel {\n\t\t%sS_%s(%s)\n\t\treturn\n\t}\n",
-		recv, m.Name, strings.Join(args, ", "))
-	if mp := e.plan.Methods[m]; mp != nil && mp.Conditional && mp.Guard != nil {
-		guard, err := e.guardExpr(mp)
-		if err != nil {
-			e.errorf("%s: %v", m.FullName(), err)
-			guard = "false"
-		}
-		e.useAtomic = true
-		fmt.Fprintf(&b, "\tif !cfgConditional || !(%s) {\n", guard)
-		b.WriteString("\t\tatomic.AddInt64(&guardSerial_, 1)\n")
-		fmt.Fprintf(&b, "\t\t%sS_%s(%s)\n\t\treturn\n\t}\n", recv, m.Name, strings.Join(args, ", "))
-		b.WriteString("\tatomic.AddInt64(&guardParallel_, 1)\n")
+	w("\t%sSJ_%s(%s)", recv, m.Name, strings.Join(pargs, ", "))
+	w("}()")
+	w("pool_.Drain()")
+	w("if sr_.Commit() {")
+	w("\tatomic.AddInt64(&specCommits_, 1)")
+	w("\treturn")
+	w("}")
+	w("atomic.AddInt64(&specAborts_, 1)")
+	w("%s", serial)
+	w("return")
+}
+
+// specSets resolves the speculative extent's declared transitive
+// effect sets to "Class.field" key maps at generation time, using the
+// same effects.OverlapsDesc lattice test the interpreter's validator
+// applies per access at run time — enumerated over every declared
+// (class, field) pair, so runtime key membership is equivalent to the
+// dynamic descriptor check.
+func (e *goEmitter) specSets(m *types.Method) (rdName, wrName string) {
+	base := m.Name
+	if m.Class != nil {
+		base = m.Class.Name + "_" + m.Name
 	}
-	b.WriteString("\tpool_ := sharedPool_()\n")
-	fmt.Fprintf(&b, "\t%sP_%s(%s)\n", recv, m.Name, strings.Join(pargs, ", "))
-	b.WriteString("\tpool_.Drain()\n}\n")
+	rdName, wrName = "specRd_"+base, "specWr_"+base
+	if _, ok := e.helpers[rdName]; ok {
+		return rdName, wrName
+	}
+	mp := e.plan.Methods[m]
+	var rdKeys, wrKeys []string
+	for _, cl := range e.prog.ClassList {
+		for _, f := range cl.Fields {
+			d := effects.FieldDesc(cl, nil, f.Name)
+			key := cl.Name + "." + f.Name
+			if mp.SpecWrites != nil && mp.SpecWrites.OverlapsDesc(d) {
+				wrKeys = append(wrKeys, key)
+			}
+			if mp.SpecReads != nil && mp.SpecReads.OverlapsDesc(d) {
+				rdKeys = append(rdKeys, key)
+			}
+		}
+	}
+	e.helpers[rdName] = specSetSrc(rdName, m, "read", rdKeys)
+	e.helpers[wrName] = specSetSrc(wrName, m, "write", wrKeys)
+	return rdName, wrName
+}
+
+// specSetSrc renders one declared-effect key set as a map literal.
+func specSetSrc(name string, m *types.Method, kind string, keys []string) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "// %s: fields the speculative extent rooted at %s may %s,\n", name, m.FullName(), kind)
+	b.WriteString("// resolved against its declared transitive effects at generation time.\n")
+	fmt.Fprintf(&b, "var %s = map[string]bool{", name)
+	if len(keys) > 0 {
+		b.WriteByte('\n')
+		for _, k := range keys {
+			fmt.Fprintf(&b, "\t%q: true,\n", k)
+		}
+	}
+	b.WriteString("}\n")
 	return b.String()
 }
 
@@ -313,7 +478,27 @@ func (c *fnCtx) returnStmt(v *ast.ReturnStmt) {
 		return
 	}
 	if call, ok := v.X.(*ast.CallExpr); ok && !call.Builtin {
-		if cp := c.siteDispatch(call); cp.kind != ckValue {
+		cp := c.siteDispatch(call)
+		if mp := c.e.plan.Methods[cp.callee]; cp.kind == ckRegion && mp != nil &&
+			mp.Speculative && !isVoid(c.m.Ret) {
+			// Run-time policy split: declining to speculate keeps the
+			// serial call's real return value; speculating discards it
+			// (the R_ wrapper's serial rerun after an abort included).
+			c.e.demand(cp.callee, varS)
+			scp := callPlan{kind: ckValue, callee: cp.callee, name: "S_" + cp.callee.Name}
+			serial := c.conv(c.renderCall(call, scp), call, c.e.prog.TypeOf(call), c.m.Ret)
+			if !mp.SpecEligible {
+				c.line("return %s", serial)
+				return
+			}
+			c.line("if cfgParallel && specAllowed_(%s) {", formatFloatLit(mp.Confidence))
+			c.line("\t%s", c.renderCall(call, cp))
+			c.line("\treturn %s", c.e.zeroVal(c.m.Ret))
+			c.line("}")
+			c.line("return %s", serial)
+			return
+		}
+		if cp.kind != ckValue {
 			// The called version's result is discarded (region/spawn/
 			// hoisted); run it, return a zero value.
 			c.effectCall(call, cp)
@@ -492,15 +677,19 @@ func (c *fnCtx) gssLoop(fs *ast.ForStmt, info countedInfo) {
 	if fs.Init != nil {
 		c.stmt(fs.Init)
 	}
-	switch c.mode {
-	case mP:
-		if c.releaseBeforeSpawn {
-			c.releaseLock()
+	if !c.spec {
+		// Speculative versions hold no locks, so there is nothing to
+		// release before the loop fans out.
+		switch c.mode {
+		case mP:
+			if c.releaseBeforeSpawn {
+				c.releaseLock()
+			}
+		case mQ:
+			c.line("if rel_ != nil {")
+			c.line("\trel_()")
+			c.line("}")
 		}
-	case mQ:
-		c.line("if rel_ != nil {")
-		c.line("\trel_()")
-		c.line("}")
 	}
 	// Frame variables referenced by the body, in frame-slot order.
 	used := c.bodyVars(fs.Body)
@@ -515,8 +704,17 @@ func (c *fnCtx) gssLoop(fs *ast.ForStmt, info countedInfo) {
 	c.line("{")
 	c.indent++
 	c.line("var gssTo_ int64 = %s", c.expr(info.bound))
-	c.line("nativert.GSS(%q, %q, cfgWorkers, v_%s, gssTo_, %d, func() func(int64) {",
-		c.m.FullName(), fs.Pos().String(), info.name, info.step)
+	if c.spec {
+		// rt.specLoop: one fresh journal per loop goroutine, created
+		// inside the goroutine; the factory parameter shadows the
+		// enclosing task's sj_ so the iteration body journals into the
+		// goroutine's own log.
+		c.line("nativert.SpecGSS(sr_, %q, %q, cfgWorkers, v_%s, gssTo_, %d, func(sj_ *nativert.SpecJournal) func(int64) {",
+			c.m.FullName(), fs.Pos().String(), info.name, info.step)
+	} else {
+		c.line("nativert.GSS(%q, %q, cfgWorkers, v_%s, gssTo_, %d, func() func(int64) {",
+			c.m.FullName(), fs.Pos().String(), info.name, info.step)
+	}
 	c.indent++
 	if len(copies) > 0 {
 		list := strings.Join(copies, ", ")
@@ -527,7 +725,7 @@ func (c *fnCtx) gssLoop(fs *ast.ForStmt, info countedInfo) {
 	if loopVarUsed {
 		c.line("v_%s = gssI_", info.name)
 	}
-	sub := &fnCtx{e: c.e, m: c.m, mp: c.mp, mode: mI, indent: c.indent, tmp: c.tmp}
+	sub := &fnCtx{e: c.e, m: c.m, mp: c.mp, mode: mI, spec: c.spec, indent: c.indent, tmp: c.tmp}
 	subEmit(sub, c, fs.Body)
 	c.indent--
 	c.line("}")

@@ -6,6 +6,7 @@ import (
 	"go/format"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 
 	"commute"
@@ -106,10 +107,11 @@ func TestEmitGoDeterministic(t *testing.T) {
 	}
 }
 
-// TestEmitGoRejectsSpeculativePlans: the native backend has no write
-// buffers or rollback, so a plan with speculative methods must be
-// refused, not silently emitted unsound.
-func TestEmitGoRejectsSpeculativePlans(t *testing.T) {
+// TestEmitGoLowersSpeculativePlans: speculative extents lower to
+// journaled SJ_ method versions plus a policy-dispatching R_ wrapper —
+// the native backend buffers writes in nativert.SpecJournal instead of
+// refusing the plan.
+func TestEmitGoLowersSpeculativePlans(t *testing.T) {
 	sys, err := commute.Load("spec.mc", src.SpecDisjoint)
 	if err != nil {
 		t.Fatal(err)
@@ -123,7 +125,25 @@ func TestEmitGoRejectsSpeculativePlans(t *testing.T) {
 	if !hasSpec {
 		t.Skip("no speculative methods in plan")
 	}
-	if _, err := sys.SpecPlan.EmitGoPackage(codegen.EmitGoOptions{AppName: "spec"}); err == nil {
-		t.Fatal("EmitGoPackage accepted a speculative plan")
+	files, err := sys.SpecPlan.EmitGoPackage(codegen.EmitGoOptions{AppName: "spec"})
+	if err != nil {
+		t.Fatalf("EmitGoPackage refused a speculative plan: %v", err)
+	}
+	prog := string(files["prog.go"])
+	for _, want := range []string{"SJ_", "nativert.SpecStore", "nativert.NewSpecRegion", "sr_.Commit()"} {
+		if !strings.Contains(prog, want) {
+			t.Errorf("prog.go missing %q", want)
+		}
+	}
+	main := string(files["main.go"])
+	for _, want := range []string{`flag.String("speculate"`, "specAllowed_", "spec_commits"} {
+		if !strings.Contains(main, want) {
+			t.Errorf("main.go missing %q", want)
+		}
+	}
+	for name, src := range files {
+		if _, err := format.Source(src); err != nil {
+			t.Errorf("%s: not parseable: %v", name, err)
+		}
 	}
 }

@@ -52,6 +52,17 @@ type compiledMethod struct {
 type compiler struct {
 	prog *types.Program
 	res  *resolution
+	// mon selects the monitored load/store kernels: field and element
+	// accesses route through fr.ctx.Mon (guaranteed non-nil when a
+	// monitored body runs — Call and RunLoopIteration select the
+	// monitored tables only under a non-nil Mon). The unmonitored pass
+	// (mon=false) emits exactly the closures it always did: zero added
+	// branches on the hot path. Cost sealing is identical in both
+	// passes, so traces stay bit-for-bit comparable.
+	mon bool
+	// loops receives compiled loop bodies for RunLoopIteration
+	// (res.loopBodies or res.loopBodiesMon, per pass).
+	loops map[*ast.ForStmt]stmtFn
 }
 
 func (c *compiler) compileMethod(m *types.Method) *compiledMethod {
@@ -122,6 +133,14 @@ func (c *compiler) compileExpr(e ast.Expr) (exprFn, int64, bool) {
 		case ast.SymField:
 			slot := x.Slot
 			name := x.Name
+			if c.mon {
+				return func(fr *Frame) (Value, error) {
+					if fr.this == nil {
+						return Value{}, rtErrf(errFieldNoRecv, name)
+					}
+					return fr.ctx.Mon.LoadField(fr.this, int(slot)), nil
+				}, costExpr, false
+			}
 			return func(fr *Frame) (Value, error) {
 				if fr.this == nil {
 					return Value{}, rtErrf(errFieldNoRecv, name)
@@ -133,6 +152,17 @@ func (c *compiler) compileExpr(e ast.Expr) (exprFn, int64, bool) {
 
 	case *ast.FieldAccess:
 		slot := x.Slot
+		if c.mon {
+			return c.unary1fr(x.X, func(fr *Frame, v Value) (Value, error) {
+				if v.kind != KObject {
+					if v.kind == KNull {
+						return Value{}, rtErrf(errNullDeref, x.Pos())
+					}
+					return Value{}, rtErrf(errFieldNonObj, x.Pos())
+				}
+				return fr.ctx.Mon.LoadField(v.ref.(*Object), int(slot)), nil
+			})
+		}
 		return c.unary1(x.X, func(v Value) (Value, error) {
 			if v.kind != KObject {
 				if v.kind == KNull {
@@ -144,6 +174,9 @@ func (c *compiler) compileExpr(e ast.Expr) (exprFn, int64, bool) {
 		})
 
 	case *ast.IndexExpr:
+		if c.mon {
+			return c.compileIndexMon(x)
+		}
 		af, ac, ad := c.compileExpr(x.X)
 		if jv, jc2, jok := c.leaf(x.Index); jok && !ad {
 			return func(fr *Frame) (Value, error) {
@@ -271,6 +304,71 @@ func (c *compiler) unary1(child ast.Expr, k func(Value) (Value, error)) (exprFn,
 			return Value{}, err
 		}
 		return k(v)
+	}, 0, true
+}
+
+// unary1fr is unary1 for kernels that need the frame (the monitored
+// field-load kernel reads fr.ctx.Mon). Same fusion shape, same costs.
+func (c *compiler) unary1fr(child ast.Expr, k func(fr *Frame, v Value) (Value, error)) (exprFn, int64, bool) {
+	xf, xc, xd := c.compileExpr(child)
+	if !xd {
+		return func(fr *Frame) (Value, error) {
+			v, err := xf(fr)
+			if err != nil {
+				return Value{}, err
+			}
+			return k(fr, v)
+		}, costExpr + xc, false
+	}
+	return func(fr *Frame) (Value, error) {
+		fr.ctx.charge(costExpr)
+		v, err := xf(fr)
+		if err != nil {
+			return Value{}, err
+		}
+		return k(fr, v)
+	}, 0, true
+}
+
+// compileIndexMon mirrors the three fused IndexExpr load forms with the
+// element read routed through the monitor (same fusion, same costs).
+func (c *compiler) compileIndexMon(x *ast.IndexExpr) (exprFn, int64, bool) {
+	af, ac, ad := c.compileExpr(x.X)
+	if jv, jc2, jok := c.leaf(x.Index); jok && !ad {
+		return func(fr *Frame) (Value, error) {
+			arrV, err := af(fr)
+			if err != nil {
+				return Value{}, err
+			}
+			return indexLoadMon(fr.ctx.Mon, arrV, jv(fr), x)
+		}, costExpr + ac + jc2, false
+	}
+	jf, jc, jd := c.compileExpr(x.Index)
+	if !ad && !jd {
+		return func(fr *Frame) (Value, error) {
+			arrV, err := af(fr)
+			if err != nil {
+				return Value{}, err
+			}
+			idxV, err := jf(fr)
+			if err != nil {
+				return Value{}, err
+			}
+			return indexLoadMon(fr.ctx.Mon, arrV, idxV, x)
+		}, costExpr + ac + jc, false
+	}
+	as, js := sealIf(af, ac, ad), sealIf(jf, jc, jd)
+	return func(fr *Frame) (Value, error) {
+		fr.ctx.charge(costExpr)
+		arrV, err := as(fr)
+		if err != nil {
+			return Value{}, err
+		}
+		idxV, err := js(fr)
+		if err != nil {
+			return Value{}, err
+		}
+		return indexLoadMon(fr.ctx.Mon, arrV, idxV, x)
 	}, 0, true
 }
 
@@ -541,6 +639,19 @@ func (c *compiler) compileAssign(x *ast.Assign) (exprFn, int64, bool) {
 		slot := id.Slot
 		co := id.Coerce
 		name := id.Name
+		if c.mon {
+			return func(fr *Frame) (Value, error) {
+				v, err := rf(fr)
+				if err != nil {
+					return Value{}, err
+				}
+				if fr.this == nil {
+					return Value{}, rtErrf(errFieldNoRecvWr, name)
+				}
+				fr.ctx.Mon.StoreField(fr.this, int(slot), coerceKind(co, v))
+				return v, nil
+			}, costExpr + rc, false
+		}
 		return func(fr *Frame) (Value, error) {
 			v, err := rf(fr)
 			if err != nil {
@@ -647,6 +758,15 @@ func (c *compiler) compileStore(lhs ast.Expr) (storeFn, int64, bool) {
 			slot := x.Slot
 			co := x.Coerce
 			name := x.Name
+			if c.mon {
+				return func(fr *Frame, v Value) error {
+					if fr.this == nil {
+						return rtErrf(errFieldNoRecvWr, name)
+					}
+					fr.ctx.Mon.StoreField(fr.this, int(slot), coerceKind(co, v))
+					return nil
+				}, 0, false
+			}
 			return func(fr *Frame, v Value) error {
 				if fr.this == nil {
 					return rtErrf(errFieldNoRecvWr, name)
@@ -665,6 +785,19 @@ func (c *compiler) compileStore(lhs ast.Expr) (storeFn, int64, bool) {
 		if xd {
 			xf = sealIf(xf, xc, xd)
 			xc = 0
+		}
+		if c.mon {
+			return func(fr *Frame, v Value) error {
+				base, err := xf(fr)
+				if err != nil {
+					return err
+				}
+				if base.kind != KObject {
+					return rtErrf(errFieldStoreObj, x.Pos())
+				}
+				fr.ctx.Mon.StoreField(base.ref.(*Object), int(slot), coerceKind(co, v))
+				return nil
+			}, xc, xd
 		}
 		return func(fr *Frame, v Value) error {
 			base, err := xf(fr)
@@ -685,6 +818,19 @@ func (c *compiler) compileStore(lhs ast.Expr) (storeFn, int64, bool) {
 		if dyn {
 			af, jf = sealIf(af, ac, ad), sealIf(jf, jc, jd)
 			ac, jc = 0, 0
+		}
+		if c.mon {
+			return func(fr *Frame, v Value) error {
+				arrV, err := af(fr)
+				if err != nil {
+					return err
+				}
+				idxV, err := jf(fr)
+				if err != nil {
+					return err
+				}
+				return indexStoreMon(fr.ctx.Mon, arrV, idxV, v, x)
+			}, ac + jc, dyn
 		}
 		return func(fr *Frame, v Value) error {
 			arrV, err := af(fr)
@@ -1092,7 +1238,7 @@ func (c *compiler) compileFor(st *ast.ForStmt, ms *methodSlots) stmtFn {
 		condS = c.sealedExpr(st.Cond)
 	}
 	bodyFn := c.compileStmt(st.Body, ms)
-	c.res.loopBodies[st] = bodyFn
+	c.loops[st] = bodyFn
 	var postFn stmtFn
 	if st.Post != nil {
 		postFn = c.compileStmt(st.Post, ms)

@@ -113,9 +113,11 @@ type Ctx struct {
 
 	// Mon, when non-nil, observes every object-field and array-element
 	// access and may redirect loads to buffered state (speculative
-	// execution). Setting it forces the tree-walking engine for bodies
-	// executed under this context — the compiled engine carries no
-	// monitor checks.
+	// execution). Both engines honor it: the walker branches to the
+	// monitored kernels per access, while the compiled engine switches
+	// to a second set of closure-compiled bodies whose load/store
+	// kernels call the monitor unconditionally — the unmonitored
+	// compiled hot path carries no monitor checks at all.
 	Mon Mon
 
 	// Interrupt, when non-nil, is polled every InterruptStride
@@ -296,7 +298,7 @@ func (ip *Interp) Call(ctx *Ctx, m *types.Method, this *Object, args []Value) (V
 	ctx.charge(costCall)
 
 	var out Value
-	if ip.engine == EngineWalk || ctx.Mon != nil {
+	if ip.engine == EngineWalk {
 		ret, err := ip.execStmt(fr, m.Def.Body)
 		if err != nil {
 			freeFrame(fr)
@@ -306,7 +308,14 @@ func (ip *Interp) Call(ctx *Ctx, m *types.Method, this *Object, args []Value) (V
 			out = ret.v
 		}
 	} else {
-		fl, err := ip.res.compiled[m.ID].body(fr)
+		// A non-nil monitor selects the monitored compiled bodies; the
+		// unmonitored table is untouched, so steady-state execution
+		// stays branch-free inside the closures.
+		compiled := ip.res.compiled
+		if ctx.Mon != nil {
+			compiled, _ = ip.res.monTables()
+		}
+		fl, err := compiled[m.ID].body(fr)
 		if err != nil {
 			freeFrame(fr)
 			return Value{}, err
@@ -575,8 +584,12 @@ func (ip *Interp) RunLoopIteration(sub *Frame, st *ast.ForStmt, i int64) error {
 		return rtErrf("parallel loop at %s without a resolvable loop variable", st.Pos())
 	}
 	sub.vars[slot] = IntValue(i)
-	if ip.engine != EngineWalk && sub.ctx.Mon == nil {
-		if body, ok := ip.res.loopBodies[st]; ok {
+	if ip.engine != EngineWalk {
+		bodies := ip.res.loopBodies
+		if sub.ctx.Mon != nil {
+			_, bodies = ip.res.monTables()
+		}
+		if body, ok := bodies[st]; ok {
 			fl, err := body(sub)
 			if err != nil {
 				return err

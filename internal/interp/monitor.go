@@ -12,11 +12,15 @@ import (
 // monitor so a task reads its own buffered writes instead of the live
 // heap.
 //
-// Monitoring is a walker-only feature: when Ctx.Mon is non-nil, Call
-// and RunLoopIteration route the body through the tree walker even
-// under the compiled engine, so the compiled hot paths carry no
-// monitor checks. Locals, parameters, and constants are frame-private
-// and are never reported.
+// Both engines monitor at full speed. The walker branches to the
+// monitored kernels at each access; the compiled engine keeps two sets
+// of closure-compiled bodies — the unmonitored hot path, byte-identical
+// to what an unmonitored program always ran, and a monitored set (built
+// lazily on first use) whose field/element kernels call the monitor
+// unconditionally. Call and RunLoopIteration select the monitored set
+// whenever Ctx.Mon is non-nil, so speculation no longer downgrades the
+// compiled engine to the walker. Locals, parameters, and constants are
+// frame-private and are never reported.
 type Mon interface {
 	// LoadField returns the value of o's field slot, consulting any
 	// buffered write first.

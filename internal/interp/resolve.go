@@ -40,6 +40,33 @@ type resolution struct {
 	// resolution and shared by every interpreter for the program.
 	compiled   []*compiledMethod // indexed by types.Method.ID
 	loopBodies map[*ast.ForStmt]stmtFn
+
+	// Monitored compiled bodies: the same closure-compile pass run with
+	// the monitored load/store kernels (compiler.mon), so speculative
+	// regions execute at compiled speed. Built lazily on the first
+	// monitored execution — programs that never speculate pay nothing.
+	// prog is retained solely for that deferred pass.
+	prog          *types.Program
+	monOnce       sync.Once
+	compiledMon   []*compiledMethod // indexed by types.Method.ID
+	loopBodiesMon map[*ast.ForStmt]stmtFn
+}
+
+// monTables builds (once, racing builders deduped) and returns the
+// monitored compiled bodies and loop-body table. The pass reads only
+// the immutable AST annotations buildResolution wrote, so it is safe to
+// run concurrently with unmonitored execution.
+func (r *resolution) monTables() ([]*compiledMethod, map[*ast.ForStmt]stmtFn) {
+	r.monOnce.Do(func() {
+		loops := make(map[*ast.ForStmt]stmtFn)
+		c := &compiler{prog: r.prog, res: r, mon: true, loops: loops}
+		compiled := make([]*compiledMethod, len(r.prog.Methods))
+		for _, m := range r.prog.Methods {
+			compiled[m.ID] = c.compileMethod(m)
+		}
+		r.compiledMon, r.loopBodiesMon = compiled, loops
+	})
+	return r.compiledMon, r.loopBodiesMon
 }
 
 // resolveCache maps *types.Program -> *resolveEntry. Entries carry a
@@ -102,6 +129,7 @@ func buildResolution(prog *types.Program) *resolution {
 		layout:    newLayout(prog),
 		methods:   make([]*methodSlots, len(prog.Methods)),
 		classList: prog.ClassList,
+		prog:      prog,
 	}
 
 	// Constant table in sorted-name order (deterministic indices).
@@ -140,9 +168,9 @@ func buildResolution(prog *types.Program) *resolution {
 	// Lower every resolved body to closures. The compiled forms read
 	// only the annotations written above, so this runs after the whole
 	// program is resolved.
-	c := &compiler{prog: prog, res: r}
-	r.compiled = make([]*compiledMethod, len(prog.Methods))
 	r.loopBodies = make(map[*ast.ForStmt]stmtFn)
+	c := &compiler{prog: prog, res: r, loops: r.loopBodies}
+	r.compiled = make([]*compiledMethod, len(prog.Methods))
 	for _, m := range prog.Methods {
 		r.compiled[m.ID] = c.compileMethod(m)
 	}

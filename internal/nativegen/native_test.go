@@ -3,6 +3,7 @@ package nativegen_test
 import (
 	"math"
 	"os"
+	"slices"
 	"strconv"
 	"strings"
 	"sync"
@@ -10,6 +11,7 @@ import (
 
 	"commute"
 	"commute/internal/apps"
+	"commute/internal/apps/src"
 	"commute/internal/codegen"
 	"commute/internal/interp"
 	"commute/internal/nativegen"
@@ -229,6 +231,73 @@ func relErr(a, b float64) float64 {
 		return d
 	}
 	return d / m
+}
+
+// TestNativeSpeculationMatchesInterpreter runs the speculation corpus
+// through the native backend: specdisjoint must speculate and commit,
+// specconflict must speculate, detect the write-write conflict at the
+// join barrier, abort, and rerun serially — and every leg's program
+// output + state dump must be byte-identical to the serial
+// interpreter's, across schedulers, worker counts, and policies.
+func TestNativeSpeculationMatchesInterpreter(t *testing.T) {
+	if !nativegen.HaveGo() {
+		t.Skip("go toolchain not available")
+	}
+	for _, tc := range []struct {
+		name    string
+		code    string
+		commits int64
+		aborts  int64
+	}{
+		{"specdisjoint", src.SpecDisjoint, 1, 0},
+		{"specconflict", src.SpecConflict, 0, 1},
+	} {
+		sys, err := commute.Load(tc.name+".mc", tc.code)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dir := t.TempDir()
+		if err := nativegen.GeneratePlan(sys.SpecPlan, tc.name, dir); err != nil {
+			t.Fatal(err)
+		}
+		bin, err := nativegen.Build(dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := interpDump(t, sys, interp.EngineWalk)
+		if got := interpDump(t, sys, interp.EngineCompiled); got != want {
+			t.Fatalf("%s: interpreter engines disagree:\n%s", tc.name, firstDiff(want, got))
+		}
+		if got, err := nativegen.Run(bin, "-mode", "serial", "-dump"); err != nil {
+			t.Fatal(err)
+		} else if got != want {
+			t.Errorf("%s serial: native state diverges:\n%s", tc.name, firstDiff(want, got))
+		}
+		for _, args := range [][]string{
+			{"-mode", "parallel", "-workers", "4", "-sched", "stealing", "-speculate", "force", "-specstats", "-dump"},
+			{"-mode", "parallel", "-workers", "4", "-sched", "central", "-speculate", "force", "-specstats", "-dump"},
+			{"-mode", "parallel", "-workers", "1", "-speculate", "force", "-specstats", "-dump"},
+			{"-mode", "parallel", "-workers", "4", "-speculate", "auto", "-dump"},
+			{"-mode", "parallel", "-workers", "4", "-speculate", "off", "-dump"},
+		} {
+			got, errOut, err := nativegen.RunErr(bin, args...)
+			if err != nil {
+				t.Fatalf("%s %v: %v", tc.name, args, err)
+			}
+			if got != want {
+				t.Errorf("%s %v: native state diverges from interpreter:\n%s", tc.name, args, firstDiff(want, got))
+				continue
+			}
+			if !slices.Contains(args, "-specstats") {
+				continue
+			}
+			st := nativegen.CounterStats(errOut)
+			if st["spec_regions"] != 1 || st["spec_commits"] != tc.commits || st["spec_aborts"] != tc.aborts {
+				t.Errorf("%s %v: counters %v, want regions=1 commits=%d aborts=%d",
+					tc.name, args, st, tc.commits, tc.aborts)
+			}
+		}
+	}
 }
 
 // TestNativeCondHashMatchesInterpreter exercises the conditional-

@@ -88,12 +88,38 @@ func BuildRace(dir string) (string, error) {
 // Run executes the generated binary and returns its stdout (program
 // output, plus the state dump when -dump is among args).
 func Run(bin string, args ...string) (string, error) {
+	out, _, err := RunErr(bin, args...)
+	return out, err
+}
+
+// RunErr executes the generated binary and returns stdout and stderr
+// separately — the counter flags (-specstats, -guardstats) report on
+// stderr so the state dump on stdout stays byte-comparable.
+func RunErr(bin string, args ...string) (string, string, error) {
 	cmd := exec.Command(bin, args...)
 	var stdout, stderr strings.Builder
 	cmd.Stdout = &stdout
 	cmd.Stderr = &stderr
 	if err := cmd.Run(); err != nil {
-		return stdout.String(), fmt.Errorf("%s %s: %v\n%s", filepath.Base(bin), strings.Join(args, " "), err, stderr.String())
+		return stdout.String(), stderr.String(),
+			fmt.Errorf("%s %s: %v\n%s", filepath.Base(bin), strings.Join(args, " "), err, stderr.String())
 	}
-	return stdout.String(), nil
+	return stdout.String(), stderr.String(), nil
+}
+
+// CounterStats parses "name value" lines (the -specstats / -guardstats
+// stderr format) into a map.
+func CounterStats(stderr string) map[string]int64 {
+	out := map[string]int64{}
+	for _, line := range strings.Split(stderr, "\n") {
+		f := strings.Fields(line)
+		if len(f) != 2 {
+			continue
+		}
+		var v int64
+		if _, err := fmt.Sscanf(f[1], "%d", &v); err == nil {
+			out[f[0]] = v
+		}
+	}
+	return out
 }

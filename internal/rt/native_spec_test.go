@@ -1,0 +1,88 @@
+package rt_test
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"commute/internal/frontend/types"
+	"commute/internal/interp"
+	"commute/internal/nativegen"
+)
+
+// interpSerialDump runs the program serially on the tree walker and
+// returns its output followed by the state dump — the byte stream the
+// native binary's -dump produces.
+func interpSerialDump(t *testing.T, prog *types.Program) string {
+	t.Helper()
+	var buf bytes.Buffer
+	ip := interp.NewEngine(prog, &buf, interp.EngineWalk)
+	if err := ip.Run(ip.NewCtx()); err != nil {
+		t.Fatalf("serial walk: %v", err)
+	}
+	nativegen.DumpInterp(&buf, prog, ip)
+	return buf.String()
+}
+
+// TestNativeRandomSpeculation promotes the random rejected-program and
+// guaranteed-violator generators to the native backend: the emitted
+// journaled code must reproduce the serial interpreter state byte for
+// byte whether each speculative region commits or aborts, and the
+// commit/abort counters must balance (violators: all aborts).
+func TestNativeRandomSpeculation(t *testing.T) {
+	if !nativegen.HaveGo() {
+		t.Skip("go toolchain not available")
+	}
+	r := rand.New(rand.NewSource(424242))
+	for _, tc := range []struct {
+		name     string
+		source   string
+		violator bool
+	}{
+		{"rejected0", genRejectedProgram(r, 3, 16), false},
+		{"rejected1", genRejectedProgram(r, 5, 32), false},
+		{"violator0", genViolatingProgram(r, 4), true},
+	} {
+		prog, plan := buildSpec(t, tc.source)
+		want := interpSerialDump(t, prog)
+
+		dir := t.TempDir()
+		if err := nativegen.GeneratePlan(plan, tc.name, dir); err != nil {
+			t.Fatalf("%s: generate: %v", tc.name, err)
+		}
+		bin, err := nativegen.Build(dir)
+		if err != nil {
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+		if got, err := nativegen.Run(bin, "-mode", "serial", "-dump"); err != nil {
+			t.Fatal(err)
+		} else if got != want {
+			t.Errorf("%s serial: native state diverges from interpreter\n got: %q\nwant: %q", tc.name, got, want)
+		}
+		for _, workers := range []int{1, 4} {
+			out, errOut, err := nativegen.RunErr(bin, "-mode", "parallel",
+				"-workers", fmt.Sprint(workers), "-speculate", "force", "-specstats", "-dump")
+			if err != nil {
+				t.Fatalf("%s workers=%d: %v", tc.name, workers, err)
+			}
+			if out != want {
+				t.Errorf("%s workers=%d: speculative state diverges from serial\n got: %q\nwant: %q",
+					tc.name, workers, out, want)
+			}
+			st := nativegen.CounterStats(errOut)
+			if st["spec_regions"] == 0 {
+				t.Errorf("%s workers=%d: nothing speculated (%v)", tc.name, workers, st)
+			}
+			if st["spec_commits"]+st["spec_aborts"] != st["spec_regions"] {
+				t.Errorf("%s workers=%d: counters %v don't balance", tc.name, workers, st)
+			}
+			if tc.violator && st["spec_commits"] != 0 {
+				t.Errorf("%s workers=%d: guaranteed conflict committed (%v)", tc.name, workers, st)
+			}
+			if tc.violator && st["spec_aborts"] == 0 {
+				t.Errorf("%s workers=%d: guaranteed conflict did not abort (%v)", tc.name, workers, st)
+			}
+		}
+	}
+}

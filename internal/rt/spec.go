@@ -88,36 +88,79 @@ type loc struct {
 // them after validation, and abort simply drops the log. A specLog is
 // goroutine-local while its task runs; the validator reads all logs
 // single-threaded after the join barrier.
+//
+// Buffered writes are heap-allocated cells updated in place, with the
+// most recent write and read locations cached: the dominant speculative
+// access pattern is a method updating one field over and over, and the
+// cache turns that from two map operations per access into plain
+// pointer work, so the journal no longer swamps what the fast engines
+// gained. The zero loc matches no real location, so the empty caches
+// never produce a false hit.
 type specLog struct {
 	id     int
 	reads  map[loc]struct{}
-	writes map[loc]interp.Value
+	writes map[loc]*interp.Value
+
+	lastW  loc
+	lastWp *interp.Value
+	lastR  loc
+}
+
+func (lg *specLog) store(l loc, v interp.Value) {
+	if l == lg.lastW {
+		*lg.lastWp = v
+		return
+	}
+	if p, ok := lg.writes[l]; ok {
+		*p = v
+		lg.lastW, lg.lastWp = l, p
+		return
+	}
+	p := new(interp.Value)
+	*p = v
+	lg.writes[l] = p
+	lg.lastW, lg.lastWp = l, p
+}
+
+func (lg *specLog) logRead(l loc) {
+	if l != lg.lastR {
+		lg.reads[l] = struct{}{}
+		lg.lastR = l
+	}
 }
 
 func (lg *specLog) LoadField(o *interp.Object, slot int) interp.Value {
 	l := loc{obj: o, idx: slot}
-	if v, ok := lg.writes[l]; ok {
-		return v
+	if l == lg.lastW {
+		return *lg.lastWp
 	}
-	lg.reads[l] = struct{}{}
+	if p, ok := lg.writes[l]; ok {
+		lg.lastW, lg.lastWp = l, p
+		return *p
+	}
+	lg.logRead(l)
 	return o.Slots[slot]
 }
 
 func (lg *specLog) StoreField(o *interp.Object, slot int, v interp.Value) {
-	lg.writes[loc{obj: o, idx: slot}] = v
+	lg.store(loc{obj: o, idx: slot}, v)
 }
 
 func (lg *specLog) LoadElem(a *interp.Array, idx int) interp.Value {
 	l := loc{arr: a, idx: idx}
-	if v, ok := lg.writes[l]; ok {
-		return v
+	if l == lg.lastW {
+		return *lg.lastWp
 	}
-	lg.reads[l] = struct{}{}
+	if p, ok := lg.writes[l]; ok {
+		lg.lastW, lg.lastWp = l, p
+		return *p
+	}
+	lg.logRead(l)
 	return a.Elems[idx]
 }
 
 func (lg *specLog) StoreElem(a *interp.Array, idx int, v interp.Value) {
-	lg.writes[loc{arr: a, idx: idx}] = v
+	lg.store(loc{arr: a, idx: idx}, v)
 }
 
 // specRegion is the state of one speculative region: the per-task
@@ -137,7 +180,7 @@ func (sr *specRegion) newLog() *specLog {
 	lg := &specLog{
 		id:     len(sr.logs),
 		reads:  make(map[loc]struct{}),
-		writes: make(map[loc]interp.Value),
+		writes: make(map[loc]*interp.Value),
 	}
 	sr.logs = append(sr.logs, lg)
 	return lg
@@ -435,9 +478,9 @@ func (sr *specRegion) commit() {
 	for _, lg := range sr.logs {
 		for l, v := range lg.writes {
 			if l.obj != nil {
-				l.obj.Slots[l.idx] = v
+				l.obj.Slots[l.idx] = *v
 			} else {
-				l.arr.Elems[l.idx] = v
+				l.arr.Elems[l.idx] = *v
 			}
 		}
 	}

@@ -523,6 +523,33 @@ func TestRunSpeculation(t *testing.T) {
 		t.Fatalf("speculation abort counted as serial fallback: %+v", rr.Stats)
 	}
 
+	// Regression: an explicitly requested engine must be honored under
+	// speculation — both engines monitor at full speed now, and a
+	// silent downgrade (the old walker-forcing) would show up as a
+	// changed stats.Engine.
+	for _, engine := range []string{"compiled", "walk"} {
+		resp, data := post(t, ts, "/v1/run", api.RunRequest{
+			SourceRequest: api.SourceRequest{App: "specdisjoint"},
+			Mode:          "parallel",
+			Workers:       4,
+			Engine:        engine,
+			Speculate:     "force",
+		})
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("run engine=%s = %d: %s", engine, resp.StatusCode, data)
+		}
+		var er api.RunResponse
+		if err := json.Unmarshal(data, &er); err != nil {
+			t.Fatal(err)
+		}
+		if er.Stats.Engine != engine {
+			t.Fatalf("requested engine %q ran as %q (silent downgrade)", engine, er.Stats.Engine)
+		}
+		if er.Stats.SpeculationCommits == 0 {
+			t.Fatalf("engine=%s: speculation did not commit: %+v", engine, er.Stats)
+		}
+	}
+
 	// Speculation is rejected for serial mode, and bad modes 400.
 	resp, _ = post(t, ts, "/v1/run", api.RunRequest{
 		SourceRequest: api.SourceRequest{App: "specconflict"},

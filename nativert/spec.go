@@ -1,0 +1,294 @@
+package nativert
+
+// Native write-buffered speculation: the generated SJ_ method versions
+// route every field and element access through a per-task SpecJournal,
+// mirroring internal/rt's specLog semantics loc for loc. A location is
+// identified by its typed Go pointer boxed in an interface — one cell,
+// one key — so a pointer to a whole array field (*[N]T) and a pointer
+// to its first element (*T) stay distinct journal locations, exactly
+// like the interpreter's field-slot vs array-element split. Reads of
+// locations the task already wrote return the buffered value
+// (read-your-own-writes); writes never touch the heap until the region
+// validates and commits single-threaded at the join barrier.
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// specCell is one buffered write: a typed cell holding the pending
+// value, updated in place when the task writes the same location again.
+// The type-erased view gives the validator the declared-effect key ("",
+// for array elements, which the enclosing object's descriptor vouches
+// for) and Commit the heap application — no per-store closure, no
+// per-store boxing.
+type specCell[T any] struct {
+	p    *T
+	v    T
+	desc string
+}
+
+func (c *specCell[T]) apply()          { *c.p = c.v }
+func (c *specCell[T]) descKey() string { return c.desc }
+
+type specCellI interface {
+	apply()
+	descKey() string
+}
+
+// SpecJournal is one speculative task's effect journal. It is
+// goroutine-local while the task runs; the validator reads all
+// journals single-threaded after the join barrier.
+//
+// The most recent write and read locations are cached: the dominant
+// speculative access pattern is a method updating one field over and
+// over, and the caches turn that from a map operation per access into
+// an interface compare plus typed pointer work — the difference between
+// walker-speed and hardware-speed speculative regions.
+type SpecJournal struct {
+	id     int
+	reads  map[any]string
+	writes map[any]specCellI
+
+	lastW     any
+	lastWCell specCellI
+	lastR     any
+}
+
+// SpecLoad reads *p through the journal: a buffered write wins,
+// otherwise the read is logged and the frozen pre-region heap value
+// returned.
+func SpecLoad[T any](j *SpecJournal, p *T, desc string) T {
+	k := any(p)
+	if k == j.lastW {
+		return j.lastWCell.(*specCell[T]).v
+	}
+	if c, ok := j.writes[k]; ok {
+		j.lastW, j.lastWCell = k, c
+		return c.(*specCell[T]).v
+	}
+	if k != j.lastR {
+		if _, ok := j.reads[k]; !ok {
+			j.reads[k] = desc
+		}
+		j.lastR = k
+	}
+	return *p
+}
+
+// SpecStore buffers a write of v to *p. The heap is not modified;
+// Commit applies the write after validation.
+func SpecStore[T any](j *SpecJournal, p *T, v T, desc string) {
+	k := any(p)
+	if k == j.lastW {
+		j.lastWCell.(*specCell[T]).v = v
+		return
+	}
+	if c, ok := j.writes[k]; ok {
+		c.(*specCell[T]).v = v
+		j.lastW, j.lastWCell = k, c
+		return
+	}
+	c := &specCell[T]{p: p, v: v, desc: desc}
+	j.writes[k] = c
+	j.lastW, j.lastWCell = k, c
+}
+
+// SpecTouch logs a read of *p and returns p itself, for aggregate-typed
+// locations (embedded arrays and objects) that must stay addressable:
+// the caller indexes or selects through the returned pointer, and the
+// inner accesses journal their own element/field locations. The
+// dialect never reassigns an aggregate wholesale, so there is no
+// buffered value to redirect to.
+func SpecTouch[T any](j *SpecJournal, p *T, desc string) *T {
+	k := any(p)
+	if k == j.lastW || k == j.lastR {
+		return p
+	}
+	if _, ok := j.writes[k]; !ok {
+		if _, ok := j.reads[k]; !ok {
+			j.reads[k] = desc
+		}
+		j.lastR = k
+	}
+	return p
+}
+
+// SpecRegion is the state of one native speculative region: the
+// per-task journals, the extent's declared transitive effects (as
+// emit-time-resolved "Class.field" keys), and the first-failure latch
+// that replaces the interpreter runtime's panic isolation — rtkit
+// pools run tasks bare, so every speculative task body defers
+// CapturePanic and the region turns any panic into an abort followed
+// by the exact serial rerun.
+type SpecRegion struct {
+	mu       sync.Mutex
+	journals []*SpecJournal
+	failed   atomic.Bool
+
+	// readOK/writeOK hold the field keys the extent's declared
+	// transitive effect sets overlap. The emitter precomputes them with
+	// the same effects.OverlapsDesc lattice test the interpreter's
+	// validator applies at run time, enumerated over every declared
+	// (class, field) pair — so membership here is equivalent to the
+	// dynamic descriptor check.
+	readOK  map[string]bool
+	writeOK map[string]bool
+}
+
+// NewSpecRegion builds a region with the extent's declared-effect key
+// sets.
+func NewSpecRegion(readOK, writeOK map[string]bool) *SpecRegion {
+	return &SpecRegion{readOK: readOK, writeOK: writeOK}
+}
+
+// NewJournal allocates a journal for one speculative task.
+func (sr *SpecRegion) NewJournal() *SpecJournal {
+	sr.mu.Lock()
+	defer sr.mu.Unlock()
+	j := &SpecJournal{
+		id:     len(sr.journals),
+		reads:  make(map[any]string),
+		writes: make(map[any]specCellI),
+	}
+	sr.journals = append(sr.journals, j)
+	return j
+}
+
+// CapturePanic is deferred around every speculative task body (the
+// region root, spawned tasks, and SpecGSS goroutines): a panic —
+// structured runtime error or otherwise — marks the region failed and
+// is swallowed, because the serial rerun reproduces any deterministic
+// error on the caller's goroutine where the generated driver can
+// recover it.
+func (sr *SpecRegion) CapturePanic() {
+	if r := recover(); r != nil {
+		sr.failed.Store(true)
+	}
+}
+
+// Failed reports whether some task already failed, so in-flight
+// speculative work can stop early (the interpreter runtime's
+// rt.failed fast path).
+func (sr *SpecRegion) Failed() bool { return sr.failed.Load() }
+
+// Commit validates the journals at the join barrier and, on success,
+// applies every buffered write to the heap single-threaded. It returns
+// false — with the heap untouched — when the region must abort: a task
+// failed, two tasks' operations did not commute at run time
+// (write-write or read-vs-writer overlap), or a field access fell
+// outside the extent's declared transitive effects.
+func (sr *SpecRegion) Commit() bool {
+	if sr.failed.Load() {
+		return false
+	}
+	if !sr.validate() {
+		return false
+	}
+	for _, j := range sr.journals {
+		for _, c := range j.writes {
+			c.apply()
+		}
+	}
+	return true
+}
+
+// validate mirrors internal/rt's specRegion.validate check for check:
+// write-write conflicts across journals, then read-vs-writer
+// conflicts, then declared-effect conformance of object-field accesses
+// (element locations carry desc "" and are covered by the conflict
+// checks alone).
+func (sr *SpecRegion) validate() bool {
+	writer := make(map[any]int)
+	for _, j := range sr.journals {
+		for l := range j.writes {
+			if w, ok := writer[l]; ok && w != j.id {
+				return false
+			}
+			writer[l] = j.id
+		}
+	}
+	for _, j := range sr.journals {
+		for l := range j.reads {
+			if w, ok := writer[l]; ok && w != j.id {
+				return false
+			}
+		}
+	}
+	for _, j := range sr.journals {
+		for _, c := range j.writes {
+			if d := c.descKey(); d != "" && !sr.writeOK[d] {
+				return false
+			}
+		}
+		for _, desc := range j.reads {
+			if desc != "" && !sr.readOK[desc] && !sr.writeOK[desc] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// SpecGSS runs a planned-parallel counted loop speculatively: the same
+// guided self-scheduling chunk math as GSS, with one fresh journal per
+// loop goroutine (created inside the goroutine, like the interpreter's
+// specLoop), a failed-region fast path at every chunk claim, and panic
+// capture so a faulting iteration aborts the region instead of
+// crashing the process. A goroutine executes its iterations in
+// increasing order, so intra-worker sequencing matches the serial
+// order and only cross-worker interference needs detection.
+func SpecGSS(sr *SpecRegion, method, site string, workers int, from, to, step int64, mk func(*SpecJournal) func(int64)) {
+	if workers < 1 {
+		workers = 1
+	}
+	if step <= 0 {
+		Errf("gss", method, site, "non-positive step %d", step)
+	}
+	total := (to - from + step - 1) / step
+	if total <= 0 {
+		return
+	}
+	var next atomic.Int64
+	next.Store(from)
+	n := workers
+	if int64(n) < total {
+		// keep n
+	} else {
+		n = int(total)
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < n; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			defer sr.CapturePanic()
+			body := mk(sr.NewJournal())
+			for {
+				if sr.Failed() {
+					return
+				}
+				start := next.Load()
+				if start >= to {
+					return
+				}
+				remaining := (to - start + step - 1) / step
+				chunk := remaining / int64(workers)
+				if chunk < 1 {
+					chunk = 1
+				}
+				end := start + chunk*step
+				if !next.CompareAndSwap(start, end) {
+					continue
+				}
+				if end > to {
+					end = to
+				}
+				for i := start; i < end; i += step {
+					body(i)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}

@@ -3,7 +3,9 @@
 # Water, vet and build each, run them natively (serial and parallel),
 # and diff the final state dumps against the serial interpreter byte
 # for byte (Water's parallel accumulation order varies, so its
-# parallel run only has to finish cleanly).
+# parallel run only has to finish cleanly). The speculative leg emits
+# the journaled packages for the speculation corpus and byte-diffs both
+# the commit and the abort-and-rerun paths.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -25,6 +27,39 @@ for APP in barneshut graph; do
     fi
   done
   echo "$APP: native == interpreter (serial + both parallel schedulers)"
+done
+
+# Speculation: emit the journaled speculative packages and check that
+# both the commit path (specdisjoint: disjoint at run time, region
+# commits) and the abort path (specconflict: guaranteed violation,
+# rollback + serial rerun) reproduce the serial interpreter state byte
+# for byte, and that the -specstats counters show the expected outcome.
+for APP in specdisjoint specconflict; do
+  DIR="$OUT/$APP"
+  go run ./cmd/commutec -emit go -speculate -o "$DIR" -app "$APP"
+  (cd "$DIR" && go vet . && go build -o app .)
+  go run ./cmd/commuterun -mode serial -app "$APP" -dump > "$OUT/$APP.interp"
+  for ARGS in "-mode serial" "-mode parallel -workers 4 -speculate force" "-mode parallel -workers 4 -speculate auto"; do
+    # shellcheck disable=SC2086
+    "$DIR/app" $ARGS -specstats -dump > "$OUT/$APP.native" 2> "$OUT/$APP.stats"
+    if ! diff -q "$OUT/$APP.interp" "$OUT/$APP.native" >/dev/null; then
+      echo "FAIL: $APP ($ARGS) speculative native state diverges from the interpreter:" >&2
+      diff "$OUT/$APP.interp" "$OUT/$APP.native" | head >&2
+      exit 1
+    fi
+  done
+  # The -speculate force leg ran last but one; re-run it for the counters.
+  "$DIR/app" -mode parallel -workers 4 -speculate force -specstats > /dev/null 2> "$OUT/$APP.stats"
+  case "$APP" in
+    specdisjoint) WANT="spec_commits 1" ;;
+    specconflict) WANT="spec_aborts 1" ;;
+  esac
+  if ! grep -q "$WANT" "$OUT/$APP.stats"; then
+    echo "FAIL: $APP -speculate force: expected '$WANT' in counters:" >&2
+    cat "$OUT/$APP.stats" >&2
+    exit 1
+  fi
+  echo "$APP: speculative native == interpreter (serial + force + auto), counters OK"
 done
 
 # Water: serial must be bit-identical; parallel must run cleanly.
